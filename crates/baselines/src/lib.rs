@@ -1,0 +1,28 @@
+//! # lifl-baselines
+//!
+//! The baseline FL systems the paper compares LIFL against (§6):
+//!
+//! * **SF** — the serverful system following Google's FL stack / Meta's PAPAYA
+//!   (Fig. 2(a)): always-on aggregators with direct gRPC channels.
+//! * **SL** — the serverless system following FedKeeper / AdaFed on Knative
+//!   (Fig. 2(b)): functions behind a message broker with container sidecars,
+//!   threshold autoscaling and least-connection load balancing.
+//! * **SL-H** — the Fig. 8 baseline: a serverless control plane that already
+//!   has LIFL's shared-memory data plane but keeps Knative's least-connection
+//!   placement, reactive scaling, no runtime reuse and lazy aggregation.
+//! * **NH** — a single aggregator without hierarchy (the Fig. 4 baseline).
+//!
+//! All of them reuse the cluster simulation engine in `lifl-core`, configured
+//! through [`lifl_core::PlatformProfile`], plus the FL workload driver in
+//! [`driver`] that turns (population, dataset, system) into the
+//! time-to-accuracy and cost-to-accuracy curves of Fig. 9 and the time series
+//! of Fig. 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod systems;
+
+pub use driver::{WorkloadDriver, WorkloadOutcome, WorkloadSetup};
+pub use systems::{no_hierarchy_profile, serverful, serverless, sl_hierarchical};

@@ -1,0 +1,16 @@
+//! Ablation sweeps: EWMA α, leaf fan-in and placement policy (DESIGN.md §4).
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifl_experiments::ablation;
+
+fn bench(c: &mut Criterion) {
+    let result = ablation::run();
+    println!("{}", ablation::format(&result));
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("alpha_sweep", |b| b.iter(ablation::alpha_sweep));
+    group.bench_function("fan_in_sweep", |b| b.iter(ablation::fan_in_sweep));
+    group.bench_function("placement_sweep", |b| b.iter(ablation::placement_sweep));
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

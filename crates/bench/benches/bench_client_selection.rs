@@ -1,0 +1,55 @@
+//! Client-selection overhead: uniform random vs Oort-style guided selection
+//! over populations up to the paper's 2,800 clients (§6.2, related work).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifl_fl::client::ClientAvailability;
+use lifl_fl::oort::{OortConfig, OortSelector};
+use lifl_fl::population::{Population, PopulationConfig};
+use lifl_fl::selector::{select_clients, SelectionStrategy};
+use lifl_simcore::SimRng;
+use lifl_types::ModelKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_selection");
+    group.sample_size(20);
+    for total in [500usize, 2800] {
+        let mut rng = SimRng::from_seed(7);
+        let population = Population::generate(
+            PopulationConfig {
+                total_clients: total,
+                active_per_round: 120,
+                availability: ClientAvailability::Hibernating { max_secs: 60.0 },
+                mean_samples: 120,
+                speed_spread: 0.6,
+            },
+            &mut rng,
+        );
+        let pool = population.clients().to_vec();
+        let mut oort = OortSelector::new(OortConfig::default()).expect("valid config");
+        for client in pool.iter().take(total / 2) {
+            oort.record_feedback(client.id, 1.0 + (client.id.index() % 5) as f64);
+        }
+        group.bench_with_input(BenchmarkId::new("uniform_random", total), &total, |b, _| {
+            let mut rng = SimRng::from_seed(9);
+            b.iter(|| {
+                let picked = select_clients(
+                    SelectionStrategy::UniformRandom,
+                    &pool,
+                    120,
+                    ModelKind::ResNet18,
+                    &mut rng,
+                );
+                assert_eq!(picked.len(), 120);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oort_guided", total), &total, |b, _| {
+            let mut rng = SimRng::from_seed(9);
+            b.iter(|| {
+                let picked = oort.select(&pool, 120, &mut rng);
+                assert_eq!(picked.len(), 120);
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Micro-benchmark: FedAvg folding (eager) and the threaded hierarchical runtime.
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifl_core::runtime::{run_hierarchical, HierarchicalRunConfig};
+use lifl_fl::aggregate::{fedavg, ModelUpdate};
+use lifl_fl::DenseModel;
+use lifl_types::ClientId;
+
+fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
+    (0..n)
+        .map(|i| {
+            ModelUpdate::from_client(
+                ClientId::new(i as u64),
+                DenseModel::from_vec(vec![i as f32; dim]),
+                (i + 1) as u64,
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedavg");
+    group.sample_size(20);
+    let batch = updates(16, 10_000);
+    group.bench_function("flat_fedavg_16x10k", |b| b.iter(|| fedavg(std::hint::black_box(&batch))));
+    let hier = updates(8, 10_000);
+    group.bench_function("threaded_hierarchy_8x10k", |b| {
+        b.iter(|| {
+            run_hierarchical(
+                HierarchicalRunConfig { leaves: 4, updates_per_leaf: 2 },
+                std::hint::black_box(&hier),
+            )
+        })
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

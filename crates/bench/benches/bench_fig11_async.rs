@@ -1,0 +1,48 @@
+//! Fig. 11 / future work: buffered asynchronous aggregation micro-benchmarks.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifl_core::async_round::AsyncAggregator;
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::DenseModel;
+use lifl_types::{AggregationTiming, ClientId, SimTime};
+
+fn submit_wave(goal: u64, timing: AggregationTiming, updates: &[ModelUpdate]) -> usize {
+    let mut aggregator = AsyncAggregator::new(goal, timing).expect("goal > 0");
+    for (k, update) in updates.iter().enumerate() {
+        aggregator
+            .submit(update.clone(), 0, SimTime::from_secs(k as f64))
+            .expect("submit");
+    }
+    aggregator.versions().len()
+}
+
+fn bench(c: &mut Criterion) {
+    // A ResNet-18-sized update has ~11.7M parameters; benchmark with a scaled
+    // vector so the per-update fold cost is realistic but the bench stays short.
+    let dim = 100_000;
+    let updates: Vec<ModelUpdate> = (1..=32u64)
+        .map(|i| {
+            ModelUpdate::from_client(
+                ClientId::new(i),
+                DenseModel::from_vec(vec![i as f32 * 1e-3; dim]),
+                i,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("fig11_async");
+    group.sample_size(10);
+    for timing in [AggregationTiming::Eager, AggregationTiming::Lazy] {
+        group.bench_with_input(
+            BenchmarkId::new("submit_32_updates_goal_8", format!("{timing:?}")),
+            &timing,
+            |b, &timing| {
+                b.iter(|| {
+                    let versions = submit_wave(8, timing, &updates);
+                    assert_eq!(versions, 4);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Fig. 13: message-queuing overheads of the four setups of Fig. 5.
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifl_experiments::fig13;
+
+fn bench(c: &mut Criterion) {
+    let result = fig13::run();
+    println!("{}", fig13::format(&result));
+    let mut group = c.benchmark_group("fig13_queuing");
+    group.sample_size(20);
+    group.bench_function("all_setups", |b| b.iter(fig13::run));
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Fig. 4: hierarchical aggregation on a kernel-networking data plane (NH vs WH).
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifl_experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    let result = fig4::run();
+    println!("{}", fig4::format(&result));
+    let mut group = c.benchmark_group("fig4_hierarchy");
+    group.sample_size(10);
+    group.bench_function("nh_vs_wh", |b| b.iter(fig4::run));
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

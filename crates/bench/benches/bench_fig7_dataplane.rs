@@ -1,0 +1,30 @@
+//! Fig. 7(a,b): single intra-node model-update transfer under each data plane.
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifl_dataplane::{CostModel, DataPlaneKind};
+use lifl_types::ModelKind;
+
+fn bench(c: &mut Criterion) {
+    let cost = CostModel::paper_calibrated();
+    let mut group = c.benchmark_group("fig7_dataplane");
+    group.sample_size(20);
+    for model in ModelKind::paper_models() {
+        for (label, plane) in [
+            ("LIFL", DataPlaneKind::LiflSharedMemory),
+            ("SF", DataPlaneKind::ServerfulGrpc),
+            ("SL", DataPlaneKind::ServerlessBrokerSidecar),
+        ] {
+            let t = cost.intra_node_transfer(plane, model.update_bytes());
+            println!(
+                "fig7 {label} {model}: latency {:.2}s cpu {:.2}G",
+                t.latency.as_secs(),
+                t.cpu.as_giga()
+            );
+            group.bench_function(format!("{label}/{model}"), |b| {
+                b.iter(|| cost.intra_node_transfer(plane, std::hint::black_box(model.update_bytes())))
+            });
+        }
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Fig. 8: the orchestration ablation sweep (ACT / CPU / aggregators / nodes).
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifl_experiments::fig8;
+
+fn bench(c: &mut Criterion) {
+    let result = fig8::run();
+    println!("{}", fig8::format(&result));
+    let mut group = c.benchmark_group("fig8_orchestration");
+    group.sample_size(10);
+    group.bench_function("full_sweep", |b| b.iter(fig8::run));
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

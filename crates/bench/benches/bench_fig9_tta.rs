@@ -1,0 +1,17 @@
+//! Fig. 9: time-to-accuracy workload (small round count for benchmarking).
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifl_experiments::fig9_fig10;
+use lifl_types::ModelKind;
+
+fn bench(c: &mut Criterion) {
+    let comparison = fig9_fig10::run_workload(ModelKind::ResNet18, 5, 30.0);
+    println!("{}", fig9_fig10::format(&comparison));
+    let mut group = c.benchmark_group("fig9_tta");
+    group.sample_size(10);
+    group.bench_function("resnet18_5rounds", |b| {
+        b.iter(|| fig9_fig10::run_workload(ModelKind::ResNet18, 2, 30.0))
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §6.1: orchestration overhead — placement up to 10K clients and EWMA cost.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifl_core::hierarchy::EwmaEstimator;
+use lifl_core::placement::{NodeCapacity, PlacementEngine};
+use lifl_types::{NodeId, PlacementPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestration_overhead");
+    group.sample_size(20);
+    for clients in [100u64, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("placement", clients), &clients, |b, &n| {
+            b.iter(|| {
+                let engine = PlacementEngine::new(PlacementPolicy::BestFit);
+                let nodes = (n / 20 + 1).max(5);
+                let mut caps: Vec<NodeCapacity> = (0..nodes)
+                    .map(|i| NodeCapacity::new(NodeId::new(i), 20))
+                    .collect();
+                engine.place_batch(n, &mut caps)
+            })
+        });
+    }
+    group.bench_function("ewma_estimate", |b| {
+        b.iter(|| {
+            let mut e = EwmaEstimator::new(0.7);
+            for i in 0..100 {
+                e.observe(std::hint::black_box(i as f64));
+            }
+            e.estimate()
+        })
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Server-optimizer step cost (FedAvg vs the adaptive family) at ResNet-scale
+//! parameter counts — the per-round control-plane cost of swapping the server
+//! update rule on top of LIFL's aggregation hierarchy.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lifl_fl::server_opt::{ServerOptConfig, ServerOptKind, ServerOptimizer};
+use lifl_fl::DenseModel;
+
+fn bench(c: &mut Criterion) {
+    // ResNet-18 has ~11.7M parameters; use 1M so each sample stays fast while
+    // the relative cost ordering (FedAvg < Adagrad < Adam/Yogi) is preserved.
+    let dim = 1_000_000;
+    let aggregate = DenseModel::from_vec((0..dim).map(|i| (i % 97) as f32 * 1e-4).collect());
+    let mut group = c.benchmark_group("server_optimizers");
+    group.sample_size(10);
+    for kind in ServerOptKind::all() {
+        group.bench_with_input(BenchmarkId::new("step_1M_params", kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut optimizer =
+                    ServerOptimizer::new(ServerOptConfig::for_kind(kind)).expect("valid config");
+                let mut global = DenseModel::zeros(dim);
+                optimizer.step(&mut global, &aggregate).expect("dimensions match");
+                global
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmark: zero-copy shared-memory hand-off vs serialize-and-copy.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lifl_shmem::ObjectStore;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shmem_handoff");
+    group.sample_size(20);
+    for mib in [1usize, 16, 64] {
+        let bytes = mib * 1024 * 1024;
+        let payload = vec![0u8; bytes];
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::new("zero_copy_key_handoff", mib), &payload, |b, p| {
+            let store = ObjectStore::new();
+            let key = store.put(p.clone()).unwrap();
+            b.iter(|| {
+                // The consumer side of LIFL's data plane: resolve the key, read in place.
+                let obj = store.get(std::hint::black_box(&key)).unwrap();
+                std::hint::black_box(obj.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("copy_pipeline", mib), &payload, |b, p| {
+            b.iter(|| {
+                // The broker/sidecar style pipeline copies the payload per hop.
+                let hop1 = p.clone();
+                let hop2 = hop1.clone();
+                std::hint::black_box(hop2.len())
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! # lifl-bench
+//!
+//! Criterion benchmark targets, one per table/figure of the paper's
+//! evaluation plus micro-benchmarks of the shared-memory store and FedAvg.
+//! Run `cargo bench --workspace`; each target prints the rows/series it
+//! regenerates before measuring.
+
+#![forbid(unsafe_code)]

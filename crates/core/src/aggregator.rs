@@ -1,0 +1,272 @@
+//! The LIFL aggregator runtime: the step-based Recv → Agg → Send processing
+//! model of Appendix G, operating on object keys in shared memory.
+
+use lifl_fl::aggregate::{CumulativeFedAvg, ModelUpdate};
+use lifl_shmem::queue::QueuedUpdate;
+use lifl_shmem::{InPlaceQueue, ObjectStore, SharedObject};
+use lifl_types::{AggregatorId, AggregatorRole, LiflError, Result};
+
+/// The step the runtime is currently in (Appendix G, Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregatorStep {
+    /// Waiting to receive / dequeue the next model update.
+    Recv,
+    /// Folding a dequeued update into the running aggregate.
+    Agg,
+    /// Publishing the aggregated update to the designated consumer.
+    Send,
+}
+
+/// A single stateless aggregator runtime.
+///
+/// The runtime is "homogenised" (§5.3): the same struct serves as leaf, middle
+/// or top aggregator — only its `role` and aggregation goal differ, so a warm
+/// instance can be promoted without restarting.
+#[derive(Debug)]
+pub struct AggregatorRuntime {
+    id: AggregatorId,
+    role: AggregatorRole,
+    goal: u64,
+    store: ObjectStore,
+    inbox: InPlaceQueue,
+    accumulator: CumulativeFedAvg,
+    step: AggregatorStep,
+    aggregated: u64,
+}
+
+impl AggregatorRuntime {
+    /// Creates a runtime with the given aggregation goal (§2.1), reading
+    /// updates from `inbox` and payloads from `store`.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidAggregationGoal`] if `goal` is zero.
+    pub fn new(
+        id: AggregatorId,
+        role: AggregatorRole,
+        goal: u64,
+        store: ObjectStore,
+        inbox: InPlaceQueue,
+    ) -> Result<Self> {
+        if goal == 0 {
+            return Err(LiflError::InvalidAggregationGoal(0));
+        }
+        Ok(AggregatorRuntime {
+            id,
+            role,
+            goal,
+            store,
+            inbox,
+            accumulator: CumulativeFedAvg::default(),
+            step: AggregatorStep::Recv,
+            aggregated: 0,
+        })
+    }
+
+    /// The aggregator's identity.
+    pub fn id(&self) -> AggregatorId {
+        self.id
+    }
+
+    /// The current role.
+    pub fn role(&self) -> AggregatorRole {
+        self.role
+    }
+
+    /// Promotes the runtime to a higher role (opportunistic reuse, §5.3),
+    /// optionally adopting a new aggregation goal. The runtime is stateless
+    /// between rounds, so no other change is required.
+    pub fn promote(&mut self, new_goal: u64) -> Result<()> {
+        let Some(next) = self.role.promoted() else {
+            return Err(LiflError::InvalidConfig(
+                "top aggregator cannot be promoted further".to_string(),
+            ));
+        };
+        if new_goal == 0 {
+            return Err(LiflError::InvalidAggregationGoal(0));
+        }
+        self.role = next;
+        self.goal = new_goal;
+        self.accumulator = CumulativeFedAvg::default();
+        self.aggregated = 0;
+        self.step = AggregatorStep::Recv;
+        Ok(())
+    }
+
+    /// The step the runtime is in.
+    pub fn step(&self) -> AggregatorStep {
+        self.step
+    }
+
+    /// Updates aggregated so far toward the goal.
+    pub fn aggregated(&self) -> u64 {
+        self.aggregated
+    }
+
+    /// Whether the aggregation goal has been met.
+    pub fn goal_met(&self) -> bool {
+        self.aggregated >= self.goal
+    }
+
+    /// Runs one Recv+Agg step: dequeues the next key (if any) and folds the
+    /// referenced update into the accumulator. Returns `true` if an update was
+    /// processed (eager aggregation processes updates one at a time, §5.4).
+    ///
+    /// # Errors
+    /// Propagates object-store and dimension errors.
+    pub fn poll(&mut self) -> Result<bool> {
+        let Some(queued) = self.inbox.dequeue() else {
+            self.step = AggregatorStep::Recv;
+            return Ok(false);
+        };
+        self.step = AggregatorStep::Agg;
+        let object = self.store.get(&queued.key)?;
+        let update = decode_update(&object, &queued);
+        self.accumulator.fold(&update)?;
+        self.aggregated += 1;
+        if self.goal_met() {
+            self.step = AggregatorStep::Send;
+        } else {
+            self.step = AggregatorStep::Recv;
+        }
+        Ok(true)
+    }
+
+    /// Runs the Send step: finalises the aggregate, writes it into shared
+    /// memory and returns the queue entry to hand to the consumer.
+    ///
+    /// # Errors
+    /// Returns an error if the goal has not been met or the store is full.
+    pub fn send(&mut self) -> Result<QueuedUpdate> {
+        if !self.goal_met() {
+            return Err(LiflError::InvalidAggregationGoal(self.aggregated));
+        }
+        let result = self.accumulator.finalize()?;
+        let key = self.store.put_f32(result.model.as_slice())?;
+        self.aggregated = 0;
+        self.step = AggregatorStep::Recv;
+        Ok(QueuedUpdate::intermediate(key, result.samples))
+    }
+
+    /// Drives the runtime until the goal is met and the result is sent
+    /// (a convenience for tests and the in-process runtime; lazy aggregation
+    /// simply calls this after all inputs are queued).
+    ///
+    /// # Errors
+    /// Propagates the errors of [`AggregatorRuntime::poll`] and [`AggregatorRuntime::send`].
+    pub fn run_to_completion(&mut self) -> Result<QueuedUpdate> {
+        while !self.goal_met() {
+            if !self.poll()? {
+                return Err(LiflError::Simulation(format!(
+                    "aggregator {} starved: {}/{} updates received",
+                    self.id, self.aggregated, self.goal
+                )));
+            }
+        }
+        self.send()
+    }
+}
+
+fn decode_update(object: &SharedObject, queued: &QueuedUpdate) -> ModelUpdate {
+    let model = lifl_fl::DenseModel::from_vec(object.as_f32_vec());
+    match queued.producer {
+        Some(client) => ModelUpdate::from_client(client, model, queued.weight),
+        None => ModelUpdate::intermediate(model, queued.weight),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifl_types::ClientId;
+
+    fn queue_client_update(
+        store: &ObjectStore,
+        inbox: &InPlaceQueue,
+        client: u64,
+        values: &[f32],
+        samples: u64,
+    ) {
+        let key = store.put_f32(values).unwrap();
+        let mut q = QueuedUpdate::from_client(ClientId::new(client), key);
+        q.weight = samples;
+        inbox.enqueue(q);
+    }
+
+    #[test]
+    fn aggregates_to_goal_and_sends() {
+        let store = ObjectStore::new();
+        let inbox = InPlaceQueue::new();
+        let mut agg = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            2,
+            store.clone(),
+            inbox.clone(),
+        )
+        .unwrap();
+        assert_eq!(agg.step(), AggregatorStep::Recv);
+        queue_client_update(&store, &inbox, 1, &[2.0, 4.0], 1);
+        queue_client_update(&store, &inbox, 2, &[4.0, 8.0], 3);
+        assert!(agg.poll().unwrap());
+        assert_eq!(agg.step(), AggregatorStep::Recv);
+        assert!(agg.poll().unwrap());
+        assert_eq!(agg.step(), AggregatorStep::Send);
+        let out = agg.send().unwrap();
+        assert_eq!(out.weight, 4);
+        let result = store.get(&out.key).unwrap().as_f32_vec();
+        assert!((result[0] - 3.5).abs() < 1e-6);
+        assert!((result[1] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poll_without_updates_returns_false() {
+        let store = ObjectStore::new();
+        let inbox = InPlaceQueue::new();
+        let mut agg = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            1,
+            store,
+            inbox,
+        )
+        .unwrap();
+        assert!(!agg.poll().unwrap());
+        assert!(agg.send().is_err());
+        assert!(agg.run_to_completion().is_err());
+    }
+
+    #[test]
+    fn promotion_resets_state() {
+        let store = ObjectStore::new();
+        let inbox = InPlaceQueue::new();
+        let mut agg = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            1,
+            store.clone(),
+            inbox.clone(),
+        )
+        .unwrap();
+        queue_client_update(&store, &inbox, 1, &[1.0], 1);
+        agg.run_to_completion().unwrap();
+        agg.promote(3).unwrap();
+        assert_eq!(agg.role(), AggregatorRole::Middle);
+        assert_eq!(agg.aggregated(), 0);
+        agg.promote(2).unwrap();
+        assert_eq!(agg.role(), AggregatorRole::Top);
+        assert!(agg.promote(2).is_err());
+        assert!(agg.promote(0).is_err());
+    }
+
+    #[test]
+    fn zero_goal_rejected() {
+        let err = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            0,
+            ObjectStore::new(),
+            InPlaceQueue::new(),
+        );
+        assert!(err.is_err());
+    }
+}

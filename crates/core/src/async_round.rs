@@ -1,0 +1,207 @@
+//! Asynchronous FL aggregation (Fig. 11, §7 future work).
+//!
+//! The paper's current implementation supports synchronous FL only and lists
+//! asynchronous FL as future work; Fig. 11 sketches the intended semantics
+//! (FedBuff-style buffered asynchronous aggregation (Huba et al., 2022;
+//! Nguyen et al., 2022)): the global model advances every time `goal` updates
+//! have been aggregated, regardless of which round's model a client trained
+//! against, and updates can keep streaming in while versions advance. This
+//! module implements that semantics on top of the same cumulative FedAvg
+//! accumulator, under both eager and lazy timing, so the extension point is
+//! exercised and tested.
+
+use lifl_fl::aggregate::{CumulativeFedAvg, ModelUpdate};
+use lifl_fl::DenseModel;
+use lifl_types::{AggregationTiming, LiflError, Result, RoundId, SimTime};
+
+/// One committed global-model version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelVersion {
+    /// Version number (starts at 1 for the first committed aggregate).
+    pub version: RoundId,
+    /// The committed global model.
+    pub model: DenseModel,
+    /// Total samples folded into this version's window.
+    pub samples: u64,
+    /// Simulated time at which the version was committed.
+    pub committed_at: SimTime,
+    /// Number of updates whose base model was stale (trained against an older version).
+    pub stale_updates: u64,
+}
+
+/// An asynchronous aggregator: commits a new global model every `goal`
+/// received updates (Fig. 11's "Aggregation Goal = 2" pattern).
+#[derive(Debug)]
+pub struct AsyncAggregator {
+    goal: u64,
+    timing: AggregationTiming,
+    accumulator: CumulativeFedAvg,
+    buffered: Vec<ModelUpdate>,
+    versions: Vec<ModelVersion>,
+    received: u64,
+    stale_in_window: u64,
+}
+
+impl AsyncAggregator {
+    /// Creates an asynchronous aggregator committing every `goal` updates.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidAggregationGoal`] if `goal` is zero.
+    pub fn new(goal: u64, timing: AggregationTiming) -> Result<Self> {
+        if goal == 0 {
+            return Err(LiflError::InvalidAggregationGoal(0));
+        }
+        Ok(AsyncAggregator {
+            goal,
+            timing,
+            accumulator: CumulativeFedAvg::default(),
+            buffered: Vec::new(),
+            versions: Vec::new(),
+            received: 0,
+            stale_in_window: 0,
+        })
+    }
+
+    /// The aggregation goal per committed version.
+    pub fn goal(&self) -> u64 {
+        self.goal
+    }
+
+    /// Committed versions so far.
+    pub fn versions(&self) -> &[ModelVersion] {
+        &self.versions
+    }
+
+    /// The latest committed global model, if any version has been committed.
+    pub fn latest(&self) -> Option<&ModelVersion> {
+        self.versions.last()
+    }
+
+    /// Submits one client update trained against `base_version` (0 = initial
+    /// model), arriving at `now`. Returns the newly committed version if this
+    /// update completed a window.
+    ///
+    /// # Errors
+    /// Propagates aggregation errors (dimension mismatch, zero samples).
+    pub fn submit(
+        &mut self,
+        update: ModelUpdate,
+        base_version: u64,
+        now: SimTime,
+    ) -> Result<Option<ModelVersion>> {
+        self.received += 1;
+        if base_version < self.versions.len() as u64 {
+            self.stale_in_window += 1;
+        }
+        match self.timing {
+            AggregationTiming::Eager => {
+                // Fold immediately (Fig. 11(a)).
+                self.accumulator.fold(&update)?;
+            }
+            AggregationTiming::Lazy => {
+                // Queue until the window is complete (Fig. 11(b)).
+                self.buffered.push(update);
+            }
+        }
+        if self.received % self.goal == 0 {
+            if self.timing == AggregationTiming::Lazy {
+                for buffered in self.buffered.drain(..) {
+                    self.accumulator.fold(&buffered)?;
+                }
+            }
+            let aggregate = self.accumulator.finalize()?;
+            let version = ModelVersion {
+                version: RoundId::new(self.versions.len() as u64 + 1),
+                model: aggregate.model,
+                samples: aggregate.samples,
+                committed_at: now,
+                stale_updates: self.stale_in_window,
+            };
+            self.stale_in_window = 0;
+            self.versions.push(version.clone());
+            return Ok(Some(version));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifl_fl::aggregate::fedavg;
+    use lifl_types::ClientId;
+
+    fn update(i: u64, values: Vec<f32>, samples: u64) -> ModelUpdate {
+        ModelUpdate::from_client(ClientId::new(i), DenseModel::from_vec(values), samples)
+    }
+
+    #[test]
+    fn commits_every_goal_updates() {
+        let mut agg = AsyncAggregator::new(2, AggregationTiming::Eager).unwrap();
+        assert!(agg
+            .submit(update(1, vec![1.0, 1.0], 1), 0, SimTime::from_secs(1.0))
+            .unwrap()
+            .is_none());
+        let v1 = agg
+            .submit(update(2, vec![3.0, 3.0], 1), 0, SimTime::from_secs(2.0))
+            .unwrap()
+            .expect("first version");
+        assert_eq!(v1.version, RoundId::new(1));
+        assert_eq!(v1.model.as_slice(), &[2.0, 2.0]);
+        assert_eq!(v1.stale_updates, 0);
+        // Next window: a client still training against version 0 is stale.
+        agg.submit(update(3, vec![0.0, 0.0], 1), 0, SimTime::from_secs(3.0)).unwrap();
+        let v2 = agg
+            .submit(update(4, vec![4.0, 4.0], 3), 1, SimTime::from_secs(4.0))
+            .unwrap()
+            .expect("second version");
+        assert_eq!(v2.version, RoundId::new(2));
+        assert_eq!(v2.stale_updates, 1);
+        assert_eq!(agg.versions().len(), 2);
+        assert_eq!(agg.latest().unwrap().version, RoundId::new(2));
+    }
+
+    #[test]
+    fn eager_and_lazy_commit_identical_models() {
+        let updates: Vec<ModelUpdate> = (1..=6)
+            .map(|i| update(i, vec![i as f32, (i * i) as f32], i))
+            .collect();
+        let mut eager = AsyncAggregator::new(3, AggregationTiming::Eager).unwrap();
+        let mut lazy = AsyncAggregator::new(3, AggregationTiming::Lazy).unwrap();
+        for (k, u) in updates.iter().enumerate() {
+            let t = SimTime::from_secs(k as f64);
+            eager.submit(u.clone(), 0, t).unwrap();
+            lazy.submit(u.clone(), 0, t).unwrap();
+        }
+        assert_eq!(eager.versions().len(), 2);
+        assert_eq!(lazy.versions().len(), 2);
+        for (a, b) in eager.versions().iter().zip(lazy.versions()) {
+            for (x, y) in a.model.as_slice().iter().zip(b.model.as_slice()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+        // Each window matches the batch FedAvg of its updates.
+        let first_window = fedavg(&updates[..3]).unwrap();
+        for (x, y) in eager.versions()[0].model.as_slice().iter().zip(first_window.model.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_goal_is_rejected() {
+        assert!(AsyncAggregator::new(0, AggregationTiming::Eager).is_err());
+    }
+
+    #[test]
+    fn goal_one_commits_every_update() {
+        let mut agg = AsyncAggregator::new(1, AggregationTiming::Lazy).unwrap();
+        for i in 1..=4u64 {
+            let committed = agg
+                .submit(update(i, vec![i as f32], 1), i - 1, SimTime::from_secs(i as f64))
+                .unwrap();
+            assert!(committed.is_some());
+        }
+        assert_eq!(agg.versions().len(), 4);
+        assert_eq!(agg.goal(), 1);
+    }
+}

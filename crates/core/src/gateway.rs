@@ -1,0 +1,170 @@
+//! The per-node gateway (§4.2, Appendix C): the only stateful data-plane
+//! component in LIFL. It ingests model updates from remote clients or peer
+//! gateways, performs the one-time payload processing, writes the payload into
+//! the local shared-memory store and enqueues the object key to the consuming
+//! aggregator's in-place queue. On the transmit side it reads a local object
+//! and ships it to a remote node's gateway.
+
+use lifl_shmem::queue::QueuedUpdate;
+use lifl_shmem::{InPlaceQueue, ObjectStore};
+use lifl_types::{AggregatorId, ClientId, NodeId, Result};
+use std::collections::HashMap;
+
+/// The per-node gateway.
+#[derive(Debug)]
+pub struct Gateway {
+    node: NodeId,
+    store: ObjectStore,
+    inboxes: HashMap<AggregatorId, InPlaceQueue>,
+    ingested_updates: u64,
+    ingested_bytes: u64,
+    forwarded_bytes: u64,
+}
+
+impl Gateway {
+    /// Creates a gateway over the node's shared-memory store.
+    pub fn new(node: NodeId, store: ObjectStore) -> Self {
+        Gateway {
+            node,
+            store,
+            inboxes: HashMap::new(),
+            ingested_updates: 0,
+            ingested_bytes: 0,
+            forwarded_bytes: 0,
+        }
+    }
+
+    /// The node this gateway serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Registers (or returns) the in-place queue feeding `aggregator`.
+    pub fn register_aggregator(&mut self, aggregator: AggregatorId) -> InPlaceQueue {
+        self.inboxes.entry(aggregator).or_default().clone()
+    }
+
+    /// Ingests a raw client update: writes the payload into shared memory and
+    /// enqueues the key for `target` (in-place message queuing, §4.2).
+    ///
+    /// # Errors
+    /// Fails if the shared-memory store cannot hold the payload.
+    pub fn ingest_client_update(
+        &mut self,
+        client: ClientId,
+        target: AggregatorId,
+        payload: &[f32],
+        samples: u64,
+    ) -> Result<QueuedUpdate> {
+        let key = self.store.put_f32(payload)?;
+        let mut queued = QueuedUpdate::from_client(client, key);
+        queued.weight = samples;
+        self.deliver(target, queued);
+        self.ingested_updates += 1;
+        self.ingested_bytes += (payload.len() * 4) as u64;
+        Ok(queued)
+    }
+
+    /// Ingests an intermediate update arriving from a remote node's gateway.
+    ///
+    /// # Errors
+    /// Fails if the shared-memory store cannot hold the payload.
+    pub fn ingest_remote_update(
+        &mut self,
+        target: AggregatorId,
+        payload: &[f32],
+        weight: u64,
+    ) -> Result<QueuedUpdate> {
+        let key = self.store.put_f32(payload)?;
+        let queued = QueuedUpdate::intermediate(key, weight);
+        self.deliver(target, queued);
+        self.ingested_updates += 1;
+        self.ingested_bytes += (payload.len() * 4) as u64;
+        Ok(queued)
+    }
+
+    /// Delivers an already-stored update key to a local aggregator's queue
+    /// (the SKMSG redirect path).
+    pub fn deliver(&mut self, target: AggregatorId, queued: QueuedUpdate) {
+        self.inboxes.entry(target).or_default().enqueue(queued);
+    }
+
+    /// Transmit path: reads a local object and returns the payload to ship to
+    /// a remote gateway (which will call [`Gateway::ingest_remote_update`]).
+    ///
+    /// # Errors
+    /// Fails if the object key is unknown.
+    pub fn forward_remote(&mut self, update: &QueuedUpdate) -> Result<Vec<f32>> {
+        let object = self.store.get(&update.key)?;
+        self.forwarded_bytes += object.len() as u64;
+        Ok(object.as_f32_vec())
+    }
+
+    /// Number of updates ingested.
+    pub fn ingested_updates(&self) -> u64 {
+        self.ingested_updates
+    }
+
+    /// Bytes written into shared memory by this gateway.
+    pub fn ingested_bytes(&self) -> u64 {
+        self.ingested_bytes
+    }
+
+    /// Bytes shipped to remote gateways.
+    pub fn forwarded_bytes(&self) -> u64 {
+        self.forwarded_bytes
+    }
+
+    /// The shared-memory store backing this gateway.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_lands_key_in_target_queue() {
+        let store = ObjectStore::new();
+        let mut gw = Gateway::new(NodeId::new(0), store.clone());
+        let agg = AggregatorId::new(1);
+        let inbox = gw.register_aggregator(agg);
+        gw.ingest_client_update(ClientId::new(7), agg, &[1.0, 2.0], 5).unwrap();
+        assert_eq!(inbox.len(), 1);
+        let queued = inbox.dequeue().unwrap();
+        assert_eq!(queued.weight, 5);
+        assert_eq!(store.get(&queued.key).unwrap().as_f32_vec(), vec![1.0, 2.0]);
+        assert_eq!(gw.ingested_updates(), 1);
+        assert_eq!(gw.ingested_bytes(), 8);
+    }
+
+    #[test]
+    fn forward_reads_payload_for_remote_shipping() {
+        let store = ObjectStore::new();
+        let mut gw_a = Gateway::new(NodeId::new(0), store.clone());
+        let mut gw_b = Gateway::new(NodeId::new(1), ObjectStore::new());
+        let agg_local = AggregatorId::new(1);
+        let agg_remote = AggregatorId::new(2);
+        gw_a.register_aggregator(agg_local);
+        let remote_inbox = gw_b.register_aggregator(agg_remote);
+
+        let queued = gw_a
+            .ingest_client_update(ClientId::new(1), agg_local, &[3.0, 4.0], 2)
+            .unwrap();
+        let payload = gw_a.forward_remote(&queued).unwrap();
+        gw_b.ingest_remote_update(agg_remote, &payload, queued.weight).unwrap();
+        assert_eq!(remote_inbox.len(), 1);
+        assert_eq!(gw_a.forwarded_bytes(), 8);
+        assert!(gw_b.store().stats().live_objects > 0);
+        assert_eq!(gw_a.node(), NodeId::new(0));
+    }
+
+    #[test]
+    fn forward_unknown_key_fails() {
+        let mut gw = Gateway::new(NodeId::new(0), ObjectStore::new());
+        let bogus = QueuedUpdate::intermediate(lifl_types::ObjectKey::from_words(1, 2), 1);
+        assert!(gw.forward_remote(&bogus).is_err());
+    }
+}

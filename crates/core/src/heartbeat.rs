@@ -1,0 +1,104 @@
+//! Client failure detection via keep-alive heartbeats and over-provisioning
+//! (§3: "LIFL detects client failures with keep-alive heartbeats and enhances
+//! resilience by over-provisioning the number of clients").
+
+use lifl_types::{ClientId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Tracks the last heartbeat of every selected client and flags the ones whose
+/// heartbeat is older than the timeout.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    timeout: SimDuration,
+    last_seen: HashMap<ClientId, SimTime>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor with the given keep-alive timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        HeartbeatMonitor {
+            timeout,
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// Registers a client at selection time (its first implicit heartbeat).
+    pub fn register(&mut self, client: ClientId, now: SimTime) {
+        self.last_seen.insert(client, now);
+    }
+
+    /// Records a heartbeat from a client. Unknown clients are registered.
+    pub fn heartbeat(&mut self, client: ClientId, now: SimTime) {
+        self.last_seen.insert(client, now);
+    }
+
+    /// Removes a client (for example once its update arrived).
+    pub fn complete(&mut self, client: ClientId) {
+        self.last_seen.remove(&client);
+    }
+
+    /// Clients whose last heartbeat is older than the timeout at `now`.
+    pub fn failed_clients(&self, now: SimTime) -> Vec<ClientId> {
+        let mut failed: Vec<ClientId> = self
+            .last_seen
+            .iter()
+            .filter(|(_, seen)| now.duration_since(**seen) > self.timeout)
+            .map(|(client, _)| *client)
+            .collect();
+        failed.sort();
+        failed
+    }
+
+    /// Clients currently tracked (selected but not yet completed or failed).
+    pub fn tracked(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// The keep-alive timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+}
+
+/// How many clients to select so that, with an expected drop-out rate, at
+/// least `goal` updates arrive (the over-provisioning rule of §3).
+pub fn over_provisioned_selection(goal: u64, expected_dropout_rate: f64) -> u64 {
+    let rate = expected_dropout_rate.clamp(0.0, 0.95);
+    ((goal as f64) / (1.0 - rate)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_silent_clients() {
+        let mut monitor = HeartbeatMonitor::new(SimDuration::from_secs(30.0));
+        monitor.register(ClientId::new(1), SimTime::from_secs(0.0));
+        monitor.register(ClientId::new(2), SimTime::from_secs(0.0));
+        monitor.heartbeat(ClientId::new(2), SimTime::from_secs(25.0));
+        let failed = monitor.failed_clients(SimTime::from_secs(40.0));
+        assert_eq!(failed, vec![ClientId::new(1)]);
+        assert_eq!(monitor.tracked(), 2);
+        monitor.complete(ClientId::new(2));
+        assert_eq!(monitor.tracked(), 1);
+        assert_eq!(monitor.timeout().as_secs(), 30.0);
+    }
+
+    #[test]
+    fn completed_clients_are_never_reported_failed() {
+        let mut monitor = HeartbeatMonitor::new(SimDuration::from_secs(10.0));
+        monitor.register(ClientId::new(7), SimTime::ZERO);
+        monitor.complete(ClientId::new(7));
+        assert!(monitor.failed_clients(SimTime::from_secs(100.0)).is_empty());
+    }
+
+    #[test]
+    fn over_provisioning_covers_dropout() {
+        assert_eq!(over_provisioned_selection(120, 0.0), 120);
+        assert_eq!(over_provisioned_selection(120, 0.2), 150);
+        assert_eq!(over_provisioned_selection(15, 0.25), 20);
+        // Extreme drop-out rates are clamped so selection stays finite.
+        assert!(over_provisioned_selection(10, 0.99) <= 200);
+    }
+}

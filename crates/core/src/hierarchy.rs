@@ -1,0 +1,226 @@
+//! Hierarchy-aware autoscaling (§5.2): an EWMA estimator of the pending queue
+//! length per node and a planner that builds a two-level k-ary aggregation
+//! tree on each node, sized to the estimated load.
+
+use lifl_types::NodeId;
+
+/// The Exponentially Weighted Moving Average estimator of the pending queue
+/// length `Q_{i,t}` (§5.2): `Q_t = α·Q_{t−1} + (1−α)·q_t` with α = 0.7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaEstimator {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl EwmaEstimator {
+    /// Creates an estimator with smoothing coefficient `alpha` in `[0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        EwmaEstimator {
+            alpha: alpha.clamp(0.0, 1.0),
+            value: None,
+        }
+    }
+
+    /// Feeds an observation and returns the smoothed estimate.
+    pub fn observe(&mut self, observation: f64) -> f64 {
+        let next = match self.value {
+            None => observation,
+            Some(prev) => self.alpha * prev + (1.0 - self.alpha) * observation,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current estimate (None before the first observation).
+    pub fn estimate(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// The aggregation tree planned for one node: `leaves` leaf aggregators
+/// feeding one "central" middle aggregator (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHierarchy {
+    /// The node this hierarchy lives on.
+    pub node: NodeId,
+    /// Number of model updates expected at this node.
+    pub pending_updates: u32,
+    /// Number of leaf aggregators.
+    pub leaves: u32,
+    /// Whether a middle aggregator is needed (more than one leaf).
+    pub middle: bool,
+}
+
+impl NodeHierarchy {
+    /// Total aggregators in this node's subtree.
+    pub fn aggregators(&self) -> u32 {
+        self.leaves + u32::from(self.middle)
+    }
+}
+
+/// The cluster-wide hierarchy plan: per-node trees plus the node hosting the
+/// top aggregator that updates the global model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HierarchyPlan {
+    /// Per-node subtrees (nodes with zero pending updates are omitted).
+    pub nodes: Vec<NodeHierarchy>,
+    /// The node chosen to host the top aggregator.
+    pub top_node: Option<NodeId>,
+}
+
+impl HierarchyPlan {
+    /// Plans the hierarchy from the per-node pending-update estimates.
+    ///
+    /// `leaf_fan_in` is the number of client updates per leaf aggregator
+    /// (I, kept small — 2 — to maximise parallelism, §5.2). The top aggregator
+    /// is placed on the node with the most pending updates so that the largest
+    /// intermediate never crosses nodes.
+    pub fn plan(pending_per_node: &[(NodeId, u32)], leaf_fan_in: u32) -> HierarchyPlan {
+        let fan_in = leaf_fan_in.max(1);
+        let mut nodes = Vec::new();
+        let mut top_node = None;
+        let mut top_load = 0u32;
+        for &(node, pending) in pending_per_node {
+            if pending == 0 {
+                continue;
+            }
+            let leaves = pending.div_ceil(fan_in);
+            nodes.push(NodeHierarchy {
+                node,
+                pending_updates: pending,
+                leaves,
+                middle: leaves > 1,
+            });
+            if pending > top_load || top_node.is_none() {
+                top_load = pending;
+                top_node = Some(node);
+            }
+        }
+        HierarchyPlan { nodes, top_node }
+    }
+
+    /// Total aggregators in the plan (leaves + middles + the top).
+    pub fn total_aggregators(&self) -> u32 {
+        let subtree: u32 = self.nodes.iter().map(NodeHierarchy::aggregators).sum();
+        subtree + u32::from(self.top_node.is_some())
+    }
+
+    /// The subtree planned on `node`, if any.
+    pub fn on_node(&self, node: NodeId) -> Option<&NodeHierarchy> {
+        self.nodes.iter().find(|h| h.node == node)
+    }
+
+    /// Total pending updates covered by the plan.
+    pub fn total_updates(&self) -> u32 {
+        self.nodes.iter().map(|h| h.pending_updates).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_matches_paper_formula() {
+        let mut e = EwmaEstimator::new(0.7);
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.observe(10.0), 10.0);
+        let v = e.observe(20.0);
+        assert!((v - (0.7 * 10.0 + 0.3 * 20.0)).abs() < 1e-12);
+        assert_eq!(e.estimate(), Some(v));
+    }
+
+    #[test]
+    fn ewma_damps_spikes() {
+        let mut e = EwmaEstimator::new(0.7);
+        e.observe(10.0);
+        let spiked = e.observe(100.0);
+        assert!(spiked < 40.0, "spike damped: {spiked}");
+    }
+
+    #[test]
+    fn plan_covers_all_updates_once() {
+        let pending = vec![
+            (NodeId::new(0), 20),
+            (NodeId::new(1), 7),
+            (NodeId::new(2), 0),
+        ];
+        let plan = HierarchyPlan::plan(&pending, 2);
+        assert_eq!(plan.total_updates(), 27);
+        assert_eq!(plan.nodes.len(), 2);
+        let n0 = plan.on_node(NodeId::new(0)).unwrap();
+        assert_eq!(n0.leaves, 10);
+        assert!(n0.middle);
+        let n1 = plan.on_node(NodeId::new(1)).unwrap();
+        assert_eq!(n1.leaves, 4);
+        assert!(plan.on_node(NodeId::new(2)).is_none());
+        // Top on the most loaded node.
+        assert_eq!(plan.top_node, Some(NodeId::new(0)));
+        assert_eq!(plan.total_aggregators(), 10 + 1 + 4 + 1 + 1);
+    }
+
+    #[test]
+    fn single_leaf_needs_no_middle() {
+        let plan = HierarchyPlan::plan(&[(NodeId::new(3), 2)], 2);
+        let h = plan.on_node(NodeId::new(3)).unwrap();
+        assert_eq!(h.leaves, 1);
+        assert!(!h.middle);
+        assert_eq!(h.aggregators(), 1);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = HierarchyPlan::plan(&[], 2);
+        assert_eq!(plan.total_aggregators(), 0);
+        assert!(plan.top_node.is_none());
+    }
+
+    #[test]
+    fn fan_in_of_zero_is_clamped() {
+        let plan = HierarchyPlan::plan(&[(NodeId::new(0), 5)], 0);
+        assert_eq!(plan.on_node(NodeId::new(0)).unwrap().leaves, 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn plan_covers_every_update_with_bounded_fan_in(
+            pending in proptest::collection::vec(0u32..60, 1..8),
+            fan_in in 1u32..6,
+        ) {
+            let input: Vec<(NodeId, u32)> = pending
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (NodeId::new(i as u64), *p))
+                .collect();
+            let plan = HierarchyPlan::plan(&input, fan_in);
+            let expected: u32 = pending.iter().sum();
+            prop_assert_eq!(plan.total_updates(), expected);
+            for node in &plan.nodes {
+                prop_assert!(node.pending_updates > 0);
+                // Leaves suffice for the load and never exceed it by more than one leaf.
+                prop_assert!(node.leaves * fan_in >= node.pending_updates);
+                prop_assert!((node.leaves - 1) * fan_in < node.pending_updates);
+            }
+            if expected > 0 {
+                prop_assert!(plan.top_node.is_some());
+            }
+        }
+
+        #[test]
+        fn ewma_stays_within_observation_range(observations in proptest::collection::vec(0.0f64..1000.0, 1..50)) {
+            let mut e = EwmaEstimator::new(0.7);
+            let min = observations.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = observations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for obs in &observations {
+                let v = e.observe(*obs);
+                prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+            }
+        }
+    }
+}

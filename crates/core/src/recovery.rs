@@ -1,0 +1,252 @@
+//! Aggregator failure handling and recovery from checkpoints (§3, Appendix B).
+//!
+//! LIFL's aggregators are stateless: "new ones start without state
+//! synchronization upon an aggregator failure". The durable state is the
+//! global model, which the LIFL agent checkpoints asynchronously to an
+//! external persistent store after a configured number of committed versions.
+//! This module ties those two pieces together: it tracks the in-progress
+//! aggregation work, periodically checkpoints committed global models, and on
+//! a failure reports exactly what is recovered (the latest checkpointed model)
+//! and what must be redone (updates folded since that checkpoint, which the
+//! clients or lower-level aggregators re-send).
+
+use lifl_fl::DenseModel;
+use lifl_shmem::CheckpointStore;
+use lifl_types::{LiflError, Result, RoundId, SimDuration, SimTime};
+
+/// Serialises a model to little-endian `f32` bytes for the checkpoint store.
+pub fn model_to_bytes(model: &DenseModel) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(model.dim() * 4);
+    for value in model.as_slice() {
+        bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    bytes
+}
+
+/// Deserialises a model previously written by [`model_to_bytes`].
+///
+/// # Errors
+/// Returns [`LiflError::DimensionMismatch`] when the byte length is not a
+/// multiple of four.
+pub fn model_from_bytes(bytes: &[u8]) -> Result<DenseModel> {
+    if bytes.len() % 4 != 0 {
+        return Err(LiflError::DimensionMismatch {
+            expected: bytes.len().div_ceil(4) * 4,
+            actual: bytes.len(),
+        });
+    }
+    let params = bytes
+        .chunks_exact(4)
+        .map(|chunk| f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+        .collect();
+    Ok(DenseModel::from_vec(params))
+}
+
+/// The outcome of recovering from an aggregator failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// The model the replacement aggregator starts from (the latest
+    /// checkpoint), or `None` when nothing was ever checkpointed and training
+    /// restarts from the initial model.
+    pub recovered_model: Option<DenseModel>,
+    /// The round of the recovered checkpoint.
+    pub recovered_round: Option<RoundId>,
+    /// Committed versions lost because they were never checkpointed.
+    pub lost_versions: u64,
+    /// In-progress updates (folded but not committed) that must be re-sent.
+    pub lost_in_progress_updates: u64,
+    /// Time until the replacement aggregator is ready (the runtime restart).
+    pub restart_delay: SimDuration,
+    /// When the replacement is ready to aggregate again.
+    pub ready_at: SimTime,
+}
+
+/// Tracks committed versions, periodic checkpoints and in-progress work for
+/// one (logical) top aggregator, and produces [`RecoveryOutcome`]s on failure.
+#[derive(Debug, Clone)]
+pub struct RecoveryManager {
+    store: CheckpointStore,
+    checkpoint_every: u64,
+    restart_delay: SimDuration,
+    committed_versions: u64,
+    last_checkpointed_version: Option<u64>,
+    in_progress_updates: u64,
+    failures: u64,
+}
+
+impl RecoveryManager {
+    /// Creates a manager that checkpoints every `checkpoint_every` committed
+    /// versions and needs `restart_delay` to bring up a replacement runtime.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when `checkpoint_every` is zero.
+    pub fn new(checkpoint_every: u64, restart_delay: SimDuration) -> Result<Self> {
+        if checkpoint_every == 0 {
+            return Err(LiflError::InvalidConfig(
+                "checkpoint_every must be at least 1".into(),
+            ));
+        }
+        Ok(RecoveryManager {
+            store: CheckpointStore::new(),
+            checkpoint_every,
+            restart_delay,
+            committed_versions: 0,
+            last_checkpointed_version: None,
+            in_progress_updates: 0,
+            failures: 0,
+        })
+    }
+
+    /// The underlying checkpoint store (shared with the LIFL agent).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Number of committed global-model versions seen so far.
+    pub fn committed_versions(&self) -> u64 {
+        self.committed_versions
+    }
+
+    /// Number of failures handled.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Number of updates folded into the accumulator since the last commit.
+    pub fn in_progress_updates(&self) -> u64 {
+        self.in_progress_updates
+    }
+
+    /// Records that one update was folded into the in-progress aggregate.
+    pub fn record_fold(&mut self) {
+        self.in_progress_updates += 1;
+    }
+
+    /// Records a committed global-model version; checkpoints it when the
+    /// checkpoint period is reached. Returns whether a checkpoint was written.
+    pub fn commit_version(&mut self, model: &DenseModel, now: SimTime) -> bool {
+        self.committed_versions += 1;
+        self.in_progress_updates = 0;
+        if self.committed_versions % self.checkpoint_every == 0 {
+            let round = RoundId::new(self.committed_versions);
+            self.store.save(round, model_to_bytes(model), now);
+            self.last_checkpointed_version = Some(self.committed_versions);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Handles an aggregator failure at `now`: the stateless runtime is
+    /// replaced (after `restart_delay`) and resumes from the latest
+    /// checkpoint.
+    ///
+    /// # Errors
+    /// Propagates deserialisation errors for a corrupt checkpoint.
+    pub fn fail_and_recover(&mut self, now: SimTime) -> Result<RecoveryOutcome> {
+        self.failures += 1;
+        let checkpoint = self.store.latest();
+        let (recovered_model, recovered_round) = match &checkpoint {
+            Some(cp) => (Some(model_from_bytes(&cp.data)?), Some(cp.round)),
+            None => (None, None),
+        };
+        let checkpointed = self.last_checkpointed_version.unwrap_or(0);
+        let lost_versions = self.committed_versions.saturating_sub(checkpointed);
+        let lost_in_progress = self.in_progress_updates;
+        // After recovery, progress resumes from the checkpointed version and
+        // there is no in-progress work.
+        self.committed_versions = checkpointed;
+        self.in_progress_updates = 0;
+        Ok(RecoveryOutcome {
+            recovered_model,
+            recovered_round,
+            lost_versions,
+            lost_in_progress_updates: lost_in_progress,
+            restart_delay: self.restart_delay,
+            ready_at: now + self.restart_delay,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(values: &[f32]) -> DenseModel {
+        DenseModel::from_vec(values.to_vec())
+    }
+
+    #[test]
+    fn model_bytes_roundtrip() {
+        let original = model(&[1.5, -2.25, 0.0, 1e-3]);
+        let bytes = model_to_bytes(&original);
+        assert_eq!(bytes.len(), 16);
+        let back = model_from_bytes(&bytes).unwrap();
+        assert_eq!(back, original);
+        assert!(model_from_bytes(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn checkpoints_are_written_on_the_period() {
+        let mut manager = RecoveryManager::new(3, SimDuration::from_secs(0.8)).unwrap();
+        let mut written = 0;
+        for version in 1..=7u64 {
+            let wrote = manager.commit_version(&model(&[version as f32]), SimTime::from_secs(version as f64));
+            if wrote {
+                written += 1;
+            }
+        }
+        assert_eq!(written, 2, "checkpoints at versions 3 and 6");
+        assert_eq!(manager.store().len(), 2);
+        assert_eq!(manager.committed_versions(), 7);
+    }
+
+    #[test]
+    fn recovery_restores_latest_checkpoint_and_counts_lost_work() {
+        let mut manager = RecoveryManager::new(2, SimDuration::from_secs(1.0)).unwrap();
+        manager.commit_version(&model(&[1.0]), SimTime::from_secs(1.0));
+        manager.commit_version(&model(&[2.0]), SimTime::from_secs(2.0)); // checkpointed
+        manager.commit_version(&model(&[3.0]), SimTime::from_secs(3.0)); // not checkpointed
+        manager.record_fold();
+        manager.record_fold();
+        let outcome = manager.fail_and_recover(SimTime::from_secs(4.0)).unwrap();
+        assert_eq!(outcome.recovered_model, Some(model(&[2.0])));
+        assert_eq!(outcome.recovered_round, Some(RoundId::new(2)));
+        assert_eq!(outcome.lost_versions, 1);
+        assert_eq!(outcome.lost_in_progress_updates, 2);
+        assert_eq!(outcome.ready_at, SimTime::from_secs(5.0));
+        assert_eq!(manager.failures(), 1);
+        // Progress resumed from the checkpoint.
+        assert_eq!(manager.committed_versions(), 2);
+        assert_eq!(manager.in_progress_updates(), 0);
+    }
+
+    #[test]
+    fn failure_before_any_checkpoint_restarts_from_scratch() {
+        let mut manager = RecoveryManager::new(5, SimDuration::from_secs(0.5)).unwrap();
+        manager.commit_version(&model(&[1.0]), SimTime::from_secs(1.0));
+        manager.record_fold();
+        let outcome = manager.fail_and_recover(SimTime::from_secs(2.0)).unwrap();
+        assert!(outcome.recovered_model.is_none());
+        assert!(outcome.recovered_round.is_none());
+        assert_eq!(outcome.lost_versions, 1);
+        assert_eq!(outcome.lost_in_progress_updates, 1);
+        assert_eq!(manager.committed_versions(), 0);
+    }
+
+    #[test]
+    fn repeated_failures_each_recover_from_the_same_checkpoint() {
+        let mut manager = RecoveryManager::new(1, SimDuration::from_secs(0.8)).unwrap();
+        manager.commit_version(&model(&[7.0]), SimTime::from_secs(1.0));
+        let first = manager.fail_and_recover(SimTime::from_secs(2.0)).unwrap();
+        let second = manager.fail_and_recover(SimTime::from_secs(3.0)).unwrap();
+        assert_eq!(first.recovered_model, second.recovered_model);
+        assert_eq!(manager.failures(), 2);
+        assert_eq!(second.lost_versions, 0);
+    }
+
+    #[test]
+    fn zero_checkpoint_period_is_rejected() {
+        assert!(RecoveryManager::new(0, SimDuration::ZERO).is_err());
+    }
+}

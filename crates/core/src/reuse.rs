@@ -1,0 +1,118 @@
+//! Opportunistic reuse of aggregator runtimes (§5.3).
+//!
+//! LIFL's aggregator runtimes are homogeneous (same code and libraries), so an
+//! idle leaf can be converted into a middle aggregator and an idle middle into
+//! the top aggregator, avoiding the cascading cold starts of scaling a
+//! function chain.
+
+use lifl_types::{AggregatorRole, InstanceId, NodeId, SimTime};
+
+/// A warm runtime available for reuse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmRuntime {
+    /// The instance.
+    pub instance: InstanceId,
+    /// The node it lives on.
+    pub node: NodeId,
+    /// Role it last played.
+    pub last_role: AggregatorRole,
+    /// When it became idle.
+    pub idle_since: SimTime,
+}
+
+/// Tracks idle-but-warm runtimes and serves reuse requests.
+#[derive(Debug, Clone, Default)]
+pub struct ReusePool {
+    idle: Vec<WarmRuntime>,
+    reuses: u64,
+}
+
+impl ReusePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a runtime idle and available for reuse.
+    pub fn park(&mut self, runtime: WarmRuntime) {
+        self.idle.push(runtime);
+    }
+
+    /// Takes the earliest-idle warm runtime on `node`, promoting it to `role`.
+    /// Returns `None` if no warm runtime is available on that node.
+    pub fn acquire(&mut self, node: NodeId, role: AggregatorRole, now: SimTime) -> Option<WarmRuntime> {
+        let best = self
+            .idle
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.node == node && r.idle_since <= now)
+            .min_by_key(|(_, r)| r.idle_since)
+            .map(|(i, _)| i)?;
+        let mut runtime = self.idle.swap_remove(best);
+        runtime.last_role = role;
+        self.reuses += 1;
+        Some(runtime)
+    }
+
+    /// Number of idle runtimes currently parked.
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Number of reuse promotions served.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Clears the pool (for example at the start of an experiment).
+    pub fn clear(&mut self) {
+        self.idle.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime(id: u64, node: u64, idle_at: f64) -> WarmRuntime {
+        WarmRuntime {
+            instance: InstanceId::new(id),
+            node: NodeId::new(node),
+            last_role: AggregatorRole::Leaf,
+            idle_since: SimTime::from_secs(idle_at),
+        }
+    }
+
+    #[test]
+    fn reuses_earliest_idle_leaf_on_same_node() {
+        let mut pool = ReusePool::new();
+        pool.park(runtime(1, 0, 10.0));
+        pool.park(runtime(2, 0, 5.0));
+        pool.park(runtime(3, 1, 1.0));
+        let picked = pool
+            .acquire(NodeId::new(0), AggregatorRole::Middle, SimTime::from_secs(20.0))
+            .unwrap();
+        assert_eq!(picked.instance, InstanceId::new(2));
+        assert_eq!(picked.last_role, AggregatorRole::Middle);
+        assert_eq!(pool.idle_count(), 2);
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn does_not_reuse_across_nodes_or_future_runtimes() {
+        let mut pool = ReusePool::new();
+        pool.park(runtime(1, 1, 10.0));
+        assert!(pool
+            .acquire(NodeId::new(0), AggregatorRole::Middle, SimTime::from_secs(20.0))
+            .is_none());
+        // Not idle yet at t=5.
+        assert!(pool
+            .acquire(NodeId::new(1), AggregatorRole::Middle, SimTime::from_secs(5.0))
+            .is_none());
+        assert!(pool
+            .acquire(NodeId::new(1), AggregatorRole::Top, SimTime::from_secs(10.0))
+            .is_some());
+        pool.clear();
+        assert_eq!(pool.idle_count(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The in-process threaded runtime: real aggregation of real model parameters
+//! through the shared-memory object store, exercised by examples, integration
+//! tests and the data-plane micro-benchmarks.
+//!
+//! Each aggregator of a two-level hierarchy runs the step-based processing
+//! model of Appendix G on its own thread; model updates are placed in shared
+//! memory by the gateway and only 16-byte object keys travel between threads.
+
+use crate::aggregator::AggregatorRuntime;
+use crate::gateway::Gateway;
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::DenseModel;
+use lifl_shmem::{InPlaceQueue, ObjectStore};
+use lifl_types::{AggregatorId, AggregatorRole, ClientId, LiflError, NodeId, Result};
+
+/// Configuration of an in-process hierarchical aggregation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalRunConfig {
+    /// Number of leaf aggregators.
+    pub leaves: usize,
+    /// Updates expected per leaf (the leaf's aggregation goal).
+    pub updates_per_leaf: usize,
+}
+
+impl Default for HierarchicalRunConfig {
+    fn default() -> Self {
+        HierarchicalRunConfig {
+            leaves: 4,
+            updates_per_leaf: 2,
+        }
+    }
+}
+
+/// Runs a complete two-level hierarchical aggregation over the given client
+/// updates using real threads and shared memory, returning the global model.
+///
+/// The updates are distributed to leaves round-robin; each leaf aggregates its
+/// share eagerly, sends its intermediate to the top aggregator, and the top
+/// produces the global model once every leaf has reported.
+///
+/// # Errors
+/// Fails if `updates` does not evenly cover `leaves * updates_per_leaf`, or on
+/// any store/aggregation error.
+pub fn run_hierarchical(
+    config: HierarchicalRunConfig,
+    updates: &[ModelUpdate],
+) -> Result<ModelUpdate> {
+    let expected = config.leaves * config.updates_per_leaf;
+    if config.leaves == 0 || updates.len() != expected {
+        return Err(LiflError::InvalidConfig(format!(
+            "expected {} updates ({} leaves x {}), got {}",
+            expected,
+            config.leaves,
+            config.updates_per_leaf,
+            updates.len()
+        )));
+    }
+    let store = ObjectStore::new();
+    let node = NodeId::new(0);
+    let mut gateway = Gateway::new(node, store.clone());
+
+    // Top aggregator consumes one intermediate per leaf.
+    let top_inbox = InPlaceQueue::new();
+    let mut top = AggregatorRuntime::new(
+        AggregatorId::new(1000),
+        AggregatorRole::Top,
+        config.leaves as u64,
+        store.clone(),
+        top_inbox.clone(),
+    )?;
+
+    // Spawn leaf threads.
+    let mut handles = Vec::new();
+    for leaf_idx in 0..config.leaves {
+        let inbox = gateway.register_aggregator(AggregatorId::new(leaf_idx as u64));
+        // Queue this leaf's share of updates through the gateway.
+        for (k, update) in updates
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % config.leaves == leaf_idx)
+        {
+            let client = update.client.unwrap_or(ClientId::new(k as u64));
+            gateway.ingest_client_update(
+                client,
+                AggregatorId::new(leaf_idx as u64),
+                update.model.as_slice(),
+                update.samples,
+            )?;
+        }
+        let store = store.clone();
+        let top_inbox = top_inbox.clone();
+        let goal = config.updates_per_leaf as u64;
+        let handle = std::thread::spawn(move || -> Result<()> {
+            let mut leaf = AggregatorRuntime::new(
+                AggregatorId::new(leaf_idx as u64),
+                AggregatorRole::Leaf,
+                goal,
+                store,
+                inbox,
+            )?;
+            let intermediate = leaf.run_to_completion()?;
+            top_inbox.enqueue(intermediate);
+            Ok(())
+        });
+        handles.push(handle);
+    }
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| LiflError::Simulation("leaf thread panicked".to_string()))??;
+    }
+
+    let result = top.run_to_completion()?;
+    let object = store.get(&result.key)?;
+    Ok(ModelUpdate::intermediate(
+        DenseModel::from_vec(object.as_f32_vec()),
+        result.weight,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifl_fl::aggregate::fedavg;
+
+    fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
+        (0..n)
+            .map(|i| {
+                let values: Vec<f32> = (0..dim).map(|d| (i * dim + d) as f32 * 0.1).collect();
+                ModelUpdate::from_client(
+                    ClientId::new(i as u64),
+                    DenseModel::from_vec(values),
+                    (i + 1) as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_hierarchy_matches_flat_fedavg() {
+        let updates = updates(8, 16);
+        let config = HierarchicalRunConfig {
+            leaves: 4,
+            updates_per_leaf: 2,
+        };
+        let hierarchical = run_hierarchical(config, &updates).unwrap();
+        let flat = fedavg(&updates).unwrap();
+        assert_eq!(hierarchical.samples, flat.samples);
+        for (a, b) in hierarchical
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mismatched_update_count_is_rejected() {
+        let updates = updates(5, 4);
+        let config = HierarchicalRunConfig {
+            leaves: 4,
+            updates_per_leaf: 2,
+        };
+        assert!(run_hierarchical(config, &updates).is_err());
+        assert!(run_hierarchical(
+            HierarchicalRunConfig { leaves: 0, updates_per_leaf: 2 },
+            &[]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_leaf_degenerates_to_flat() {
+        let updates = updates(3, 8);
+        let config = HierarchicalRunConfig {
+            leaves: 1,
+            updates_per_leaf: 3,
+        };
+        let result = run_hierarchical(config, &updates).unwrap();
+        let flat = fedavg(&updates).unwrap();
+        for (a, b) in result.model.as_slice().iter().zip(flat.model.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

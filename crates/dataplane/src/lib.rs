@@ -1,0 +1,36 @@
+//! # lifl-dataplane
+//!
+//! Data-plane component models and calibrated cost models for the three
+//! families of systems the paper compares (§4, §6.1, Appendix F):
+//!
+//! * the **serverful** data plane: direct gRPC channels over kernel networking;
+//! * the **serverless** data plane: kernel networking plus a container-based
+//!   sidecar on every hop and a message broker between functions;
+//! * **LIFL**'s data plane: shared-memory zero-copy hand-off with an
+//!   eBPF/SKMSG control path and a per-node gateway for inter-node traffic.
+//!
+//! Each component (kernel network stack, gRPC channel, sidecar, broker,
+//! shared-memory hop, gateway) contributes latency, CPU and buffered-memory
+//! cost per hop; [`pipeline`] composes hops into the end-to-end pipelines of
+//! Fig. 5 and Fig. 7, and [`cost::CostModel`] exposes everything the cluster
+//! simulator needs (transfer costs, aggregation compute, cold starts).
+//!
+//! Calibration targets are taken from the paper itself (Fig. 7(a,b), §6.1)
+//! and recorded in DESIGN.md §3.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod cost;
+pub mod gateway;
+pub mod grpc;
+pub mod kernel_net;
+pub mod pipeline;
+pub mod protocol;
+pub mod sharedmem;
+pub mod sidecar;
+
+pub use cost::{CostModel, TransferCost};
+pub use pipeline::{DataPlaneKind, HopCost, Pipeline, QueuingSetup};
+pub use protocol::{L7Protocol, ProcessingBreakdown, ProcessingStep, ProtocolModel};

@@ -1,0 +1,233 @@
+//! L7 protocol processing and payload transformation (Appendix C).
+//!
+//! On the receive path the gateway first lets the kernel do TCP/IP protocol
+//! processing, then performs the application-layer work: parsing the L7
+//! protocol the clients speak (gRPC over HTTP/2 or MQTT), extracting the
+//! tensor-encoded model update, deserialising it and converting it from the
+//! tensor data type to the flat array layout the shared-memory store holds
+//! (the paper's `tensor → NumpyArray` conversion, needed because Python's
+//! `multiprocessing` shared memory cannot hold tensors). On the transmit path
+//! the inverse transformations run.
+//!
+//! This module breaks that per-update work into named steps so the experiment
+//! harness can report where gateway CPU goes and how the choice of L7
+//! protocol shifts the cost.
+
+use lifl_types::{CpuCycles, ModelKind, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The application-layer protocols clients may use to reach the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum L7Protocol {
+    /// gRPC over HTTP/2 (the paper's serverful baseline and Flame default).
+    #[default]
+    Grpc,
+    /// MQTT (a lighter-weight pub/sub framing common on mobile clients).
+    Mqtt,
+}
+
+impl L7Protocol {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            L7Protocol::Grpc => "gRPC",
+            L7Protocol::Mqtt => "MQTT",
+        }
+    }
+}
+
+impl std::fmt::Display for L7Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One named step of the RX/TX payload processing.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProcessingStep {
+    /// Step name ("l7-parse", "deserialize", "type-convert", "shm-write", ...).
+    pub name: &'static str,
+    /// Latency contributed by the step.
+    pub latency: SimDuration,
+    /// CPU cycles contributed by the step.
+    pub cpu: CpuCycles,
+}
+
+/// The full breakdown of one direction (RX or TX) of payload processing.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct ProcessingBreakdown {
+    /// The ordered steps.
+    pub steps: Vec<ProcessingStep>,
+}
+
+impl ProcessingBreakdown {
+    /// Total latency across steps.
+    pub fn latency(&self) -> SimDuration {
+        self.steps
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.latency)
+    }
+
+    /// Total CPU cycles across steps.
+    pub fn cpu(&self) -> CpuCycles {
+        CpuCycles(self.steps.iter().map(|s| s.cpu.0).sum())
+    }
+
+    /// The latency of one named step (zero if absent).
+    pub fn latency_of(&self, name: &str) -> SimDuration {
+        self.steps
+            .iter()
+            .filter(|s| s.name == name)
+            .fold(SimDuration::ZERO, |acc, s| acc + s.latency)
+    }
+}
+
+/// Cost model of the application-layer payload processing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolModel {
+    /// gRPC/HTTP2 framing + protobuf envelope parsing, seconds per MiB.
+    pub grpc_parse_per_mib: f64,
+    /// MQTT framing parsing, seconds per MiB (cheaper: no HTTP/2, no protobuf envelope).
+    pub mqtt_parse_per_mib: f64,
+    /// Tensor deserialisation, seconds per MiB.
+    pub deserialize_per_mib: f64,
+    /// Tensor → flat array conversion, seconds per MiB.
+    pub convert_per_mib: f64,
+    /// Shared-memory write (or read on TX), seconds per MiB.
+    pub shm_copy_per_mib: f64,
+    /// CPU cycles per second of processing (the work is CPU-bound).
+    pub cycles_per_busy_second: f64,
+}
+
+impl Default for ProtocolModel {
+    fn default() -> Self {
+        ProtocolModel {
+            grpc_parse_per_mib: 0.0009,
+            mqtt_parse_per_mib: 0.0004,
+            deserialize_per_mib: 0.0008,
+            convert_per_mib: 0.0005,
+            shm_copy_per_mib: 0.0003,
+            cycles_per_busy_second: 2.8e9,
+        }
+    }
+}
+
+impl ProtocolModel {
+    fn step(&self, name: &'static str, secs_per_mib: f64, mib: f64) -> ProcessingStep {
+        let latency = SimDuration::from_secs(secs_per_mib * mib);
+        ProcessingStep {
+            name,
+            latency,
+            cpu: CpuCycles(latency.as_secs() * self.cycles_per_busy_second),
+        }
+    }
+
+    /// The RX-path breakdown for one update of `model` arriving over `protocol`:
+    /// L7 parse → deserialise → type-convert → shared-memory write.
+    pub fn rx_breakdown(&self, protocol: L7Protocol, model: ModelKind) -> ProcessingBreakdown {
+        let mib = model.update_mib();
+        let parse = match protocol {
+            L7Protocol::Grpc => self.step("l7-parse", self.grpc_parse_per_mib, mib),
+            L7Protocol::Mqtt => self.step("l7-parse", self.mqtt_parse_per_mib, mib),
+        };
+        ProcessingBreakdown {
+            steps: vec![
+                parse,
+                self.step("deserialize", self.deserialize_per_mib, mib),
+                self.step("type-convert", self.convert_per_mib, mib),
+                self.step("shm-write", self.shm_copy_per_mib, mib),
+            ],
+        }
+    }
+
+    /// The TX-path breakdown (the reverse transformations, Appendix C):
+    /// shared-memory read → type-convert → serialise → L7 frame.
+    pub fn tx_breakdown(&self, protocol: L7Protocol, model: ModelKind) -> ProcessingBreakdown {
+        let mib = model.update_mib();
+        let frame = match protocol {
+            L7Protocol::Grpc => self.step("l7-frame", self.grpc_parse_per_mib, mib),
+            L7Protocol::Mqtt => self.step("l7-frame", self.mqtt_parse_per_mib, mib),
+        };
+        ProcessingBreakdown {
+            steps: vec![
+                self.step("shm-read", self.shm_copy_per_mib, mib),
+                self.step("type-convert", self.convert_per_mib, mib),
+                self.step("serialize", self.deserialize_per_mib, mib),
+                frame,
+            ],
+        }
+    }
+
+    /// The saving from LIFL's *consolidated, one-time* payload processing
+    /// (§4.2): because only the gateway touches the payload, `aggregators`
+    /// co-located consumers skip their own RX processing. Returns the CPU
+    /// cycles avoided per update compared with every consumer parsing the
+    /// payload itself (the duplicate processing the baseline pays).
+    pub fn consolidation_saving(
+        &self,
+        protocol: L7Protocol,
+        model: ModelKind,
+        aggregators: u32,
+    ) -> CpuCycles {
+        let per_consumer = self.rx_breakdown(protocol, model).cpu();
+        CpuCycles(per_consumer.0 * aggregators.saturating_sub(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_breakdown_has_the_appendix_c_steps_in_order() {
+        let model = ProtocolModel::default();
+        let rx = model.rx_breakdown(L7Protocol::Grpc, ModelKind::ResNet152);
+        let names: Vec<&str> = rx.steps.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["l7-parse", "deserialize", "type-convert", "shm-write"]);
+        assert!(rx.latency().as_secs() > 0.0);
+        assert!(rx.cpu().as_giga() > 0.0);
+        assert!(rx.latency_of("deserialize").as_secs() > 0.0);
+        assert_eq!(rx.latency_of("missing"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tx_is_the_reverse_of_rx_and_costs_the_same_total() {
+        let model = ProtocolModel::default();
+        let rx = model.rx_breakdown(L7Protocol::Grpc, ModelKind::ResNet34);
+        let tx = model.tx_breakdown(L7Protocol::Grpc, ModelKind::ResNet34);
+        assert!((rx.latency().as_secs() - tx.latency().as_secs()).abs() < 1e-12);
+        assert_eq!(tx.steps.first().unwrap().name, "shm-read");
+        assert_eq!(tx.steps.last().unwrap().name, "l7-frame");
+    }
+
+    #[test]
+    fn mqtt_parsing_is_cheaper_than_grpc() {
+        let model = ProtocolModel::default();
+        for kind in ModelKind::paper_models() {
+            let grpc = model.rx_breakdown(L7Protocol::Grpc, kind).latency();
+            let mqtt = model.rx_breakdown(L7Protocol::Mqtt, kind).latency();
+            assert!(mqtt < grpc, "{kind}: MQTT {mqtt:?} should be under gRPC {grpc:?}");
+        }
+        assert_eq!(L7Protocol::Mqtt.to_string(), "MQTT");
+    }
+
+    #[test]
+    fn costs_scale_with_model_size() {
+        let model = ProtocolModel::default();
+        let small = model.rx_breakdown(L7Protocol::Grpc, ModelKind::ResNet18);
+        let large = model.rx_breakdown(L7Protocol::Grpc, ModelKind::ResNet152);
+        assert!(large.latency().as_secs() > 4.0 * small.latency().as_secs());
+        assert!(large.cpu().0 > 4.0 * small.cpu().0);
+    }
+
+    #[test]
+    fn consolidation_saves_processing_for_every_extra_consumer() {
+        let model = ProtocolModel::default();
+        let none = model.consolidation_saving(L7Protocol::Grpc, ModelKind::ResNet152, 1);
+        assert_eq!(none.0, 0.0, "a single consumer saves nothing");
+        let five = model.consolidation_saving(L7Protocol::Grpc, ModelKind::ResNet152, 5);
+        let per_consumer = model.rx_breakdown(L7Protocol::Grpc, ModelKind::ResNet152).cpu();
+        assert!((five.0 - 4.0 * per_consumer.0).abs() < 1e-3);
+        assert_eq!(model.consolidation_saving(L7Protocol::Grpc, ModelKind::ResNet18, 0).0, 0.0);
+    }
+}

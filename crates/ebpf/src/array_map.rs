@@ -1,0 +1,187 @@
+//! Array-style BPF maps (`BPF_MAP_TYPE_ARRAY` / `BPF_MAP_TYPE_PERCPU_ARRAY`).
+//!
+//! LIFL's sidecar keeps most state in hash maps, but counters that are hot on
+//! the send path (per-aggregator byte/update counters) are naturally array
+//! maps indexed by a small dense id. Array maps have kernel semantics that
+//! differ from hash maps in ways the emulation preserves:
+//!
+//! * every slot exists from creation time (initialised to the default value);
+//! * lookups of an in-range index never fail and out-of-range indices are
+//!   rejected rather than created;
+//! * entries can be overwritten but never deleted.
+//!
+//! The per-CPU variant keeps one value per (virtual) CPU so concurrent
+//! updates never contend, and user space reads the per-CPU values summed —
+//! exactly how per-CPU counters are consumed by real agents.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// An emulated `BPF_MAP_TYPE_ARRAY`.
+#[derive(Debug, Clone)]
+pub struct ArrayMap<V> {
+    slots: Arc<RwLock<Vec<V>>>,
+}
+
+impl<V: Clone + Default> ArrayMap<V> {
+    /// Creates an array map with `max_entries` slots initialised to `V::default()`.
+    pub fn new(max_entries: usize) -> Self {
+        ArrayMap {
+            slots: Arc::new(RwLock::new(vec![V::default(); max_entries])),
+        }
+    }
+
+    /// Number of slots (fixed at creation).
+    pub fn max_entries(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Writes `value` into `index`, mirroring `bpf_map_update_elem`.
+    /// Returns `false` for an out-of-range index (the kernel's `E2BIG`).
+    pub fn update_elem(&self, index: usize, value: V) -> bool {
+        let mut slots = self.slots.write();
+        match slots.get_mut(index) {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads the value at `index`; `None` only for out-of-range indices.
+    pub fn lookup_elem(&self, index: usize) -> Option<V> {
+        self.slots.read().get(index).cloned()
+    }
+
+    /// Applies a read-modify-write to the slot at `index` (the emulation's
+    /// stand-in for the atomic add BPF programs use on counters).
+    /// Returns `false` for out-of-range indices.
+    pub fn modify_elem(&self, index: usize, f: impl FnOnce(&mut V)) -> bool {
+        let mut slots = self.slots.write();
+        match slots.get_mut(index) {
+            Some(slot) => {
+                f(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A snapshot of every slot, in index order.
+    pub fn snapshot(&self) -> Vec<V> {
+        self.slots.read().clone()
+    }
+}
+
+/// An emulated `BPF_MAP_TYPE_PERCPU_ARRAY`: one value per CPU per slot.
+#[derive(Debug, Clone)]
+pub struct PerCpuArrayMap<V> {
+    per_cpu: Arc<RwLock<Vec<Vec<V>>>>,
+}
+
+impl<V: Clone + Default> PerCpuArrayMap<V> {
+    /// Creates a per-CPU array map with `max_entries` slots across `cpus` CPUs.
+    pub fn new(max_entries: usize, cpus: usize) -> Self {
+        PerCpuArrayMap {
+            per_cpu: Arc::new(RwLock::new(vec![vec![V::default(); max_entries]; cpus.max(1)])),
+        }
+    }
+
+    /// Number of CPUs the map spans.
+    pub fn cpus(&self) -> usize {
+        self.per_cpu.read().len()
+    }
+
+    /// Number of slots per CPU.
+    pub fn max_entries(&self) -> usize {
+        self.per_cpu.read().first().map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Applies a read-modify-write to `index` on `cpu`'s private copy.
+    /// Returns `false` when the CPU or index is out of range.
+    pub fn modify_on_cpu(&self, cpu: usize, index: usize, f: impl FnOnce(&mut V)) -> bool {
+        let mut per_cpu = self.per_cpu.write();
+        match per_cpu.get_mut(cpu).and_then(|slots| slots.get_mut(index)) {
+            Some(slot) => {
+                f(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads the per-CPU values of `index`, one entry per CPU
+    /// (what `bpf_map_lookup_elem` returns to user space for per-CPU maps).
+    pub fn lookup_elem(&self, index: usize) -> Option<Vec<V>> {
+        let per_cpu = self.per_cpu.read();
+        if index >= per_cpu.first().map(|v| v.len()).unwrap_or(0) {
+            return None;
+        }
+        Some(per_cpu.iter().map(|slots| slots[index].clone()).collect())
+    }
+}
+
+impl PerCpuArrayMap<u64> {
+    /// Sums the per-CPU values of a counter slot, as user-space agents do.
+    pub fn sum(&self, index: usize) -> Option<u64> {
+        self.lookup_elem(index).map(|values| values.iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_exist_from_creation() {
+        let map: ArrayMap<u64> = ArrayMap::new(4);
+        assert_eq!(map.max_entries(), 4);
+        for i in 0..4 {
+            assert_eq!(map.lookup_elem(i), Some(0));
+        }
+        assert_eq!(map.lookup_elem(4), None);
+    }
+
+    #[test]
+    fn update_and_modify_in_range_only() {
+        let map: ArrayMap<u64> = ArrayMap::new(2);
+        assert!(map.update_elem(0, 7));
+        assert!(!map.update_elem(2, 9));
+        assert!(map.modify_elem(1, |v| *v += 5));
+        assert!(map.modify_elem(1, |v| *v += 5));
+        assert!(!map.modify_elem(9, |v| *v += 1));
+        assert_eq!(map.snapshot(), vec![7, 10]);
+    }
+
+    #[test]
+    fn handles_are_shared_between_clones() {
+        let map: ArrayMap<u32> = ArrayMap::new(1);
+        let alias = map.clone();
+        map.update_elem(0, 42);
+        assert_eq!(alias.lookup_elem(0), Some(42));
+    }
+
+    #[test]
+    fn per_cpu_updates_do_not_interfere() {
+        let map: PerCpuArrayMap<u64> = PerCpuArrayMap::new(2, 4);
+        assert_eq!(map.cpus(), 4);
+        assert_eq!(map.max_entries(), 2);
+        for cpu in 0..4 {
+            assert!(map.modify_on_cpu(cpu, 0, |v| *v += (cpu + 1) as u64));
+        }
+        assert_eq!(map.lookup_elem(0), Some(vec![1, 2, 3, 4]));
+        assert_eq!(map.sum(0), Some(10));
+        assert_eq!(map.sum(1), Some(0));
+        assert_eq!(map.sum(5), None);
+        assert!(!map.modify_on_cpu(7, 0, |v| *v += 1));
+    }
+
+    #[test]
+    fn zero_cpu_map_still_has_one_cpu() {
+        let map: PerCpuArrayMap<u64> = PerCpuArrayMap::new(1, 0);
+        assert_eq!(map.cpus(), 1);
+        assert!(map.modify_on_cpu(0, 0, |v| *v = 3));
+        assert_eq!(map.sum(0), Some(3));
+    }
+}

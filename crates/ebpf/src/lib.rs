@@ -1,0 +1,44 @@
+//! # lifl-ebpf
+//!
+//! An in-process emulation of the eBPF substrate LIFL relies on (§4.3, §4.4,
+//! Appendix A):
+//!
+//! * [`map::BpfMap`] — a generic, in-kernel-style key/value map
+//!   (`BPF_MAP_TYPE_HASH` semantics: bounded capacity, update/lookup/delete).
+//! * [`sockmap::SockMap`] — the special map holding references to registered
+//!   socket interfaces, used to steer an SKMSG from a source aggregator to the
+//!   destination aggregator's socket without leaving the node.
+//! * [`skmsg::SkMsgHook`] — the `send()`-triggered hook to which sidecar
+//!   programs attach; it is strictly event driven and consumes CPU only when a
+//!   message is sent, which is the property that lets LIFL drop the
+//!   container-based sidecar.
+//! * [`sidecar::EbpfSidecar`] — the metrics-collection program LIFL attaches
+//!   to every aggregator socket, writing into a [`metrics_map::MetricsMap`]
+//!   that the LIFL agent periodically drains toward the metric server.
+//!
+//! The emulation reproduces the *semantics* and the *accounting* (per-event
+//! CPU cost, zero idle cost) of the kernel features; it does not load real BPF
+//! bytecode — see DESIGN.md §1 for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array_map;
+pub mod lru_map;
+pub mod map;
+pub mod metrics_map;
+pub mod prog;
+pub mod ringbuf;
+pub mod sidecar;
+pub mod skmsg;
+pub mod sockmap;
+
+pub use array_map::{ArrayMap, PerCpuArrayMap};
+pub use lru_map::LruHashMap;
+pub use map::BpfMap;
+pub use metrics_map::{MetricSample, MetricsMap};
+pub use prog::{AttachPoint, ProgramId, ProgramInfo, ProgramRegistry, ProgramStats, ProgramType};
+pub use ringbuf::{RingBuffer, RingRecord};
+pub use sidecar::EbpfSidecar;
+pub use skmsg::{SkMsg, SkMsgHook, SkMsgVerdict};
+pub use sockmap::{SockMap, SocketRef};

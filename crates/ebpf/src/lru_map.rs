@@ -1,0 +1,189 @@
+//! LRU hash maps (`BPF_MAP_TYPE_LRU_HASH`).
+//!
+//! The sockmap and metrics map in LIFL are small, but the inter-node routing
+//! cache on a gateway naturally wants LRU semantics: routes to aggregators
+//! that have not been used recently are the safest to evict when the hierarchy
+//! is re-planned (§5.2, Appendix A). The kernel's LRU hash map never rejects
+//! an insert — instead it evicts the least-recently-used entry — and that is
+//! the behaviour reproduced here.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct LruInner<K, V> {
+    entries: HashMap<K, (V, u64)>,
+    tick: u64,
+    max_entries: usize,
+    evictions: u64,
+}
+
+/// An emulated `BPF_MAP_TYPE_LRU_HASH`.
+#[derive(Debug, Clone)]
+pub struct LruHashMap<K, V> {
+    inner: Arc<Mutex<LruInner<K, V>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruHashMap<K, V> {
+    /// Creates an LRU map holding at most `max_entries` entries (minimum 1).
+    pub fn new(max_entries: usize) -> Self {
+        LruHashMap {
+            inner: Arc::new(Mutex::new(LruInner {
+                entries: HashMap::new(),
+                tick: 0,
+                max_entries: max_entries.max(1),
+                evictions: 0,
+            })),
+        }
+    }
+
+    /// Inserts or replaces the value for `key`. When the map is full, the
+    /// least-recently-used entry is evicted first; the insert itself never
+    /// fails (the kernel LRU map's defining property).
+    pub fn update_elem(&self, key: K, value: V) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= inner.max_entries {
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+                inner.evictions += 1;
+            }
+        }
+        inner.entries.insert(key, (value, tick));
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn lookup_elem(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some((value, used)) => {
+                *used = tick;
+                Some(value.clone())
+            }
+            None => None,
+        }
+    }
+
+    /// Deletes the entry for `key`, returning whether it existed.
+    pub fn delete_elem(&self, key: &K) -> bool {
+        self.inner.lock().entries.remove(key).is_some()
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+
+    /// Whether `key` is currently present (without refreshing recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.lock().entries.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_never_fail_and_evict_lru() {
+        let map: LruHashMap<u32, &'static str> = LruHashMap::new(2);
+        map.update_elem(1, "one");
+        map.update_elem(2, "two");
+        // Touch key 1 so key 2 becomes the LRU entry.
+        assert_eq!(map.lookup_elem(&1), Some("one"));
+        map.update_elem(3, "three");
+        assert_eq!(map.len(), 2);
+        assert!(map.contains(&1), "recently used key survives");
+        assert!(!map.contains(&2), "LRU key is evicted");
+        assert!(map.contains(&3));
+        assert_eq!(map.evictions(), 1);
+    }
+
+    #[test]
+    fn updating_an_existing_key_does_not_evict() {
+        let map: LruHashMap<u32, u32> = LruHashMap::new(2);
+        map.update_elem(1, 10);
+        map.update_elem(2, 20);
+        map.update_elem(1, 11);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.evictions(), 0);
+        assert_eq!(map.lookup_elem(&1), Some(11));
+    }
+
+    #[test]
+    fn delete_and_emptiness() {
+        let map: LruHashMap<u8, u8> = LruHashMap::new(4);
+        assert!(map.is_empty());
+        map.update_elem(1, 1);
+        assert!(map.delete_elem(&1));
+        assert!(!map.delete_elem(&1));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn capacity_of_zero_is_clamped_to_one() {
+        let map: LruHashMap<u8, u8> = LruHashMap::new(0);
+        map.update_elem(1, 1);
+        map.update_elem(2, 2);
+        assert_eq!(map.len(), 1);
+        assert!(map.contains(&2));
+    }
+
+    #[test]
+    fn eviction_order_follows_access_pattern() {
+        let map: LruHashMap<u32, u32> = LruHashMap::new(3);
+        for k in 0..3 {
+            map.update_elem(k, k);
+        }
+        // Access 0 and 2; inserting two new keys should evict 1 first, then 0.
+        map.lookup_elem(&0);
+        map.lookup_elem(&2);
+        map.update_elem(10, 10);
+        assert!(!map.contains(&1));
+        map.update_elem(11, 11);
+        assert!(!map.contains(&0));
+        assert!(map.contains(&2));
+        assert_eq!(map.evictions(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn size_never_exceeds_capacity_and_inserts_are_visible(
+            capacity in 1usize..16,
+            operations in proptest::collection::vec((0u32..64, 0u32..1000), 1..200),
+        ) {
+            let map: LruHashMap<u32, u32> = LruHashMap::new(capacity);
+            for (key, value) in operations {
+                map.update_elem(key, value);
+                prop_assert!(map.len() <= capacity);
+                prop_assert_eq!(map.lookup_elem(&key), Some(value));
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! eBPF program objects and the per-node program registry.
+//!
+//! A real LIFL deployment loads a small set of eBPF programs per node (the
+//! SKMSG steering/metrics program on every aggregator socket, plus any
+//! ancillary sock_ops programs) and operators inspect them with
+//! `bpftool prog show`, which reports per-program run counts and cumulative
+//! run time. This module reproduces that management surface: programs have a
+//! type and an attach point, can be attached/detached, accumulate run
+//! statistics when invoked, and are enumerable through a [`ProgramRegistry`].
+//!
+//! The run-time accounting is also what backs the paper's claim that the
+//! eBPF-based sidecar is strictly event-driven (§4.3): a program that is never
+//! invoked reports zero run time, unlike a container sidecar that burns CPU
+//! while idle.
+
+use lifl_types::{AggregatorId, SimDuration};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The kinds of eBPF programs LIFL's data plane uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgramType {
+    /// A `sk_msg` program attached to a sockmap (message steering + metrics).
+    SkMsg,
+    /// A `sock_ops` program that registers sockets into the sockmap.
+    SockOps,
+    /// A tracing program (kprobe-style) used for debugging/accounting.
+    Tracing,
+}
+
+impl fmt::Display for ProgramType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProgramType::SkMsg => "sk_msg",
+            ProgramType::SockOps => "sock_ops",
+            ProgramType::Tracing => "tracing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a program is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttachPoint {
+    /// The socket interface of a specific aggregator.
+    AggregatorSocket(AggregatorId),
+    /// The node's gateway socket.
+    GatewaySocket,
+    /// Not currently attached.
+    Detached,
+}
+
+/// Run statistics, as `bpftool prog show` reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProgramStats {
+    /// Number of times the program has run.
+    pub run_count: u64,
+    /// Cumulative time spent executing the program.
+    pub run_time: SimDuration,
+}
+
+impl ProgramStats {
+    /// Average run time per invocation; zero when the program never ran.
+    pub fn avg_run_time(&self) -> SimDuration {
+        if self.run_count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs(self.run_time.as_secs() / self.run_count as f64)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ProgramState {
+    name: String,
+    prog_type: ProgramType,
+    attach_point: AttachPoint,
+    stats: ProgramStats,
+}
+
+/// Identifier of a loaded program within a registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId(u64);
+
+impl ProgramId {
+    /// The raw identifier.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+/// A summary row, one per loaded program (the `bpftool prog show` view).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramInfo {
+    /// The program's identifier.
+    pub id: ProgramId,
+    /// Human-readable name.
+    pub name: String,
+    /// Program type.
+    pub prog_type: ProgramType,
+    /// Current attach point.
+    pub attach_point: AttachPoint,
+    /// Run statistics.
+    pub stats: ProgramStats,
+}
+
+/// The per-node registry of loaded eBPF programs.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramRegistry {
+    inner: Arc<RwLock<HashMap<ProgramId, ProgramState>>>,
+    next_id: Arc<RwLock<u64>>,
+}
+
+impl ProgramRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a program into the registry (initially detached).
+    pub fn load(&self, name: impl Into<String>, prog_type: ProgramType) -> ProgramId {
+        let mut next = self.next_id.write();
+        let id = ProgramId(*next);
+        *next += 1;
+        self.inner.write().insert(
+            id,
+            ProgramState {
+                name: name.into(),
+                prog_type,
+                attach_point: AttachPoint::Detached,
+                stats: ProgramStats::default(),
+            },
+        );
+        id
+    }
+
+    /// Attaches a loaded program to `point`. Returns `false` for unknown ids.
+    pub fn attach(&self, id: ProgramId, point: AttachPoint) -> bool {
+        match self.inner.write().get_mut(&id) {
+            Some(state) => {
+                state.attach_point = point;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Detaches a program (it stays loaded and keeps its statistics).
+    pub fn detach(&self, id: ProgramId) -> bool {
+        self.attach(id, AttachPoint::Detached)
+    }
+
+    /// Unloads a program entirely. Returns `false` for unknown ids.
+    pub fn unload(&self, id: ProgramId) -> bool {
+        self.inner.write().remove(&id).is_some()
+    }
+
+    /// Records one invocation of `id` taking `run_time`. Detached programs
+    /// cannot be invoked; the call is ignored (and returns `false`) for them.
+    pub fn record_run(&self, id: ProgramId, run_time: SimDuration) -> bool {
+        match self.inner.write().get_mut(&id) {
+            Some(state) if state.attach_point != AttachPoint::Detached => {
+                state.stats.run_count += 1;
+                state.stats.run_time += run_time;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The current info for `id`, if loaded.
+    pub fn info(&self, id: ProgramId) -> Option<ProgramInfo> {
+        self.inner.read().get(&id).map(|state| ProgramInfo {
+            id,
+            name: state.name.clone(),
+            prog_type: state.prog_type,
+            attach_point: state.attach_point,
+            stats: state.stats,
+        })
+    }
+
+    /// All loaded programs, ordered by id (the `bpftool prog show` listing).
+    pub fn list(&self) -> Vec<ProgramInfo> {
+        let mut rows: Vec<ProgramInfo> = self
+            .inner
+            .read()
+            .iter()
+            .map(|(id, state)| ProgramInfo {
+                id: *id,
+                name: state.name.clone(),
+                prog_type: state.prog_type,
+                attach_point: state.attach_point,
+                stats: state.stats,
+            })
+            .collect();
+        rows.sort_by_key(|row| row.id);
+        rows
+    }
+
+    /// Number of loaded programs.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether no programs are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total run time across every loaded program — the node-wide CPU cost of
+    /// the eBPF sidecar, which is zero while the node is idle.
+    pub fn total_run_time(&self) -> SimDuration {
+        self.inner
+            .read()
+            .values()
+            .fold(SimDuration::ZERO, |acc, state| acc + state.stats.run_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_attach_run_detach_lifecycle() {
+        let registry = ProgramRegistry::new();
+        let id = registry.load("skmsg_metrics", ProgramType::SkMsg);
+        assert_eq!(registry.len(), 1);
+        let info = registry.info(id).unwrap();
+        assert_eq!(info.attach_point, AttachPoint::Detached);
+        assert_eq!(info.prog_type, ProgramType::SkMsg);
+
+        // A detached program cannot run.
+        assert!(!registry.record_run(id, SimDuration::from_millis(1.0)));
+
+        assert!(registry.attach(id, AttachPoint::AggregatorSocket(AggregatorId::new(3))));
+        assert!(registry.record_run(id, SimDuration::from_millis(2.0)));
+        assert!(registry.record_run(id, SimDuration::from_millis(4.0)));
+        let stats = registry.info(id).unwrap().stats;
+        assert_eq!(stats.run_count, 2);
+        assert!((stats.run_time.as_secs() - 0.006).abs() < 1e-9);
+        assert!((stats.avg_run_time().as_secs() - 0.003).abs() < 1e-9);
+
+        assert!(registry.detach(id));
+        assert!(!registry.record_run(id, SimDuration::from_millis(1.0)));
+        // Statistics survive detach.
+        assert_eq!(registry.info(id).unwrap().stats.run_count, 2);
+    }
+
+    #[test]
+    fn idle_programs_report_zero_run_time() {
+        let registry = ProgramRegistry::new();
+        let a = registry.load("skmsg_a", ProgramType::SkMsg);
+        let b = registry.load("sockops", ProgramType::SockOps);
+        registry.attach(a, AttachPoint::AggregatorSocket(AggregatorId::new(1)));
+        registry.attach(b, AttachPoint::GatewaySocket);
+        assert_eq!(registry.total_run_time(), SimDuration::ZERO);
+        assert_eq!(registry.info(a).unwrap().stats.avg_run_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unload_removes_and_unknown_ids_are_rejected() {
+        let registry = ProgramRegistry::new();
+        let id = registry.load("tracer", ProgramType::Tracing);
+        assert!(registry.unload(id));
+        assert!(!registry.unload(id));
+        assert!(registry.info(id).is_none());
+        assert!(!registry.attach(id, AttachPoint::GatewaySocket));
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn listing_is_ordered_by_id_and_shows_names() {
+        let registry = ProgramRegistry::new();
+        let first = registry.load("one", ProgramType::SkMsg);
+        let second = registry.load("two", ProgramType::SockOps);
+        let listing = registry.list();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(listing[0].id, first);
+        assert_eq!(listing[1].id, second);
+        assert_eq!(listing[0].name, "one");
+        assert_eq!(ProgramType::SkMsg.to_string(), "sk_msg");
+        assert!(first.index() < second.index());
+    }
+}

@@ -1,0 +1,228 @@
+//! Ring buffers (`BPF_MAP_TYPE_RINGBUF`).
+//!
+//! The LIFL agent drains the metrics map on a period (§4.3); an alternative,
+//! lower-latency channel from in-kernel sidecar programs to the user-space
+//! agent is the BPF ring buffer: the program reserves a record, fills it and
+//! submits it, and the consumer drains records in FIFO order. When the buffer
+//! is full, new records are dropped and counted — the property that makes the
+//! producer side wait-free. This module reproduces those semantics (bounded
+//! byte capacity, reserve/submit/discard, FIFO drain, drop accounting).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One record published through the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingRecord<T> {
+    /// Monotonic sequence number assigned at submit time.
+    pub sequence: u64,
+    /// Size the record is charged against the buffer capacity, in bytes.
+    pub size_bytes: usize,
+    /// The payload.
+    pub value: T,
+}
+
+#[derive(Debug)]
+struct RingInner<T> {
+    records: VecDeque<RingRecord<T>>,
+    used_bytes: usize,
+    capacity_bytes: usize,
+    next_sequence: u64,
+    dropped: u64,
+}
+
+/// An emulated BPF ring buffer with a bounded byte capacity.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    inner: Arc<Mutex<RingInner<T>>>,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring buffer with the given byte capacity (minimum 1).
+    pub fn new(capacity_bytes: usize) -> Self {
+        RingBuffer {
+            inner: Arc::new(Mutex::new(RingInner {
+                records: VecDeque::new(),
+                used_bytes: 0,
+                capacity_bytes: capacity_bytes.max(1),
+                next_sequence: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Byte capacity of the buffer.
+    pub fn capacity_bytes(&self) -> usize {
+        self.inner.lock().capacity_bytes
+    }
+
+    /// Bytes currently occupied by unconsumed records.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    /// Number of unconsumed records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// Whether no records are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Publishes a record of `size_bytes`. Returns the record's sequence
+    /// number, or `None` if the buffer did not have room (the record is
+    /// dropped and counted, never blocking the producer).
+    pub fn submit(&self, value: T, size_bytes: usize) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        let size = size_bytes.max(1);
+        if inner.used_bytes + size > inner.capacity_bytes {
+            inner.dropped += 1;
+            return None;
+        }
+        let sequence = inner.next_sequence;
+        inner.next_sequence += 1;
+        inner.used_bytes += size;
+        inner.records.push_back(RingRecord {
+            sequence,
+            size_bytes: size,
+            value,
+        });
+        Some(sequence)
+    }
+
+    /// Consumes the oldest record, if any.
+    pub fn consume(&self) -> Option<RingRecord<T>> {
+        let mut inner = self.inner.lock();
+        let record = inner.records.pop_front()?;
+        inner.used_bytes -= record.size_bytes;
+        Some(record)
+    }
+
+    /// Drains every waiting record in FIFO order.
+    pub fn drain(&self) -> Vec<RingRecord<T>> {
+        let mut inner = self.inner.lock();
+        inner.used_bytes = 0;
+        inner.records.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_and_consume_fifo() {
+        let ring: RingBuffer<&'static str> = RingBuffer::new(1024);
+        assert_eq!(ring.submit("a", 16), Some(0));
+        assert_eq!(ring.submit("b", 16), Some(1));
+        assert_eq!(ring.len(), 2);
+        let first = ring.consume().unwrap();
+        assert_eq!(first.value, "a");
+        assert_eq!(first.sequence, 0);
+        let second = ring.consume().unwrap();
+        assert_eq!(second.value, "b");
+        assert!(ring.consume().is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn full_buffer_drops_instead_of_blocking() {
+        let ring: RingBuffer<u32> = RingBuffer::new(64);
+        assert!(ring.submit(1, 32).is_some());
+        assert!(ring.submit(2, 32).is_some());
+        assert!(ring.submit(3, 32).is_none(), "third record exceeds capacity");
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.used_bytes(), 64);
+        // Consuming makes room again.
+        ring.consume();
+        assert!(ring.submit(4, 32).is_some());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_returns_everything_in_order_and_resets_usage() {
+        let ring: RingBuffer<u32> = RingBuffer::new(1024);
+        for i in 0..5 {
+            ring.submit(i, 8);
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 5);
+        let values: Vec<u32> = drained.iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring.used_bytes(), 0);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_across_drops() {
+        let ring: RingBuffer<u8> = RingBuffer::new(8);
+        assert_eq!(ring.submit(1, 8), Some(0));
+        assert_eq!(ring.submit(2, 8), None);
+        ring.consume();
+        assert_eq!(ring.submit(3, 8), Some(1), "dropped records do not consume sequence numbers");
+    }
+
+    #[test]
+    fn zero_sized_records_are_charged_at_least_one_byte() {
+        let ring: RingBuffer<u8> = RingBuffer::new(2);
+        assert!(ring.submit(1, 0).is_some());
+        assert!(ring.submit(2, 0).is_some());
+        assert!(ring.submit(3, 0).is_none());
+        assert_eq!(ring.capacity_bytes(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let ring: RingBuffer<u8> = RingBuffer::new(16);
+        let producer = ring.clone();
+        producer.submit(9, 4);
+        assert_eq!(ring.consume().unwrap().value, 9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn usage_accounting_is_exact_and_bounded(
+            capacity in 16usize..256,
+            submissions in proptest::collection::vec(1usize..64, 1..100),
+        ) {
+            let ring: RingBuffer<usize> = RingBuffer::new(capacity);
+            let mut expected_used = 0usize;
+            let mut accepted = 0u64;
+            for (i, size) in submissions.iter().enumerate() {
+                match ring.submit(i, *size) {
+                    Some(_) => {
+                        expected_used += *size;
+                        accepted += 1;
+                    }
+                    None => {
+                        prop_assert!(expected_used + *size > capacity,
+                            "drop only when the record does not fit");
+                    }
+                }
+                prop_assert_eq!(ring.used_bytes(), expected_used);
+                prop_assert!(ring.used_bytes() <= capacity);
+            }
+            // Draining returns exactly the accepted records, in order.
+            let drained = ring.drain();
+            prop_assert_eq!(drained.len() as u64, accepted);
+            for pair in drained.windows(2) {
+                prop_assert!(pair[0].sequence < pair[1].sequence);
+            }
+            prop_assert_eq!(ring.used_bytes(), 0);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The eBPF-based sidecar (§4.3): metrics collection attached to an
+//! aggregator's socket, triggered by `send()` via the SKMSG hook.
+
+use crate::metrics_map::MetricsMap;
+use crate::skmsg::{SkMsg, SkMsgHook, SkMsgVerdict};
+use lifl_types::{AggregatorId, SimDuration, SimTime};
+
+/// The lightweight sidecar attached to one aggregator.
+///
+/// Compared with a container-based sidecar, it holds no dedicated CPU or
+/// memory: it is a pair of references (the node's metrics map and SKMSG hook)
+/// plus per-event bookkeeping. The CPU cost per invocation is accounted by the
+/// data-plane cost model in `lifl-dataplane`, not here.
+#[derive(Debug, Clone)]
+pub struct EbpfSidecar {
+    aggregator: AggregatorId,
+    metrics: MetricsMap,
+    hook: SkMsgHook,
+}
+
+impl EbpfSidecar {
+    /// Attaches a sidecar to `aggregator`, wiring it to the node's metrics map
+    /// and SKMSG hook.
+    pub fn attach(aggregator: AggregatorId, metrics: MetricsMap, hook: SkMsgHook) -> Self {
+        EbpfSidecar {
+            aggregator,
+            metrics,
+            hook,
+        }
+    }
+
+    /// The aggregator this sidecar observes.
+    pub fn aggregator(&self) -> AggregatorId {
+        self.aggregator
+    }
+
+    /// Invoked when the aggregator finishes aggregating one update.
+    /// Records execution-time metrics (the input to hierarchy planning, §5.2).
+    pub fn observe_aggregation(&self, exec_time: SimDuration, now: SimTime) {
+        self.metrics
+            .record_aggregation(self.aggregator, exec_time, now);
+    }
+
+    /// Invoked when the aggregator calls `send()` to pass an update onward.
+    /// Runs the SKMSG program and records send metrics; returns the verdict so
+    /// the caller knows whether the message stays on the node.
+    pub fn on_send(&self, msg: &SkMsg, now: SimTime) -> SkMsgVerdict {
+        self.metrics.record_send(self.aggregator, now);
+        self.hook.on_send(msg)
+    }
+
+    /// Access to the underlying metrics map (the LIFL agent uses this to drain).
+    pub fn metrics(&self) -> &MetricsMap {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sockmap::SockMap;
+    use lifl_types::{NodeId, ObjectKey};
+
+    #[test]
+    fn sidecar_records_and_steers() {
+        let node = NodeId::new(0);
+        let sockmap = SockMap::new(node, 0);
+        let a1 = AggregatorId::new(1);
+        let a2 = AggregatorId::new(2);
+        sockmap.register_local(a2);
+        let metrics = MetricsMap::new();
+        let hook = SkMsgHook::attach(sockmap);
+        let sidecar = EbpfSidecar::attach(a1, metrics.clone(), hook);
+
+        sidecar.observe_aggregation(SimDuration::from_secs(1.5), SimTime::from_secs(10.0));
+        let verdict = sidecar.on_send(
+            &SkMsg {
+                source: a1,
+                destination: a2,
+                key: ObjectKey::from_words(1, 2),
+                weight: 2,
+            },
+            SimTime::from_secs(11.0),
+        );
+        assert_eq!(verdict, SkMsgVerdict::RedirectLocal(a2));
+        let sample = metrics.sample(a1).unwrap();
+        assert_eq!(sample.updates_aggregated, 1);
+        assert_eq!(sample.updates_sent, 1);
+        assert_eq!(sidecar.aggregator(), a1);
+        assert_eq!(sidecar.metrics().len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The SKMSG hook: `send()`-triggered, event-driven message steering (§4.3, §4.4).
+
+use crate::sockmap::{SockMap, SocketRef};
+use lifl_types::{AggregatorId, ObjectKey};
+
+/// A message captured by the SKMSG hook: the object key of a model update
+/// travelling from one aggregator to another. The payload never moves; only
+/// this small descriptor does (Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SkMsg {
+    /// Source aggregator.
+    pub source: AggregatorId,
+    /// Destination aggregator.
+    pub destination: AggregatorId,
+    /// Key of the model update in shared memory.
+    pub key: ObjectKey,
+    /// Number of raw client updates folded into the referenced object.
+    pub weight: u64,
+}
+
+/// The verdict of running the SKMSG program on a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SkMsgVerdict {
+    /// Deliver to the socket of a local aggregator (zero-copy shared-memory path).
+    RedirectLocal(AggregatorId),
+    /// Deliver to the local gateway, which will perform inter-node routing.
+    RedirectGateway,
+    /// Drop: no route is registered for the destination.
+    Drop,
+}
+
+/// The in-kernel SKMSG hook with its attached program.
+///
+/// The hook fires only when `send()` is invoked (the emulation's
+/// [`SkMsgHook::on_send`]), so it consumes no CPU when idle — the property the
+/// paper exploits to replace always-on container sidecars (§4.3).
+#[derive(Debug, Clone)]
+pub struct SkMsgHook {
+    sockmap: SockMap,
+    invocations: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl SkMsgHook {
+    /// Attaches a hook backed by the node's sockmap.
+    pub fn attach(sockmap: SockMap) -> Self {
+        SkMsgHook {
+            sockmap,
+            invocations: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Runs the SKMSG program for one `send()` invocation and returns the verdict.
+    pub fn on_send(&self, msg: &SkMsg) -> SkMsgVerdict {
+        self.invocations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.sockmap.steer(msg.destination) {
+            Some(SocketRef::Aggregator(agg)) => SkMsgVerdict::RedirectLocal(agg),
+            Some(SocketRef::Gateway(_)) => SkMsgVerdict::RedirectGateway,
+            None => SkMsgVerdict::Drop,
+        }
+    }
+
+    /// Number of times the hook has fired. Zero while idle, by construction.
+    pub fn invocations(&self) -> u64 {
+        self.invocations.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The sockmap the hook consults.
+    pub fn sockmap(&self) -> &SockMap {
+        &self.sockmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifl_types::NodeId;
+
+    fn msg(src: u64, dst: u64) -> SkMsg {
+        SkMsg {
+            source: AggregatorId::new(src),
+            destination: AggregatorId::new(dst),
+            key: ObjectKey::from_words(src, dst),
+            weight: 1,
+        }
+    }
+
+    #[test]
+    fn verdicts_follow_sockmap() {
+        let sockmap = SockMap::new(NodeId::new(0), 0);
+        sockmap.register_local(AggregatorId::new(1));
+        sockmap.register_remote(AggregatorId::new(2));
+        let hook = SkMsgHook::attach(sockmap);
+        assert_eq!(
+            hook.on_send(&msg(0, 1)),
+            SkMsgVerdict::RedirectLocal(AggregatorId::new(1))
+        );
+        assert_eq!(hook.on_send(&msg(0, 2)), SkMsgVerdict::RedirectGateway);
+        assert_eq!(hook.on_send(&msg(0, 3)), SkMsgVerdict::Drop);
+        assert_eq!(hook.invocations(), 3);
+    }
+
+    #[test]
+    fn idle_hook_never_fires() {
+        let hook = SkMsgHook::attach(SockMap::new(NodeId::new(0), 0));
+        assert_eq!(hook.invocations(), 0);
+    }
+}

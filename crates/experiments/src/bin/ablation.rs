@@ -1,0 +1,6 @@
+//! Regenerates the ablation sweeps (EWMA α, leaf fan-in, placement policy).
+fn main() {
+    let result = lifl_experiments::ablation::run();
+    println!("{}", lifl_experiments::ablation::format(&result));
+    println!("{}", lifl_experiments::report::to_json(&result));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 10 (arrival rate, active aggregators, CPU per round).
+fn main() {
+    let rounds = std::env::args()
+        .skip_while(|a| a != "--rounds")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    for model in [lifl_types::ModelKind::ResNet18, lifl_types::ModelKind::ResNet152] {
+        let comparison = lifl_experiments::fig9_fig10::run_workload(model, rounds, 50.0);
+        println!("{}", lifl_experiments::fig9_fig10::format_timeseries(&comparison));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the asynchronous-FL experiment (Fig. 11 semantics + staleness policies).
+fn main() {
+    let result = lifl_experiments::fig11_async::run();
+    println!("{}", lifl_experiments::fig11_async::format(&result));
+    println!("{}", lifl_experiments::report::to_json(&result));
+}

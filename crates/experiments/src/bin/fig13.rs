@@ -1,0 +1,6 @@
+//! Regenerates Fig. 13 (message-queuing overheads, Appendix F).
+fn main() {
+    let result = lifl_experiments::fig13::run();
+    println!("{}", lifl_experiments::fig13::format(&result));
+    println!("{}", lifl_experiments::report::to_json(&result));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4 (hierarchical aggregation on kernel networking).
+fn main() {
+    let result = lifl_experiments::fig4::run();
+    println!("{}", lifl_experiments::fig4::format(&result));
+    println!("{}", lifl_experiments::report::to_json(&result));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7 (data-plane improvement for hierarchical aggregation).
+fn main() {
+    let result = lifl_experiments::fig7::run();
+    println!("{}", lifl_experiments::fig7::format(&result));
+    println!("{}", lifl_experiments::report::to_json(&result));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8 (orchestration ablation).
+fn main() {
+    let result = lifl_experiments::fig8::run();
+    println!("{}", lifl_experiments::fig8::format(&result));
+    println!("{}", lifl_experiments::report::to_json(&result));
+}

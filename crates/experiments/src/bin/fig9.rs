@@ -1,0 +1,13 @@
+//! Regenerates Fig. 9 (time-to-accuracy and cost-to-accuracy).
+//! Pass `--rounds N` to change the number of simulated FL rounds (default 40).
+fn main() {
+    let rounds = std::env::args()
+        .skip_while(|a| a != "--rounds")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    for model in [lifl_types::ModelKind::ResNet18, lifl_types::ModelKind::ResNet152] {
+        let comparison = lifl_experiments::fig9_fig10::run_workload(model, rounds, 50.0);
+        println!("{}", lifl_experiments::fig9_fig10::format(&comparison));
+    }
+}

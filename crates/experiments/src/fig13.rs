@@ -1,0 +1,114 @@
+//! Figure 13 (Appendix F): message-queuing overheads of SF-mono, LIFL,
+//! SF-micro and SL-B — CPU, memory and client-to-aggregator delay for one
+//! model update of each paper model size.
+
+use crate::report::format_table;
+use lifl_dataplane::{CostModel, QueuingSetup};
+use lifl_types::ModelKind;
+use serde::Serialize;
+
+/// One bar of Fig. 13.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Row {
+    /// Model name (M1 = ResNet-18, M2 = ResNet-34, M3 = ResNet-152).
+    pub model: String,
+    /// Queuing setup label.
+    pub setup: String,
+    /// CPU cycles in giga-cycles (Fig. 13(a) reports CPU utilisation; cycles are proportional).
+    pub cpu_gcycles: f64,
+    /// Memory cost normalised to SF-mono (Fig. 13(b)).
+    pub normalized_memory: f64,
+    /// End-to-end delay from client to aggregator in seconds (Fig. 13(c)).
+    pub delay_s: f64,
+}
+
+/// The full Fig. 13 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Result {
+    /// All rows.
+    pub rows: Vec<Fig13Row>,
+}
+
+/// Runs the Fig. 13 comparison.
+pub fn run() -> Fig13Result {
+    let cost = CostModel::paper_calibrated();
+    let mut rows = Vec::new();
+    for model in ModelKind::paper_models() {
+        let bytes = model.update_bytes();
+        let mono_memory = QueuingSetup::SfMono
+            .queuing_pipeline(bytes, &cost.models)
+            .buffered_bytes_excluding("kernel") as f64;
+        for setup in QueuingSetup::all() {
+            let pipeline = setup.queuing_pipeline(bytes, &cost.models);
+            rows.push(Fig13Row {
+                model: model.to_string(),
+                setup: setup.label().to_string(),
+                cpu_gcycles: pipeline.cpu().as_giga(),
+                normalized_memory: pipeline.buffered_bytes_excluding("kernel") as f64 / mono_memory,
+                delay_s: pipeline.latency().as_secs(),
+            });
+        }
+    }
+    Fig13Result { rows }
+}
+
+/// Formats the result.
+pub fn format(result: &Fig13Result) -> String {
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.setup.clone(),
+                format!("{:.2}", r.cpu_gcycles),
+                format!("{:.2}", r.normalized_memory),
+                format!("{:.3}", r.delay_s),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Fig. 13: message-queuing overheads (client -> aggregator)\n");
+    out.push_str(&format_table(
+        &["model", "setup", "CPU (Gcycles)", "norm. memory", "delay (s)"],
+        &rows,
+    ));
+    out
+}
+
+impl Fig13Result {
+    /// Looks up one bar.
+    pub fn cell(&self, model: &str, setup: &str) -> Option<&Fig13Row> {
+        self.rows
+            .iter()
+            .find(|r| r.model == model && r.setup == setup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_appendix_f_claims() {
+        let result = run();
+        assert_eq!(result.rows.len(), 12);
+        let lifl = result.cell("ResNet-152", "LIFL").unwrap();
+        let mono = result.cell("ResNet-152", "SF-mono").unwrap();
+        let micro = result.cell("ResNet-152", "SF-micro").unwrap();
+        let slb = result.cell("ResNet-152", "SL-B").unwrap();
+
+        // Memory: SL-B ~3x SF-mono/LIFL; SF-micro in between (Appendix F).
+        assert!(slb.normalized_memory > 2.4 && slb.normalized_memory < 3.6);
+        assert!(micro.normalized_memory > 1.5);
+        assert!(lifl.normalized_memory <= 1.05);
+        // CPU: LIFL ~1.5x less than SL-B and ~1.9x less than SF-micro.
+        assert!(slb.cpu_gcycles / lifl.cpu_gcycles > 1.3);
+        assert!(micro.cpu_gcycles / lifl.cpu_gcycles > 1.3);
+        // Delay: LIFL lower than both, and equivalent to the monolith.
+        assert!(slb.delay_s > lifl.delay_s);
+        assert!(micro.delay_s > lifl.delay_s);
+        assert!((lifl.delay_s / mono.delay_s) < 1.3);
+        let text = format(&result);
+        assert!(text.contains("SF-micro"));
+    }
+}

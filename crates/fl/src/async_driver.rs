@@ -1,0 +1,407 @@
+//! Algorithm-level asynchronous FL driver (FedBuff-style buffered async).
+//!
+//! The paper's platform currently supports synchronous FL and lists
+//! asynchronous FL as future work (§6, §7); Fig. 11 sketches the intended
+//! semantics. This driver provides the *algorithm* half of that extension:
+//! clients continuously train against whatever global version they last
+//! pulled, updates arrive in completion-time order, and the server commits a
+//! new version every `buffer_goal` accepted updates, down-weighting stale
+//! updates with a [`StalenessPolicy`]. The platform half (how those commits
+//! map onto the aggregation hierarchy) lives in `lifl-core::async_round`.
+
+use crate::aggregate::{CumulativeFedAvg, ModelUpdate};
+use crate::dataset::FederatedDataset;
+use crate::metrics::accuracy_percent;
+use crate::model::DenseModel;
+use crate::population::Population;
+use crate::staleness::{StalenessPolicy, StalenessTracker};
+use crate::trainer::{LocalTrainer, TrainerConfig};
+use lifl_simcore::SimRng;
+use lifl_types::{LiflError, ModelKind, Result, SimTime};
+
+/// Configuration of the asynchronous driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncDriverConfig {
+    /// Local-training configuration.
+    pub trainer: TrainerConfig,
+    /// Number of client updates buffered before a commit (FedBuff's K).
+    pub buffer_goal: usize,
+    /// Number of global versions to commit before stopping.
+    pub target_versions: usize,
+    /// Number of clients training concurrently (the concurrency of Fig. 11).
+    pub concurrency: usize,
+    /// Staleness weighting applied to accepted updates.
+    pub staleness: StalenessPolicy,
+    /// Workload model (drives per-client training time).
+    pub model: ModelKind,
+    /// Evaluate accuracy every this many committed versions (1 = every version).
+    pub eval_every: usize,
+}
+
+impl Default for AsyncDriverConfig {
+    fn default() -> Self {
+        AsyncDriverConfig {
+            trainer: TrainerConfig::default(),
+            buffer_goal: 10,
+            target_versions: 20,
+            concurrency: 40,
+            staleness: StalenessPolicy::Polynomial { exponent: 0.5 },
+            model: ModelKind::ResNet18,
+            eval_every: 1,
+        }
+    }
+}
+
+impl AsyncDriverConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] for a zero buffer goal, zero
+    /// concurrency or an invalid staleness policy.
+    pub fn validate(&self) -> Result<()> {
+        if self.buffer_goal == 0 {
+            return Err(LiflError::InvalidConfig("buffer_goal must be at least 1".into()));
+        }
+        if self.concurrency == 0 {
+            return Err(LiflError::InvalidConfig("concurrency must be at least 1".into()));
+        }
+        if self.target_versions == 0 {
+            return Err(LiflError::InvalidConfig("target_versions must be at least 1".into()));
+        }
+        self.staleness.validate()
+    }
+}
+
+/// One committed global version with its bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncVersionOutcome {
+    /// Version number, starting at 1.
+    pub version: usize,
+    /// Simulated wall-clock time of the commit.
+    pub committed_at: SimTime,
+    /// Updates folded into this version.
+    pub updates: usize,
+    /// Updates whose base model was stale.
+    pub stale_updates: usize,
+    /// Mean staleness of the folded updates.
+    pub mean_staleness: f64,
+    /// Test accuracy after the commit, if evaluated.
+    pub accuracy: Option<f64>,
+}
+
+/// In-flight local training: which client, which base version, when it finishes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct InFlight {
+    client_idx: usize,
+    base_version: usize,
+    finish_at: SimTime,
+}
+
+/// Runs buffered asynchronous FedAvg over a population and dataset.
+#[derive(Debug, Clone)]
+pub struct AsyncFlDriver {
+    dataset: FederatedDataset,
+    population: Population,
+    trainer: LocalTrainer,
+    config: AsyncDriverConfig,
+    global: DenseModel,
+    history: Vec<AsyncVersionOutcome>,
+    tracker: StalenessTracker,
+}
+
+impl AsyncFlDriver {
+    /// Creates a driver with a zero-initialised global model.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(
+        dataset: FederatedDataset,
+        population: Population,
+        config: AsyncDriverConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let trainer = LocalTrainer::new(dataset.num_features, dataset.num_classes, config.trainer);
+        let global = dataset.initial_model();
+        Ok(AsyncFlDriver {
+            dataset,
+            population,
+            trainer,
+            config,
+            global,
+            history: Vec::new(),
+            tracker: StalenessTracker::new(),
+        })
+    }
+
+    /// The current global model.
+    pub fn global_model(&self) -> &DenseModel {
+        &self.global
+    }
+
+    /// Committed version outcomes.
+    pub fn history(&self) -> &[AsyncVersionOutcome] {
+        &self.history
+    }
+
+    /// Aggregate staleness statistics across the whole run.
+    pub fn staleness(&self) -> &StalenessTracker {
+        &self.tracker
+    }
+
+    /// Current test accuracy of the global model.
+    pub fn evaluate(&self) -> f64 {
+        accuracy_percent(&self.trainer, &self.global, self.dataset.test_set())
+    }
+
+    /// Runs the configured number of versions and returns the history.
+    ///
+    /// The event loop keeps `concurrency` clients training at all times: when
+    /// a client finishes, its update is weighted by staleness and folded into
+    /// the buffer, the client immediately pulls the latest global model and
+    /// starts the next local round, and every `buffer_goal` accepted updates a
+    /// new version is committed.
+    pub fn run(&mut self, rng: &mut SimRng) -> Vec<AsyncVersionOutcome> {
+        let clients = self.population.clients().to_vec();
+        if clients.is_empty() {
+            return Vec::new();
+        }
+        // Seed the in-flight set with `concurrency` random clients at t = 0.
+        let mut in_flight: Vec<InFlight> = Vec::with_capacity(self.config.concurrency);
+        let mut order: Vec<usize> = (0..clients.len()).collect();
+        rng.shuffle(&mut order);
+        for &client_idx in order.iter().take(self.config.concurrency) {
+            let finish_at = SimTime::ZERO
+                + clients[client_idx].hibernation(rng)
+                + clients[client_idx].training_time(self.config.model);
+            in_flight.push(InFlight {
+                client_idx,
+                base_version: 0,
+                finish_at,
+            });
+        }
+        let mut buffer = CumulativeFedAvg::new(self.dataset.model_dim());
+        let mut buffered = 0usize;
+        let mut stale_in_window = 0usize;
+        let mut staleness_sum = 0u64;
+
+        while self.history.len() < self.config.target_versions {
+            // Pop the earliest completion.
+            let (next_idx, _) = match in_flight
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.finish_at.as_secs().partial_cmp(&b.1.finish_at.as_secs()).unwrap())
+            {
+                Some((i, f)) => (i, *f),
+                None => break,
+            };
+            let finished = in_flight.swap_remove(next_idx);
+            let client = &clients[finished.client_idx];
+            let now = finished.finish_at;
+            let tau = (self.history.len() - finished.base_version) as u64;
+            self.tracker.record(tau);
+            staleness_sum += tau;
+            if tau > 0 {
+                stale_in_window += 1;
+            }
+
+            // Local training against the version the client based on. We train
+            // against the *current* global as an approximation of keeping a
+            // copy of every historical version; the staleness weight encodes
+            // the trust discount.
+            let shard = self.dataset.shard(client.id);
+            let (local, _) = self.trainer.train(&self.global, shard, rng);
+            let raw = ModelUpdate::from_client(client.id, local, shard.len().max(1) as u64);
+            let weighted = self.config.staleness.apply(&raw, tau);
+            if buffer.fold(&weighted).is_ok() {
+                buffered += 1;
+            }
+
+            // Commit when the buffer goal is reached.
+            if buffered >= self.config.buffer_goal {
+                if let Ok(aggregate) = buffer.finalize() {
+                    self.global = aggregate.model;
+                }
+                let version = self.history.len() + 1;
+                let accuracy = if version % self.config.eval_every.max(1) == 0 {
+                    Some(self.evaluate())
+                } else {
+                    None
+                };
+                self.history.push(AsyncVersionOutcome {
+                    version,
+                    committed_at: now,
+                    updates: buffered,
+                    stale_updates: stale_in_window,
+                    mean_staleness: staleness_sum as f64 / buffered as f64,
+                    accuracy,
+                });
+                buffer = CumulativeFedAvg::new(self.dataset.model_dim());
+                buffered = 0;
+                stale_in_window = 0;
+                staleness_sum = 0;
+            }
+
+            // The finished client immediately starts the next local round
+            // against the latest committed version.
+            let finish_at = now + client.hibernation(rng) + client.training_time(self.config.model);
+            in_flight.push(InFlight {
+                client_idx: finished.client_idx,
+                base_version: self.history.len(),
+                finish_at,
+            });
+        }
+        self.history.clone()
+    }
+
+    /// The accuracy-versus-version curve (version, accuracy percent).
+    pub fn accuracy_curve(&self) -> Vec<(usize, f64)> {
+        self.history
+            .iter()
+            .filter_map(|v| v.accuracy.map(|a| (v.version, a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientAvailability;
+    use crate::dataset::DatasetConfig;
+    use crate::population::PopulationConfig;
+
+    fn setup(seed: u64, config: AsyncDriverConfig) -> (AsyncFlDriver, SimRng) {
+        let mut rng = SimRng::from_seed(seed);
+        let dataset = FederatedDataset::generate(
+            DatasetConfig {
+                num_clients: 40,
+                num_features: 12,
+                num_classes: 6,
+                mean_samples_per_client: 40,
+                dirichlet_alpha: 0.5,
+                test_samples: 300,
+                noise_std: 0.4,
+            },
+            &mut rng,
+        );
+        let population = Population::generate(
+            PopulationConfig {
+                total_clients: 40,
+                active_per_round: config.concurrency,
+                availability: ClientAvailability::Hibernating { max_secs: 30.0 },
+                mean_samples: 40,
+                speed_spread: 0.5,
+            },
+            &mut rng,
+        );
+        let driver = AsyncFlDriver::new(dataset, population, config).unwrap();
+        (driver, rng)
+    }
+
+    fn fast_config() -> AsyncDriverConfig {
+        AsyncDriverConfig {
+            trainer: TrainerConfig {
+                batch_size: 16,
+                learning_rate: 0.05,
+                local_epochs: 2,
+            },
+            buffer_goal: 8,
+            target_versions: 10,
+            concurrency: 16,
+            staleness: StalenessPolicy::Polynomial { exponent: 0.5 },
+            model: ModelKind::ResNet18,
+            eval_every: 1,
+        }
+    }
+
+    #[test]
+    fn commits_requested_number_of_versions() {
+        let (mut driver, mut rng) = setup(5, fast_config());
+        let versions = driver.run(&mut rng);
+        assert_eq!(versions.len(), 10);
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(v.version, i + 1);
+            assert_eq!(v.updates, 8);
+            assert!(v.accuracy.is_some());
+        }
+        // Commits happen in non-decreasing time order.
+        for pair in versions.windows(2) {
+            assert!(pair[1].committed_at.as_secs() >= pair[0].committed_at.as_secs());
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_over_versions() {
+        let (mut driver, mut rng) = setup(42, AsyncDriverConfig {
+            target_versions: 15,
+            ..fast_config()
+        });
+        let initial = driver.evaluate();
+        driver.run(&mut rng);
+        let final_acc = driver.evaluate();
+        assert!(
+            final_acc > initial + 10.0,
+            "async training should learn: {initial} -> {final_acc}"
+        );
+        assert_eq!(driver.accuracy_curve().len(), 15);
+    }
+
+    #[test]
+    fn staleness_is_observed_and_bounded_by_version_count() {
+        let (mut driver, mut rng) = setup(9, fast_config());
+        driver.run(&mut rng);
+        let tracker = driver.staleness();
+        assert!(tracker.count() >= 10 * 8);
+        assert!(tracker.max() <= 10, "staleness cannot exceed committed versions");
+        // With clients continuously training across commits, some staleness
+        // must appear after the first version.
+        assert!(tracker.stale_count() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut a, mut ra) = setup(77, fast_config());
+        let (mut b, mut rb) = setup(77, fast_config());
+        let va = a.run(&mut ra);
+        let vb = b.run(&mut rb);
+        assert_eq!(va, vb);
+        assert_eq!(a.global_model(), b.global_model());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = SimRng::from_seed(1);
+        let dataset = FederatedDataset::generate(
+            DatasetConfig {
+                num_clients: 4,
+                num_features: 4,
+                num_classes: 2,
+                mean_samples_per_client: 10,
+                dirichlet_alpha: 1.0,
+                test_samples: 10,
+                noise_std: 0.2,
+            },
+            &mut rng,
+        );
+        let population = Population::generate(
+            PopulationConfig {
+                total_clients: 4,
+                active_per_round: 2,
+                availability: ClientAvailability::AlwaysOn,
+                mean_samples: 10,
+                speed_spread: 0.1,
+            },
+            &mut rng,
+        );
+        for bad in [
+            AsyncDriverConfig { buffer_goal: 0, ..AsyncDriverConfig::default() },
+            AsyncDriverConfig { concurrency: 0, ..AsyncDriverConfig::default() },
+            AsyncDriverConfig { target_versions: 0, ..AsyncDriverConfig::default() },
+            AsyncDriverConfig {
+                staleness: StalenessPolicy::Polynomial { exponent: 0.0 },
+                ..AsyncDriverConfig::default()
+            },
+        ] {
+            assert!(AsyncFlDriver::new(dataset.clone(), population.clone(), bad).is_err());
+        }
+    }
+}

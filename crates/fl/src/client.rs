@@ -1,0 +1,126 @@
+//! FL clients: local data, compute capability and availability dynamics (§6.2).
+
+use lifl_simcore::SimRng;
+use lifl_types::{ClientId, ModelKind, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Availability model of a client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClientAvailability {
+    /// Always available (the ResNet-152 "server client" setup, §6.2).
+    AlwaysOn,
+    /// Mobile-device behaviour: after each round the client hibernates for a
+    /// uniformly random interval in `[0, max_secs]` (the ResNet-18 setup, §6.2).
+    Hibernating {
+        /// Upper bound of the hibernation interval in seconds.
+        max_secs: f64,
+    },
+}
+
+impl Default for ClientAvailability {
+    fn default() -> Self {
+        ClientAvailability::AlwaysOn
+    }
+}
+
+/// A participating client/trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Client {
+    /// The client's identity.
+    pub id: ClientId,
+    /// Relative compute speed (1.0 = reference device; lower is slower).
+    pub compute_speed: f64,
+    /// Number of local training samples (drives both FedAvg weighting and training time).
+    pub local_samples: u64,
+    /// Availability behaviour.
+    pub availability: ClientAvailability,
+}
+
+impl Client {
+    /// Time to finish local training of one round for `model` on this client.
+    ///
+    /// Calibrated so that a ResNet-18 round on a constrained mobile client
+    /// takes tens of seconds and a ResNet-152 round on a dedicated server
+    /// takes a few minutes, matching the arrival-rate dynamics of Fig. 10.
+    pub fn training_time(&self, model: ModelKind) -> SimDuration {
+        let per_sample_secs = match model {
+            ModelKind::ResNet18 => 0.20,
+            ModelKind::ResNet34 => 0.35,
+            ModelKind::ResNet152 => 1.6,
+            ModelKind::Custom { update_bytes } => 0.2 * (update_bytes as f64 / (44.0 * 1024.0 * 1024.0)),
+        };
+        SimDuration::from_secs(per_sample_secs * self.local_samples as f64 / self.compute_speed.max(0.05))
+    }
+
+    /// Time spent hibernating before the client is ready for the next round.
+    pub fn hibernation(&self, rng: &mut SimRng) -> SimDuration {
+        match self.availability {
+            ClientAvailability::AlwaysOn => SimDuration::ZERO,
+            ClientAvailability::Hibernating { max_secs } => {
+                SimDuration::from_secs(rng.uniform(0.0, max_secs.max(0.0)))
+            }
+        }
+    }
+
+    /// The time at which this client's update arrives at the aggregation
+    /// service, given that the round's model was broadcast at `round_start`.
+    pub fn update_arrival(
+        &self,
+        round_start: SimTime,
+        model: ModelKind,
+        upload_time: SimDuration,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        round_start + self.hibernation(rng) + self.training_time(model) + upload_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(speed: f64, samples: u64) -> Client {
+        Client {
+            id: ClientId::new(1),
+            compute_speed: speed,
+            local_samples: samples,
+            availability: ClientAvailability::AlwaysOn,
+        }
+    }
+
+    #[test]
+    fn slower_clients_train_longer() {
+        let fast = client(2.0, 100).training_time(ModelKind::ResNet18);
+        let slow = client(0.5, 100).training_time(ModelKind::ResNet18);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn bigger_models_train_longer() {
+        let c = client(1.0, 50);
+        assert!(c.training_time(ModelKind::ResNet152) > c.training_time(ModelKind::ResNet18));
+    }
+
+    #[test]
+    fn hibernation_bounds_respected() {
+        let mut rng = SimRng::from_seed(5);
+        let c = Client {
+            availability: ClientAvailability::Hibernating { max_secs: 60.0 },
+            ..client(1.0, 10)
+        };
+        for _ in 0..100 {
+            let h = c.hibernation(&mut rng).as_secs();
+            assert!((0.0..=60.0).contains(&h));
+        }
+        assert_eq!(client(1.0, 10).hibernation(&mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arrival_is_after_round_start() {
+        let mut rng = SimRng::from_seed(5);
+        let c = client(1.0, 10);
+        let start = SimTime::from_secs(100.0);
+        let arrival = c.update_arrival(start, ModelKind::ResNet18, SimDuration::from_secs(1.0), &mut rng);
+        assert!(arrival > start);
+    }
+}

@@ -1,0 +1,51 @@
+//! # lifl-fl
+//!
+//! The federated-learning substrate: FedAvg aggregation (including the
+//! cumulative/eager formulation LIFL relies on, §2.1 and §5.4), a synthetic
+//! non-IID federated dataset, local SGD trainers, a client population with
+//! realistic availability dynamics (§6.2) and a round driver that produces
+//! accuracy-versus-round curves.
+//!
+//! The training workload is a softmax-regression classifier over a synthetic
+//! FEMNIST-like task (62 classes, Dirichlet label skew across clients). See
+//! DESIGN.md §1 for why this substitution preserves the paper's system-level
+//! claims: update *sizes* used for system costs stay at the ResNet sizes, and
+//! only the rounds→accuracy mapping comes from this substrate.
+//!
+//! Beyond the paper's FedAvg workload, the crate also provides the
+//! algorithm-level extensions the paper's related-work section points at so
+//! that LIFL can act as their substrate: server-side adaptive federated
+//! optimizers ([`server_opt`]), FedProx local training ([`fedprox`]),
+//! Oort-style guided participant selection ([`oort`]) and buffered
+//! asynchronous FL with staleness weighting ([`async_driver`], [`staleness`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod async_driver;
+pub mod client;
+pub mod dataset;
+pub mod fedprox;
+pub mod metrics;
+pub mod model;
+pub mod oort;
+pub mod population;
+pub mod rounds;
+pub mod selector;
+pub mod server_opt;
+pub mod staleness;
+pub mod trainer;
+
+pub use aggregate::{CumulativeFedAvg, ModelUpdate};
+pub use async_driver::{AsyncDriverConfig, AsyncFlDriver, AsyncVersionOutcome};
+pub use client::{Client, ClientAvailability};
+pub use dataset::{FederatedDataset, Sample};
+pub use fedprox::{FedProxConfig, FedProxTrainer};
+pub use model::DenseModel;
+pub use oort::{OortConfig, OortSelector};
+pub use population::{Population, PopulationConfig};
+pub use rounds::{FlDriver, FlDriverConfig, RoundOutcome};
+pub use server_opt::{ServerOptConfig, ServerOptKind, ServerOptimizer};
+pub use staleness::{StalenessPolicy, StalenessTracker};
+pub use trainer::{LocalTrainer, TrainerConfig};

@@ -1,0 +1,328 @@
+//! Oort-style guided participant selection (Lai et al., 2021, cited in §7).
+//!
+//! The paper positions client-selection research as orthogonal work that LIFL
+//! complements ("LIFL focuses on system-level optimization of model
+//! aggregation … a good complement to these efforts"). To exercise that
+//! claim, this module implements the core of Oort's guided participant
+//! selection so it can be plugged into the round loop in place of uniform
+//! random selection:
+//!
+//! * **Statistical utility** — clients whose recent training loss is high
+//!   carry more useful gradient information; utility is `|B|·sqrt(Σ loss²/|B|)`
+//!   approximated here by the last reported mean loss times the shard size.
+//! * **System utility** — clients that would exceed the round's preferred
+//!   duration `T` are penalised by `(T / t_i)^α`.
+//! * **Exploration/exploitation** — a fraction ε of each round's slots is
+//!   reserved for never-tried clients so the utility estimates keep improving.
+
+use crate::client::Client;
+use lifl_simcore::SimRng;
+use lifl_types::{ClientId, LiflError, ModelKind, Result};
+use std::collections::HashMap;
+
+/// Configuration of the Oort selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OortConfig {
+    /// Fraction of each round's slots reserved for unexplored clients (ε).
+    pub exploration_fraction: f64,
+    /// Preferred round duration in seconds (Oort's T); clients slower than
+    /// this are penalised.
+    pub preferred_round_secs: f64,
+    /// Penalty exponent α applied to the system utility of slow clients.
+    pub straggler_penalty: f64,
+    /// Workload model used to estimate per-client training time.
+    pub model: ModelKind,
+}
+
+impl Default for OortConfig {
+    fn default() -> Self {
+        OortConfig {
+            exploration_fraction: 0.2,
+            preferred_round_secs: 60.0,
+            straggler_penalty: 2.0,
+            model: ModelKind::ResNet18,
+        }
+    }
+}
+
+impl OortConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] if the exploration fraction is
+    /// outside `[0, 1]` or the preferred duration is not positive.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.exploration_fraction) {
+            return Err(LiflError::InvalidConfig(format!(
+                "exploration fraction must be in [0,1], got {}",
+                self.exploration_fraction
+            )));
+        }
+        if self.preferred_round_secs <= 0.0 {
+            return Err(LiflError::InvalidConfig(format!(
+                "preferred round duration must be positive, got {}",
+                self.preferred_round_secs
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Per-client state the selector maintains across rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct ClientRecord {
+    /// Last observed mean training loss (statistical-utility signal).
+    last_loss: f64,
+    /// Number of times the client has participated.
+    participations: u64,
+}
+
+/// The Oort-style selector.
+#[derive(Debug, Clone)]
+pub struct OortSelector {
+    config: OortConfig,
+    records: HashMap<ClientId, ClientRecord>,
+}
+
+impl OortSelector {
+    /// Creates a selector from a validated configuration.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(config: OortConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(OortSelector {
+            config,
+            records: HashMap::new(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OortConfig {
+        &self.config
+    }
+
+    /// Number of clients with recorded feedback.
+    pub fn explored_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records post-round feedback for a participant: its mean training loss.
+    pub fn record_feedback(&mut self, client: ClientId, mean_loss: f64) {
+        let record = self.records.entry(client).or_default();
+        record.last_loss = mean_loss.max(0.0);
+        record.participations += 1;
+    }
+
+    /// The utility of a client under the current estimates. Unexplored clients
+    /// get a neutral statistical utility of 1.0 so they are neither favoured
+    /// nor buried by the exploitation pass.
+    pub fn utility(&self, client: &Client) -> f64 {
+        let statistical = match self.records.get(&client.id) {
+            Some(record) => (client.local_samples as f64).sqrt() * (record.last_loss + 1e-6),
+            None => 1.0,
+        };
+        let train_secs = client.training_time(self.config.model).as_secs().max(1e-6);
+        let system = if train_secs <= self.config.preferred_round_secs {
+            1.0
+        } else {
+            (self.config.preferred_round_secs / train_secs).powf(self.config.straggler_penalty)
+        };
+        statistical * system
+    }
+
+    /// Selects `count` participants from `pool`: the top-utility explored
+    /// clients fill `(1 − ε)·count` slots and uniformly random unexplored
+    /// clients fill the rest (falling back to explored clients when every
+    /// client has been tried).
+    pub fn select(&self, pool: &[Client], count: usize, rng: &mut SimRng) -> Vec<Client> {
+        let count = count.min(pool.len());
+        if count == 0 {
+            return Vec::new();
+        }
+        let exploration_slots =
+            ((count as f64) * self.config.exploration_fraction).round() as usize;
+        let exploitation_slots = count - exploration_slots.min(count);
+
+        // Exploitation: highest-utility explored clients.
+        let mut explored: Vec<&Client> = pool
+            .iter()
+            .filter(|c| self.records.contains_key(&c.id))
+            .collect();
+        explored.sort_by(|a, b| {
+            self.utility(b)
+                .partial_cmp(&self.utility(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut selected: Vec<Client> = explored
+            .iter()
+            .take(exploitation_slots)
+            .map(|c| (*c).clone())
+            .collect();
+
+        // Exploration: uniform over unexplored clients.
+        let mut unexplored: Vec<&Client> = pool
+            .iter()
+            .filter(|c| !self.records.contains_key(&c.id))
+            .collect();
+        let mut order: Vec<usize> = (0..unexplored.len()).collect();
+        rng.shuffle(&mut order);
+        for idx in order {
+            if selected.len() >= count {
+                break;
+            }
+            selected.push(unexplored[idx].clone());
+        }
+        // Drop references we no longer need before any further borrow games.
+        unexplored.clear();
+
+        // Backfill from explored clients if exploration could not fill its slots.
+        if selected.len() < count {
+            for client in explored.iter().skip(exploitation_slots) {
+                if selected.len() >= count {
+                    break;
+                }
+                if !selected.iter().any(|s| s.id == client.id) {
+                    selected.push((*client).clone());
+                }
+            }
+        }
+        selected.truncate(count);
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientAvailability;
+
+    fn pool(n: usize) -> Vec<Client> {
+        (0..n)
+            .map(|i| Client {
+                id: ClientId::new(i as u64),
+                compute_speed: 0.5 + (i % 5) as f64 * 0.5,
+                local_samples: 20 + (i as u64 % 7) * 30,
+                availability: ClientAvailability::AlwaysOn,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selects_requested_count_without_duplicates() {
+        let selector = OortSelector::new(OortConfig::default()).unwrap();
+        let pool = pool(60);
+        let mut rng = SimRng::from_seed(1);
+        let picked = selector.select(&pool, 20, &mut rng);
+        assert_eq!(picked.len(), 20);
+        let mut ids: Vec<u64> = picked.iter().map(|c| c.id.index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn high_loss_clients_are_preferred_after_feedback() {
+        let mut selector = OortSelector::new(OortConfig {
+            exploration_fraction: 0.0,
+            ..OortConfig::default()
+        })
+        .unwrap();
+        let pool = pool(30);
+        // Give every client feedback; clients 0..5 report much higher loss.
+        for client in &pool {
+            let loss = if client.id.index() < 5 { 5.0 } else { 0.1 };
+            selector.record_feedback(client.id, loss);
+        }
+        let mut rng = SimRng::from_seed(2);
+        let picked = selector.select(&pool, 5, &mut rng);
+        let high_loss_picked = picked.iter().filter(|c| c.id.index() < 5).count();
+        assert!(
+            high_loss_picked >= 3,
+            "expected mostly high-loss clients, got {high_loss_picked}/5"
+        );
+    }
+
+    #[test]
+    fn stragglers_are_penalised() {
+        let selector = OortSelector::new(OortConfig {
+            preferred_round_secs: 10.0,
+            model: ModelKind::ResNet152,
+            ..OortConfig::default()
+        })
+        .unwrap();
+        let fast = Client {
+            id: ClientId::new(1),
+            compute_speed: 10.0,
+            local_samples: 50,
+            availability: ClientAvailability::AlwaysOn,
+        };
+        let slow = Client {
+            id: ClientId::new(2),
+            compute_speed: 0.1,
+            local_samples: 50,
+            availability: ClientAvailability::AlwaysOn,
+        };
+        assert!(selector.utility(&fast) > selector.utility(&slow));
+    }
+
+    #[test]
+    fn exploration_picks_untried_clients() {
+        let mut selector = OortSelector::new(OortConfig {
+            exploration_fraction: 0.5,
+            ..OortConfig::default()
+        })
+        .unwrap();
+        let pool = pool(40);
+        // Mark the first 20 clients as explored.
+        for client in pool.iter().take(20) {
+            selector.record_feedback(client.id, 1.0);
+        }
+        let mut rng = SimRng::from_seed(3);
+        let picked = selector.select(&pool, 10, &mut rng);
+        let unexplored_picked = picked.iter().filter(|c| c.id.index() >= 20).count();
+        assert!(
+            unexplored_picked >= 4,
+            "exploration should pick several untried clients, got {unexplored_picked}"
+        );
+        assert_eq!(selector.explored_count(), 20);
+    }
+
+    #[test]
+    fn all_explored_pool_still_fills_selection() {
+        let mut selector = OortSelector::new(OortConfig {
+            exploration_fraction: 0.5,
+            ..OortConfig::default()
+        })
+        .unwrap();
+        let pool = pool(10);
+        for client in &pool {
+            selector.record_feedback(client.id, 0.5);
+        }
+        let mut rng = SimRng::from_seed(4);
+        let picked = selector.select(&pool, 8, &mut rng);
+        assert_eq!(picked.len(), 8);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(OortSelector::new(OortConfig {
+            exploration_fraction: 1.5,
+            ..OortConfig::default()
+        })
+        .is_err());
+        assert!(OortSelector::new(OortConfig {
+            preferred_round_secs: 0.0,
+            ..OortConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn empty_pool_and_zero_count_are_handled() {
+        let selector = OortSelector::new(OortConfig::default()).unwrap();
+        let mut rng = SimRng::from_seed(5);
+        assert!(selector.select(&[], 10, &mut rng).is_empty());
+        assert!(selector.select(&pool(5), 0, &mut rng).is_empty());
+    }
+}

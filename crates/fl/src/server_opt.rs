@@ -1,0 +1,429 @@
+//! Server-side federated optimizers.
+//!
+//! The paper's evaluation uses plain FedAvg (§6.2), but its related-work
+//! section points at the adaptive federated-optimization family (Reddi et
+//! al., 2020) as one of the algorithm-level directions LIFL is meant to be a
+//! substrate for. This module implements that family so a downstream user can
+//! swap the server update rule without touching the aggregation hierarchy:
+//! the hierarchy still produces a sample-weighted average of client models
+//! (via [`crate::aggregate::CumulativeFedAvg`]), and the server optimizer then
+//! decides how the global model moves toward that average.
+//!
+//! All optimizers operate on the *pseudo-gradient* `Δ = aggregate − global`:
+//!
+//! * [`ServerOptKind::FedAvg`] — `global ← global + η·Δ` (η = 1 reproduces
+//!   vanilla FedAvg exactly).
+//! * [`ServerOptKind::FedAdagrad`] — per-coordinate accumulated squared
+//!   pseudo-gradients.
+//! * [`ServerOptKind::FedAdam`] — first and second moments with bias-free
+//!   server form used by Reddi et al.
+//! * [`ServerOptKind::FedYogi`] — Adam variant with additive second-moment
+//!   update, more robust to heavy-tailed client drift.
+
+use crate::model::DenseModel;
+use lifl_types::{LiflError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Which server optimizer to apply on top of the aggregated client average.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ServerOptKind {
+    /// Plain server averaging: `global ← global + η·Δ`.
+    #[default]
+    FedAvg,
+    /// Adaptive per-coordinate learning rates from accumulated squared deltas.
+    FedAdagrad,
+    /// Server-side Adam on the pseudo-gradient.
+    FedAdam,
+    /// Server-side Yogi on the pseudo-gradient.
+    FedYogi,
+}
+
+impl ServerOptKind {
+    /// All optimizer kinds, in the order used by experiment sweeps.
+    pub fn all() -> [ServerOptKind; 4] {
+        [
+            ServerOptKind::FedAvg,
+            ServerOptKind::FedAdagrad,
+            ServerOptKind::FedAdam,
+            ServerOptKind::FedYogi,
+        ]
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerOptKind::FedAvg => "FedAvg",
+            ServerOptKind::FedAdagrad => "FedAdagrad",
+            ServerOptKind::FedAdam => "FedAdam",
+            ServerOptKind::FedYogi => "FedYogi",
+        }
+    }
+}
+
+impl std::fmt::Display for ServerOptKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hyper-parameters of the server optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerOptConfig {
+    /// Which update rule to apply.
+    pub kind: ServerOptKind,
+    /// Server learning rate η (1.0 for vanilla FedAvg).
+    pub learning_rate: f32,
+    /// First-moment decay β₁ (FedAdam / FedYogi).
+    pub beta1: f32,
+    /// Second-moment decay β₂ (FedAdam / FedYogi).
+    pub beta2: f32,
+    /// Adaptivity floor τ added to the denominator.
+    pub tau: f32,
+}
+
+impl Default for ServerOptConfig {
+    fn default() -> Self {
+        ServerOptConfig {
+            kind: ServerOptKind::FedAvg,
+            learning_rate: 1.0,
+            beta1: 0.9,
+            beta2: 0.99,
+            tau: 1e-3,
+        }
+    }
+}
+
+impl ServerOptConfig {
+    /// A configuration for the given kind with the Reddi et al. defaults.
+    pub fn for_kind(kind: ServerOptKind) -> Self {
+        let learning_rate = match kind {
+            ServerOptKind::FedAvg => 1.0,
+            // Adaptive methods use a smaller server step by default.
+            _ => 0.1,
+        };
+        ServerOptConfig {
+            kind,
+            learning_rate,
+            ..ServerOptConfig::default()
+        }
+    }
+
+    /// Validates the hyper-parameters.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when a rate or decay is outside its
+    /// valid range.
+    pub fn validate(&self) -> Result<()> {
+        if self.learning_rate <= 0.0 {
+            return Err(LiflError::InvalidConfig(format!(
+                "server learning rate must be positive, got {}",
+                self.learning_rate
+            )));
+        }
+        if !(0.0..1.0).contains(&self.beta1) || !(0.0..1.0).contains(&self.beta2) {
+            return Err(LiflError::InvalidConfig(format!(
+                "betas must be in [0,1): beta1={}, beta2={}",
+                self.beta1, self.beta2
+            )));
+        }
+        if self.tau <= 0.0 {
+            return Err(LiflError::InvalidConfig(format!(
+                "tau must be positive, got {}",
+                self.tau
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Stateful server optimizer applied once per committed aggregate.
+#[derive(Debug, Clone)]
+pub struct ServerOptimizer {
+    config: ServerOptConfig,
+    /// First moment m (FedAdam / FedYogi), lazily sized.
+    momentum: Vec<f32>,
+    /// Second moment v (adaptive methods), lazily sized.
+    second_moment: Vec<f32>,
+    steps: u64,
+}
+
+impl ServerOptimizer {
+    /// Creates an optimizer from a validated configuration.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(config: ServerOptConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(ServerOptimizer {
+            config,
+            momentum: Vec::new(),
+            second_moment: Vec::new(),
+            steps: 0,
+        })
+    }
+
+    /// Creates a vanilla-FedAvg optimizer (η = 1), which never fails.
+    pub fn fedavg() -> Self {
+        ServerOptimizer::new(ServerOptConfig::default()).expect("default config is valid")
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServerOptConfig {
+        &self.config
+    }
+
+    /// Number of server steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Applies one server step: moves `global` toward `aggregate` according to
+    /// the configured update rule. `aggregate` is the sample-weighted client
+    /// average produced by the aggregation hierarchy.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::DimensionMismatch`] when the aggregate's dimension
+    /// differs from the global model's.
+    pub fn step(&mut self, global: &mut DenseModel, aggregate: &DenseModel) -> Result<()> {
+        if global.dim() != aggregate.dim() {
+            return Err(LiflError::DimensionMismatch {
+                expected: global.dim(),
+                actual: aggregate.dim(),
+            });
+        }
+        let dim = global.dim();
+        if self.momentum.len() != dim {
+            self.momentum = vec![0.0; dim];
+            self.second_moment = vec![0.0; dim];
+        }
+        self.steps += 1;
+        let lr = self.config.learning_rate;
+        let b1 = self.config.beta1;
+        let b2 = self.config.beta2;
+        let tau = self.config.tau;
+        let params = global.as_mut_slice();
+        match self.config.kind {
+            ServerOptKind::FedAvg => {
+                for (g, a) in params.iter_mut().zip(aggregate.as_slice()) {
+                    let delta = a - *g;
+                    *g += lr * delta;
+                }
+            }
+            ServerOptKind::FedAdagrad => {
+                for ((g, a), v) in params
+                    .iter_mut()
+                    .zip(aggregate.as_slice())
+                    .zip(self.second_moment.iter_mut())
+                {
+                    let delta = a - *g;
+                    *v += delta * delta;
+                    *g += lr * delta / (v.sqrt() + tau);
+                }
+            }
+            ServerOptKind::FedAdam => {
+                for (((g, a), m), v) in params
+                    .iter_mut()
+                    .zip(aggregate.as_slice())
+                    .zip(self.momentum.iter_mut())
+                    .zip(self.second_moment.iter_mut())
+                {
+                    let delta = a - *g;
+                    *m = b1 * *m + (1.0 - b1) * delta;
+                    *v = b2 * *v + (1.0 - b2) * delta * delta;
+                    *g += lr * *m / (v.sqrt() + tau);
+                }
+            }
+            ServerOptKind::FedYogi => {
+                for (((g, a), m), v) in params
+                    .iter_mut()
+                    .zip(aggregate.as_slice())
+                    .zip(self.momentum.iter_mut())
+                    .zip(self.second_moment.iter_mut())
+                {
+                    let delta = a - *g;
+                    let delta_sq = delta * delta;
+                    *m = b1 * *m + (1.0 - b1) * delta;
+                    *v -= (1.0 - b2) * delta_sq * (*v - delta_sq).signum();
+                    *g += lr * *m / (v.abs().sqrt() + tau);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(values: &[f32]) -> DenseModel {
+        DenseModel::from_vec(values.to_vec())
+    }
+
+    #[test]
+    fn fedavg_with_unit_rate_reproduces_plain_averaging() {
+        let mut global = model(&[0.0, 2.0, -4.0]);
+        let aggregate = model(&[1.0, 1.0, 1.0]);
+        let mut opt = ServerOptimizer::fedavg();
+        opt.step(&mut global, &aggregate).unwrap();
+        assert_eq!(global.as_slice(), aggregate.as_slice());
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn fedavg_with_partial_rate_interpolates() {
+        let mut global = model(&[0.0, 0.0]);
+        let aggregate = model(&[2.0, -2.0]);
+        let mut opt = ServerOptimizer::new(ServerOptConfig {
+            learning_rate: 0.5,
+            ..ServerOptConfig::default()
+        })
+        .unwrap();
+        opt.step(&mut global, &aggregate).unwrap();
+        assert_eq!(global.as_slice(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn adaptive_optimizers_move_toward_aggregate() {
+        for kind in [ServerOptKind::FedAdagrad, ServerOptKind::FedAdam, ServerOptKind::FedYogi] {
+            let mut global = model(&[0.0, 0.0, 0.0]);
+            let aggregate = model(&[1.0, -1.0, 0.5]);
+            let mut opt = ServerOptimizer::new(ServerOptConfig::for_kind(kind)).unwrap();
+            let initial_dist: f32 = aggregate
+                .as_slice()
+                .iter()
+                .zip(global.as_slice())
+                .map(|(a, g)| (a - g).abs())
+                .sum();
+            for _ in 0..50 {
+                opt.step(&mut global, &aggregate).unwrap();
+            }
+            let final_dist: f32 = aggregate
+                .as_slice()
+                .iter()
+                .zip(global.as_slice())
+                .map(|(a, g)| (a - g).abs())
+                .sum();
+            assert!(
+                final_dist < initial_dist * 0.5,
+                "{kind}: distance {initial_dist} -> {final_dist} should shrink"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_steps_converge_to_fixed_point() {
+        // Once global == aggregate, every optimizer must stay put (Δ = 0).
+        for kind in ServerOptKind::all() {
+            let aggregate = model(&[0.3, -0.7, 1.1]);
+            let mut global = aggregate.clone();
+            let mut opt = ServerOptimizer::new(ServerOptConfig::for_kind(kind)).unwrap();
+            // Warm the moments on a non-zero delta first, then converge.
+            let mut far = model(&[5.0, 5.0, 5.0]);
+            opt.step(&mut far, &aggregate).unwrap();
+            opt.step(&mut global, &aggregate).unwrap();
+            for (g, a) in global.as_slice().iter().zip(aggregate.as_slice()) {
+                assert!((g - a).abs() < 0.2, "{kind}: {g} vs {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut global = model(&[0.0, 0.0]);
+        let aggregate = model(&[1.0]);
+        let mut opt = ServerOptimizer::fedavg();
+        assert!(matches!(
+            opt.step(&mut global, &aggregate),
+            Err(LiflError::DimensionMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ServerOptimizer::new(ServerOptConfig {
+            learning_rate: 0.0,
+            ..ServerOptConfig::default()
+        })
+        .is_err());
+        assert!(ServerOptimizer::new(ServerOptConfig {
+            beta1: 1.5,
+            ..ServerOptConfig::default()
+        })
+        .is_err());
+        assert!(ServerOptimizer::new(ServerOptConfig {
+            tau: -1.0,
+            ..ServerOptConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn labels_and_iteration_order_are_stable() {
+        let labels: Vec<&str> = ServerOptKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["FedAvg", "FedAdagrad", "FedAdam", "FedYogi"]);
+        assert_eq!(ServerOptKind::FedYogi.to_string(), "FedYogi");
+    }
+
+    #[test]
+    fn for_kind_uses_smaller_rate_for_adaptive_methods() {
+        assert_eq!(ServerOptConfig::for_kind(ServerOptKind::FedAvg).learning_rate, 1.0);
+        assert!(ServerOptConfig::for_kind(ServerOptKind::FedAdam).learning_rate < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+        (1usize..16).prop_flat_map(|dim| {
+            (
+                proptest::collection::vec(-5.0f32..5.0, dim..=dim),
+                proptest::collection::vec(-5.0f32..5.0, dim..=dim),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn fedavg_step_lands_between_global_and_aggregate(
+            (global_vec, agg_vec) in arbitrary_pair(),
+            lr in 0.05f32..1.0,
+        ) {
+            let mut global = DenseModel::from_vec(global_vec.clone());
+            let aggregate = DenseModel::from_vec(agg_vec.clone());
+            let mut opt = ServerOptimizer::new(ServerOptConfig {
+                learning_rate: lr,
+                ..ServerOptConfig::default()
+            }).unwrap();
+            opt.step(&mut global, &aggregate).unwrap();
+            for ((before, after), target) in global_vec.iter().zip(global.as_slice()).zip(&agg_vec) {
+                let lo = before.min(*target) - 1e-5;
+                let hi = before.max(*target) + 1e-5;
+                prop_assert!(*after >= lo && *after <= hi,
+                    "{after} not within [{lo}, {hi}]");
+            }
+        }
+
+        #[test]
+        fn adaptive_steps_are_bounded_by_learning_rate(
+            (global_vec, agg_vec) in arbitrary_pair(),
+        ) {
+            // Each adaptive step moves any coordinate by at most ~lr * |delta| / tau,
+            // but more importantly it must be finite and never NaN.
+            for kind in [ServerOptKind::FedAdagrad, ServerOptKind::FedAdam, ServerOptKind::FedYogi] {
+                let mut global = DenseModel::from_vec(global_vec.clone());
+                let aggregate = DenseModel::from_vec(agg_vec.clone());
+                let mut opt = ServerOptimizer::new(ServerOptConfig::for_kind(kind)).unwrap();
+                for _ in 0..5 {
+                    opt.step(&mut global, &aggregate).unwrap();
+                }
+                for v in global.as_slice() {
+                    prop_assert!(v.is_finite(), "{kind:?} produced non-finite parameter {v}");
+                }
+            }
+        }
+    }
+}

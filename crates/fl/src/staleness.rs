@@ -1,0 +1,248 @@
+//! Staleness weighting for asynchronous aggregation.
+//!
+//! When aggregation is asynchronous (Fig. 11, §7 future work; PAPAYA (Huba et
+//! al., 2022) and FedBuff (Nguyen et al., 2022) in the paper's references),
+//! a client's update may have been computed against a global model several
+//! versions old. The standard mitigation is to down-weight stale updates by a
+//! function `s(τ)` of the staleness `τ = current_version − base_version`.
+//!
+//! This module provides the three weighting families used in that literature
+//! plus the machinery to apply them to a [`ModelUpdate`]'s sample weight so the
+//! unchanged [`CumulativeFedAvg`](crate::aggregate::CumulativeFedAvg)
+//! accumulator can consume them.
+
+use crate::aggregate::ModelUpdate;
+use lifl_types::{LiflError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A staleness-weighting policy `s(τ)` with `s(0) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum StalenessPolicy {
+    /// Every update counts fully regardless of staleness (`s(τ) = 1`).
+    #[default]
+    Constant,
+    /// Polynomial decay `s(τ) = (1 + τ)^(−a)` (FedBuff's default family).
+    Polynomial {
+        /// Decay exponent `a > 0`.
+        exponent: f64,
+    },
+    /// Hinge decay: full weight up to `threshold`, then `1 / (1 + b·(τ − threshold))`.
+    Hinge {
+        /// Staleness up to which updates keep full weight.
+        threshold: u64,
+        /// Decay slope `b > 0` beyond the threshold.
+        slope: f64,
+    },
+}
+
+impl StalenessPolicy {
+    /// The weight multiplier for an update with staleness `tau`.
+    ///
+    /// Always in `(0, 1]`, and exactly `1.0` at `tau = 0`.
+    pub fn weight(self, tau: u64) -> f64 {
+        match self {
+            StalenessPolicy::Constant => 1.0,
+            StalenessPolicy::Polynomial { exponent } => {
+                (1.0 + tau as f64).powf(-exponent.max(0.0))
+            }
+            StalenessPolicy::Hinge { threshold, slope } => {
+                if tau <= threshold {
+                    1.0
+                } else {
+                    1.0 / (1.0 + slope.max(0.0) * (tau - threshold) as f64)
+                }
+            }
+        }
+    }
+
+    /// Validates policy parameters.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] if an exponent or slope is not positive.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            StalenessPolicy::Constant => Ok(()),
+            StalenessPolicy::Polynomial { exponent } if *exponent > 0.0 => Ok(()),
+            StalenessPolicy::Polynomial { exponent } => Err(LiflError::InvalidConfig(format!(
+                "polynomial staleness exponent must be positive, got {exponent}"
+            ))),
+            StalenessPolicy::Hinge { slope, .. } if *slope > 0.0 => Ok(()),
+            StalenessPolicy::Hinge { slope, .. } => Err(LiflError::InvalidConfig(format!(
+                "hinge staleness slope must be positive, got {slope}"
+            ))),
+        }
+    }
+
+    /// Applies the staleness weight to an update by scaling its sample count
+    /// (rounded, but never below 1 so the update still contributes).
+    pub fn apply(self, update: &ModelUpdate, tau: u64) -> ModelUpdate {
+        let weight = self.weight(tau);
+        let scaled = ((update.samples as f64) * weight).round().max(1.0) as u64;
+        ModelUpdate {
+            client: update.client,
+            model: update.model.clone(),
+            samples: scaled,
+        }
+    }
+}
+
+impl std::fmt::Display for StalenessPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StalenessPolicy::Constant => write!(f, "constant"),
+            StalenessPolicy::Polynomial { exponent } => write!(f, "poly(a={exponent})"),
+            StalenessPolicy::Hinge { threshold, slope } => {
+                write!(f, "hinge(t={threshold}, b={slope})")
+            }
+        }
+    }
+}
+
+/// Tracks staleness statistics across an asynchronous run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StalenessTracker {
+    observations: Vec<u64>,
+}
+
+impl StalenessTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the staleness of one accepted update.
+    pub fn record(&mut self, tau: u64) {
+        self.observations.push(tau);
+    }
+
+    /// Number of updates observed.
+    pub fn count(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Number of stale updates (τ > 0).
+    pub fn stale_count(&self) -> usize {
+        self.observations.iter().filter(|t| **t > 0).count()
+    }
+
+    /// Mean staleness, 0 when nothing has been recorded.
+    pub fn mean(&self) -> f64 {
+        if self.observations.is_empty() {
+            return 0.0;
+        }
+        self.observations.iter().sum::<u64>() as f64 / self.observations.len() as f64
+    }
+
+    /// Maximum staleness observed, 0 when nothing has been recorded.
+    pub fn max(&self) -> u64 {
+        self.observations.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DenseModel;
+    use lifl_types::ClientId;
+
+    #[test]
+    fn fresh_updates_keep_full_weight() {
+        for policy in [
+            StalenessPolicy::Constant,
+            StalenessPolicy::Polynomial { exponent: 0.5 },
+            StalenessPolicy::Hinge { threshold: 3, slope: 0.4 },
+        ] {
+            assert_eq!(policy.weight(0), 1.0, "{policy}");
+        }
+    }
+
+    #[test]
+    fn polynomial_weight_decreases_with_staleness() {
+        let policy = StalenessPolicy::Polynomial { exponent: 0.5 };
+        let mut prev = policy.weight(0);
+        for tau in 1..10 {
+            let w = policy.weight(tau);
+            assert!(w < prev, "weight must strictly decrease: {w} vs {prev}");
+            assert!(w > 0.0);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn hinge_keeps_full_weight_up_to_threshold() {
+        let policy = StalenessPolicy::Hinge { threshold: 5, slope: 1.0 };
+        for tau in 0..=5 {
+            assert_eq!(policy.weight(tau), 1.0);
+        }
+        assert!(policy.weight(6) < 1.0);
+        assert!(policy.weight(20) < policy.weight(6));
+    }
+
+    #[test]
+    fn apply_scales_samples_but_never_to_zero() {
+        let update = ModelUpdate::from_client(ClientId::new(1), DenseModel::from_vec(vec![1.0]), 10);
+        let policy = StalenessPolicy::Polynomial { exponent: 2.0 };
+        let scaled = policy.apply(&update, 3);
+        assert!(scaled.samples < update.samples);
+        assert!(scaled.samples >= 1);
+        assert_eq!(scaled.model, update.model);
+        // Extreme staleness still leaves at least one sample of weight.
+        assert_eq!(policy.apply(&update, 10_000).samples, 1);
+    }
+
+    #[test]
+    fn validation_flags_bad_parameters() {
+        assert!(StalenessPolicy::Polynomial { exponent: 0.0 }.validate().is_err());
+        assert!(StalenessPolicy::Hinge { threshold: 2, slope: 0.0 }.validate().is_err());
+        assert!(StalenessPolicy::Constant.validate().is_ok());
+        assert!(StalenessPolicy::Polynomial { exponent: 1.0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn tracker_statistics() {
+        let mut tracker = StalenessTracker::new();
+        assert_eq!(tracker.mean(), 0.0);
+        assert_eq!(tracker.max(), 0);
+        for tau in [0, 0, 2, 4] {
+            tracker.record(tau);
+        }
+        assert_eq!(tracker.count(), 4);
+        assert_eq!(tracker.stale_count(), 2);
+        assert!((tracker.mean() - 1.5).abs() < 1e-12);
+        assert_eq!(tracker.max(), 4);
+    }
+
+    #[test]
+    fn display_labels_are_informative() {
+        assert_eq!(StalenessPolicy::Constant.to_string(), "constant");
+        assert!(StalenessPolicy::Polynomial { exponent: 0.5 }.to_string().contains("0.5"));
+        assert!(StalenessPolicy::Hinge { threshold: 3, slope: 0.4 }.to_string().contains("3"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn weights_are_in_unit_interval_and_monotone(
+            exponent in 0.1f64..4.0,
+            threshold in 0u64..10,
+            slope in 0.1f64..4.0,
+            tau in 0u64..1000,
+        ) {
+            for policy in [
+                StalenessPolicy::Constant,
+                StalenessPolicy::Polynomial { exponent },
+                StalenessPolicy::Hinge { threshold, slope },
+            ] {
+                let w = policy.weight(tau);
+                prop_assert!(w > 0.0 && w <= 1.0, "{policy}: weight {w} out of range");
+                let w_next = policy.weight(tau + 1);
+                prop_assert!(w_next <= w + 1e-12, "{policy}: weight must be non-increasing");
+            }
+        }
+    }
+}

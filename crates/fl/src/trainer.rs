@@ -1,0 +1,177 @@
+//! Local SGD training of the softmax-regression workload (§6.2: SGD,
+//! batch size 32, learning rate 0.01).
+
+use crate::dataset::Sample;
+use crate::model::DenseModel;
+use lifl_simcore::SimRng;
+
+/// Local-training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Mini-batch size (paper: 32).
+    pub batch_size: usize,
+    /// Learning rate (paper: 0.01).
+    pub learning_rate: f32,
+    /// Local epochs per round (paper: 1).
+    pub local_epochs: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            batch_size: 32,
+            learning_rate: 0.01,
+            local_epochs: 1,
+        }
+    }
+}
+
+/// A local trainer for the softmax-regression model.
+///
+/// The model layout is `[W (classes x features) | b (classes)]`, flattened
+/// row-major into a [`DenseModel`].
+#[derive(Debug, Clone)]
+pub struct LocalTrainer {
+    num_features: usize,
+    num_classes: usize,
+    config: TrainerConfig,
+}
+
+impl LocalTrainer {
+    /// Creates a trainer for the given problem shape.
+    pub fn new(num_features: usize, num_classes: usize, config: TrainerConfig) -> Self {
+        LocalTrainer {
+            num_features,
+            num_classes,
+            config,
+        }
+    }
+
+    /// Model dimension expected by this trainer.
+    pub fn model_dim(&self) -> usize {
+        self.num_classes * self.num_features + self.num_classes
+    }
+
+    /// Runs local SGD starting from `global`, returning the locally trained
+    /// model and the average training loss of the final epoch.
+    pub fn train(&self, global: &DenseModel, shard: &[Sample], rng: &mut SimRng) -> (DenseModel, f64) {
+        let mut model = global.clone();
+        if shard.is_empty() {
+            return (model, 0.0);
+        }
+        let mut order: Vec<usize> = (0..shard.len()).collect();
+        let mut last_loss = 0.0;
+        for _ in 0..self.config.local_epochs.max(1) {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0.0f64;
+            for batch in order.chunks(self.config.batch_size.max(1)) {
+                epoch_loss += self.sgd_step(&mut model, shard, batch);
+                batches += 1.0;
+            }
+            last_loss = epoch_loss / batches.max(1.0);
+        }
+        (model, last_loss)
+    }
+
+    /// Computes class probabilities for one sample under `model`.
+    pub fn predict(&self, model: &DenseModel, features: &[f32]) -> Vec<f32> {
+        let params = model.as_slice();
+        let f = self.num_features;
+        let mut logits = vec![0.0f32; self.num_classes];
+        for (c, logit) in logits.iter_mut().enumerate() {
+            let row = &params[c * f..(c + 1) * f];
+            let bias = params[self.num_classes * f + c];
+            *logit = bias + row.iter().zip(features).map(|(w, x)| w * x).sum::<f32>();
+        }
+        softmax(&logits)
+    }
+
+    fn sgd_step(&self, model: &mut DenseModel, shard: &[Sample], batch: &[usize]) -> f64 {
+        let f = self.num_features;
+        let k = self.num_classes;
+        let lr = self.config.learning_rate;
+        let scale = lr / batch.len() as f32;
+        let mut loss = 0.0f64;
+        // Accumulate gradient over the batch, then apply.
+        let mut grad = vec![0.0f32; model.dim()];
+        for &idx in batch {
+            let sample = &shard[idx];
+            let probs = self.predict(model, &sample.features);
+            loss -= (probs[sample.label].max(1e-7) as f64).ln();
+            for c in 0..k {
+                let err = probs[c] - if c == sample.label { 1.0 } else { 0.0 };
+                let row = &mut grad[c * f..(c + 1) * f];
+                for (g, x) in row.iter_mut().zip(&sample.features) {
+                    *g += err * x;
+                }
+                grad[k * f + c] += err;
+            }
+        }
+        let params = model.as_mut_slice();
+        for (p, g) in params.iter_mut().zip(&grad) {
+            *p -= scale * g;
+        }
+        loss / batch.len() as f64
+    }
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum::<f32>().max(1e-12);
+    exps.iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, FederatedDataset};
+    use lifl_types::ClientId;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let probs = softmax(&[1.0, 2.0, 3.0]);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(probs[2] > probs[0]);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = SimRng::from_seed(11);
+        let ds = FederatedDataset::generate(
+            DatasetConfig {
+                num_clients: 4,
+                num_features: 8,
+                num_classes: 4,
+                mean_samples_per_client: 80,
+                dirichlet_alpha: 5.0,
+                test_samples: 50,
+                noise_std: 0.2,
+            },
+            &mut rng,
+        );
+        let trainer = LocalTrainer::new(8, 4, TrainerConfig {
+            local_epochs: 5,
+            learning_rate: 0.1,
+            batch_size: 16,
+        });
+        let global = ds.initial_model();
+        let shard = ds.shard(ClientId::new(0));
+        let (_, loss_first) = trainer.train(&global, &shard[..shard.len().min(64)], &mut rng);
+        let (trained, _) = trainer.train(&global, shard, &mut rng);
+        let (_, loss_after) = trainer.train(&trained, shard, &mut rng);
+        assert!(loss_after < loss_first, "{loss_after} < {loss_first}");
+        assert_eq!(trainer.model_dim(), ds.model_dim());
+    }
+
+    #[test]
+    fn empty_shard_returns_global() {
+        let trainer = LocalTrainer::new(4, 3, TrainerConfig::default());
+        let global = DenseModel::zeros(trainer.model_dim());
+        let mut rng = SimRng::from_seed(1);
+        let (model, loss) = trainer.train(&global, &[], &mut rng);
+        assert_eq!(model, global);
+        assert_eq!(loss, 0.0);
+    }
+}

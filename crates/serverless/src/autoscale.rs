@@ -1,0 +1,73 @@
+//! Threshold-based (Knative KPA-style) autoscaling (§2.3): desired replicas =
+//! ceil(observed concurrency / per-instance concurrency target), with no
+//! knowledge of the aggregation hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple concurrency-threshold autoscaler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdAutoscaler {
+    /// Target concurrent updates per instance.
+    pub target_concurrency: u32,
+    /// Maximum instances the platform will create.
+    pub max_instances: u32,
+    /// Minimum instances kept running.
+    pub min_instances: u32,
+}
+
+impl Default for ThresholdAutoscaler {
+    fn default() -> Self {
+        ThresholdAutoscaler {
+            target_concurrency: 2,
+            max_instances: 64,
+            min_instances: 0,
+        }
+    }
+}
+
+impl ThresholdAutoscaler {
+    /// Desired instance count for the observed number of in-flight updates.
+    pub fn desired_instances(&self, in_flight: u32) -> u32 {
+        let desired = (in_flight as f64 / self.target_concurrency.max(1) as f64).ceil() as u32;
+        desired.clamp(self.min_instances, self.max_instances)
+    }
+
+    /// Scaling decision relative to the current instance count: positive means
+    /// scale up by that many instances, negative means scale down.
+    pub fn decision(&self, in_flight: u32, current: u32) -> i64 {
+        self.desired_instances(in_flight) as i64 - current as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desired_scales_with_load() {
+        let a = ThresholdAutoscaler::default();
+        assert_eq!(a.desired_instances(0), 0);
+        assert_eq!(a.desired_instances(1), 1);
+        assert_eq!(a.desired_instances(4), 2);
+        assert_eq!(a.desired_instances(9), 5);
+    }
+
+    #[test]
+    fn clamped_by_min_max() {
+        let a = ThresholdAutoscaler {
+            target_concurrency: 1,
+            max_instances: 3,
+            min_instances: 1,
+        };
+        assert_eq!(a.desired_instances(0), 1);
+        assert_eq!(a.desired_instances(100), 3);
+    }
+
+    #[test]
+    fn decision_sign() {
+        let a = ThresholdAutoscaler::default();
+        assert!(a.decision(10, 1) > 0);
+        assert!(a.decision(0, 3) < 0);
+        assert_eq!(a.decision(4, 2), 0);
+    }
+}

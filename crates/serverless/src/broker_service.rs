@@ -1,0 +1,153 @@
+//! The always-on message-broker service of serverless FL baselines (§2.3):
+//! stores routes between ephemeral functions and buffers model updates.
+
+use lifl_dataplane::broker::BrokerModel;
+use lifl_types::{AggregatorId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A buffered message: destination and payload size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrokeredMessage {
+    /// Destination aggregator/topic.
+    pub destination: AggregatorId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// When the message was published.
+    pub published_at: SimTime,
+}
+
+/// The message-broker service.
+#[derive(Debug, Clone)]
+pub struct BrokerService {
+    model: BrokerModel,
+    queues: HashMap<AggregatorId, Vec<BrokeredMessage>>,
+    routes: HashMap<AggregatorId, AggregatorId>,
+    peak_buffered_bytes: u64,
+    buffered_bytes: u64,
+    busy_cpu: SimDuration,
+}
+
+impl Default for BrokerService {
+    fn default() -> Self {
+        Self::new(BrokerModel::default())
+    }
+}
+
+impl BrokerService {
+    /// Creates a broker with the given cost model.
+    pub fn new(model: BrokerModel) -> Self {
+        BrokerService {
+            model,
+            queues: HashMap::new(),
+            routes: HashMap::new(),
+            peak_buffered_bytes: 0,
+            buffered_bytes: 0,
+            busy_cpu: SimDuration::ZERO,
+        }
+    }
+
+    /// Registers a route from a source to a destination aggregator (the
+    /// stateful role serverless functions cannot play themselves).
+    pub fn register_route(&mut self, source: AggregatorId, destination: AggregatorId) {
+        self.routes.insert(source, destination);
+    }
+
+    /// Looks up the destination for messages produced by `source`.
+    pub fn route(&self, source: AggregatorId) -> Option<AggregatorId> {
+        self.routes.get(&source).copied()
+    }
+
+    /// Publishes a message, buffering it until the consumer fetches it.
+    /// Returns the latency the broker hop adds.
+    pub fn publish(&mut self, msg: BrokeredMessage) -> SimDuration {
+        self.buffered_bytes += msg.bytes;
+        self.peak_buffered_bytes = self.peak_buffered_bytes.max(self.buffered_bytes);
+        let clock_ghz = 2.8;
+        self.busy_cpu += self.model.cpu(msg.bytes).to_duration(clock_ghz);
+        self.queues.entry(msg.destination).or_default().push(msg);
+        self.model.latency(msg.bytes)
+    }
+
+    /// Consumes all messages waiting for `destination`.
+    pub fn consume(&mut self, destination: AggregatorId) -> Vec<BrokeredMessage> {
+        let msgs = self.queues.remove(&destination).unwrap_or_default();
+        let freed: u64 = msgs.iter().map(|m| m.bytes).sum();
+        self.buffered_bytes = self.buffered_bytes.saturating_sub(freed);
+        msgs
+    }
+
+    /// Messages currently waiting for `destination`.
+    pub fn pending(&self, destination: AggregatorId) -> usize {
+        self.queues.get(&destination).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Peak bytes ever buffered (memory footprint of the broker).
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        self.peak_buffered_bytes
+    }
+
+    /// CPU time spent processing messages.
+    pub fn busy_cpu(&self) -> SimDuration {
+        self.busy_cpu
+    }
+
+    /// Idle CPU the broker burns over a wall-clock interval just by existing.
+    pub fn idle_cpu(&self, wall: SimDuration) -> SimDuration {
+        self.model.idle_cpu_time(wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_consume_flow() {
+        let mut broker = BrokerService::default();
+        let dst = AggregatorId::new(1);
+        broker.register_route(AggregatorId::new(9), dst);
+        assert_eq!(broker.route(AggregatorId::new(9)), Some(dst));
+        assert_eq!(broker.route(AggregatorId::new(8)), None);
+
+        let latency = broker.publish(BrokeredMessage {
+            destination: dst,
+            bytes: 1024 * 1024,
+            published_at: SimTime::ZERO,
+        });
+        assert!(latency.as_secs() > 0.0);
+        assert_eq!(broker.pending(dst), 1);
+        assert!(broker.peak_buffered_bytes() >= 1024 * 1024);
+
+        let msgs = broker.consume(dst);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(broker.pending(dst), 0);
+        assert!(broker.busy_cpu().as_secs() > 0.0);
+    }
+
+    #[test]
+    fn idle_cost_accrues_without_traffic() {
+        let broker = BrokerService::default();
+        assert!(broker.idle_cpu(SimDuration::from_secs(60.0)).as_secs() > 0.0);
+    }
+
+    #[test]
+    fn peak_tracks_concurrent_buffering() {
+        let mut broker = BrokerService::default();
+        let dst = AggregatorId::new(2);
+        for _ in 0..3 {
+            broker.publish(BrokeredMessage {
+                destination: dst,
+                bytes: 100,
+                published_at: SimTime::ZERO,
+            });
+        }
+        assert_eq!(broker.peak_buffered_bytes(), 300);
+        broker.consume(dst);
+        broker.publish(BrokeredMessage {
+            destination: dst,
+            bytes: 100,
+            published_at: SimTime::ZERO,
+        });
+        assert_eq!(broker.peak_buffered_bytes(), 300);
+    }
+}

@@ -1,0 +1,195 @@
+//! Warm-instance pools with cold-start accounting and keep-alive termination.
+
+use crate::function::{FunctionSpec, InstanceState};
+use lifl_dataplane::cost::StartupCost;
+use lifl_types::{InstanceId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// The result of acquiring an instance for a piece of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcquireOutcome {
+    /// The instance that will run the work.
+    pub instance: InstanceId,
+    /// When the instance is ready to start processing.
+    pub ready_at: SimTime,
+    /// Whether a cold start was required.
+    pub cold_start: bool,
+    /// CPU time consumed by the start-up (zero for warm acquisitions).
+    pub startup_cpu: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    state: InstanceState,
+    idle_since: SimTime,
+    busy_until: SimTime,
+}
+
+/// A per-node pool of function instances.
+#[derive(Debug, Clone)]
+pub struct InstancePool {
+    spec: FunctionSpec,
+    startup: StartupCost,
+    instances: HashMap<InstanceId, Instance>,
+    next_id: u64,
+    cold_starts: u64,
+    warm_acquisitions: u64,
+}
+
+impl InstancePool {
+    /// Creates an empty pool for `spec` with the given start-up cost model.
+    pub fn new(spec: FunctionSpec, startup: StartupCost) -> Self {
+        InstancePool {
+            spec,
+            startup,
+            instances: HashMap::new(),
+            next_id: 0,
+            cold_starts: 0,
+            warm_acquisitions: 0,
+        }
+    }
+
+    /// The function spec this pool serves.
+    pub fn spec(&self) -> &FunctionSpec {
+        &self.spec
+    }
+
+    /// Acquires an instance at `now`: reuses a warm idle instance when one
+    /// exists, otherwise performs a cold start.
+    pub fn acquire(&mut self, now: SimTime) -> AcquireOutcome {
+        self.expire_idle(now);
+        // Prefer a warm idle instance.
+        let warm = self
+            .instances
+            .iter()
+            .filter(|(_, inst)| inst.state == InstanceState::Idle)
+            .map(|(id, _)| *id)
+            .min();
+        if let Some(id) = warm {
+            let inst = self.instances.get_mut(&id).expect("instance exists");
+            inst.state = InstanceState::Busy;
+            self.warm_acquisitions += 1;
+            return AcquireOutcome {
+                instance: id,
+                ready_at: now + self.startup.warm_start,
+                cold_start: false,
+                startup_cpu: SimDuration::ZERO,
+            };
+        }
+        // Cold start a new instance.
+        let id = InstanceId::new(self.next_id);
+        self.next_id += 1;
+        self.instances.insert(
+            id,
+            Instance {
+                state: InstanceState::Busy,
+                idle_since: now,
+                busy_until: now,
+            },
+        );
+        self.cold_starts += 1;
+        AcquireOutcome {
+            instance: id,
+            ready_at: now + self.startup.cold_start,
+            cold_start: true,
+            startup_cpu: self.startup.cold_start_cpu,
+        }
+    }
+
+    /// Releases `instance` back to the warm pool at `now`.
+    pub fn release(&mut self, instance: InstanceId, now: SimTime) {
+        if let Some(inst) = self.instances.get_mut(&instance) {
+            inst.state = InstanceState::Idle;
+            inst.idle_since = now;
+            inst.busy_until = now;
+        }
+    }
+
+    /// Terminates instances idle longer than the keep-alive period.
+    pub fn expire_idle(&mut self, now: SimTime) {
+        let keep_alive = self.spec.keep_alive;
+        for inst in self.instances.values_mut() {
+            if inst.state == InstanceState::Idle
+                && now.duration_since(inst.idle_since) > keep_alive
+            {
+                inst.state = InstanceState::Terminated;
+            }
+        }
+        self.instances
+            .retain(|_, inst| inst.state != InstanceState::Terminated);
+    }
+
+    /// Number of live (warm or busy) instances.
+    pub fn live_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of cold starts performed.
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Number of warm acquisitions served.
+    pub fn warm_acquisitions(&self) -> u64 {
+        self.warm_acquisitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifl_dataplane::CostModel;
+    use lifl_types::SystemKind;
+
+    fn pool(system: SystemKind) -> InstancePool {
+        InstancePool::new(
+            FunctionSpec::aggregator(system),
+            CostModel::paper_calibrated().startup(system),
+        )
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let mut pool = pool(SystemKind::Serverless);
+        let t0 = SimTime::from_secs(0.0);
+        let first = pool.acquire(t0);
+        assert!(first.cold_start);
+        assert!(first.ready_at.as_secs() >= 3.0);
+        pool.release(first.instance, SimTime::from_secs(10.0));
+        let second = pool.acquire(SimTime::from_secs(12.0));
+        assert!(!second.cold_start);
+        assert_eq!(second.instance, first.instance);
+        assert_eq!(pool.cold_starts(), 1);
+        assert_eq!(pool.warm_acquisitions(), 1);
+    }
+
+    #[test]
+    fn keep_alive_expires_idle_instances() {
+        let mut pool = pool(SystemKind::Serverless);
+        let first = pool.acquire(SimTime::ZERO);
+        pool.release(first.instance, SimTime::from_secs(5.0));
+        // Past keep-alive (60s), the instance is gone and we cold start again.
+        let second = pool.acquire(SimTime::from_secs(120.0));
+        assert!(second.cold_start);
+        assert_eq!(pool.cold_starts(), 2);
+    }
+
+    #[test]
+    fn lifl_cold_start_cheaper_than_knative() {
+        let mut sl = pool(SystemKind::Serverless);
+        let mut lifl = pool(SystemKind::Lifl);
+        let a = sl.acquire(SimTime::ZERO);
+        let b = lifl.acquire(SimTime::ZERO);
+        assert!(b.ready_at < a.ready_at);
+        assert!(b.startup_cpu < a.startup_cpu);
+    }
+
+    #[test]
+    fn concurrent_acquisitions_create_instances() {
+        let mut pool = pool(SystemKind::Lifl);
+        let a = pool.acquire(SimTime::ZERO);
+        let b = pool.acquire(SimTime::ZERO);
+        assert_ne!(a.instance, b.instance);
+        assert_eq!(pool.live_instances(), 2);
+    }
+}

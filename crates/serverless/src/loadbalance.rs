@@ -1,0 +1,95 @@
+//! Load-balancing policies used by the baselines (§5.1, §6.1): Knative's
+//! "least connection" policy and a round-robin fallback.
+
+use lifl_types::NodeId;
+
+/// A policy mapping each incoming model update to a worker node.
+pub trait LoadBalancer {
+    /// Chooses a node for the next update given per-node queue lengths.
+    fn choose(&mut self, queue_lengths: &[(NodeId, f64)]) -> Option<NodeId>;
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Assigns each update to the node with the smallest current queue, spreading
+/// load across all nodes (the behaviour of SL-H in Fig. 8(d)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastConnection;
+
+impl LoadBalancer for LeastConnection {
+    fn choose(&mut self, queue_lengths: &[(NodeId, f64)]) -> Option<NodeId> {
+        queue_lengths
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(node, _)| *node)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-connection"
+    }
+}
+
+/// Cycles through nodes regardless of load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl LoadBalancer for RoundRobin {
+    fn choose(&mut self, queue_lengths: &[(NodeId, f64)]) -> Option<NodeId> {
+        if queue_lengths.is_empty() {
+            return None;
+        }
+        let node = queue_lengths[self.next % queue_lengths.len()].0;
+        self.next = (self.next + 1) % queue_lengths.len();
+        Some(node)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(loads: &[f64]) -> Vec<(NodeId, f64)> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (NodeId::new(i as u64), *l))
+            .collect()
+    }
+
+    #[test]
+    fn least_connection_picks_min() {
+        let mut lb = LeastConnection;
+        assert_eq!(lb.choose(&nodes(&[3.0, 1.0, 2.0])), Some(NodeId::new(1)));
+        assert_eq!(lb.choose(&[]), None);
+        assert_eq!(lb.name(), "least-connection");
+    }
+
+    #[test]
+    fn least_connection_spreads_load() {
+        // Feeding back the assignment, least-connection uses every node.
+        let mut lb = LeastConnection;
+        let mut loads = vec![0.0; 5];
+        for _ in 0..10 {
+            let n = lb.choose(&nodes(&loads)).unwrap();
+            loads[n.index() as usize] += 1.0;
+        }
+        assert!(loads.iter().all(|l| *l >= 2.0));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut lb = RoundRobin::default();
+        let picks: Vec<u64> = (0..6)
+            .map(|_| lb.choose(&nodes(&[0.0, 0.0, 0.0])).unwrap().index())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(lb.name(), "round-robin");
+        assert_eq!(RoundRobin::default().choose(&[]), None);
+    }
+}

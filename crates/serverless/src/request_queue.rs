@@ -1,0 +1,287 @@
+//! Per-revision request queuing (the queue-proxy behaviour of the serverless
+//! baseline, §2.3 "inefficient message queuing").
+//!
+//! In Knative, every pod carries a queue proxy that enforces a container
+//! concurrency limit; requests beyond that limit wait in the proxy's queue.
+//! For the FL aggregation workload the "requests" are model updates, so the
+//! queueing delay directly inflates the aggregation completion time. The
+//! model here is an M/D/c-style work-conserving queue evaluated in discrete
+//! events: updates arrive with a fixed service demand and are dispatched to
+//! the first of `concurrency` slots that frees up.
+
+use lifl_types::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a request queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestQueueConfig {
+    /// Concurrent requests processed without queuing (container concurrency).
+    pub concurrency: u32,
+    /// Maximum queued requests before new arrivals are rejected (0 = unbounded).
+    pub capacity: u32,
+}
+
+impl Default for RequestQueueConfig {
+    fn default() -> Self {
+        RequestQueueConfig {
+            concurrency: 2,
+            capacity: 0,
+        }
+    }
+}
+
+/// The fate of one arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Admission {
+    /// The request was admitted; fields describe its schedule.
+    Admitted {
+        /// When service began.
+        started_at: SimTime,
+        /// When service completed.
+        finished_at: SimTime,
+        /// Time spent waiting before service.
+        queued_for: SimDuration,
+    },
+    /// The request was rejected because the queue was full.
+    Rejected,
+}
+
+impl Admission {
+    /// Queuing delay, zero for rejected requests.
+    pub fn queued_for(&self) -> SimDuration {
+        match self {
+            Admission::Admitted { queued_for, .. } => *queued_for,
+            Admission::Rejected => SimDuration::ZERO,
+        }
+    }
+
+    /// Whether the request was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted { .. })
+    }
+}
+
+/// A work-conserving bounded request queue with `concurrency` service slots.
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    config: RequestQueueConfig,
+    /// Completion time of the work currently assigned to each slot.
+    slots: Vec<SimTime>,
+    /// Completion times of queued-but-unstarted work, kept sorted ascending.
+    pending_starts: Vec<SimTime>,
+    admitted: u64,
+    rejected: u64,
+    total_queue_delay: SimDuration,
+    max_queue_delay: SimDuration,
+}
+
+impl RequestQueue {
+    /// Creates an empty queue.
+    pub fn new(config: RequestQueueConfig) -> Self {
+        RequestQueue {
+            slots: vec![SimTime::ZERO; config.concurrency.max(1) as usize],
+            config,
+            pending_starts: Vec::new(),
+            admitted: 0,
+            rejected: 0,
+            total_queue_delay: SimDuration::ZERO,
+            max_queue_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RequestQueueConfig {
+        &self.config
+    }
+
+    /// Number of requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Number of requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Mean queuing delay over admitted requests.
+    pub fn mean_queue_delay(&self) -> SimDuration {
+        if self.admitted == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs(self.total_queue_delay.as_secs() / self.admitted as f64)
+        }
+    }
+
+    /// Largest queuing delay seen so far.
+    pub fn max_queue_delay(&self) -> SimDuration {
+        self.max_queue_delay
+    }
+
+    /// Number of requests that are queued (admitted but not yet started) at `now`.
+    pub fn backlog(&self, now: SimTime) -> usize {
+        self.pending_starts
+            .iter()
+            .filter(|start| start.as_secs() > now.as_secs())
+            .count()
+    }
+
+    /// Offers one request arriving at `now` with service demand `service`.
+    pub fn offer(&mut self, now: SimTime, service: SimDuration) -> Admission {
+        // Clean out starts that have already happened.
+        self.pending_starts.retain(|start| start.as_secs() > now.as_secs());
+        if self.config.capacity > 0 && self.pending_starts.len() >= self.config.capacity as usize {
+            self.rejected += 1;
+            return Admission::Rejected;
+        }
+        // The request runs on the slot that frees up first.
+        let (slot_idx, free_at) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.as_secs().partial_cmp(&b.1.as_secs()).unwrap())
+            .map(|(i, t)| (i, *t))
+            .expect("at least one slot");
+        let started_at = now.max(free_at);
+        let finished_at = started_at + service;
+        self.slots[slot_idx] = finished_at;
+        let queued_for = started_at.duration_since(now);
+        if queued_for.as_secs() > 0.0 {
+            self.pending_starts.push(started_at);
+        }
+        self.admitted += 1;
+        self.total_queue_delay += queued_for;
+        if queued_for.as_secs() > self.max_queue_delay.as_secs() {
+            self.max_queue_delay = queued_for;
+        }
+        Admission::Admitted {
+            started_at,
+            finished_at,
+            queued_for,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn dur(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn under_capacity_requests_start_immediately() {
+        let mut q = RequestQueue::new(RequestQueueConfig { concurrency: 2, capacity: 0 });
+        let a = q.offer(secs(0.0), dur(5.0));
+        let b = q.offer(secs(0.0), dur(5.0));
+        for adm in [a, b] {
+            match adm {
+                Admission::Admitted { queued_for, .. } => assert_eq!(queued_for, SimDuration::ZERO),
+                Admission::Rejected => panic!("should be admitted"),
+            }
+        }
+        assert_eq!(q.admitted(), 2);
+        assert_eq!(q.mean_queue_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn excess_requests_queue_behind_busy_slots() {
+        let mut q = RequestQueue::new(RequestQueueConfig { concurrency: 1, capacity: 0 });
+        q.offer(secs(0.0), dur(10.0));
+        let second = q.offer(secs(1.0), dur(10.0));
+        match second {
+            Admission::Admitted { started_at, finished_at, queued_for } => {
+                assert_eq!(started_at.as_secs(), 10.0);
+                assert_eq!(finished_at.as_secs(), 20.0);
+                assert_eq!(queued_for.as_secs(), 9.0);
+            }
+            Admission::Rejected => panic!("should be admitted"),
+        }
+        assert_eq!(q.max_queue_delay().as_secs(), 9.0);
+        assert!(q.mean_queue_delay().as_secs() > 0.0);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        let mut q = RequestQueue::new(RequestQueueConfig { concurrency: 1, capacity: 2 });
+        q.offer(secs(0.0), dur(100.0));
+        let a = q.offer(secs(0.0), dur(100.0));
+        let b = q.offer(secs(0.0), dur(100.0));
+        let c = q.offer(secs(0.0), dur(100.0));
+        assert!(a.is_admitted());
+        assert!(b.is_admitted());
+        assert_eq!(c, Admission::Rejected);
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(c.queued_for(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn backlog_drains_over_time() {
+        let mut q = RequestQueue::new(RequestQueueConfig { concurrency: 1, capacity: 0 });
+        for _ in 0..4 {
+            q.offer(secs(0.0), dur(10.0));
+        }
+        assert_eq!(q.backlog(secs(0.0)), 3);
+        assert_eq!(q.backlog(secs(15.0)), 2);
+        assert_eq!(q.backlog(secs(35.0)), 0);
+    }
+
+    #[test]
+    fn more_concurrency_means_less_queueing() {
+        let run = |concurrency| {
+            let mut q = RequestQueue::new(RequestQueueConfig { concurrency, capacity: 0 });
+            for i in 0..20 {
+                q.offer(secs(i as f64 * 0.1), dur(5.0));
+            }
+            q.mean_queue_delay().as_secs()
+        };
+        let narrow = run(1);
+        let wide = run(8);
+        assert!(wide < narrow, "concurrency 8 ({wide}) should queue less than 1 ({narrow})");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn admitted_requests_never_overlap_beyond_concurrency(
+            concurrency in 1u32..6,
+            arrivals in proptest::collection::vec((0.0f64..100.0, 0.5f64..10.0), 1..60),
+        ) {
+            let mut sorted = arrivals.clone();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut queue = RequestQueue::new(RequestQueueConfig { concurrency, capacity: 0 });
+            let mut intervals: Vec<(f64, f64)> = Vec::new();
+            for (arrival, service) in sorted {
+                match queue.offer(SimTime::from_secs(arrival), SimDuration::from_secs(service)) {
+                    Admission::Admitted { started_at, finished_at, queued_for } => {
+                        // Service starts no earlier than arrival and runs for exactly `service`.
+                        prop_assert!(started_at.as_secs() >= arrival - 1e-9);
+                        prop_assert!((finished_at.as_secs() - started_at.as_secs() - service).abs() < 1e-9);
+                        prop_assert!((started_at.as_secs() - arrival - queued_for.as_secs()).abs() < 1e-9);
+                        intervals.push((started_at.as_secs(), finished_at.as_secs()));
+                    }
+                    Admission::Rejected => prop_assert!(false, "unbounded queue never rejects"),
+                }
+            }
+            // At no point do more than `concurrency` admitted requests overlap.
+            for &(start, _) in &intervals {
+                let active = intervals
+                    .iter()
+                    .filter(|(s, f)| *s <= start + 1e-9 && *f > start + 1e-9)
+                    .count();
+                prop_assert!(active <= concurrency as usize,
+                    "{active} overlapping requests exceed concurrency {concurrency}");
+            }
+        }
+    }
+}

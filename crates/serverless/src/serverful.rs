@@ -1,0 +1,69 @@
+//! The serverful deployment model (Fig. 2(a), §6.2): a fixed pool of
+//! always-on aggregators with maximal resource allocation, kept warm for the
+//! whole experiment.
+
+use lifl_types::{NodeId, SimDuration};
+
+/// A fixed, always-on aggregation deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerfulDeployment {
+    /// Nodes hosting leaf/middle aggregators.
+    pub aggregation_nodes: Vec<NodeId>,
+    /// The node dedicated to the top aggregator.
+    pub top_node: NodeId,
+    /// Always-on aggregator processes per aggregation node.
+    pub aggregators_per_node: u32,
+    /// CPU cores pinned to each aggregator.
+    pub cores_per_aggregator: f64,
+}
+
+impl ServerfulDeployment {
+    /// The paper's §6.2 deployment: 4 leaf/middle nodes, 1 top node,
+    /// aggregators always on with maximal allocation.
+    pub fn paper_default() -> Self {
+        ServerfulDeployment {
+            aggregation_nodes: (0..4).map(NodeId::new).collect(),
+            top_node: NodeId::new(4),
+            aggregators_per_node: 4,
+            cores_per_aggregator: 2.0,
+        }
+    }
+
+    /// Total always-on aggregator processes (including the top aggregator).
+    pub fn total_aggregators(&self) -> u32 {
+        self.aggregation_nodes.len() as u32 * self.aggregators_per_node + 1
+    }
+
+    /// Always-on CPU consumed over a wall-clock interval by the whole deployment.
+    pub fn always_on_cpu(&self, wall: SimDuration) -> SimDuration {
+        wall.scaled(self.total_aggregators() as f64 * self.cores_per_aggregator)
+    }
+
+    /// All nodes used by the deployment.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut nodes = self.aggregation_nodes.clone();
+        nodes.push(self.top_node);
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_deployment_shape() {
+        let d = ServerfulDeployment::paper_default();
+        assert_eq!(d.nodes().len(), 5);
+        assert_eq!(d.total_aggregators(), 17);
+        assert!(d.always_on_cpu(SimDuration::from_secs(10.0)).as_secs() > 100.0);
+    }
+
+    #[test]
+    fn always_on_cost_scales_with_time() {
+        let d = ServerfulDeployment::paper_default();
+        let short = d.always_on_cpu(SimDuration::from_secs(1.0));
+        let long = d.always_on_cpu(SimDuration::from_secs(100.0));
+        assert!(long.as_secs() > short.as_secs() * 50.0);
+    }
+}

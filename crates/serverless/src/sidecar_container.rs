@@ -1,0 +1,92 @@
+//! Container-based sidecars: the per-function, always-on proxies that
+//! serverless platforms attach to every function instance (§2.3).
+
+use lifl_dataplane::sidecar::ContainerSidecarModel;
+use lifl_types::{InstanceId, SimDuration};
+use std::collections::HashSet;
+
+/// Tracks the sidecars attached to a set of function instances and their
+/// resource consumption.
+#[derive(Debug, Clone, Default)]
+pub struct SidecarFleet {
+    model: ContainerSidecarModel,
+    attached: HashSet<InstanceId>,
+    messages_proxied: u64,
+    proxy_cpu: SimDuration,
+}
+
+impl SidecarFleet {
+    /// Creates an empty fleet with the given per-sidecar cost model.
+    pub fn new(model: ContainerSidecarModel) -> Self {
+        SidecarFleet {
+            model,
+            ..SidecarFleet::default()
+        }
+    }
+
+    /// Attaches a sidecar to `instance` (done automatically at pod creation).
+    pub fn attach(&mut self, instance: InstanceId) {
+        self.attached.insert(instance);
+    }
+
+    /// Detaches the sidecar when the instance terminates.
+    pub fn detach(&mut self, instance: InstanceId) {
+        self.attached.remove(&instance);
+    }
+
+    /// Number of sidecars currently running.
+    pub fn count(&self) -> usize {
+        self.attached.len()
+    }
+
+    /// Records one message of `bytes` proxied through an instance's sidecar,
+    /// returning the latency it added.
+    pub fn proxy(&mut self, bytes: u64) -> SimDuration {
+        self.messages_proxied += 1;
+        self.proxy_cpu += self.model.cpu(bytes).to_duration(2.8);
+        self.model.latency(bytes)
+    }
+
+    /// Total messages proxied.
+    pub fn messages_proxied(&self) -> u64 {
+        self.messages_proxied
+    }
+
+    /// CPU consumed by message proxying.
+    pub fn proxy_cpu(&self) -> SimDuration {
+        self.proxy_cpu
+    }
+
+    /// Always-on CPU consumed by the fleet over a wall-clock interval.
+    pub fn idle_cpu(&self, wall: SimDuration) -> SimDuration {
+        self.model.idle_cpu_time(wall).scaled(self.count() as f64)
+    }
+
+    /// Resident memory of the fleet, bytes.
+    pub fn resident_memory(&self) -> u64 {
+        self.model.resident_memory_bytes * self.count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_tracks_attachment_and_cost() {
+        let mut fleet = SidecarFleet::new(ContainerSidecarModel::default());
+        fleet.attach(InstanceId::new(1));
+        fleet.attach(InstanceId::new(2));
+        assert_eq!(fleet.count(), 2);
+        assert!(fleet.resident_memory() > 0);
+        let latency = fleet.proxy(44 * 1024 * 1024);
+        assert!(latency.as_secs() > 0.0);
+        assert_eq!(fleet.messages_proxied(), 1);
+        assert!(fleet.proxy_cpu().as_secs() > 0.0);
+        let idle_two = fleet.idle_cpu(SimDuration::from_secs(100.0));
+        fleet.detach(InstanceId::new(2));
+        let idle_one = fleet.idle_cpu(SimDuration::from_secs(100.0));
+        assert!(idle_two > idle_one);
+        assert_eq!(fleet.count(), 1);
+    }
+}

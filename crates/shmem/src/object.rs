@@ -1,0 +1,148 @@
+//! Immutable shared objects.
+
+use bytes::Bytes;
+use lifl_types::ObjectKey;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer living in the shared-memory
+/// object store.
+///
+/// Cloning a [`SharedObject`] is cheap (an atomic reference-count bump); the
+/// payload is never copied, which is exactly the zero-copy hand-off the
+/// paper's data plane relies on.
+#[derive(Clone)]
+pub struct SharedObject {
+    key: ObjectKey,
+    data: Bytes,
+}
+
+impl SharedObject {
+    /// Wraps `data` under `key`.
+    pub fn new(key: ObjectKey, data: impl Into<Bytes>) -> Self {
+        SharedObject {
+            key,
+            data: data.into(),
+        }
+    }
+
+    /// The key addressing this object.
+    pub fn key(&self) -> ObjectKey {
+        self.key
+    }
+
+    /// The payload as a byte slice (no copy).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A cheap handle to the underlying bytes.
+    pub fn bytes(&self) -> Bytes {
+        self.data.clone()
+    }
+
+    /// Interprets the payload as little-endian `f32` model parameters.
+    ///
+    /// Trailing bytes that do not form a whole `f32` are ignored.
+    pub fn as_f32_vec(&self) -> Vec<f32> {
+        self.data
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Encodes `values` as a little-endian `f32` payload.
+    pub fn encode_f32(values: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+impl fmt::Debug for SharedObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedObject")
+            .field("key", &self.key)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+/// A cheap, cloneable handle used when only the identity and size of an object
+/// are required (for example in the simulator, where payloads are not
+/// materialised).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectHandle {
+    /// The key of the object.
+    pub key: ObjectKey,
+    /// Size of the payload in bytes.
+    pub size_bytes: u64,
+}
+
+impl From<&SharedObject> for ObjectHandle {
+    fn from(obj: &SharedObject) -> Self {
+        ObjectHandle {
+            key: obj.key(),
+            size_bytes: obj.len() as u64,
+        }
+    }
+}
+
+/// Counts the number of strong references to the payload of `obj`, exposed for
+/// tests asserting zero-copy behaviour.
+pub fn payload_is_shared(a: &SharedObject, b: &SharedObject) -> bool {
+    // Bytes does not expose its refcount; compare data pointers instead.
+    a.data.as_ptr() == b.data.as_ptr() && a.data.len() == b.data.len()
+}
+
+/// Helper alias used by the store.
+pub(crate) type ArcObject = Arc<SharedObject>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let values = vec![1.0f32, -2.5, 3.75];
+        let encoded = SharedObject::encode_f32(&values);
+        let obj = SharedObject::new(ObjectKey::from_words(1, 1), encoded);
+        assert_eq!(obj.as_f32_vec(), values);
+        assert_eq!(obj.len(), 12);
+        assert!(!obj.is_empty());
+    }
+
+    #[test]
+    fn clones_share_payload() {
+        let obj = SharedObject::new(ObjectKey::from_words(0, 1), vec![9u8; 1024]);
+        let copy = obj.clone();
+        assert!(payload_is_shared(&obj, &copy));
+        assert_eq!(copy.key(), obj.key());
+    }
+
+    #[test]
+    fn handle_captures_size() {
+        let obj = SharedObject::new(ObjectKey::from_words(0, 2), vec![0u8; 77]);
+        let handle = ObjectHandle::from(&obj);
+        assert_eq!(handle.size_bytes, 77);
+        assert_eq!(handle.key, obj.key());
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let obj = SharedObject::new(ObjectKey::from_words(0, 3), vec![0u8; 7]);
+        assert_eq!(obj.as_f32_vec().len(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! A small generic discrete-event engine.
+//!
+//! The LIFL platform and the baseline drivers each run their own specialised
+//! event loops; this engine is the generic form used when an experiment needs
+//! to interleave independently scheduled activities (client arrivals,
+//! re-planning ticks, metric-scrape periods) without writing a bespoke loop:
+//! events are closures scheduled at absolute simulated times, handlers may
+//! schedule further events, and the engine runs until the queue drains or a
+//! time horizon is reached.
+
+use crate::event::EventQueue;
+use lifl_types::{SimDuration, SimTime};
+
+/// A scheduled activity: receives the scheduler so it can enqueue more work.
+pub type EventHandler<S> = Box<dyn FnOnce(&mut Scheduler<S>, &mut S)>;
+
+/// The scheduling face of the engine, passed to every handler.
+pub struct Scheduler<S> {
+    queue: EventQueue<EventHandler<S>>,
+    now: SimTime,
+    executed: u64,
+}
+
+impl<S> Scheduler<S> {
+    fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            executed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules `handler` at the absolute time `at`. Events scheduled in the
+    /// past run at the current time instead (time never goes backwards).
+    pub fn schedule_at(&mut self, at: SimTime, handler: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static) {
+        let at = at.max(self.now);
+        self.queue.push(at, Box::new(handler));
+    }
+
+    /// Schedules `handler` after a delay from the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.schedule_at(at, handler);
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// The discrete-event engine: owns the shared state `S` and drives handlers.
+pub struct Engine<S> {
+    scheduler: Scheduler<S>,
+    state: S,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine over the shared state.
+    pub fn new(state: S) -> Self {
+        Engine {
+            scheduler: Scheduler::new(),
+            state,
+        }
+    }
+
+    /// Access to the shared state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the shared state (between runs).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now()
+    }
+
+    /// Schedules an initial event (same contract as [`Scheduler::schedule_at`]).
+    pub fn schedule_at(&mut self, at: SimTime, handler: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static) {
+        self.scheduler.schedule_at(at, handler);
+    }
+
+    /// Runs events in time order until the queue is empty or `horizon` is
+    /// passed (events scheduled beyond the horizon stay in the queue).
+    /// Returns the number of events executed by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let before = self.scheduler.executed;
+        loop {
+            let Some(at) = self.scheduler.queue.peek_time() else {
+                break;
+            };
+            if at.as_secs() > horizon.as_secs() {
+                break;
+            }
+            let (at, handler) = self.scheduler.queue.pop().expect("peeked event exists");
+            self.scheduler.now = at;
+            self.scheduler.executed += 1;
+            handler(&mut self.scheduler, &mut self.state);
+        }
+        self.scheduler.executed - before
+    }
+
+    /// Runs until the event queue drains completely. Returns the number of
+    /// events executed by this call.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::from_secs(f64::MAX))
+    }
+
+    /// Consumes the engine and returns the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order_and_update_state() {
+        let mut engine: Engine<Vec<(f64, &'static str)>> = Engine::new(Vec::new());
+        engine.schedule_at(SimTime::from_secs(5.0), |_, log| log.push((5.0, "late")));
+        engine.schedule_at(SimTime::from_secs(1.0), |_, log| log.push((1.0, "early")));
+        engine.schedule_at(SimTime::from_secs(3.0), |_, log| log.push((3.0, "middle")));
+        let executed = engine.run_to_completion();
+        assert_eq!(executed, 3);
+        let labels: Vec<&str> = engine.state().iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, vec!["early", "middle", "late"]);
+        assert_eq!(engine.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_up_events() {
+        // A periodic re-planning tick that reschedules itself 4 times.
+        struct Counter {
+            ticks: u32,
+        }
+        fn tick(scheduler: &mut Scheduler<Counter>, state: &mut Counter) {
+            state.ticks += 1;
+            if state.ticks < 5 {
+                scheduler.schedule_in(SimDuration::from_secs(120.0), tick);
+            }
+        }
+        let mut engine = Engine::new(Counter { ticks: 0 });
+        engine.schedule_at(SimTime::ZERO, tick);
+        engine.run_to_completion();
+        assert_eq!(engine.state().ticks, 5);
+        assert_eq!(engine.now(), SimTime::from_secs(480.0));
+    }
+
+    #[test]
+    fn run_until_respects_the_horizon() {
+        let mut engine: Engine<u32> = Engine::new(0);
+        for i in 1..=10u32 {
+            engine.schedule_at(SimTime::from_secs(i as f64 * 10.0), move |_, count| *count += 1);
+        }
+        let first = engine.run_until(SimTime::from_secs(35.0));
+        assert_eq!(first, 3);
+        assert_eq!(*engine.state(), 3);
+        // The remaining events are still pending and run on the next call.
+        let rest = engine.run_to_completion();
+        assert_eq!(rest, 7);
+        assert_eq!(engine.into_state(), 10);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut engine: Engine<Vec<f64>> = Engine::new(Vec::new());
+        engine.schedule_at(SimTime::from_secs(10.0), |scheduler, log| {
+            log.push(scheduler.now().as_secs());
+            // Scheduling "in the past" runs at the current time, not before it.
+            scheduler.schedule_at(SimTime::from_secs(2.0), |scheduler, log| {
+                log.push(scheduler.now().as_secs());
+            });
+        });
+        engine.run_to_completion();
+        assert_eq!(engine.state(), &vec![10.0, 10.0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # lifl-simcore
+//!
+//! A small discrete-event simulation engine used by the LIFL reproduction to
+//! model cluster-scale experiments: an event queue with a deterministic
+//! tie-breaking order, CPU-core and shared-channel resources, deterministic
+//! random-number helpers and statistics collectors (time series, Gantt
+//! timelines, histograms).
+//!
+//! The engine is intentionally generic: the LIFL platform, the baseline
+//! systems and the experiment harness all drive their own event loops on top
+//! of these primitives.
+//!
+//! ```
+//! use lifl_simcore::event::EventQueue;
+//! use lifl_types::SimTime;
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.push(SimTime::from_secs(2.0), "late");
+//! queue.push(SimTime::from_secs(1.0), "early");
+//! let (t, e) = queue.pop().unwrap();
+//! assert_eq!(e, "early");
+//! assert_eq!(t.as_secs(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+
+pub use engine::{Engine, Scheduler};
+pub use event::EventQueue;
+pub use resource::{CpuPool, SharedChannel};
+pub use rng::SimRng;
+pub use stats::{Gantt, GanttSegment, Histogram, Summary, TimeSeries};

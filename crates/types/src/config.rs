@@ -1,0 +1,225 @@
+//! Cluster and platform configuration.
+//!
+//! The defaults reproduce the paper's testbed (§6.1): 64-core nodes, 192 GB
+//! memory, 10 GbE NICs, a maximum service capacity of 20 model updates per
+//! node, EWMA α = 0.7, leaf fan-in I = 2 and a 2-minute hierarchy re-plan
+//! period.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// When aggregation is triggered relative to update arrival (Fig. 1, §2.1, §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AggregationTiming {
+    /// Aggregate each update as soon as it arrives (LIFL's default, §5.4).
+    #[default]
+    Eager,
+    /// Queue updates and aggregate them in a batch once the goal is reached.
+    Lazy,
+}
+
+/// Bin-packing / load-balancing policy used to map model updates to nodes (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PlacementPolicy {
+    /// Locality-aware BestFit bin-packing (LIFL's choice).
+    #[default]
+    BestFit,
+    /// FirstFit: low search cost, not locality aware.
+    FirstFit,
+    /// WorstFit: spreads load, equivalent to Knative's "least connection" policy.
+    WorstFit,
+}
+
+/// Static description of one worker node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Number of physical CPU cores.
+    pub cores: u32,
+    /// CPU clock in GHz (used to convert cycles to seconds).
+    pub clock_ghz: f64,
+    /// Physical memory in bytes.
+    pub memory_bytes: u64,
+    /// NIC line rate in gigabits per second.
+    pub nic_gbps: f64,
+    /// Maximum service capacity MC_i: the maximum number of model updates the
+    /// node can aggregate simultaneously (computed offline, Appendix E).
+    pub max_service_capacity: u32,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            cores: 64,
+            clock_ghz: 2.8,
+            memory_bytes: 192 * 1024 * 1024 * 1024,
+            nic_gbps: 10.0,
+            max_service_capacity: 20,
+        }
+    }
+}
+
+/// Static description of the aggregation cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes available to run aggregators.
+    pub aggregation_nodes: u32,
+    /// Per-node configuration (homogeneous cluster, as in the paper's testbed).
+    pub node: NodeConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            aggregation_nodes: 5,
+            node: NodeConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total service capacity of the cluster (sum of MC_i).
+    pub fn total_capacity(&self) -> u64 {
+        self.aggregation_nodes as u64 * self.node.max_service_capacity as u64
+    }
+}
+
+/// LIFL control-plane configuration (§5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiflConfig {
+    /// EWMA smoothing coefficient α for the pending-queue estimate (§5.2).
+    pub ewma_alpha: f64,
+    /// Number of client model updates assigned to one leaf aggregator (I, §5.2).
+    pub leaf_fan_in: u32,
+    /// Period between hierarchy re-planning passes (§6.1: 2 minutes).
+    pub replan_period: SimDuration,
+    /// Placement / load-balancing policy (§5.1).
+    pub placement: PlacementPolicy,
+    /// Aggregation timing (§5.4).
+    pub timing: AggregationTiming,
+    /// Whether warm aggregator runtimes are opportunistically reused across levels (§5.3).
+    pub reuse_runtimes: bool,
+    /// Whether the per-node hierarchy is planned from the estimated queue length (§5.2).
+    pub hierarchy_planning: bool,
+}
+
+impl Default for LiflConfig {
+    fn default() -> Self {
+        LiflConfig {
+            ewma_alpha: 0.7,
+            leaf_fan_in: 2,
+            replan_period: SimDuration::from_secs(120.0),
+            placement: PlacementPolicy::BestFit,
+            timing: AggregationTiming::Eager,
+            reuse_runtimes: true,
+            hierarchy_planning: true,
+        }
+    }
+}
+
+impl LiflConfig {
+    /// The ablation steps of Fig. 8: the baseline SL-H plus the cumulative
+    /// addition of ① locality-aware placement, ② hierarchy planning,
+    /// ③ aggregator reuse and ④ eager aggregation.
+    pub fn ablation_steps() -> Vec<(String, LiflConfig)> {
+        let base = LiflConfig {
+            placement: PlacementPolicy::WorstFit,
+            hierarchy_planning: false,
+            reuse_runtimes: false,
+            timing: AggregationTiming::Lazy,
+            ..LiflConfig::default()
+        };
+        let p1 = LiflConfig {
+            placement: PlacementPolicy::BestFit,
+            ..base.clone()
+        };
+        let p12 = LiflConfig {
+            hierarchy_planning: true,
+            ..p1.clone()
+        };
+        let p123 = LiflConfig {
+            reuse_runtimes: true,
+            ..p12.clone()
+        };
+        let p1234 = LiflConfig {
+            timing: AggregationTiming::Eager,
+            ..p123.clone()
+        };
+        vec![
+            ("SL-H".to_string(), base),
+            ("+1".to_string(), p1),
+            ("+1+2".to_string(), p12),
+            ("+1+2+3".to_string(), p123),
+            ("+1+2+3+4".to_string(), p1234),
+        ]
+    }
+
+    /// Validates configuration invariants.
+    ///
+    /// # Errors
+    /// Returns an error string if α is outside `[0, 1]` or the leaf fan-in is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.ewma_alpha) {
+            return Err(format!("ewma_alpha must be in [0,1], got {}", self.ewma_alpha));
+        }
+        if self.leaf_fan_in == 0 {
+            return Err("leaf_fan_in must be at least 1".to_string());
+        }
+        if self.replan_period.as_secs() <= 0.0 {
+            return Err("replan_period must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = LiflConfig::default();
+        assert_eq!(cfg.ewma_alpha, 0.7);
+        assert_eq!(cfg.leaf_fan_in, 2);
+        assert_eq!(cfg.replan_period.as_secs(), 120.0);
+        assert_eq!(cfg.placement, PlacementPolicy::BestFit);
+        assert_eq!(cfg.timing, AggregationTiming::Eager);
+        let node = NodeConfig::default();
+        assert_eq!(node.cores, 64);
+        assert_eq!(node.max_service_capacity, 20);
+        assert_eq!(ClusterConfig::default().total_capacity(), 100);
+    }
+
+    #[test]
+    fn ablation_steps_are_cumulative() {
+        let steps = LiflConfig::ablation_steps();
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0].1.placement, PlacementPolicy::WorstFit);
+        assert_eq!(steps[1].1.placement, PlacementPolicy::BestFit);
+        assert!(!steps[1].1.hierarchy_planning);
+        assert!(steps[2].1.hierarchy_planning);
+        assert!(!steps[2].1.reuse_runtimes);
+        assert!(steps[3].1.reuse_runtimes);
+        assert_eq!(steps[3].1.timing, AggregationTiming::Lazy);
+        assert_eq!(steps[4].1.timing, AggregationTiming::Eager);
+    }
+
+    #[test]
+    fn validation_catches_bad_alpha() {
+        let mut cfg = LiflConfig::default();
+        cfg.ewma_alpha = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.ewma_alpha = 0.5;
+        cfg.leaf_fan_in = 0;
+        assert!(cfg.validate().is_err());
+        cfg.leaf_fan_in = 2;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = LiflConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: LiflConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

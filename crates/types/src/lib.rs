@@ -1,0 +1,40 @@
+//! # lifl-types
+//!
+//! Common vocabulary shared by every crate in the LIFL reproduction: strongly
+//! typed identifiers, model specifications, aggregator roles, platform
+//! configuration, simulated time, resource-usage accounting and the common
+//! error type.
+//!
+//! The types in this crate are deliberately small, `Copy` where possible, and
+//! free of behaviour beyond what is needed to keep invariants (for example
+//! [`ObjectKey`](ids::ObjectKey) is always exactly 16 bytes, matching the key
+//! format of the paper's shared-memory object store, Appendix A).
+//!
+//! ```
+//! use lifl_types::model::ModelKind;
+//! use lifl_types::ids::NodeId;
+//!
+//! let node = NodeId::new(3);
+//! let spec = ModelKind::ResNet152.spec();
+//! assert_eq!(node.index(), 3);
+//! assert!(spec.update_bytes > 200 * 1024 * 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod model;
+pub mod role;
+pub mod time;
+
+pub use config::{AggregationTiming, ClusterConfig, LiflConfig, NodeConfig, PlacementPolicy};
+pub use error::{LiflError, Result};
+pub use ids::{AggregatorId, ClientId, InstanceId, NodeId, ObjectKey, RoundId};
+pub use metrics::{CpuCycles, ResourceUsage, RoundMetrics};
+pub use model::{ModelKind, ModelSpec};
+pub use role::{AggregatorRole, SystemKind};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,71 @@
+//! Hierarchical aggregation deep dive: shows the TAG, direct routing and the
+//! step-based aggregator runtime working together on one node, then compares
+//! the three data planes of Fig. 7 for a single transfer.
+//!
+//! Run with: `cargo run -p lifl-examples --bin hierarchical_aggregation`
+
+use lifl_core::tag::{Role, TopologyAbstractionGraph};
+use lifl_core::RoutingTable;
+use lifl_dataplane::{CostModel, DataPlaneKind};
+use lifl_types::{AggregatorId, AggregatorRole, ModelKind, NodeId};
+
+fn main() {
+    // Build the TAG for 4 leaves + 1 middle on node 0 and the top on node 1.
+    let mut tag = TopologyAbstractionGraph::new();
+    for i in 0..4 {
+        tag.add_role(Role {
+            aggregator: AggregatorId::new(i),
+            role: AggregatorRole::Leaf,
+            node: NodeId::new(0),
+            group: "node-0".to_string(),
+        });
+    }
+    tag.add_role(Role {
+        aggregator: AggregatorId::new(10),
+        role: AggregatorRole::Middle,
+        node: NodeId::new(0),
+        group: "node-0".to_string(),
+    });
+    tag.add_role(Role {
+        aggregator: AggregatorId::new(100),
+        role: AggregatorRole::Top,
+        node: NodeId::new(1),
+        group: "node-1".to_string(),
+    });
+    for i in 0..4 {
+        tag.connect(AggregatorId::new(i), AggregatorId::new(10));
+    }
+    tag.connect(AggregatorId::new(10), AggregatorId::new(100));
+    println!(
+        "TAG: {} roles, {} channels, {} inter-node",
+        tag.roles().count(),
+        tag.channels().len(),
+        tag.inter_node_channels()
+    );
+
+    let mut routes = RoutingTable::new(NodeId::new(0));
+    routes.apply_tag(&tag);
+    println!(
+        "node-0 routing: {} sockmap entries, {} inter-node routes",
+        routes.local_routes(),
+        routes.inter_node_routes()
+    );
+
+    let cost = CostModel::paper_calibrated();
+    for model in ModelKind::paper_models() {
+        let bytes = model.update_bytes();
+        println!("--- {model} ({:.0} MiB) ---", model.update_mib());
+        for (label, plane) in [
+            ("LIFL shm", DataPlaneKind::LiflSharedMemory),
+            ("SF gRPC", DataPlaneKind::ServerfulGrpc),
+            ("SL broker+sidecar", DataPlaneKind::ServerlessBrokerSidecar),
+        ] {
+            let c = cost.intra_node_transfer(plane, bytes);
+            println!(
+                "  {label:<18} latency {:.2}s  cpu {:.2} Gcycles",
+                c.latency.as_secs(),
+                c.cpu.as_giga()
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: aggregate a handful of client updates through LIFL's
+//! shared-memory hierarchy and simulate one cluster-scale round.
+//!
+//! Run with: `cargo run -p lifl-examples --bin quickstart`
+
+use lifl_core::platform::{LiflPlatform, RoundSpec};
+use lifl_core::runtime::{run_hierarchical, HierarchicalRunConfig};
+use lifl_examples::demo_updates;
+use lifl_types::{ClusterConfig, LiflConfig, ModelKind, SimTime};
+
+fn main() {
+    // 1. Real in-process aggregation over shared memory (Appendix G runtime).
+    let updates = demo_updates(8, 64);
+    let result = run_hierarchical(
+        HierarchicalRunConfig { leaves: 4, updates_per_leaf: 2 },
+        &updates,
+    )
+    .expect("hierarchical aggregation");
+    println!(
+        "aggregated {} client updates ({} samples), ||w|| = {:.4}",
+        updates.len(),
+        result.samples,
+        result.model.l2_norm()
+    );
+
+    // 2. Cluster-scale simulation of one LIFL round with 20 ResNet-152 updates.
+    let mut platform = LiflPlatform::new(ClusterConfig::default(), LiflConfig::default());
+    let arrivals: Vec<SimTime> = (0..20).map(|i| SimTime::from_secs(i as f64 * 0.5)).collect();
+    let report = platform.run_round(&RoundSpec::new(ModelKind::ResNet152, arrivals));
+    println!(
+        "simulated round: ACT = {:.1}s, CPU = {:.1}s, nodes used = {}, aggregators created = {}",
+        report.metrics.aggregation_completion_time.as_secs(),
+        report.metrics.cpu_time.as_secs(),
+        report.metrics.nodes_used,
+        report.metrics.aggregators_created
+    );
+}

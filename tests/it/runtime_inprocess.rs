@@ -1,0 +1,46 @@
+//! The in-process threaded runtime produces exactly the FedAvg result.
+
+use lifl_core::runtime::{run_hierarchical, HierarchicalRunConfig};
+use lifl_fl::aggregate::{fedavg, ModelUpdate};
+use lifl_fl::DenseModel;
+use lifl_types::ClientId;
+
+fn updates(n: usize, dim: usize, seed: f32) -> Vec<ModelUpdate> {
+    (0..n)
+        .map(|i| {
+            let values: Vec<f32> = (0..dim)
+                .map(|d| seed + (i * dim + d) as f32 * 0.001)
+                .collect();
+            ModelUpdate::from_client(ClientId::new(i as u64), DenseModel::from_vec(values), (2 * i + 1) as u64)
+        })
+        .collect()
+}
+
+#[test]
+fn hierarchy_of_threads_matches_flat_fedavg() {
+    for (leaves, per_leaf) in [(2usize, 2usize), (4, 2), (3, 3), (8, 2)] {
+        let updates = updates(leaves * per_leaf, 32, 0.5);
+        let config = HierarchicalRunConfig {
+            leaves,
+            updates_per_leaf: per_leaf,
+        };
+        let hierarchical = run_hierarchical(config, &updates).expect("runtime");
+        let flat = fedavg(&updates).expect("fedavg");
+        assert_eq!(hierarchical.samples, flat.samples);
+        for (a, b) in hierarchical.model.as_slice().iter().zip(flat.model.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{leaves}x{per_leaf}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn larger_payloads_still_aggregate_correctly() {
+    let updates = updates(4, 4096, -1.0);
+    let result = run_hierarchical(
+        HierarchicalRunConfig { leaves: 2, updates_per_leaf: 2 },
+        &updates,
+    )
+    .expect("runtime");
+    assert_eq!(result.model.dim(), 4096);
+    assert!(result.model.l2_norm() > 0.0);
+}

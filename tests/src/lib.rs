@@ -1,0 +1,8 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use lifl_types::SimTime;
+
+/// Evenly spaced arrival times.
+pub fn spread_arrivals(n: usize, gap_secs: f64) -> Vec<SimTime> {
+    (0..n).map(|i| SimTime::from_secs(i as f64 * gap_secs)).collect()
+}
