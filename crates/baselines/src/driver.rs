@@ -165,10 +165,7 @@ impl WorkloadDriver {
             // 3. Bookkeeping for the Fig. 9 / Fig. 10 curves.
             if let (Some(first), Some(last)) = (arrivals.iter().min(), arrivals.iter().max()) {
                 let window_min = (last.duration_since(*first).as_secs() / 60.0).max(1e-3);
-                arrival_rate.push_xy(
-                    wall.as_secs() / 3600.0,
-                    arrivals.len() as f64 / window_min,
-                );
+                arrival_rate.push_xy(wall.as_secs() / 3600.0, arrivals.len() as f64 / window_min);
                 let _ = first;
             }
             cpu += report.metrics.cpu_time;

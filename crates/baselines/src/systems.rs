@@ -1,8 +1,8 @@
 //! Constructors for the baseline aggregation systems.
 
 use lifl_core::platform::{LiflPlatform, PlatformProfile};
-use lifl_types::{AggregationTiming, ClusterConfig, PlacementPolicy, SystemKind};
 use lifl_dataplane::DataPlaneKind;
+use lifl_types::{AggregationTiming, ClusterConfig, PlacementPolicy, SystemKind};
 
 /// The serverful baseline (SF): always-on aggregators over gRPC (Fig. 2(a)).
 pub fn serverful(cluster: ClusterConfig) -> LiflPlatform {

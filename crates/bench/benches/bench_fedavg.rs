@@ -21,12 +21,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fedavg");
     group.sample_size(20);
     let batch = updates(16, 10_000);
-    group.bench_function("flat_fedavg_16x10k", |b| b.iter(|| fedavg(std::hint::black_box(&batch))));
+    group.bench_function("flat_fedavg_16x10k", |b| {
+        b.iter(|| fedavg(std::hint::black_box(&batch)))
+    });
     let hier = updates(8, 10_000);
     group.bench_function("threaded_hierarchy_8x10k", |b| {
         b.iter(|| {
             run_hierarchical(
-                HierarchicalRunConfig { leaves: 4, updates_per_leaf: 2 },
+                HierarchicalRunConfig {
+                    leaves: 4,
+                    updates_per_leaf: 2,
+                },
                 std::hint::black_box(&hier),
             )
         })

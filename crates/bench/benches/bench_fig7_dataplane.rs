@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
                 t.cpu.as_giga()
             );
             group.bench_function(format!("{label}/{model}"), |b| {
-                b.iter(|| cost.intra_node_transfer(plane, std::hint::black_box(model.update_bytes())))
+                b.iter(|| {
+                    cost.intra_node_transfer(plane, std::hint::black_box(model.update_bytes()))
+                })
             });
         }
     }

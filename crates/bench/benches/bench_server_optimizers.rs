@@ -13,15 +13,21 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("server_optimizers");
     group.sample_size(10);
     for kind in ServerOptKind::all() {
-        group.bench_with_input(BenchmarkId::new("step_1M_params", kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut optimizer =
-                    ServerOptimizer::new(ServerOptConfig::for_kind(kind)).expect("valid config");
-                let mut global = DenseModel::zeros(dim);
-                optimizer.step(&mut global, &aggregate).expect("dimensions match");
-                global
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("step_1M_params", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut optimizer = ServerOptimizer::new(ServerOptConfig::for_kind(kind))
+                        .expect("valid config");
+                    let mut global = DenseModel::zeros(dim);
+                    optimizer
+                        .step(&mut global, &aggregate)
+                        .expect("dimensions match");
+                    global
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -9,15 +9,19 @@ fn bench(c: &mut Criterion) {
         let bytes = mib * 1024 * 1024;
         let payload = vec![0u8; bytes];
         group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(BenchmarkId::new("zero_copy_key_handoff", mib), &payload, |b, p| {
-            let store = ObjectStore::new();
-            let key = store.put(p.clone()).unwrap();
-            b.iter(|| {
-                // The consumer side of LIFL's data plane: resolve the key, read in place.
-                let obj = store.get(std::hint::black_box(&key)).unwrap();
-                std::hint::black_box(obj.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("zero_copy_key_handoff", mib),
+            &payload,
+            |b, p| {
+                let store = ObjectStore::new();
+                let key = store.put(p.clone()).unwrap();
+                b.iter(|| {
+                    // The consumer side of LIFL's data plane: resolve the key, read in place.
+                    let obj = store.get(std::hint::black_box(&key)).unwrap();
+                    std::hint::black_box(obj.len())
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("copy_pipeline", mib), &payload, |b, p| {
             b.iter(|| {
                 // The broker/sidecar style pipeline copies the payload per hop.

@@ -88,9 +88,13 @@ impl LiflAgent {
     pub fn report_load(&mut self, now: SimTime) -> NodeLoad {
         let window = now.duration_since(self.window_start).as_secs().max(1e-9);
         let drained = self.metrics.drain();
-        let (total_updates, total_exec): (u64, f64) = drained.iter().fold((0, 0.0), |acc, (_, s)| {
-            (acc.0 + s.updates_aggregated, acc.1 + s.total_exec_time.as_secs())
-        });
+        let (total_updates, total_exec): (u64, f64) =
+            drained.iter().fold((0, 0.0), |acc, (_, s)| {
+                (
+                    acc.0 + s.updates_aggregated,
+                    acc.1 + s.total_exec_time.as_secs(),
+                )
+            });
         let avg_exec = if total_updates > 0 {
             SimDuration::from_secs(total_exec / total_updates as f64)
         } else {

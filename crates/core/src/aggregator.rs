@@ -222,14 +222,9 @@ mod tests {
     fn poll_without_updates_returns_false() {
         let store = ObjectStore::new();
         let inbox = InPlaceQueue::new();
-        let mut agg = AggregatorRuntime::new(
-            AggregatorId::new(1),
-            AggregatorRole::Leaf,
-            1,
-            store,
-            inbox,
-        )
-        .unwrap();
+        let mut agg =
+            AggregatorRuntime::new(AggregatorId::new(1), AggregatorRole::Leaf, 1, store, inbox)
+                .unwrap();
         assert!(!agg.poll().unwrap());
         assert!(agg.send().is_err());
         assert!(agg.run_to_completion().is_err());

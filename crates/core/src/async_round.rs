@@ -103,7 +103,7 @@ impl AsyncAggregator {
                 self.buffered.push(update);
             }
         }
-        if self.received % self.goal == 0 {
+        if self.received.is_multiple_of(self.goal) {
             if self.timing == AggregationTiming::Lazy {
                 for buffered in self.buffered.drain(..) {
                     self.accumulator.fold(&buffered)?;
@@ -150,7 +150,8 @@ mod tests {
         assert_eq!(v1.model.as_slice(), &[2.0, 2.0]);
         assert_eq!(v1.stale_updates, 0);
         // Next window: a client still training against version 0 is stale.
-        agg.submit(update(3, vec![0.0, 0.0], 1), 0, SimTime::from_secs(3.0)).unwrap();
+        agg.submit(update(3, vec![0.0, 0.0], 1), 0, SimTime::from_secs(3.0))
+            .unwrap();
         let v2 = agg
             .submit(update(4, vec![4.0, 4.0], 3), 1, SimTime::from_secs(4.0))
             .unwrap()
@@ -182,7 +183,12 @@ mod tests {
         }
         // Each window matches the batch FedAvg of its updates.
         let first_window = fedavg(&updates[..3]).unwrap();
-        for (x, y) in eager.versions()[0].model.as_slice().iter().zip(first_window.model.as_slice()) {
+        for (x, y) in eager.versions()[0]
+            .model
+            .as_slice()
+            .iter()
+            .zip(first_window.model.as_slice())
+        {
             assert!((x - y).abs() < 1e-5);
         }
     }
@@ -197,7 +203,11 @@ mod tests {
         let mut agg = AsyncAggregator::new(1, AggregationTiming::Lazy).unwrap();
         for i in 1..=4u64 {
             let committed = agg
-                .submit(update(i, vec![i as f32], 1), i - 1, SimTime::from_secs(i as f64))
+                .submit(
+                    update(i, vec![i as f32], 1),
+                    i - 1,
+                    SimTime::from_secs(i as f64),
+                )
                 .unwrap();
             assert!(committed.is_some());
         }

@@ -93,8 +93,7 @@ mod tests {
 
     #[test]
     fn replan_cycle_and_plan_shape() {
-        let mut coordinator =
-            LiflCoordinator::new(ClusterConfig::default(), LiflConfig::default());
+        let mut coordinator = LiflCoordinator::new(ClusterConfig::default(), LiflConfig::default());
         assert!(coordinator.replan_due(SimTime::ZERO));
         for node in 0..3u64 {
             coordinator.metric_server_mut().report(
@@ -118,6 +117,9 @@ mod tests {
     fn placement_respects_policy() {
         let coordinator = LiflCoordinator::new(ClusterConfig::default(), LiflConfig::default());
         let outcome = coordinator.place_updates(20);
-        assert_eq!(outcome.nodes_used, 1, "BestFit packs 20 updates on one node");
+        assert_eq!(
+            outcome.nodes_used, 1,
+            "BestFit packs 20 updates on one node"
+        );
     }
 }

@@ -91,16 +91,27 @@ mod tests {
     #[test]
     fn empty_arrivals_finish_immediately() {
         assert_eq!(
-            completion_time(AggregationTiming::Eager, t(3.0), &[], SimDuration::from_secs(1.0)),
+            completion_time(
+                AggregationTiming::Eager,
+                t(3.0),
+                &[],
+                SimDuration::from_secs(1.0)
+            ),
             t(3.0)
         );
-        assert_eq!(busy_time(&[], SimDuration::from_secs(1.0)), SimDuration::ZERO);
+        assert_eq!(
+            busy_time(&[], SimDuration::from_secs(1.0)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn busy_time_is_policy_independent() {
         let arrivals = vec![t(0.0), t(1.0), t(2.0)];
-        assert_eq!(busy_time(&arrivals, SimDuration::from_secs(2.0)).as_secs(), 6.0);
+        assert_eq!(
+            busy_time(&arrivals, SimDuration::from_secs(2.0)).as_secs(),
+            6.0
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl NodeFleet {
     /// zero capacity or zero cores.
     pub fn heterogeneous(nodes: Vec<NodeConfig>) -> Result<Self> {
         if nodes.is_empty() {
-            return Err(LiflError::InvalidConfig("fleet must contain at least one node".into()));
+            return Err(LiflError::InvalidConfig(
+                "fleet must contain at least one node".into(),
+            ));
         }
         for (i, node) in nodes.iter().enumerate() {
             if node.cores == 0 || node.max_service_capacity == 0 {
@@ -198,7 +200,10 @@ mod tests {
             .iter()
             .filter(|n| **n == NodeId::new(1))
             .count();
-        assert!(assigned_to_small <= 4, "small node got {assigned_to_small} > MC_i=4");
+        assert!(
+            assigned_to_small <= 4,
+            "small node got {assigned_to_small} > MC_i=4"
+        );
         // Every update was placed.
         assert_eq!(outcome.assignments.len() as u64, fleet.total_capacity());
     }

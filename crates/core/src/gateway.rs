@@ -131,7 +131,8 @@ mod tests {
         let mut gw = Gateway::new(NodeId::new(0), store.clone());
         let agg = AggregatorId::new(1);
         let inbox = gw.register_aggregator(agg);
-        gw.ingest_client_update(ClientId::new(7), agg, &[1.0, 2.0], 5).unwrap();
+        gw.ingest_client_update(ClientId::new(7), agg, &[1.0, 2.0], 5)
+            .unwrap();
         assert_eq!(inbox.len(), 1);
         let queued = inbox.dequeue().unwrap();
         assert_eq!(queued.weight, 5);
@@ -154,7 +155,8 @@ mod tests {
             .ingest_client_update(ClientId::new(1), agg_local, &[3.0, 4.0], 2)
             .unwrap();
         let payload = gw_a.forward_remote(&queued).unwrap();
-        gw_b.ingest_remote_update(agg_remote, &payload, queued.weight).unwrap();
+        gw_b.ingest_remote_update(agg_remote, &payload, queued.weight)
+            .unwrap();
         assert_eq!(remote_inbox.len(), 1);
         assert_eq!(gw_a.forwarded_bytes(), 8);
         assert!(gw_b.store().stats().live_objects > 0);

@@ -216,7 +216,10 @@ mod tests {
         // Load drops moderately: utilisation of the current assignment stays
         // above the scale-down threshold, so the assignment is kept.
         let moderate = scaler.evaluate(SimTime::from_secs(60.0), ModelKind::ResNet152, 65.0);
-        assert_eq!(moderate.cores, high, "hysteresis should hold the assignment");
+        assert_eq!(
+            moderate.cores, high,
+            "hysteresis should hold the assignment"
+        );
         // Load collapses: now the gateway releases cores.
         let low = scaler.evaluate(SimTime::from_secs(120.0), ModelKind::ResNet152, 5.0);
         assert!(low.cores < high);
@@ -241,23 +244,41 @@ mod tests {
         let small = GatewayScaler::offered_bytes_per_sec(ModelKind::ResNet18, 60.0);
         let large = GatewayScaler::offered_bytes_per_sec(ModelKind::ResNet152, 60.0);
         assert!(large > 4.0 * small);
-        assert_eq!(GatewayScaler::offered_bytes_per_sec(ModelKind::ResNet18, 0.0), 0.0);
-        assert_eq!(GatewayScaler::offered_bytes_per_sec(ModelKind::ResNet18, -5.0), 0.0);
+        assert_eq!(
+            GatewayScaler::offered_bytes_per_sec(ModelKind::ResNet18, 0.0),
+            0.0
+        );
+        assert_eq!(
+            GatewayScaler::offered_bytes_per_sec(ModelKind::ResNet18, -5.0),
+            0.0
+        );
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
         for bad in [
-            GatewayScalerConfig { min_cores: 0, ..GatewayScalerConfig::default() },
-            GatewayScalerConfig { max_cores: 0, ..GatewayScalerConfig::default() },
+            GatewayScalerConfig {
+                min_cores: 0,
+                ..GatewayScalerConfig::default()
+            },
+            GatewayScalerConfig {
+                max_cores: 0,
+                ..GatewayScalerConfig::default()
+            },
             GatewayScalerConfig {
                 scale_down_threshold: 0.9,
                 target_utilisation: 0.7,
                 ..GatewayScalerConfig::default()
             },
-            GatewayScalerConfig { bytes_per_core_per_sec: 0.0, ..GatewayScalerConfig::default() },
+            GatewayScalerConfig {
+                bytes_per_core_per_sec: 0.0,
+                ..GatewayScalerConfig::default()
+            },
         ] {
-            assert!(GatewayScaler::new(bad).is_err(), "{bad:?} should be rejected");
+            assert!(
+                GatewayScaler::new(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 }

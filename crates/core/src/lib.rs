@@ -31,8 +31,8 @@
 #![warn(missing_docs)]
 
 pub mod agent;
-pub mod async_round;
 pub mod aggregator;
+pub mod async_round;
 pub mod coordinator;
 pub mod eager;
 pub mod fleet;

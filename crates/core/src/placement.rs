@@ -128,7 +128,9 @@ mod tests {
     use super::*;
 
     fn nodes(n: u64, cap: u32) -> Vec<NodeCapacity> {
-        (0..n).map(|i| NodeCapacity::new(NodeId::new(i), cap)).collect()
+        (0..n)
+            .map(|i| NodeCapacity::new(NodeId::new(i), cap))
+            .collect()
     }
 
     #[test]
@@ -160,7 +162,12 @@ mod tests {
         let outcome = engine.place_batch(4, &mut caps);
         assert_eq!(
             outcome.assignments,
-            vec![NodeId::new(0), NodeId::new(0), NodeId::new(1), NodeId::new(1)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(1)
+            ]
         );
     }
 
@@ -219,7 +226,7 @@ mod proptests {
                     (0..nodes).map(|i| NodeCapacity::new(NodeId::new(i), capacity)).collect();
                 let outcome = engine.place_batch(updates, &mut caps);
                 prop_assert_eq!(outcome.assignments.len() as u64, updates);
-                let total_capacity = nodes as u64 * capacity as u64;
+                let total_capacity = nodes * capacity as u64;
                 if updates <= total_capacity {
                     prop_assert_eq!(outcome.overflow, 0);
                     prop_assert!(caps.iter().all(|c| c.assigned <= c.max_capacity));

@@ -239,7 +239,10 @@ impl LiflPlatform {
         let engine = PlacementEngine::new(self.profile.placement);
         let mut caps: Vec<NodeCapacity> = (0..self.profile.cluster.aggregation_nodes as u64)
             .map(|i| {
-                NodeCapacity::new(NodeId::new(i), self.profile.cluster.node.max_service_capacity)
+                NodeCapacity::new(
+                    NodeId::new(i),
+                    self.profile.cluster.node.max_service_capacity,
+                )
             })
             .collect();
         let placement = engine.place_batch(n, &mut caps);
@@ -279,12 +282,13 @@ impl LiflPlatform {
             let node_arrivals = &per_node[&node];
             let hierarchy = plan.on_node(node).expect("planned node");
             // Ingest every update through the gateway / queuing pipeline.
-            let mut ready: Vec<SimTime> = node_arrivals
-                .iter()
-                .map(|a| *a + ingest.latency)
-                .collect();
+            let mut ready: Vec<SimTime> =
+                node_arrivals.iter().map(|a| *a + ingest.latency).collect();
             ready.sort();
-            cpu += ingest.cpu.to_duration(clock).scaled(node_arrivals.len() as f64);
+            cpu += ingest
+                .cpu
+                .to_duration(clock)
+                .scaled(node_arrivals.len() as f64);
             inter_node_bytes += ingest.inter_node_bytes * node_arrivals.len() as u64;
 
             // Leaf aggregators: consecutive chunks of `leaf_fan_in` updates.
@@ -293,8 +297,14 @@ impl LiflPlatform {
             let mut leaf_finish: Vec<SimTime> = Vec::new();
             for (leaf_idx, chunk) in ready.chunks(fan_in).enumerate() {
                 let first_arrival = *chunk.first().expect("non-empty chunk");
-                let (instance_ready, was_created) =
-                    self.instance_ready(node, first_arrival, round_start, &startup, &mut cpu, clock);
+                let (instance_ready, was_created) = self.instance_ready(
+                    node,
+                    first_arrival,
+                    round_start,
+                    &startup,
+                    &mut cpu,
+                    clock,
+                );
                 if was_created {
                     created += 1;
                 }
@@ -303,8 +313,18 @@ impl LiflPlatform {
                     eager::completion_time(self.profile.timing, instance_ready, chunk, agg_compute);
                 cpu += eager::busy_time(chunk, agg_compute);
                 let row = format!("{}-LF{}", node, leaf_idx + 1);
-                gantt.add(row.clone(), "Network", first_arrival, *chunk.last().unwrap());
-                gantt.add(row, "Agg.", (*chunk.first().unwrap()).max(instance_ready), done);
+                gantt.add(
+                    row.clone(),
+                    "Network",
+                    first_arrival,
+                    *chunk.last().unwrap(),
+                );
+                gantt.add(
+                    row,
+                    "Agg.",
+                    (*chunk.first().unwrap()).max(instance_ready),
+                    done,
+                );
                 // Hand the intermediate to the node's middle (or directly onward).
                 let handoff = done + intra.latency;
                 cpu += intra.cpu.to_duration(clock);
@@ -314,10 +334,7 @@ impl LiflPlatform {
 
             // Middle aggregator (only when more than one leaf).
             let (node_done, node_weight) = if hierarchy.middle {
-                let first_input = *leaf_outputs
-                    .iter()
-                    .min()
-                    .expect("at least one leaf output");
+                let first_input = *leaf_outputs.iter().min().expect("at least one leaf output");
                 let (instance_ready, was_created, was_reused) = if self.profile.reuse_runtimes {
                     // Reuse the earliest-finished leaf on this node (§5.3).
                     let earliest = *leaf_finish.iter().min().expect("leaf finished");
@@ -347,7 +364,12 @@ impl LiflPlatform {
                     agg_compute,
                 );
                 cpu += eager::busy_time(&leaf_outputs, agg_compute);
-                gantt.add(format!("{node}-MID"), "Agg.", first_input.max(instance_ready), done);
+                gantt.add(
+                    format!("{node}-MID"),
+                    "Agg.",
+                    first_input.max(instance_ready),
+                    done,
+                );
                 (done, node_arrivals.len() as u64)
             } else {
                 (leaf_outputs[0], node_arrivals.len() as u64)
@@ -595,22 +617,32 @@ mod tests {
         let first = platform.run_round(&spec);
         let second = platform.run_round(&spec);
         assert!(first.metrics.aggregators_created > 0);
-        assert_eq!(second.metrics.aggregators_created, 0, "second round reuses warm runtimes");
+        assert_eq!(
+            second.metrics.aggregators_created, 0,
+            "second round reuses warm runtimes"
+        );
 
         let mut slh = slh();
         let first = slh.run_round(&spec);
         let second = slh.run_round(&spec);
         assert!(first.metrics.aggregators_created > 0);
-        assert!(second.metrics.aggregators_created > 0, "SL-H cold starts every round");
+        assert!(
+            second.metrics.aggregators_created > 0,
+            "SL-H cold starts every round"
+        );
     }
 
     #[test]
     fn eager_reduces_act_for_spread_arrivals() {
         let cluster = ClusterConfig::default();
-        let mut eager_cfg = LiflConfig::default();
-        eager_cfg.timing = AggregationTiming::Eager;
-        let mut lazy_cfg = LiflConfig::default();
-        lazy_cfg.timing = AggregationTiming::Lazy;
+        let eager_cfg = LiflConfig {
+            timing: AggregationTiming::Eager,
+            ..LiflConfig::default()
+        };
+        let lazy_cfg = LiflConfig {
+            timing: AggregationTiming::Lazy,
+            ..LiflConfig::default()
+        };
         let spec = RoundSpec::new(ModelKind::ResNet152, arrivals_spread(20, 2.0));
         let act_eager = LiflPlatform::new(cluster.clone(), eager_cfg)
             .run_round(&spec)

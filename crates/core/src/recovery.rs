@@ -29,7 +29,7 @@ pub fn model_to_bytes(model: &DenseModel) -> Vec<u8> {
 /// Returns [`LiflError::DimensionMismatch`] when the byte length is not a
 /// multiple of four.
 pub fn model_from_bytes(bytes: &[u8]) -> Result<DenseModel> {
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(LiflError::DimensionMismatch {
             expected: bytes.len().div_ceil(4) * 4,
             actual: bytes.len(),
@@ -127,7 +127,10 @@ impl RecoveryManager {
     pub fn commit_version(&mut self, model: &DenseModel, now: SimTime) -> bool {
         self.committed_versions += 1;
         self.in_progress_updates = 0;
-        if self.committed_versions % self.checkpoint_every == 0 {
+        if self
+            .committed_versions
+            .is_multiple_of(self.checkpoint_every)
+        {
             let round = RoundId::new(self.committed_versions);
             self.store.save(round, model_to_bytes(model), now);
             self.last_checkpointed_version = Some(self.committed_versions);
@@ -191,7 +194,10 @@ mod tests {
         let mut manager = RecoveryManager::new(3, SimDuration::from_secs(0.8)).unwrap();
         let mut written = 0;
         for version in 1..=7u64 {
-            let wrote = manager.commit_version(&model(&[version as f32]), SimTime::from_secs(version as f64));
+            let wrote = manager.commit_version(
+                &model(&[version as f32]),
+                SimTime::from_secs(version as f64),
+            );
             if wrote {
                 written += 1;
             }

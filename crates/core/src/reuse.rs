@@ -40,7 +40,12 @@ impl ReusePool {
 
     /// Takes the earliest-idle warm runtime on `node`, promoting it to `role`.
     /// Returns `None` if no warm runtime is available on that node.
-    pub fn acquire(&mut self, node: NodeId, role: AggregatorRole, now: SimTime) -> Option<WarmRuntime> {
+    pub fn acquire(
+        &mut self,
+        node: NodeId,
+        role: AggregatorRole,
+        now: SimTime,
+    ) -> Option<WarmRuntime> {
         let best = self
             .idle
             .iter()
@@ -90,7 +95,11 @@ mod tests {
         pool.park(runtime(2, 0, 5.0));
         pool.park(runtime(3, 1, 1.0));
         let picked = pool
-            .acquire(NodeId::new(0), AggregatorRole::Middle, SimTime::from_secs(20.0))
+            .acquire(
+                NodeId::new(0),
+                AggregatorRole::Middle,
+                SimTime::from_secs(20.0),
+            )
             .unwrap();
         assert_eq!(picked.instance, InstanceId::new(2));
         assert_eq!(picked.last_role, AggregatorRole::Middle);
@@ -103,14 +112,26 @@ mod tests {
         let mut pool = ReusePool::new();
         pool.park(runtime(1, 1, 10.0));
         assert!(pool
-            .acquire(NodeId::new(0), AggregatorRole::Middle, SimTime::from_secs(20.0))
+            .acquire(
+                NodeId::new(0),
+                AggregatorRole::Middle,
+                SimTime::from_secs(20.0)
+            )
             .is_none());
         // Not idle yet at t=5.
         assert!(pool
-            .acquire(NodeId::new(1), AggregatorRole::Middle, SimTime::from_secs(5.0))
+            .acquire(
+                NodeId::new(1),
+                AggregatorRole::Middle,
+                SimTime::from_secs(5.0)
+            )
             .is_none());
         assert!(pool
-            .acquire(NodeId::new(1), AggregatorRole::Top, SimTime::from_secs(10.0))
+            .acquire(
+                NodeId::new(1),
+                AggregatorRole::Top,
+                SimTime::from_secs(10.0)
+            )
             .is_some());
         pool.clear();
         assert_eq!(pool.idle_count(), 0);

@@ -91,7 +91,10 @@ impl RoutingTable {
         }
         if let Some(&(agg, node)) = self.inter_node.get(&source) {
             if agg == destination {
-                return Ok(NextHop::Remote { aggregator: agg, node });
+                return Ok(NextHop::Remote {
+                    aggregator: agg,
+                    node,
+                });
             }
         }
         Err(LiflError::RouteNotFound(destination))
@@ -144,17 +147,23 @@ mod tests {
         let mut table = RoutingTable::new(NodeId::new(0));
         table.apply_tag(&tag);
         assert_eq!(
-            table.next_hop(AggregatorId::new(1), AggregatorId::new(2)).unwrap(),
+            table
+                .next_hop(AggregatorId::new(1), AggregatorId::new(2))
+                .unwrap(),
             NextHop::Local(AggregatorId::new(2))
         );
         assert_eq!(
-            table.next_hop(AggregatorId::new(2), AggregatorId::new(3)).unwrap(),
+            table
+                .next_hop(AggregatorId::new(2), AggregatorId::new(3))
+                .unwrap(),
             NextHop::Remote {
                 aggregator: AggregatorId::new(3),
                 node: NodeId::new(1)
             }
         );
-        assert!(table.next_hop(AggregatorId::new(1), AggregatorId::new(9)).is_err());
+        assert!(table
+            .next_hop(AggregatorId::new(1), AggregatorId::new(9))
+            .is_err());
         assert_eq!(table.node(), NodeId::new(0));
         assert!(table.local_routes() >= 2);
         assert_eq!(table.inter_node_routes(), 1);
@@ -177,7 +186,9 @@ mod tests {
         table.apply_tag(&tag2);
         assert!(table.local_routes() < before);
         assert_eq!(table.inter_node_routes(), 0);
-        assert!(table.next_hop(AggregatorId::new(1), AggregatorId::new(2)).is_err());
+        assert!(table
+            .next_hop(AggregatorId::new(1), AggregatorId::new(2))
+            .is_err());
     }
 
     #[test]

@@ -165,7 +165,10 @@ mod tests {
         };
         assert!(run_hierarchical(config, &updates).is_err());
         assert!(run_hierarchical(
-            HierarchicalRunConfig { leaves: 0, updates_per_leaf: 2 },
+            HierarchicalRunConfig {
+                leaves: 0,
+                updates_per_leaf: 2
+            },
             &[]
         )
         .is_err());

@@ -124,7 +124,8 @@ impl SelectorService {
         rng: &mut SimRng,
     ) -> RoundAssignment {
         // Diversity role: pick an over-provisioned set of participants.
-        let target = over_provisioned_selection(self.config.aggregation_goal, self.config.expected_dropout);
+        let target =
+            over_provisioned_selection(self.config.aggregation_goal, self.config.expected_dropout);
         let selected = select_clients(
             self.config.strategy,
             pool,

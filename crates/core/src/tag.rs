@@ -148,7 +148,10 @@ mod tests {
             Some(ChannelKind::KernelNetwork)
         );
         assert_eq!(tag.inter_node_channels(), 1);
-        assert_eq!(tag.consumer_of(AggregatorId::new(1)), Some(AggregatorId::new(2)));
+        assert_eq!(
+            tag.consumer_of(AggregatorId::new(1)),
+            Some(AggregatorId::new(2))
+        );
         assert_eq!(tag.consumer_of(AggregatorId::new(3)), None);
     }
 
@@ -156,7 +159,10 @@ mod tests {
     fn unknown_endpoint_is_rejected() {
         let mut tag = TopologyAbstractionGraph::new();
         tag.add_role(role(1, 0, AggregatorRole::Leaf));
-        assert_eq!(tag.connect(AggregatorId::new(1), AggregatorId::new(9)), None);
+        assert_eq!(
+            tag.connect(AggregatorId::new(1), AggregatorId::new(9)),
+            None
+        );
         assert!(tag.channels().is_empty());
     }
 
@@ -167,7 +173,10 @@ mod tests {
         tag.add_role(role(2, 0, AggregatorRole::Leaf));
         tag.add_role(role(3, 1, AggregatorRole::Leaf));
         let groups = tag.groups();
-        assert_eq!(groups["node-0"], vec![AggregatorId::new(1), AggregatorId::new(2)]);
+        assert_eq!(
+            groups["node-0"],
+            vec![AggregatorId::new(1), AggregatorId::new(2)]
+        );
         assert_eq!(groups["node-1"], vec![AggregatorId::new(3)]);
         assert_eq!(tag.roles().count(), 3);
         assert!(tag.role(AggregatorId::new(2)).is_some());

@@ -83,7 +83,9 @@ impl CostModel {
         let rx = self.models.gateway.rx_latency(bytes);
         TransferCost {
             latency: wire + tx + rx,
-            cpu: CpuCycles(self.models.gateway.tx_cpu(bytes).0 + self.models.gateway.rx_cpu(bytes).0),
+            cpu: CpuCycles(
+                self.models.gateway.tx_cpu(bytes).0 + self.models.gateway.rx_cpu(bytes).0,
+            ),
             buffered_bytes: 2 * bytes,
             inter_node_bytes: bytes,
         }
@@ -225,7 +227,8 @@ mod tests {
         assert_eq!(cm.idle_cores_per_aggregator(SystemKind::Lifl), 0.0);
         assert!(cm.idle_cores_per_node(SystemKind::Lifl) > 0.0);
         assert!(
-            cm.idle_cores_per_node(SystemKind::Lifl) < cm.idle_cores_per_node(SystemKind::Serverless)
+            cm.idle_cores_per_node(SystemKind::Lifl)
+                < cm.idle_cores_per_node(SystemKind::Serverless)
         );
     }
 

@@ -82,7 +82,8 @@ mod tests {
     fn gateway_tax_is_smaller_than_broker_plus_sidecar() {
         use crate::{broker::BrokerModel, sidecar::ContainerSidecarModel};
         let gw = GatewayModel::default();
-        let combined = BrokerModel::default().idle_cores + ContainerSidecarModel::default().idle_cores;
+        let combined =
+            BrokerModel::default().idle_cores + ContainerSidecarModel::default().idle_cores;
         assert!(gw.idle_cores < combined);
         assert!(
             gw.resident_memory_bytes

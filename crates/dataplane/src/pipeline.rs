@@ -322,7 +322,10 @@ mod tests {
         assert!(micro.buffered_bytes() > lifl.buffered_bytes());
         assert!(lifl.buffered_bytes() <= mono.buffered_bytes());
         let ratio = slb.buffered_bytes() as f64 / lifl.buffered_bytes() as f64;
-        assert!((1.8..3.2).contains(&ratio), "SL-B/LIFL memory ratio {ratio}");
+        assert!(
+            (1.8..3.2).contains(&ratio),
+            "SL-B/LIFL memory ratio {ratio}"
+        );
     }
 
     #[test]
@@ -338,7 +341,10 @@ mod tests {
         assert!(lifl.latency() < micro.latency());
         // LIFL is equivalent to the monolithic serverful design (Appendix F).
         let ratio = lifl.latency().as_secs() / mono.latency().as_secs();
-        assert!((0.7..1.3).contains(&ratio), "LIFL/SF-mono delay ratio {ratio}");
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "LIFL/SF-mono delay ratio {ratio}"
+        );
     }
 
     #[test]

@@ -183,7 +183,10 @@ mod tests {
         let model = ProtocolModel::default();
         let rx = model.rx_breakdown(L7Protocol::Grpc, ModelKind::ResNet152);
         let names: Vec<&str> = rx.steps.iter().map(|s| s.name).collect();
-        assert_eq!(names, vec!["l7-parse", "deserialize", "type-convert", "shm-write"]);
+        assert_eq!(
+            names,
+            vec!["l7-parse", "deserialize", "type-convert", "shm-write"]
+        );
         assert!(rx.latency().as_secs() > 0.0);
         assert!(rx.cpu().as_giga() > 0.0);
         assert!(rx.latency_of("deserialize").as_secs() > 0.0);
@@ -206,7 +209,10 @@ mod tests {
         for kind in ModelKind::paper_models() {
             let grpc = model.rx_breakdown(L7Protocol::Grpc, kind).latency();
             let mqtt = model.rx_breakdown(L7Protocol::Mqtt, kind).latency();
-            assert!(mqtt < grpc, "{kind}: MQTT {mqtt:?} should be under gRPC {grpc:?}");
+            assert!(
+                mqtt < grpc,
+                "{kind}: MQTT {mqtt:?} should be under gRPC {grpc:?}"
+            );
         }
         assert_eq!(L7Protocol::Mqtt.to_string(), "MQTT");
     }
@@ -226,8 +232,15 @@ mod tests {
         let none = model.consolidation_saving(L7Protocol::Grpc, ModelKind::ResNet152, 1);
         assert_eq!(none.0, 0.0, "a single consumer saves nothing");
         let five = model.consolidation_saving(L7Protocol::Grpc, ModelKind::ResNet152, 5);
-        let per_consumer = model.rx_breakdown(L7Protocol::Grpc, ModelKind::ResNet152).cpu();
+        let per_consumer = model
+            .rx_breakdown(L7Protocol::Grpc, ModelKind::ResNet152)
+            .cpu();
         assert!((five.0 - 4.0 * per_consumer.0).abs() < 1e-3);
-        assert_eq!(model.consolidation_saving(L7Protocol::Grpc, ModelKind::ResNet18, 0).0, 0.0);
+        assert_eq!(
+            model
+                .consolidation_saving(L7Protocol::Grpc, ModelKind::ResNet18, 0)
+                .0,
+            0.0
+        );
     }
 }

@@ -84,7 +84,10 @@ impl<V: Clone + Default> PerCpuArrayMap<V> {
     /// Creates a per-CPU array map with `max_entries` slots across `cpus` CPUs.
     pub fn new(max_entries: usize, cpus: usize) -> Self {
         PerCpuArrayMap {
-            per_cpu: Arc::new(RwLock::new(vec![vec![V::default(); max_entries]; cpus.max(1)])),
+            per_cpu: Arc::new(RwLock::new(vec![
+                vec![V::default(); max_entries];
+                cpus.max(1)
+            ])),
         }
     }
 

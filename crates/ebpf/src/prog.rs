@@ -257,7 +257,10 @@ mod tests {
         registry.attach(a, AttachPoint::AggregatorSocket(AggregatorId::new(1)));
         registry.attach(b, AttachPoint::GatewaySocket);
         assert_eq!(registry.total_run_time(), SimDuration::ZERO);
-        assert_eq!(registry.info(a).unwrap().stats.avg_run_time(), SimDuration::ZERO);
+        assert_eq!(
+            registry.info(a).unwrap().stats.avg_run_time(),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

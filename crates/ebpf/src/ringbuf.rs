@@ -138,7 +138,10 @@ mod tests {
         let ring: RingBuffer<u32> = RingBuffer::new(64);
         assert!(ring.submit(1, 32).is_some());
         assert!(ring.submit(2, 32).is_some());
-        assert!(ring.submit(3, 32).is_none(), "third record exceeds capacity");
+        assert!(
+            ring.submit(3, 32).is_none(),
+            "third record exceeds capacity"
+        );
         assert_eq!(ring.dropped(), 1);
         assert_eq!(ring.used_bytes(), 64);
         // Consuming makes room again.
@@ -167,7 +170,11 @@ mod tests {
         assert_eq!(ring.submit(1, 8), Some(0));
         assert_eq!(ring.submit(2, 8), None);
         ring.consume();
-        assert_eq!(ring.submit(3, 8), Some(1), "dropped records do not consume sequence numbers");
+        assert_eq!(
+            ring.submit(3, 8),
+            Some(1),
+            "dropped records do not consume sequence numbers"
+        );
     }
 
     #[test]

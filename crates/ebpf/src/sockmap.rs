@@ -95,7 +95,10 @@ mod tests {
         sockmap.register_local(local);
         sockmap.register_remote(remote);
         assert_eq!(sockmap.steer(local), Some(SocketRef::Aggregator(local)));
-        assert_eq!(sockmap.steer(remote), Some(SocketRef::Gateway(NodeId::new(1))));
+        assert_eq!(
+            sockmap.steer(remote),
+            Some(SocketRef::Gateway(NodeId::new(1)))
+        );
         assert!(sockmap.is_local(local));
         assert!(!sockmap.is_local(remote));
         assert_eq!(sockmap.steer(AggregatorId::new(99)), None);

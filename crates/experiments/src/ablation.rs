@@ -124,7 +124,11 @@ pub fn fan_in_sweep() -> Vec<FanInRow> {
 /// Sweeps the placement policy at 20/60/100 concurrent ResNet-152 updates.
 pub fn placement_sweep() -> Vec<PlacementRow> {
     let mut rows = Vec::new();
-    for policy in [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit] {
+    for policy in [
+        PlacementPolicy::BestFit,
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::WorstFit,
+    ] {
         for updates in [20usize, 60, 100] {
             let config = LiflConfig {
                 placement: policy,
@@ -158,7 +162,8 @@ pub fn run() -> AblationResult {
 
 /// Formats the sweeps as three tables.
 pub fn format(result: &AblationResult) -> String {
-    let mut out = String::from("Ablation: EWMA smoothing coefficient (step lag vs spike overshoot)\n");
+    let mut out =
+        String::from("Ablation: EWMA smoothing coefficient (step lag vs spike overshoot)\n");
     out.push_str(&format_table(
         &["alpha", "step lag", "spike overshoot"],
         &result
@@ -261,7 +266,10 @@ mod tests {
             assert!(best.act_seconds <= worst.act_seconds + 1e-9);
         }
         // At 100 updates every node is needed regardless of policy.
-        assert_eq!(cell("BestFit", 100).nodes_used, cell("WorstFit", 100).nodes_used);
+        assert_eq!(
+            cell("BestFit", 100).nodes_used,
+            cell("WorstFit", 100).nodes_used
+        );
         let text = format(&run());
         assert!(text.contains("BestFit"));
         assert!(text.contains("alpha"));

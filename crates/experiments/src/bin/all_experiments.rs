@@ -1,13 +1,25 @@
 //! Runs every experiment in sequence (the source of EXPERIMENTS.md numbers).
 fn main() {
     println!("==== Fig. 4 ====");
-    println!("{}", lifl_experiments::fig4::format(&lifl_experiments::fig4::run()));
+    println!(
+        "{}",
+        lifl_experiments::fig4::format(&lifl_experiments::fig4::run())
+    );
     println!("==== Fig. 7 ====");
-    println!("{}", lifl_experiments::fig7::format(&lifl_experiments::fig7::run()));
+    println!(
+        "{}",
+        lifl_experiments::fig7::format(&lifl_experiments::fig7::run())
+    );
     println!("==== Fig. 8 ====");
-    println!("{}", lifl_experiments::fig8::format(&lifl_experiments::fig8::run()));
+    println!(
+        "{}",
+        lifl_experiments::fig8::format(&lifl_experiments::fig8::run())
+    );
     println!("==== Ablations (EWMA alpha, leaf fan-in, placement policy) ====");
-    println!("{}", lifl_experiments::ablation::format(&lifl_experiments::ablation::run()));
+    println!(
+        "{}",
+        lifl_experiments::ablation::format(&lifl_experiments::ablation::run())
+    );
     println!("==== Fig. 11 / future work: asynchronous FL ====");
     println!(
         "{}",
@@ -23,7 +35,10 @@ fn main() {
     println!("{}", lifl_experiments::fig9_fig10::format(&c152));
     println!("{}", lifl_experiments::fig9_fig10::format_timeseries(&c152));
     println!("==== Fig. 13 ====");
-    println!("{}", lifl_experiments::fig13::format(&lifl_experiments::fig13::run()));
+    println!(
+        "{}",
+        lifl_experiments::fig13::format(&lifl_experiments::fig13::run())
+    );
     println!("==== Orchestration overhead ====");
     println!(
         "{}",

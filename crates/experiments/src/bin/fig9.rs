@@ -6,7 +6,10 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
-    for model in [lifl_types::ModelKind::ResNet18, lifl_types::ModelKind::ResNet152] {
+    for model in [
+        lifl_types::ModelKind::ResNet18,
+        lifl_types::ModelKind::ResNet152,
+    ] {
         let comparison = lifl_experiments::fig9_fig10::run_workload(model, rounds, 50.0);
         println!("{}", lifl_experiments::fig9_fig10::format(&comparison));
     }

@@ -1,5 +1,8 @@
 //! Measures the orchestration overhead of LIFL's control plane (§6.1).
 fn main() {
     let result = lifl_experiments::orchestration_overhead::run();
-    println!("{}", lifl_experiments::orchestration_overhead::format(&result));
+    println!(
+        "{}",
+        lifl_experiments::orchestration_overhead::format(&result)
+    );
 }

@@ -74,17 +74,13 @@ fn semantics_check() -> bool {
     if eager.versions().len() != lazy.versions().len() {
         return false;
     }
-    eager
-        .versions()
-        .iter()
-        .zip(lazy.versions())
-        .all(|(a, b)| {
-            a.model
-                .as_slice()
-                .iter()
-                .zip(b.model.as_slice())
-                .all(|(x, y)| (x - y).abs() < 1e-5)
-        })
+    eager.versions().iter().zip(lazy.versions()).all(|(a, b)| {
+        a.model
+            .as_slice()
+            .iter()
+            .zip(b.model.as_slice())
+            .all(|(x, y)| (x - y).abs() < 1e-5)
+    })
 }
 
 fn run_policy(policy: StalenessPolicy, label: &str, seed: u64) -> AsyncPolicyRow {
@@ -130,7 +126,10 @@ fn run_policy(policy: StalenessPolicy, label: &str, seed: u64) -> AsyncPolicyRow
     AsyncPolicyRow {
         policy: label.to_string(),
         versions: versions.len(),
-        final_commit_secs: versions.last().map(|v| v.committed_at.as_secs()).unwrap_or(0.0),
+        final_commit_secs: versions
+            .last()
+            .map(|v| v.committed_at.as_secs())
+            .unwrap_or(0.0),
         stale_fraction: if tracker.count() == 0 {
             0.0
         } else {
@@ -145,8 +144,19 @@ fn run_policy(policy: StalenessPolicy, label: &str, seed: u64) -> AsyncPolicyRow
 pub fn run() -> Fig11Result {
     let policies = vec![
         run_policy(StalenessPolicy::Constant, "constant", 11),
-        run_policy(StalenessPolicy::Polynomial { exponent: 0.5 }, "poly(0.5)", 11),
-        run_policy(StalenessPolicy::Hinge { threshold: 2, slope: 0.5 }, "hinge(2,0.5)", 11),
+        run_policy(
+            StalenessPolicy::Polynomial { exponent: 0.5 },
+            "poly(0.5)",
+            11,
+        ),
+        run_policy(
+            StalenessPolicy::Hinge {
+                threshold: 2,
+                slope: 0.5,
+            },
+            "hinge(2,0.5)",
+            11,
+        ),
     ];
     Fig11Result {
         eager_lazy_equivalent: semantics_check(),
@@ -200,7 +210,11 @@ mod tests {
         for row in &result.policies {
             assert_eq!(row.versions, 15);
             assert!(row.final_commit_secs > 0.0);
-            assert!(row.stale_fraction > 0.0, "{}: async runs should observe staleness", row.policy);
+            assert!(
+                row.stale_fraction > 0.0,
+                "{}: async runs should observe staleness",
+                row.policy
+            );
             assert!(
                 row.final_accuracy > 30.0,
                 "{}: async FedAvg should learn, got {:.1}%",
@@ -210,7 +224,11 @@ mod tests {
         }
         // All policies ran the same workload, so wall-clock of the final
         // commit matches across policies (weighting changes models, not timing).
-        let times: Vec<f64> = result.policies.iter().map(|r| r.final_commit_secs).collect();
+        let times: Vec<f64> = result
+            .policies
+            .iter()
+            .map(|r| r.final_commit_secs)
+            .collect();
         assert!((times[0] - times[1]).abs() < 1e-6);
         let text = format(&result);
         assert!(text.contains("poly(0.5)"));

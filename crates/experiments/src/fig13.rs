@@ -69,7 +69,13 @@ pub fn format(result: &Fig13Result) -> String {
         .collect();
     let mut out = String::from("Fig. 13: message-queuing overheads (client -> aggregator)\n");
     out.push_str(&format_table(
-        &["model", "setup", "CPU (Gcycles)", "norm. memory", "delay (s)"],
+        &[
+            "model",
+            "setup",
+            "CPU (Gcycles)",
+            "norm. memory",
+            "delay (s)",
+        ],
         &rows,
     ));
     out

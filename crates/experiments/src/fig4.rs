@@ -28,7 +28,9 @@ pub struct Fig4Result {
 fn trainer_arrivals() -> Vec<SimTime> {
     // Eight trainers on remote nodes finish local training and upload their
     // ResNet-152 updates over a window of the round (§4.1).
-    (0..8).map(|i| SimTime::from_secs(20.0 + i as f64 * 2.5)).collect()
+    (0..8)
+        .map(|i| SimTime::from_secs(20.0 + i as f64 * 2.5))
+        .collect()
 }
 
 /// Runs the Fig. 4 experiment.
@@ -38,8 +40,10 @@ pub fn run() -> Fig4Result {
     let mut nh = LiflPlatform::with_profile(no_hierarchy_profile(ClusterConfig::default()));
     let nh_report = nh.run_round(&spec);
 
-    let mut wh_cluster = ClusterConfig::default();
-    wh_cluster.aggregation_nodes = 1;
+    let wh_cluster = ClusterConfig {
+        aggregation_nodes: 1,
+        ..ClusterConfig::default()
+    };
     let wh_profile = PlatformProfile {
         // Hierarchical but on the serverful (kernel gRPC) data plane.
         ..PlatformProfile::serverful(wh_cluster)
@@ -57,12 +61,19 @@ pub fn run() -> Fig4Result {
 
 /// Formats the result.
 pub fn format(result: &Fig4Result) -> String {
-    let mut out = String::from("Fig. 4: hierarchical aggregation on a kernel-networking data plane\n");
+    let mut out =
+        String::from("Fig. 4: hierarchical aggregation on a kernel-networking data plane\n");
     out.push_str(&format_table(
         &["setup", "round completion (s)"],
         &[
-            vec!["NH (no hierarchy)".to_string(), format!("{:.1}", result.nh_round_seconds)],
-            vec!["WH (with hierarchy)".to_string(), format!("{:.1}", result.wh_round_seconds)],
+            vec![
+                "NH (no hierarchy)".to_string(),
+                format!("{:.1}", result.nh_round_seconds),
+            ],
+            vec![
+                "WH (with hierarchy)".to_string(),
+                format!("{:.1}", result.wh_round_seconds),
+            ],
         ],
     ));
     out.push_str("\nNH timeline:\n");

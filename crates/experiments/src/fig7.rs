@@ -66,11 +66,15 @@ pub fn run() -> Fig7Result {
     }
 
     // Fig. 7(c): the §4.1 hierarchy — 8 trainers, 1 top + 4 leaves on one node.
-    let mut cluster = ClusterConfig::default();
-    cluster.aggregation_nodes = 1;
+    let cluster = ClusterConfig {
+        aggregation_nodes: 1,
+        ..ClusterConfig::default()
+    };
     let mut platform = LiflPlatform::new(cluster, LiflConfig::default());
     // Trainer arrivals spread over the round as their uploads complete.
-    let arrivals: Vec<SimTime> = (0..8).map(|i| SimTime::from_secs(20.0 + i as f64 * 2.5)).collect();
+    let arrivals: Vec<SimTime> = (0..8)
+        .map(|i| SimTime::from_secs(20.0 + i as f64 * 2.5))
+        .collect();
     let report = platform.run_round(&RoundSpec::new(ModelKind::ResNet152, arrivals));
     Fig7Result {
         transfers,
@@ -97,7 +101,14 @@ pub fn format(result: &Fig7Result) -> String {
         .collect();
     let mut out = String::from("Fig. 7(a,b): single intra-node model-update transfer\n");
     out.push_str(&format_table(
-        &["model", "system", "latency (s)", "CPU (Gcycles)", "+SC", "+MB"],
+        &[
+            "model",
+            "system",
+            "latency (s)",
+            "CPU (Gcycles)",
+            "+SC",
+            "+MB",
+        ],
         &rows,
     ));
     out.push_str(&format!(

@@ -92,7 +92,14 @@ pub fn format(result: &Fig8Result) -> String {
     let mut out =
         String::from("Fig. 8: LIFL orchestration ablation (ResNet-152, 5 nodes, MC=20)\n");
     out.push_str(&format_table(
-        &["config", "updates", "ACT (s)", "CPU (s)", "# agg created", "# nodes"],
+        &[
+            "config",
+            "updates",
+            "ACT (s)",
+            "CPU (s)",
+            "# agg created",
+            "# nodes",
+        ],
         &rows,
     ));
     out

@@ -85,7 +85,10 @@ pub fn run_workload(model: ModelKind, rounds: usize, target_accuracy: f64) -> Wo
 
 /// Formats the Fig. 9 headline table for one workload.
 pub fn format(comparison: &WorkloadComparison) -> String {
-    let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".to_string());
+    let fmt_opt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "-".to_string())
+    };
     let rows: Vec<Vec<String>> = comparison
         .summaries
         .iter()
@@ -136,7 +139,11 @@ pub fn format_timeseries(comparison: &WorkloadComparison) -> String {
             let mean_active = if o.active_aggregators.is_empty() {
                 0.0
             } else {
-                o.active_aggregators.points.iter().map(|(_, v)| v).sum::<f64>()
+                o.active_aggregators
+                    .points
+                    .iter()
+                    .map(|(_, v)| v)
+                    .sum::<f64>()
                     / o.active_aggregators.len() as f64
             };
             let mean_cpu = if o.cpu_per_round.is_empty() {

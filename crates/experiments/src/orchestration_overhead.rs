@@ -73,7 +73,10 @@ pub fn format(result: &OverheadResult) -> String {
         })
         .collect();
     let mut out = String::from("Orchestration overhead (measured on this implementation)\n");
-    out.push_str(&format_table(&["clients", "placement (ms)", "EWMA (us)"], &rows));
+    out.push_str(&format_table(
+        &["clients", "placement (ms)", "EWMA (us)"],
+        &rows,
+    ));
     out
 }
 
@@ -86,7 +89,11 @@ mod tests {
         let result = run();
         let row = result.rows.iter().find(|r| r.clients == 10_000).unwrap();
         // Paper: < 17 ms even with 10K clients. Allow headroom for debug builds.
-        assert!(row.placement_ms < 500.0, "placement took {} ms", row.placement_ms);
+        assert!(
+            row.placement_ms < 500.0,
+            "placement took {} ms",
+            row.placement_ms
+        );
         // EWMA estimate: negligible (paper: 0.2 ms including orchestration glue).
         assert!(row.ewma_us < 1000.0);
         assert!(format(&result).contains("10000"));

@@ -85,7 +85,8 @@ impl CumulativeFedAvg {
                 actual: update.model.dim(),
             });
         }
-        self.weighted_sum.axpy(update.samples as f32, &update.model)?;
+        self.weighted_sum
+            .axpy(update.samples as f32, &update.model)?;
         self.total_samples += update.samples;
         self.updates_folded += 1;
         Ok(())
@@ -148,10 +149,7 @@ mod tests {
 
     #[test]
     fn weighted_average_matches_hand_computation() {
-        let updates = vec![
-            update(1, vec![1.0, 0.0], 10),
-            update(2, vec![0.0, 1.0], 30),
-        ];
+        let updates = vec![update(1, vec![1.0, 0.0], 10), update(2, vec![0.0, 1.0], 30)];
         let agg = fedavg(&updates).unwrap();
         assert!((agg.model.as_slice()[0] - 0.25).abs() < 1e-6);
         assert!((agg.model.as_slice()[1] - 0.75).abs() < 1e-6);

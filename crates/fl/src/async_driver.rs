@@ -60,13 +60,19 @@ impl AsyncDriverConfig {
     /// concurrency or an invalid staleness policy.
     pub fn validate(&self) -> Result<()> {
         if self.buffer_goal == 0 {
-            return Err(LiflError::InvalidConfig("buffer_goal must be at least 1".into()));
+            return Err(LiflError::InvalidConfig(
+                "buffer_goal must be at least 1".into(),
+            ));
         }
         if self.concurrency == 0 {
-            return Err(LiflError::InvalidConfig("concurrency must be at least 1".into()));
+            return Err(LiflError::InvalidConfig(
+                "concurrency must be at least 1".into(),
+            ));
         }
         if self.target_versions == 0 {
-            return Err(LiflError::InvalidConfig("target_versions must be at least 1".into()));
+            return Err(LiflError::InvalidConfig(
+                "target_versions must be at least 1".into(),
+            ));
         }
         self.staleness.validate()
     }
@@ -186,11 +192,12 @@ impl AsyncFlDriver {
 
         while self.history.len() < self.config.target_versions {
             // Pop the earliest completion.
-            let (next_idx, _) = match in_flight
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.finish_at.as_secs().partial_cmp(&b.1.finish_at.as_secs()).unwrap())
-            {
+            let (next_idx, _) = match in_flight.iter().enumerate().min_by(|a, b| {
+                a.1.finish_at
+                    .as_secs()
+                    .partial_cmp(&b.1.finish_at.as_secs())
+                    .unwrap()
+            }) {
                 Some((i, f)) => (i, *f),
                 None => break,
             };
@@ -222,7 +229,7 @@ impl AsyncFlDriver {
                     self.global = aggregate.model;
                 }
                 let version = self.history.len() + 1;
-                let accuracy = if version % self.config.eval_every.max(1) == 0 {
+                let accuracy = if version.is_multiple_of(self.config.eval_every.max(1)) {
                     Some(self.evaluate())
                 } else {
                     None
@@ -331,10 +338,13 @@ mod tests {
 
     #[test]
     fn accuracy_improves_over_versions() {
-        let (mut driver, mut rng) = setup(42, AsyncDriverConfig {
-            target_versions: 15,
-            ..fast_config()
-        });
+        let (mut driver, mut rng) = setup(
+            42,
+            AsyncDriverConfig {
+                target_versions: 15,
+                ..fast_config()
+            },
+        );
         let initial = driver.evaluate();
         driver.run(&mut rng);
         let final_acc = driver.evaluate();
@@ -351,7 +361,10 @@ mod tests {
         driver.run(&mut rng);
         let tracker = driver.staleness();
         assert!(tracker.count() >= 10 * 8);
-        assert!(tracker.max() <= 10, "staleness cannot exceed committed versions");
+        assert!(
+            tracker.max() <= 10,
+            "staleness cannot exceed committed versions"
+        );
         // With clients continuously training across commits, some staleness
         // must appear after the first version.
         assert!(tracker.stale_count() > 0);
@@ -393,9 +406,18 @@ mod tests {
             &mut rng,
         );
         for bad in [
-            AsyncDriverConfig { buffer_goal: 0, ..AsyncDriverConfig::default() },
-            AsyncDriverConfig { concurrency: 0, ..AsyncDriverConfig::default() },
-            AsyncDriverConfig { target_versions: 0, ..AsyncDriverConfig::default() },
+            AsyncDriverConfig {
+                buffer_goal: 0,
+                ..AsyncDriverConfig::default()
+            },
+            AsyncDriverConfig {
+                concurrency: 0,
+                ..AsyncDriverConfig::default()
+            },
+            AsyncDriverConfig {
+                target_versions: 0,
+                ..AsyncDriverConfig::default()
+            },
             AsyncDriverConfig {
                 staleness: StalenessPolicy::Polynomial { exponent: 0.0 },
                 ..AsyncDriverConfig::default()

@@ -5,9 +5,10 @@ use lifl_types::{ClientId, ModelKind, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Availability model of a client.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum ClientAvailability {
     /// Always available (the ResNet-152 "server client" setup, §6.2).
+    #[default]
     AlwaysOn,
     /// Mobile-device behaviour: after each round the client hibernates for a
     /// uniformly random interval in `[0, max_secs]` (the ResNet-18 setup, §6.2).
@@ -15,12 +16,6 @@ pub enum ClientAvailability {
         /// Upper bound of the hibernation interval in seconds.
         max_secs: f64,
     },
-}
-
-impl Default for ClientAvailability {
-    fn default() -> Self {
-        ClientAvailability::AlwaysOn
-    }
 }
 
 /// A participating client/trainer.
@@ -47,9 +42,13 @@ impl Client {
             ModelKind::ResNet18 => 0.20,
             ModelKind::ResNet34 => 0.35,
             ModelKind::ResNet152 => 1.6,
-            ModelKind::Custom { update_bytes } => 0.2 * (update_bytes as f64 / (44.0 * 1024.0 * 1024.0)),
+            ModelKind::Custom { update_bytes } => {
+                0.2 * (update_bytes as f64 / (44.0 * 1024.0 * 1024.0))
+            }
         };
-        SimDuration::from_secs(per_sample_secs * self.local_samples as f64 / self.compute_speed.max(0.05))
+        SimDuration::from_secs(
+            per_sample_secs * self.local_samples as f64 / self.compute_speed.max(0.05),
+        )
     }
 
     /// Time spent hibernating before the client is ready for the next round.
@@ -120,7 +119,12 @@ mod tests {
         let mut rng = SimRng::from_seed(5);
         let c = client(1.0, 10);
         let start = SimTime::from_secs(100.0);
-        let arrival = c.update_arrival(start, ModelKind::ResNet18, SimDuration::from_secs(1.0), &mut rng);
+        let arrival = c.update_arrival(
+            start,
+            ModelKind::ResNet18,
+            SimDuration::from_secs(1.0),
+            &mut rng,
+        );
         assert!(arrival > start);
     }
 }

@@ -91,10 +91,9 @@ impl FederatedDataset {
         for _ in 0..config.num_clients {
             let label_dist = rng.dirichlet(config.num_classes, config.dirichlet_alpha);
             // Heavy-tailed per-client sample count (FedScale-like quantity skew).
-            let count = ((config.mean_samples_per_client as f64)
-                * (0.3 + rng.exponential(0.7)))
-            .round()
-            .max(4.0) as usize;
+            let count = ((config.mean_samples_per_client as f64) * (0.3 + rng.exponential(0.7)))
+                .round()
+                .max(4.0) as usize;
             let mut shard = Vec::with_capacity(count);
             for _ in 0..count {
                 let class = sample_class(&label_dist, rng);

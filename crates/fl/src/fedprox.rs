@@ -118,8 +118,7 @@ impl FedProxTrainer {
         if self.config.mu > 0.0 && !shard.is_empty() {
             // Pull the locally trained model back toward the global model:
             // w ← w − lr·μ·(w − w_global), applied once per local epoch.
-            let shrink = (self.config.learning_rate * self.config.mu)
-                .min(1.0)
+            let shrink = (self.config.learning_rate * self.config.mu).min(1.0)
                 * self.config.local_epochs.max(1) as f32;
             let shrink = shrink.min(1.0);
             let params = model.as_mut_slice();
@@ -175,11 +174,15 @@ mod tests {
             batch_size: 16,
         };
         let prox = FedProxTrainer::new(10, 4, config).unwrap();
-        let sgd = LocalTrainer::new(10, 4, TrainerConfig {
-            batch_size: 16,
-            learning_rate: 0.05,
-            local_epochs: 2,
-        });
+        let sgd = LocalTrainer::new(
+            10,
+            4,
+            TrainerConfig {
+                batch_size: 16,
+                learning_rate: 0.05,
+                local_epochs: 2,
+            },
+        );
         let global = ds.initial_model();
         let shard = ds.shard(ClientId::new(0));
         let mut rng_a = rng.clone();
@@ -254,11 +257,22 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(FedProxTrainer::new(4, 2, FedProxConfig { mu: -0.1, ..FedProxConfig::default() }).is_err());
         assert!(FedProxTrainer::new(
             4,
             2,
-            FedProxConfig { learning_rate: 0.0, ..FedProxConfig::default() }
+            FedProxConfig {
+                mu: -0.1,
+                ..FedProxConfig::default()
+            }
+        )
+        .is_err());
+        assert!(FedProxTrainer::new(
+            4,
+            2,
+            FedProxConfig {
+                learning_rate: 0.0,
+                ..FedProxConfig::default()
+            }
         )
         .is_err());
         assert!(FedProxConfig::default().validate().is_ok());

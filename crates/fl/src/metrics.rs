@@ -60,8 +60,14 @@ mod tests {
         // W = [[10,0],[0,10]], b = [0,0]
         let model = DenseModel::from_vec(vec![10.0, 0.0, 0.0, 10.0, 0.0, 0.0]);
         let samples = vec![
-            Sample { features: vec![1.0, 0.0], label: 0 },
-            Sample { features: vec![0.0, 1.0], label: 1 },
+            Sample {
+                features: vec![1.0, 0.0],
+                label: 0,
+            },
+            Sample {
+                features: vec![0.0, 1.0],
+                label: 1,
+            },
         ];
         assert_eq!(accuracy_percent(&trainer, &model, &samples), 100.0);
         assert!(cross_entropy(&trainer, &model, &samples) < 0.01);

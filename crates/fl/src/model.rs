@@ -50,7 +50,11 @@ impl DenseModel {
 
     /// Euclidean norm of the parameters.
     pub fn l2_norm(&self) -> f64 {
-        self.params.iter().map(|p| (*p as f64) * (*p as f64)).sum::<f64>().sqrt()
+        self.params
+            .iter()
+            .map(|p| (*p as f64) * (*p as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Adds `scale * other` into this model.
@@ -104,7 +108,10 @@ mod tests {
         let b = DenseModel::zeros(4);
         assert!(matches!(
             a.axpy(1.0, &b),
-            Err(LiflError::DimensionMismatch { expected: 3, actual: 4 })
+            Err(LiflError::DimensionMismatch {
+                expected: 3,
+                actual: 4
+            })
         ));
     }
 

@@ -165,7 +165,12 @@ mod tests {
     fn clients_are_heterogeneous() {
         let mut rng = SimRng::from_seed(4);
         let pop = Population::generate(PopulationConfig::resnet18_paper(), &mut rng);
-        let speeds: Vec<f64> = pop.clients().iter().take(100).map(|c| c.compute_speed).collect();
+        let speeds: Vec<f64> = pop
+            .clients()
+            .iter()
+            .take(100)
+            .map(|c| c.compute_speed)
+            .collect();
         let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = speeds.iter().cloned().fold(0.0, f64::max);
         assert!(max - min > 0.2, "speeds should vary: {min}..{max}");

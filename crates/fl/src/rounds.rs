@@ -106,7 +106,7 @@ impl FlDriver {
         if let Ok(aggregated) = fedavg(&updates) {
             self.global = aggregated.model;
         }
-        let accuracy = if round % self.config.eval_every.max(1) == 0 {
+        let accuracy = if round.is_multiple_of(self.config.eval_every.max(1)) {
             Some(self.evaluate())
         } else {
             None

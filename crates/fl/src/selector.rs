@@ -39,7 +39,11 @@ pub fn select_clients(
         SelectionStrategy::UniformRandom => {
             let mut indices: Vec<usize> = (0..pool.len()).collect();
             rng.shuffle(&mut indices);
-            indices.into_iter().take(count).map(|i| pool[i].clone()).collect()
+            indices
+                .into_iter()
+                .take(count)
+                .map(|i| pool[i].clone())
+                .collect()
         }
         SelectionStrategy::DataSizeWeighted => {
             // Weighted sampling without replacement via the exponential-sort trick:
@@ -54,7 +58,11 @@ pub fn select_clients(
                 })
                 .collect();
             keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-            keyed.into_iter().take(count).map(|(_, i)| pool[i].clone()).collect()
+            keyed
+                .into_iter()
+                .take(count)
+                .map(|(_, i)| pool[i].clone())
+                .collect()
         }
         SelectionStrategy::FastestFirst => {
             let mut indexed: Vec<usize> = (0..pool.len()).collect();
@@ -63,7 +71,11 @@ pub fn select_clients(
                     .training_time(model)
                     .cmp(&pool[b].training_time(model))
             });
-            indexed.into_iter().take(count).map(|i| pool[i].clone()).collect()
+            indexed
+                .into_iter()
+                .take(count)
+                .map(|i| pool[i].clone())
+                .collect()
         }
     }
 }
@@ -107,8 +119,13 @@ mod tests {
     fn fastest_first_picks_fastest() {
         let pool = pool(30);
         let mut rng = SimRng::from_seed(2);
-        let selected =
-            select_clients(SelectionStrategy::FastestFirst, &pool, 5, ModelKind::ResNet18, &mut rng);
+        let selected = select_clients(
+            SelectionStrategy::FastestFirst,
+            &pool,
+            5,
+            ModelKind::ResNet18,
+            &mut rng,
+        );
         let max_selected = selected
             .iter()
             .map(|c| c.training_time(ModelKind::ResNet18))
@@ -130,19 +147,32 @@ mod tests {
         };
         let mut weighted_total = 0.0;
         for _ in 0..20 {
-            let sel =
-                select_clients(SelectionStrategy::DataSizeWeighted, &pool, 30, ModelKind::ResNet18, &mut rng);
+            let sel = select_clients(
+                SelectionStrategy::DataSizeWeighted,
+                &pool,
+                30,
+                ModelKind::ResNet18,
+                &mut rng,
+            );
             weighted_total += mean(&sel);
         }
-        assert!(weighted_total / 20.0 > mean(&pool), "weighted selection should skew large");
+        assert!(
+            weighted_total / 20.0 > mean(&pool),
+            "weighted selection should skew large"
+        );
     }
 
     #[test]
     fn selection_capped_by_pool_size() {
         let pool = pool(3);
         let mut rng = SimRng::from_seed(4);
-        let selected =
-            select_clients(SelectionStrategy::UniformRandom, &pool, 10, ModelKind::ResNet18, &mut rng);
+        let selected = select_clients(
+            SelectionStrategy::UniformRandom,
+            &pool,
+            10,
+            ModelKind::ResNet18,
+            &mut rng,
+        );
         assert_eq!(selected.len(), 3);
     }
 }

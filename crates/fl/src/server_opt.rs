@@ -285,7 +285,11 @@ mod tests {
 
     #[test]
     fn adaptive_optimizers_move_toward_aggregate() {
-        for kind in [ServerOptKind::FedAdagrad, ServerOptKind::FedAdam, ServerOptKind::FedYogi] {
+        for kind in [
+            ServerOptKind::FedAdagrad,
+            ServerOptKind::FedAdam,
+            ServerOptKind::FedYogi,
+        ] {
             let mut global = model(&[0.0, 0.0, 0.0]);
             let aggregate = model(&[1.0, -1.0, 0.5]);
             let mut opt = ServerOptimizer::new(ServerOptConfig::for_kind(kind)).unwrap();
@@ -335,7 +339,10 @@ mod tests {
         let mut opt = ServerOptimizer::fedavg();
         assert!(matches!(
             opt.step(&mut global, &aggregate),
-            Err(LiflError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(LiflError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 
@@ -367,7 +374,10 @@ mod tests {
 
     #[test]
     fn for_kind_uses_smaller_rate_for_adaptive_methods() {
-        assert_eq!(ServerOptConfig::for_kind(ServerOptKind::FedAvg).learning_rate, 1.0);
+        assert_eq!(
+            ServerOptConfig::for_kind(ServerOptKind::FedAvg).learning_rate,
+            1.0
+        );
         assert!(ServerOptConfig::for_kind(ServerOptKind::FedAdam).learning_rate < 1.0);
     }
 }

@@ -42,9 +42,7 @@ impl StalenessPolicy {
     pub fn weight(self, tau: u64) -> f64 {
         match self {
             StalenessPolicy::Constant => 1.0,
-            StalenessPolicy::Polynomial { exponent } => {
-                (1.0 + tau as f64).powf(-exponent.max(0.0))
-            }
+            StalenessPolicy::Polynomial { exponent } => (1.0 + tau as f64).powf(-exponent.max(0.0)),
             StalenessPolicy::Hinge { threshold, slope } => {
                 if tau <= threshold {
                     1.0
@@ -150,7 +148,10 @@ mod tests {
         for policy in [
             StalenessPolicy::Constant,
             StalenessPolicy::Polynomial { exponent: 0.5 },
-            StalenessPolicy::Hinge { threshold: 3, slope: 0.4 },
+            StalenessPolicy::Hinge {
+                threshold: 3,
+                slope: 0.4,
+            },
         ] {
             assert_eq!(policy.weight(0), 1.0, "{policy}");
         }
@@ -170,7 +171,10 @@ mod tests {
 
     #[test]
     fn hinge_keeps_full_weight_up_to_threshold() {
-        let policy = StalenessPolicy::Hinge { threshold: 5, slope: 1.0 };
+        let policy = StalenessPolicy::Hinge {
+            threshold: 5,
+            slope: 1.0,
+        };
         for tau in 0..=5 {
             assert_eq!(policy.weight(tau), 1.0);
         }
@@ -180,7 +184,8 @@ mod tests {
 
     #[test]
     fn apply_scales_samples_but_never_to_zero() {
-        let update = ModelUpdate::from_client(ClientId::new(1), DenseModel::from_vec(vec![1.0]), 10);
+        let update =
+            ModelUpdate::from_client(ClientId::new(1), DenseModel::from_vec(vec![1.0]), 10);
         let policy = StalenessPolicy::Polynomial { exponent: 2.0 };
         let scaled = policy.apply(&update, 3);
         assert!(scaled.samples < update.samples);
@@ -192,10 +197,19 @@ mod tests {
 
     #[test]
     fn validation_flags_bad_parameters() {
-        assert!(StalenessPolicy::Polynomial { exponent: 0.0 }.validate().is_err());
-        assert!(StalenessPolicy::Hinge { threshold: 2, slope: 0.0 }.validate().is_err());
+        assert!(StalenessPolicy::Polynomial { exponent: 0.0 }
+            .validate()
+            .is_err());
+        assert!(StalenessPolicy::Hinge {
+            threshold: 2,
+            slope: 0.0
+        }
+        .validate()
+        .is_err());
         assert!(StalenessPolicy::Constant.validate().is_ok());
-        assert!(StalenessPolicy::Polynomial { exponent: 1.0 }.validate().is_ok());
+        assert!(StalenessPolicy::Polynomial { exponent: 1.0 }
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -215,8 +229,15 @@ mod tests {
     #[test]
     fn display_labels_are_informative() {
         assert_eq!(StalenessPolicy::Constant.to_string(), "constant");
-        assert!(StalenessPolicy::Polynomial { exponent: 0.5 }.to_string().contains("0.5"));
-        assert!(StalenessPolicy::Hinge { threshold: 3, slope: 0.4 }.to_string().contains("3"));
+        assert!(StalenessPolicy::Polynomial { exponent: 0.5 }
+            .to_string()
+            .contains("0.5"));
+        assert!(StalenessPolicy::Hinge {
+            threshold: 3,
+            slope: 0.4
+        }
+        .to_string()
+        .contains("3"));
     }
 }
 

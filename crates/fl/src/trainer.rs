@@ -54,7 +54,12 @@ impl LocalTrainer {
 
     /// Runs local SGD starting from `global`, returning the locally trained
     /// model and the average training loss of the final epoch.
-    pub fn train(&self, global: &DenseModel, shard: &[Sample], rng: &mut SimRng) -> (DenseModel, f64) {
+    pub fn train(
+        &self,
+        global: &DenseModel,
+        shard: &[Sample],
+        rng: &mut SimRng,
+    ) -> (DenseModel, f64) {
         let mut model = global.clone();
         if shard.is_empty() {
             return (model, 0.0);
@@ -151,11 +156,15 @@ mod tests {
             },
             &mut rng,
         );
-        let trainer = LocalTrainer::new(8, 4, TrainerConfig {
-            local_epochs: 5,
-            learning_rate: 0.1,
-            batch_size: 16,
-        });
+        let trainer = LocalTrainer::new(
+            8,
+            4,
+            TrainerConfig {
+                local_epochs: 5,
+                learning_rate: 0.1,
+                batch_size: 16,
+            },
+        );
         let global = ds.initial_model();
         let shard = ds.shard(ClientId::new(0));
         let (_, loss_first) = trainer.train(&global, &shard[..shard.len().min(64)], &mut rng);

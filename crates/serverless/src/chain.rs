@@ -162,8 +162,11 @@ mod tests {
 
     #[test]
     fn reactive_cold_starts_cascade() {
-        let mut chain =
-            FunctionChain::aggregation_chain(SystemKind::Serverless, 3, startup(SystemKind::Serverless));
+        let mut chain = FunctionChain::aggregation_chain(
+            SystemKind::Serverless,
+            3,
+            startup(SystemKind::Serverless),
+        );
         let reactive = chain.scale_for_traffic(SimTime::ZERO, ChainScaling::Reactive);
         assert_eq!(reactive.cold_starts(), 3);
         // Each stage becomes ready strictly after the previous one.
@@ -181,10 +184,16 @@ mod tests {
 
     #[test]
     fn preplanned_chain_ready_after_one_cold_start() {
-        let mut reactive_chain =
-            FunctionChain::aggregation_chain(SystemKind::Serverless, 4, startup(SystemKind::Serverless));
-        let mut planned_chain =
-            FunctionChain::aggregation_chain(SystemKind::Serverless, 4, startup(SystemKind::Serverless));
+        let mut reactive_chain = FunctionChain::aggregation_chain(
+            SystemKind::Serverless,
+            4,
+            startup(SystemKind::Serverless),
+        );
+        let mut planned_chain = FunctionChain::aggregation_chain(
+            SystemKind::Serverless,
+            4,
+            startup(SystemKind::Serverless),
+        );
         let reactive = reactive_chain.scale_for_traffic(SimTime::ZERO, ChainScaling::Reactive);
         let planned = planned_chain.scale_for_traffic(SimTime::ZERO, ChainScaling::PrePlanned);
         assert_eq!(planned.cold_starts(), 4);
@@ -211,19 +220,30 @@ mod tests {
         assert_eq!(first.cold_starts(), 3);
         chain.release_all(SimTime::from_secs(20.0));
         let second = chain.scale_for_traffic(SimTime::from_secs(30.0), ChainScaling::PrePlanned);
-        assert_eq!(second.cold_starts(), 0, "second wave should reuse warm instances");
+        assert_eq!(
+            second.cold_starts(),
+            0,
+            "second wave should reuse warm instances"
+        );
         // Readiness latency (relative to the wave's arrival) shrinks on reuse.
         let first_latency = first.chain_ready_at.as_secs();
         let second_latency = second.chain_ready_at.as_secs() - 30.0;
-        assert!(second_latency <= first_latency, "{second_latency} vs {first_latency}");
+        assert!(
+            second_latency <= first_latency,
+            "{second_latency} vs {first_latency}"
+        );
         assert_eq!(second.startup_cpu, SimDuration::ZERO);
     }
 
     #[test]
     fn lifl_runtimes_start_faster_than_knative_containers() {
-        let mut sl =
-            FunctionChain::aggregation_chain(SystemKind::Serverless, 3, startup(SystemKind::Serverless));
-        let mut lifl = FunctionChain::aggregation_chain(SystemKind::Lifl, 3, startup(SystemKind::Lifl));
+        let mut sl = FunctionChain::aggregation_chain(
+            SystemKind::Serverless,
+            3,
+            startup(SystemKind::Serverless),
+        );
+        let mut lifl =
+            FunctionChain::aggregation_chain(SystemKind::Lifl, 3, startup(SystemKind::Lifl));
         let sl_ready = sl.scale_for_traffic(SimTime::ZERO, ChainScaling::Reactive);
         let lifl_ready = lifl.scale_for_traffic(SimTime::ZERO, ChainScaling::Reactive);
         assert!(lifl_ready.chain_ready_at < sl_ready.chain_ready_at);
@@ -232,7 +252,8 @@ mod tests {
 
     #[test]
     fn chain_depth_is_at_least_one() {
-        let chain = FunctionChain::aggregation_chain(SystemKind::Lifl, 0, startup(SystemKind::Lifl));
+        let chain =
+            FunctionChain::aggregation_chain(SystemKind::Lifl, 0, startup(SystemKind::Lifl));
         assert_eq!(chain.depth(), 1);
         assert_eq!(chain.stages().len(), 1);
     }

@@ -109,8 +109,7 @@ impl InstancePool {
     pub fn expire_idle(&mut self, now: SimTime) {
         let keep_alive = self.spec.keep_alive;
         for inst in self.instances.values_mut() {
-            if inst.state == InstanceState::Idle
-                && now.duration_since(inst.idle_since) > keep_alive
+            if inst.state == InstanceState::Idle && now.duration_since(inst.idle_since) > keep_alive
             {
                 inst.state = InstanceState::Terminated;
             }

@@ -141,7 +141,8 @@ impl KpaAutoscaler {
 
     /// Whether the autoscaler is in panic mode at `now`.
     pub fn panicking(&self, now: SimTime) -> bool {
-        self.panic_until.is_some_and(|until| now.as_secs() <= until.as_secs())
+        self.panic_until
+            .is_some_and(|until| now.as_secs() <= until.as_secs())
     }
 
     /// Evaluates the control loop at `now`, given the currently ready replica
@@ -189,7 +190,8 @@ impl KpaAutoscaler {
                 None => true,
             };
             if !idle_long_enough {
-                desired = 1.min(ready_replicas.max(1));
+                // Hold one replica until the grace period elapses.
+                desired = 1;
             }
         }
 
@@ -285,7 +287,10 @@ mod tests {
             kpa.observe(SimTime::from_secs(s as f64), 0.0);
         }
         let late = kpa.evaluate(SimTime::from_secs(120.0), 1);
-        assert_eq!(late.desired_replicas, 0, "idle past grace should scale to zero");
+        assert_eq!(
+            late.desired_replicas, 0,
+            "idle past grace should scale to zero"
+        );
     }
 
     #[test]

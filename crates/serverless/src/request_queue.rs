@@ -129,7 +129,8 @@ impl RequestQueue {
     /// Offers one request arriving at `now` with service demand `service`.
     pub fn offer(&mut self, now: SimTime, service: SimDuration) -> Admission {
         // Clean out starts that have already happened.
-        self.pending_starts.retain(|start| start.as_secs() > now.as_secs());
+        self.pending_starts
+            .retain(|start| start.as_secs() > now.as_secs());
         if self.config.capacity > 0 && self.pending_starts.len() >= self.config.capacity as usize {
             self.rejected += 1;
             return Admission::Rejected;
@@ -176,7 +177,10 @@ mod tests {
 
     #[test]
     fn under_capacity_requests_start_immediately() {
-        let mut q = RequestQueue::new(RequestQueueConfig { concurrency: 2, capacity: 0 });
+        let mut q = RequestQueue::new(RequestQueueConfig {
+            concurrency: 2,
+            capacity: 0,
+        });
         let a = q.offer(secs(0.0), dur(5.0));
         let b = q.offer(secs(0.0), dur(5.0));
         for adm in [a, b] {
@@ -191,11 +195,18 @@ mod tests {
 
     #[test]
     fn excess_requests_queue_behind_busy_slots() {
-        let mut q = RequestQueue::new(RequestQueueConfig { concurrency: 1, capacity: 0 });
+        let mut q = RequestQueue::new(RequestQueueConfig {
+            concurrency: 1,
+            capacity: 0,
+        });
         q.offer(secs(0.0), dur(10.0));
         let second = q.offer(secs(1.0), dur(10.0));
         match second {
-            Admission::Admitted { started_at, finished_at, queued_for } => {
+            Admission::Admitted {
+                started_at,
+                finished_at,
+                queued_for,
+            } => {
                 assert_eq!(started_at.as_secs(), 10.0);
                 assert_eq!(finished_at.as_secs(), 20.0);
                 assert_eq!(queued_for.as_secs(), 9.0);
@@ -208,7 +219,10 @@ mod tests {
 
     #[test]
     fn bounded_queue_rejects_overflow() {
-        let mut q = RequestQueue::new(RequestQueueConfig { concurrency: 1, capacity: 2 });
+        let mut q = RequestQueue::new(RequestQueueConfig {
+            concurrency: 1,
+            capacity: 2,
+        });
         q.offer(secs(0.0), dur(100.0));
         let a = q.offer(secs(0.0), dur(100.0));
         let b = q.offer(secs(0.0), dur(100.0));
@@ -222,7 +236,10 @@ mod tests {
 
     #[test]
     fn backlog_drains_over_time() {
-        let mut q = RequestQueue::new(RequestQueueConfig { concurrency: 1, capacity: 0 });
+        let mut q = RequestQueue::new(RequestQueueConfig {
+            concurrency: 1,
+            capacity: 0,
+        });
         for _ in 0..4 {
             q.offer(secs(0.0), dur(10.0));
         }
@@ -234,7 +251,10 @@ mod tests {
     #[test]
     fn more_concurrency_means_less_queueing() {
         let run = |concurrency| {
-            let mut q = RequestQueue::new(RequestQueueConfig { concurrency, capacity: 0 });
+            let mut q = RequestQueue::new(RequestQueueConfig {
+                concurrency,
+                capacity: 0,
+            });
             for i in 0..20 {
                 q.offer(secs(i as f64 * 0.1), dur(5.0));
             }
@@ -242,7 +262,10 @@ mod tests {
         };
         let narrow = run(1);
         let wide = run(8);
-        assert!(wide < narrow, "concurrency 8 ({wide}) should queue less than 1 ({narrow})");
+        assert!(
+            wide < narrow,
+            "concurrency 8 ({wide}) should queue less than 1 ({narrow})"
+        );
     }
 }
 

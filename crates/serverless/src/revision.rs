@@ -108,9 +108,7 @@ impl Revision {
         let grace = self.termination_grace;
         let mut terminated = 0;
         self.pods.retain(|_, pod| {
-            if pod.phase == PodPhase::Terminating
-                && now.duration_since(pod.phase_since) >= grace
-            {
+            if pod.phase == PodPhase::Terminating && now.duration_since(pod.phase_since) >= grace {
                 terminated += 1;
                 false
             } else {
@@ -213,7 +211,10 @@ mod tests {
         rev.advance(SimTime::from_secs(30.0));
         let delta = rev.reconcile(SimTime::from_secs(30.0), 1);
         assert_eq!(delta, -3);
-        assert_eq!(rev.count_in_phase(SimTime::from_secs(30.0), PodPhase::Terminating), 3);
+        assert_eq!(
+            rev.count_in_phase(SimTime::from_secs(30.0), PodPhase::Terminating),
+            3
+        );
         // After the grace period, terminated pods disappear entirely.
         rev.advance(SimTime::from_secs(40.0));
         assert_eq!(rev.pods().count(), 1);
@@ -237,7 +238,11 @@ mod tests {
         rev.advance(SimTime::from_secs(60.0));
         assert_eq!(rev.pods().count(), 0);
         rev.reconcile(SimTime::from_secs(100.0), 2);
-        assert_eq!(rev.ready_pods(SimTime::from_secs(100.0)), 0, "fresh pods start cold");
+        assert_eq!(
+            rev.ready_pods(SimTime::from_secs(100.0)),
+            0,
+            "fresh pods start cold"
+        );
         assert_eq!(rev.stats().pods_created, 4);
         assert!(rev.ready_pods(SimTime::from_secs(130.0)) == 2);
     }

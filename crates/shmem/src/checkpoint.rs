@@ -63,12 +63,7 @@ impl CheckpointStore {
     /// aggregator failure: aggregators are stateless, so a new instance starts
     /// from the latest global model.
     pub fn latest(&self) -> Option<Checkpoint> {
-        self.inner
-            .lock()
-            .checkpoints
-            .values()
-            .next_back()
-            .cloned()
+        self.inner.lock().checkpoints.values().next_back().cloned()
     }
 
     /// Number of checkpoints stored.

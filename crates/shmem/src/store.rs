@@ -204,7 +204,10 @@ mod tests {
         store.put(vec![0u8; 100]).unwrap();
         let err = store.put(vec![0u8; 100]).unwrap_err();
         match err {
-            LiflError::OutOfSharedMemory { requested, available } => {
+            LiflError::OutOfSharedMemory {
+                requested,
+                available,
+            } => {
                 assert_eq!(requested, 100);
                 assert_eq!(available, 50);
             }

@@ -42,7 +42,11 @@ impl<S> Scheduler<S> {
 
     /// Schedules `handler` at the absolute time `at`. Events scheduled in the
     /// past run at the current time instead (time never goes backwards).
-    pub fn schedule_at(&mut self, at: SimTime, handler: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    ) {
         let at = at.max(self.now);
         self.queue.push(at, Box::new(handler));
     }
@@ -94,7 +98,11 @@ impl<S> Engine<S> {
     }
 
     /// Schedules an initial event (same contract as [`Scheduler::schedule_at`]).
-    pub fn schedule_at(&mut self, at: SimTime, handler: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    ) {
         self.scheduler.schedule_at(at, handler);
     }
 
@@ -103,10 +111,7 @@ impl<S> Engine<S> {
     /// Returns the number of events executed by this call.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let before = self.scheduler.executed;
-        loop {
-            let Some(at) = self.scheduler.queue.peek_time() else {
-                break;
-            };
+        while let Some(at) = self.scheduler.queue.peek_time() {
             if at.as_secs() > horizon.as_secs() {
                 break;
             }
@@ -170,7 +175,9 @@ mod tests {
     fn run_until_respects_the_horizon() {
         let mut engine: Engine<u32> = Engine::new(0);
         for i in 1..=10u32 {
-            engine.schedule_at(SimTime::from_secs(i as f64 * 10.0), move |_, count| *count += 1);
+            engine.schedule_at(SimTime::from_secs(i as f64 * 10.0), move |_, count| {
+                *count += 1
+            });
         }
         let first = engine.run_until(SimTime::from_secs(35.0));
         assert_eq!(first, 3);

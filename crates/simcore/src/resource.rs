@@ -62,7 +62,11 @@ impl CpuPool {
 
     /// The earliest time at which any core is free.
     pub fn earliest_free(&self) -> SimTime {
-        self.core_free_at.iter().copied().min().unwrap_or(SimTime::ZERO)
+        self.core_free_at
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Resets the pool to an idle state, forgetting accumulated busy time.

@@ -255,9 +255,24 @@ mod tests {
     #[test]
     fn gantt_makespan_and_busy() {
         let mut g = Gantt::new();
-        g.add("LF1", "Network", SimTime::from_secs(0.0), SimTime::from_secs(5.0));
-        g.add("LF1", "Agg.", SimTime::from_secs(5.0), SimTime::from_secs(8.0));
-        g.add("Top", "Agg.", SimTime::from_secs(8.0), SimTime::from_secs(12.0));
+        g.add(
+            "LF1",
+            "Network",
+            SimTime::from_secs(0.0),
+            SimTime::from_secs(5.0),
+        );
+        g.add(
+            "LF1",
+            "Agg.",
+            SimTime::from_secs(5.0),
+            SimTime::from_secs(8.0),
+        );
+        g.add(
+            "Top",
+            "Agg.",
+            SimTime::from_secs(8.0),
+            SimTime::from_secs(12.0),
+        );
         assert_eq!(g.makespan(), 12.0);
         assert_eq!(g.row_busy("LF1"), 8.0);
         assert_eq!(g.rows(), vec!["LF1".to_string(), "Top".to_string()]);

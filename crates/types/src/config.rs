@@ -159,7 +159,10 @@ impl LiflConfig {
     /// Returns an error string if α is outside `[0, 1]` or the leaf fan-in is zero.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.ewma_alpha) {
-            return Err(format!("ewma_alpha must be in [0,1], got {}", self.ewma_alpha));
+            return Err(format!(
+                "ewma_alpha must be in [0,1], got {}",
+                self.ewma_alpha
+            ));
         }
         if self.leaf_fan_in == 0 {
             return Err("leaf_fan_in must be at least 1".to_string());
@@ -205,8 +208,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_alpha() {
-        let mut cfg = LiflConfig::default();
-        cfg.ewma_alpha = 1.5;
+        let mut cfg = LiflConfig {
+            ewma_alpha: 1.5,
+            ..LiflConfig::default()
+        };
         assert!(cfg.validate().is_err());
         cfg.ewma_alpha = 0.5;
         cfg.leaf_fan_in = 0;

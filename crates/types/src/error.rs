@@ -55,7 +55,10 @@ impl fmt::Display for LiflError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LiflError::ObjectNotFound(key) => write!(f, "shared-memory object {key} not found"),
-            LiflError::OutOfSharedMemory { requested, available } => write!(
+            LiflError::OutOfSharedMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "out of shared memory: requested {requested} bytes, {available} available"
             ),
@@ -70,7 +73,10 @@ impl fmt::Display for LiflError {
             LiflError::InstanceTerminated => write!(f, "operation on a terminated instance"),
             LiflError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             LiflError::DimensionMismatch { expected, actual } => {
-                write!(f, "model dimension mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "model dimension mismatch: expected {expected}, got {actual}"
+                )
             }
             LiflError::InvalidAggregationGoal(goal) => {
                 write!(f, "invalid aggregation goal {goal}")
@@ -102,7 +108,10 @@ mod tests {
 
     #[test]
     fn capacity_error_reports_numbers() {
-        let err = LiflError::InsufficientCapacity { demanded: 120, capacity: 100 };
+        let err = LiflError::InsufficientCapacity {
+            demanded: 120,
+            capacity: 100,
+        };
         assert!(err.to_string().contains("120"));
         assert!(err.to_string().contains("100"));
     }

@@ -71,7 +71,11 @@ impl ModelKind {
 
     /// The three paper models in increasing size order.
     pub fn paper_models() -> [ModelKind; 3] {
-        [ModelKind::ResNet18, ModelKind::ResNet34, ModelKind::ResNet152]
+        [
+            ModelKind::ResNet18,
+            ModelKind::ResNet34,
+            ModelKind::ResNet152,
+        ]
     }
 }
 

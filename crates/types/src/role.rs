@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn promotion_chain_terminates_at_top() {
-        assert_eq!(AggregatorRole::Leaf.promoted(), Some(AggregatorRole::Middle));
+        assert_eq!(
+            AggregatorRole::Leaf.promoted(),
+            Some(AggregatorRole::Middle)
+        );
         assert_eq!(AggregatorRole::Middle.promoted(), Some(AggregatorRole::Top));
         assert_eq!(AggregatorRole::Top.promoted(), None);
     }

@@ -215,7 +215,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_secs(3.0), SimTime::from_secs(1.0), SimTime::from_secs(2.0)];
+        let mut v = [
+            SimTime::from_secs(3.0),
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(2.0),
+        ];
         v.sort();
         assert_eq!(v[0].as_secs(), 1.0);
         assert_eq!(v[2].as_secs(), 3.0);
@@ -223,8 +227,10 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            [1.0, 2.0, 3.5].iter().map(|s| SimDuration::from_secs(*s)).sum();
+        let total: SimDuration = [1.0, 2.0, 3.5]
+            .iter()
+            .map(|s| SimDuration::from_secs(*s))
+            .sum();
         assert!((total.as_secs() - 6.5).abs() < 1e-12);
         assert!((total.as_hours() - 6.5 / 3600.0).abs() < 1e-12);
     }

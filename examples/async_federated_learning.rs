@@ -2,7 +2,7 @@
 //! staleness-weighted FedAvg over a heterogeneous, hibernating client
 //! population.
 //!
-//! Run with: `cargo run -p lifl-examples --bin async_federated_learning`
+//! Run with: `cargo run -p lifl-examples --example async_federated_learning`
 
 use lifl_fl::async_driver::{AsyncDriverConfig, AsyncFlDriver};
 use lifl_fl::client::ClientAvailability;

@@ -6,12 +6,12 @@
 //! the hierarchy planner sizes the aggregation tree from the (EWMA-smoothed)
 //! queue estimate and keeps runtimes warm across levels.
 //!
-//! Run with: `cargo run -p lifl-examples --bin autoscaler_comparison`
+//! Run with: `cargo run -p lifl-examples --example autoscaler_comparison`
 
 use lifl_core::hierarchy::{EwmaEstimator, HierarchyPlan};
+use lifl_dataplane::CostModel;
 use lifl_serverless::chain::{ChainScaling, FunctionChain};
 use lifl_serverless::kpa::{KpaAutoscaler, KpaConfig};
-use lifl_dataplane::CostModel;
 use lifl_types::{NodeId, SimTime, SystemKind};
 
 fn main() {

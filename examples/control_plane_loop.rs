@@ -2,7 +2,7 @@
 //! metrics, report load to the metric server, and the coordinator re-plans the
 //! per-node aggregation hierarchy from EWMA-smoothed queue estimates.
 //!
-//! Run with: `cargo run -p lifl-examples --bin control_plane_loop`
+//! Run with: `cargo run -p lifl-examples --example control_plane_loop`
 
 use lifl_core::agent::LiflAgent;
 use lifl_core::coordinator::LiflCoordinator;

@@ -2,7 +2,7 @@
 //! commit a few global versions, checkpoint periodically, kill the aggregator
 //! mid-round and show exactly what is recovered and what must be redone.
 //!
-//! Run with: `cargo run -p lifl-examples --bin failure_recovery`
+//! Run with: `cargo run -p lifl-examples --example failure_recovery`
 
 use lifl_core::recovery::RecoveryManager;
 use lifl_fl::DenseModel;
@@ -19,7 +19,11 @@ fn main() {
         let wrote = manager.commit_version(&model, SimTime::from_secs(version as f64 * 30.0));
         println!(
             "committed version {version}{}",
-            if wrote { "  -> checkpointed to external storage" } else { "" }
+            if wrote {
+                "  -> checkpointed to external storage"
+            } else {
+                ""
+            }
         );
     }
 

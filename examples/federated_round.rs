@@ -2,7 +2,7 @@
 //! dataset, client population with hibernation, real local SGD training, and
 //! the LIFL cluster simulation providing per-round wall-clock and CPU costs.
 //!
-//! Run with: `cargo run -p lifl-examples --bin federated_round`
+//! Run with: `cargo run -p lifl-examples --example federated_round`
 
 use lifl_baselines::{serverless, WorkloadDriver, WorkloadSetup};
 use lifl_core::platform::LiflPlatform;

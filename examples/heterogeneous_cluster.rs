@@ -2,7 +2,7 @@
 //! varies, the selector's bin-packing respects it, and the hierarchy planner
 //! sizes each node's aggregation subtree to the load it actually received.
 //!
-//! Run with: `cargo run -p lifl-examples --bin heterogeneous_cluster`
+//! Run with: `cargo run -p lifl-examples --example heterogeneous_cluster`
 
 use lifl_core::fleet::{estimate_max_capacity, NodeFleet};
 use lifl_core::hierarchy::HierarchyPlan;
@@ -65,20 +65,30 @@ fn main() {
         assignment.unassigned
     );
     for (node, pending) in &assignment.pending_per_node {
-        let mc = fleet.node(*node).expect("node in fleet").max_service_capacity;
+        let mc = fleet
+            .node(*node)
+            .expect("node in fleet")
+            .max_service_capacity;
         println!("  {node}: {pending} updates queued (MC_i = {mc})");
     }
 
     // Plan each node's aggregation subtree from its pending load.
     let plan = HierarchyPlan::plan(&assignment.pending_per_node, 2);
-    println!("\nhierarchy plan ({} aggregators in total):", plan.total_aggregators());
+    println!(
+        "\nhierarchy plan ({} aggregators in total):",
+        plan.total_aggregators()
+    );
     for node in &plan.nodes {
         println!(
             "  {}: {} leaves{}{}",
             node.node,
             node.leaves,
             if node.middle { " + 1 middle" } else { "" },
-            if Some(node.node) == plan.top_node { " + the top aggregator" } else { "" }
+            if Some(node.node) == plan.top_node {
+                " + the top aggregator"
+            } else {
+                ""
+            }
         );
     }
 }

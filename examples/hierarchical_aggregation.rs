@@ -2,7 +2,7 @@
 //! step-based aggregator runtime working together on one node, then compares
 //! the three data planes of Fig. 7 for a single transfer.
 //!
-//! Run with: `cargo run -p lifl-examples --bin hierarchical_aggregation`
+//! Run with: `cargo run -p lifl-examples --example hierarchical_aggregation`
 
 use lifl_core::tag::{Role, TopologyAbstractionGraph};
 use lifl_core::RoutingTable;

@@ -8,8 +8,14 @@ use lifl_types::ClientId;
 pub fn demo_updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
     (0..n)
         .map(|i| {
-            let values: Vec<f32> = (0..dim).map(|d| ((i + 1) * (d + 1)) as f32 * 0.01).collect();
-            ModelUpdate::from_client(ClientId::new(i as u64), DenseModel::from_vec(values), (i + 1) as u64)
+            let values: Vec<f32> = (0..dim)
+                .map(|d| ((i + 1) * (d + 1)) as f32 * 0.01)
+                .collect();
+            ModelUpdate::from_client(
+                ClientId::new(i as u64),
+                DenseModel::from_vec(values),
+                (i + 1) as u64,
+            )
         })
         .collect()
 }

@@ -1,7 +1,7 @@
 //! Compares the three placement policies of §5.1 (BestFit, FirstFit, WorstFit)
 //! on the Fig. 8 workload: how many nodes each uses and the resulting ACT.
 //!
-//! Run with: `cargo run -p lifl-examples --bin placement_policies`
+//! Run with: `cargo run -p lifl-examples --example placement_policies`
 
 use lifl_core::platform::{LiflPlatform, PlatformProfile, RoundSpec};
 use lifl_types::{ClusterConfig, LiflConfig, ModelKind, PlacementPolicy, SimTime};
@@ -14,8 +14,10 @@ fn main() {
             PlacementPolicy::FirstFit,
             PlacementPolicy::WorstFit,
         ] {
-            let mut config = LiflConfig::default();
-            config.placement = policy;
+            let config = LiflConfig {
+                placement: policy,
+                ..LiflConfig::default()
+            };
             let mut profile = PlatformProfile::lifl(ClusterConfig::default(), &config);
             profile.warm_across_rounds = false;
             let mut platform = LiflPlatform::with_profile(profile);

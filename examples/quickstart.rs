@@ -1,7 +1,7 @@
 //! Quickstart: aggregate a handful of client updates through LIFL's
 //! shared-memory hierarchy and simulate one cluster-scale round.
 //!
-//! Run with: `cargo run -p lifl-examples --bin quickstart`
+//! Run with: `cargo run -p lifl-examples --example quickstart`
 
 use lifl_core::platform::{LiflPlatform, RoundSpec};
 use lifl_core::runtime::{run_hierarchical, HierarchicalRunConfig};
@@ -12,7 +12,10 @@ fn main() {
     // 1. Real in-process aggregation over shared memory (Appendix G runtime).
     let updates = demo_updates(8, 64);
     let result = run_hierarchical(
-        HierarchicalRunConfig { leaves: 4, updates_per_leaf: 2 },
+        HierarchicalRunConfig {
+            leaves: 4,
+            updates_per_leaf: 2,
+        },
         &updates,
     )
     .expect("hierarchical aggregation");
@@ -25,7 +28,9 @@ fn main() {
 
     // 2. Cluster-scale simulation of one LIFL round with 20 ResNet-152 updates.
     let mut platform = LiflPlatform::new(ClusterConfig::default(), LiflConfig::default());
-    let arrivals: Vec<SimTime> = (0..20).map(|i| SimTime::from_secs(i as f64 * 0.5)).collect();
+    let arrivals: Vec<SimTime> = (0..20)
+        .map(|i| SimTime::from_secs(i as f64 * 0.5))
+        .collect();
     let report = platform.run_round(&RoundSpec::new(ModelKind::ResNet152, arrivals));
     println!(
         "simulated round: ACT = {:.1}s, CPU = {:.1}s, nodes used = {}, aggregators created = {}",

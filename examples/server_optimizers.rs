@@ -2,7 +2,7 @@
 //! the adaptive federated optimizers (FedAdagrad / FedAdam / FedYogi) on the
 //! same synchronous round loop and non-IID workload.
 //!
-//! Run with: `cargo run -p lifl-examples --bin server_optimizers`
+//! Run with: `cargo run -p lifl-examples --example server_optimizers`
 
 use lifl_fl::aggregate::{fedavg, ModelUpdate};
 use lifl_fl::client::ClientAvailability;

@@ -1,0 +1,31 @@
+# Local invocations mirroring CI (.github/workflows/ci.yml) exactly.
+# Requires `just` (https://github.com/casey/just); every recipe body is a
+# plain cargo command, so copy-paste works without it too.
+
+# Run the full CI gate locally.
+default: lint build test bench-check
+
+# Formatting + clippy, denying warnings (CI `lint` job).
+lint:
+    cargo fmt --all --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1 release build.
+build:
+    cargo build --release
+
+# Tier-1 test suite.
+test:
+    cargo test -q
+
+# Ensure every criterion bench target still compiles.
+bench-check:
+    cargo bench --no-run
+
+# Actually run the benchmark suite (slow).
+bench:
+    cargo bench
+
+# Apply formatting in place.
+fmt:
+    cargo fmt --all

@@ -146,7 +146,9 @@ fn algorithm_level_async_driver_matches_platform_async_semantics() {
     // number of accepted updates.
     let goal = 6u64;
     let updates: Vec<ModelUpdate> = (1..=18u64)
-        .map(|i| ModelUpdate::from_client(ClientId::new(i), DenseModel::from_vec(vec![i as f32]), i))
+        .map(|i| {
+            ModelUpdate::from_client(ClientId::new(i), DenseModel::from_vec(vec![i as f32]), i)
+        })
         .collect();
     let mut platform_agg = AsyncAggregator::new(goal, AggregationTiming::Eager).unwrap();
     let mut committed = 0;

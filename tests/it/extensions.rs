@@ -30,10 +30,23 @@ fn selection_strategies_feed_the_platform() {
         SelectionStrategy::DataSizeWeighted,
         SelectionStrategy::FastestFirst,
     ] {
-        let selected = select_clients(strategy, population.clients(), 30, ModelKind::ResNet18, &mut rng);
+        let selected = select_clients(
+            strategy,
+            population.clients(),
+            30,
+            ModelKind::ResNet18,
+            &mut rng,
+        );
         let arrivals: Vec<SimTime> = selected
             .iter()
-            .map(|c| c.update_arrival(SimTime::ZERO, ModelKind::ResNet18, SimDuration::from_secs(1.0), &mut rng))
+            .map(|c| {
+                c.update_arrival(
+                    SimTime::ZERO,
+                    ModelKind::ResNet18,
+                    SimDuration::from_secs(1.0),
+                    &mut rng,
+                )
+            })
             .collect();
         let report = platform.run_round(&RoundSpec::new(ModelKind::ResNet18, arrivals));
         assert_eq!(report.metrics.updates_aggregated, 30, "{strategy:?}");
@@ -86,9 +99,14 @@ fn heartbeats_plus_overprovisioning_keep_the_round_on_goal() {
     assert_eq!(failed.len() as u64, silent);
 
     let delivered = selected - silent;
-    assert!(delivered >= goal, "{delivered} deliveries still meet the goal of {goal}");
+    assert!(
+        delivered >= goal,
+        "{delivered} deliveries still meet the goal of {goal}"
+    );
     let mut platform = LiflPlatform::new(ClusterConfig::default(), LiflConfig::default());
-    let arrivals: Vec<SimTime> = (0..delivered).map(|i| SimTime::from_secs(i as f64)).collect();
+    let arrivals: Vec<SimTime> = (0..delivered)
+        .map(|i| SimTime::from_secs(i as f64))
+        .collect();
     let report = platform.run_round(&RoundSpec::new(ModelKind::ResNet152, arrivals));
     assert_eq!(report.metrics.updates_aggregated, delivered);
 }

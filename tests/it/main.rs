@@ -1,0 +1,11 @@
+//! Entry point binding the nine integration suites into one test binary.
+
+mod algorithms;
+mod end_to_end;
+mod extensions;
+mod failure_injection;
+mod placement_routing;
+mod platform_vs_baselines;
+mod runtime_inprocess;
+mod serverless_substrate;
+mod workspace_smoke;

@@ -10,8 +10,9 @@ use lifl_types::{AggregatorId, AggregatorRole, NodeId, PlacementPolicy};
 fn placement_feeds_hierarchy_plan_and_routes() {
     // Place 24 updates over 3 nodes of capacity 20 with BestFit.
     let engine = PlacementEngine::new(PlacementPolicy::BestFit);
-    let mut caps: Vec<NodeCapacity> =
-        (0..3).map(|i| NodeCapacity::new(NodeId::new(i), 20)).collect();
+    let mut caps: Vec<NodeCapacity> = (0..3)
+        .map(|i| NodeCapacity::new(NodeId::new(i), 20))
+        .collect();
     let outcome = engine.place_batch(24, &mut caps);
     assert_eq!(outcome.assignments.len(), 24);
     assert_eq!(outcome.nodes_used, 2);
@@ -78,5 +79,8 @@ fn placement_feeds_hierarchy_plan_and_routes() {
         }
     }
     // Intra-node channels never cross the gateway.
-    assert_eq!(tag.inter_node_channels(), middles.iter().filter(|(n, _)| *n != top).count());
+    assert_eq!(
+        tag.inter_node_channels(),
+        middles.iter().filter(|(n, _)| *n != top).count()
+    );
 }

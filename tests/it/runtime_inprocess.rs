@@ -11,7 +11,11 @@ fn updates(n: usize, dim: usize, seed: f32) -> Vec<ModelUpdate> {
             let values: Vec<f32> = (0..dim)
                 .map(|d| seed + (i * dim + d) as f32 * 0.001)
                 .collect();
-            ModelUpdate::from_client(ClientId::new(i as u64), DenseModel::from_vec(values), (2 * i + 1) as u64)
+            ModelUpdate::from_client(
+                ClientId::new(i as u64),
+                DenseModel::from_vec(values),
+                (2 * i + 1) as u64,
+            )
         })
         .collect()
 }
@@ -27,7 +31,12 @@ fn hierarchy_of_threads_matches_flat_fedavg() {
         let hierarchical = run_hierarchical(config, &updates).expect("runtime");
         let flat = fedavg(&updates).expect("fedavg");
         assert_eq!(hierarchical.samples, flat.samples);
-        for (a, b) in hierarchical.model.as_slice().iter().zip(flat.model.as_slice()) {
+        for (a, b) in hierarchical
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
             assert!((a - b).abs() < 1e-4, "{leaves}x{per_leaf}: {a} vs {b}");
         }
     }
@@ -37,7 +46,10 @@ fn hierarchy_of_threads_matches_flat_fedavg() {
 fn larger_payloads_still_aggregate_correctly() {
     let updates = updates(4, 4096, -1.0);
     let result = run_hierarchical(
-        HierarchicalRunConfig { leaves: 2, updates_per_leaf: 2 },
+        HierarchicalRunConfig {
+            leaves: 2,
+            updates_per_leaf: 2,
+        },
         &updates,
     )
     .expect("runtime");

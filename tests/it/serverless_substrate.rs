@@ -26,7 +26,11 @@ fn kpa_plus_revision_track_a_bursty_fl_round() {
     let mut peak_ready = 0u32;
     for second in 0..600u64 {
         let now = SimTime::from_secs(second as f64);
-        let concurrency = if (120..240).contains(&second) { 12.0 } else { 0.0 };
+        let concurrency = if (120..240).contains(&second) {
+            12.0
+        } else {
+            0.0
+        };
         kpa.observe(now, concurrency);
         if second % 10 == 0 {
             let ready = revision.ready_pods(now);
@@ -36,11 +40,17 @@ fn kpa_plus_revision_track_a_bursty_fl_round() {
         }
     }
     // The burst forced a scale-up...
-    assert!(peak_ready >= 4, "burst should create several pods, saw {peak_ready}");
+    assert!(
+        peak_ready >= 4,
+        "burst should create several pods, saw {peak_ready}"
+    );
     assert!(revision.stats().pods_created >= 4);
     // ...and the idle tail scaled the revision back down (eventually to zero).
     let end = SimTime::from_secs(600.0);
-    assert!(revision.ready_pods(end) <= 1, "idle tail should scale back down");
+    assert!(
+        revision.ready_pods(end) <= 1,
+        "idle tail should scale back down"
+    );
     // Every created pod paid a cold start worth of CPU.
     assert!(revision.stats().startup_cpu.as_secs() > 0.0);
 }
@@ -69,21 +79,38 @@ fn gateway_vertical_scaling_follows_the_papers_two_workloads() {
     let mut scaler = GatewayScaler::new(GatewayScalerConfig::default()).unwrap();
     // ResNet-18 setup: 120 active mobile clients, bursty but small updates.
     let r18 = scaler.evaluate(SimTime::ZERO, ModelKind::ResNet18, 52.0);
-    assert_eq!(r18.cores, 1, "44 MB updates at ~52/min fit one gateway core");
+    assert_eq!(
+        r18.cores, 1,
+        "44 MB updates at ~52/min fit one gateway core"
+    );
     assert!(!r18.saturated);
     // ResNet-152 setup at high rate: 232 MB updates need more gateway cores.
     let r152 = scaler.evaluate(SimTime::from_secs(60.0), ModelKind::ResNet152, 120.0);
     assert!(r152.cores > r18.cores);
-    assert!(!r152.saturated, "vertical scaling must keep the gateway off the critical path");
+    assert!(
+        !r152.saturated,
+        "vertical scaling must keep the gateway off the critical path"
+    );
 }
 
 #[test]
 fn heterogeneous_fleet_placement_feeds_the_hierarchy_planner() {
     // A fleet with one big and two small nodes.
     let fleet = NodeFleet::heterogeneous(vec![
-        NodeConfig { max_service_capacity: 30, ..NodeConfig::default() },
-        NodeConfig { max_service_capacity: 10, cores: 16, ..NodeConfig::default() },
-        NodeConfig { max_service_capacity: 10, cores: 16, ..NodeConfig::default() },
+        NodeConfig {
+            max_service_capacity: 30,
+            ..NodeConfig::default()
+        },
+        NodeConfig {
+            max_service_capacity: 10,
+            cores: 16,
+            ..NodeConfig::default()
+        },
+        NodeConfig {
+            max_service_capacity: 10,
+            cores: 16,
+            ..NodeConfig::default()
+        },
     ])
     .unwrap();
     assert!(!fleet.is_homogeneous());
@@ -92,16 +119,19 @@ fn heterogeneous_fleet_placement_feeds_the_hierarchy_planner() {
     let outcome = engine.place_batch(40, &mut capacities);
     assert_eq!(outcome.overflow, 0);
     // Per-node pending counts feed the hierarchy planner.
-    let pending: Vec<(lifl_types::NodeId, u32)> = capacities
-        .iter()
-        .map(|c| (c.node, c.assigned))
-        .collect();
+    let pending: Vec<(lifl_types::NodeId, u32)> =
+        capacities.iter().map(|c| (c.node, c.assigned)).collect();
     let plan = HierarchyPlan::plan(&pending, 2);
     assert_eq!(plan.total_updates(), 40);
     // No node was planned beyond its capacity.
     for node in &plan.nodes {
         let mc = fleet.node(node.node).unwrap().max_service_capacity;
-        assert!(node.pending_updates <= mc, "{} > MC {}", node.pending_updates, mc);
+        assert!(
+            node.pending_updates <= mc,
+            "{} > MC {}",
+            node.pending_updates,
+            mc
+        );
     }
     // The top aggregator sits on the most-loaded (big) node, minimising
     // cross-node transfers of intermediates.

@@ -4,5 +4,7 @@ use lifl_types::SimTime;
 
 /// Evenly spaced arrival times.
 pub fn spread_arrivals(n: usize, gap_secs: f64) -> Vec<SimTime> {
-    (0..n).map(|i| SimTime::from_secs(i as f64 * gap_secs)).collect()
+    (0..n)
+        .map(|i| SimTime::from_secs(i as f64 * gap_secs))
+        .collect()
 }

@@ -1,0 +1,248 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Supports the benchmarking surface this workspace uses:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, and `finish`, plus [`BenchmarkId`],
+//! [`Throughput`], and [`black_box`]. Each benchmark runs a short warmup then
+//! `sample_size` timed samples and reports the median ns/iter to stdout. No
+//! HTML reports, statistics, or comparison against saved baselines.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Values accepted as benchmark identifiers.
+pub trait IntoBenchmarkId {
+    /// Converts to the printable label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark (recorded, printed with results).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measures one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn with_sample_size(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, recording `sample_size` samples after a short warmup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample"));
+        sorted[sorted.len() / 2]
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let median = bencher.median_ns();
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                bytes as f64 / (1024.0 * 1024.0) / (median / 1.0e9)
+            )
+        }
+        Some(Throughput::Elements(elements)) if median > 0.0 => {
+            format!("  ({:.0} elem/s)", elements as f64 / (median / 1.0e9))
+        }
+        _ => String::new(),
+    };
+    println!("bench: {label:<50} {median:>14.1} ns/iter{rate}");
+}
+
+/// Entry point mirroring criterion's `Criterion` configuration object.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.default_sample_size = samples;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::with_sample_size(self.default_sample_size);
+        f(&mut bencher);
+        report(&id.into_label(), &bencher, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::with_sample_size(self.sample_size);
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.into_label());
+        report(&label, &bencher, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::with_sample_size(self.sample_size);
+        f(&mut bencher, input);
+        let label = format!("{}/{}", self.name, id.into_label());
+        report(&label, &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,570 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! workspace's `serde` shim (whose data model is a JSON-like `Value`). The
+//! macro is written directly against `proc_macro` — the environment has no
+//! `syn`/`quote` — so it hand-parses the item declaration. Supported shapes
+//! cover everything this workspace derives:
+//!
+//! - structs with named fields (including `#[serde(skip)]` fields, which are
+//!   omitted on serialize and `Default`-filled on deserialize)
+//! - tuple structs (single-field newtypes serialize as their inner value,
+//!   wider tuples as arrays)
+//! - enums with unit, struct, and tuple variants (externally tagged)
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is a
+//! compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The shape of an enum variant.
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// The parsed item shape.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Token cursor over the derive input.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attribute groups, returning true if any of them was
+    /// exactly `#[serde(skip)]`.
+    fn skip_attributes(&mut self) -> bool {
+        let mut saw_skip = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Group(group)) = self.next() {
+                if group.delimiter() == Delimiter::Bracket && is_serde_skip(group.stream()) {
+                    saw_skip = true;
+                }
+            }
+        }
+        saw_skip
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)` visibility modifiers.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(ident)) = self.peek() {
+            if ident.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(group)) = self.peek() {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes an identifier or reports what was found instead.
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(ident)) => Ok(ident.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes tokens until a top-level comma (tracking `<`/`>` nesting so
+    /// commas inside generic arguments don't terminate early), eating the
+    /// comma itself.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth <= 0 => {
+                        self.next();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+/// Whether a bracket-group body is `serde(skip)`.
+fn is_serde_skip(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) => {
+            name.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses the fields of a `{ ... }` body into named fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let skip = cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        let name = cursor.expect_ident()?;
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        cursor.skip_until_comma();
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a `( ... )` tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cursor = Cursor::new(stream);
+    let mut arity = 0;
+    while !cursor.at_end() {
+        cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        arity += 1;
+        cursor.skip_until_comma();
+    }
+    arity
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        let name = cursor.expect_ident()?;
+        let kind = match cursor.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let body = group.stream();
+                cursor.next();
+                VariantKind::Named(parse_named_fields(body)?)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let body = group.stream();
+                cursor.next();
+                VariantKind::Tuple(count_tuple_fields(body))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        cursor.skip_until_comma();
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Parses the derive input item (struct or enum declaration).
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident()?;
+    let name = cursor.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive shim does not support generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream())?,
+                })
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(group.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(group.stream())?,
+                })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Renders an error as a `compile_error!` invocation.
+fn compile_error(message: &str) -> TokenStream {
+    let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
+    format!("::core::compile_error!(\"{escaped}\");")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+/// Derives `serde::Serialize` (shim) for structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive generated bad tokens: {e}"))),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives `serde::Deserialize` (shim) for structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive generated bad tokens: {e}"))),
+        Err(message) => compile_error(&message),
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                pushes.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{entries}]))]),",
+                                binds = binders.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Generates the expression that reads named fields out of `__value` into a
+/// struct/variant literal body.
+fn named_field_readers(owner: &str, fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::core::default::Default::default(),", f.name)
+            } else {
+                format!(
+                    "{0}: match {source}.field(\"{0}\") {{\n\
+                         ::core::option::Option::Some(__field) => ::serde::Deserialize::from_value(__field)?,\n\
+                         ::core::option::Option::None => return ::core::result::Result::Err(::serde::DeError::new(\"missing field `{0}` in `{owner}`\")),\n\
+                     }},",
+                    f.name
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let readers = named_field_readers(name, fields, "value");
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         ::core::result::Result::Ok({name} {{\n{readers}\n}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                )
+            } else {
+                let readers: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {arity} => ::core::result::Result::Ok({name}({readers})),\n\
+                         _ => ::core::result::Result::Err(::serde::DeError::new(\"expected {arity}-element array for `{name}`\")),\n\
+                     }}",
+                    readers = readers.join(", ")
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let readers =
+                                named_field_readers(&format!("{name}::{vname}"), fields, "__inner");
+                            Some(format!(
+                                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname} {{\n{readers}\n}}),"
+                            ))
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!(
+                                    "::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?))"
+                                )
+                            } else {
+                                let readers: Vec<String> = (0..*arity)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                    })
+                                    .collect();
+                                format!(
+                                    "match __inner {{\n\
+                                         ::serde::Value::Array(__items) if __items.len() == {arity} => ::core::result::Result::Ok({name}::{vname}({readers})),\n\
+                                         _ => ::core::result::Result::Err(::serde::DeError::new(\"expected {arity}-element array for `{name}::{vname}`\")),\n\
+                                     }}",
+                                    readers = readers.join(", ")
+                                )
+                            };
+                            Some(format!("\"{vname}\" => {body},"))
+                        }
+                    }
+                })
+                .collect();
+            let unit_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::core::option::Option::Some(__name) = value.as_str() {{\n\
+                         return match __name {{\n{}\n\
+                             __other => ::core::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                         }};\n\
+                     }}",
+                    unit_arms.join("\n")
+                )
+            };
+            let data_block = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::Object(__fields) = value {{\n\
+                         if __fields.len() == 1 {{\n\
+                             let (__tag, __inner) = &__fields[0];\n\
+                             return match __tag.as_str() {{\n{}\n\
+                                 __other => ::core::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                     }}",
+                    data_arms.join("\n")
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         {unit_block}\n\
+                         {data_block}\n\
+                         ::core::result::Result::Err(::serde::DeError::new(\"invalid value for enum `{name}`\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
