@@ -36,6 +36,7 @@ pub fn no_hierarchy_profile(mut cluster: ClusterConfig) -> PlatformProfile {
         always_on: true,
         dataplane: DataPlaneKind::ServerfulGrpc,
         warm_across_rounds: true,
+        codec: lifl_types::CodecKind::Identity,
         cluster,
     }
 }

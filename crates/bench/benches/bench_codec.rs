@@ -1,0 +1,55 @@
+//! Micro-benchmark: update-codec encode / decode / decode-fold-encode
+//! throughput for every codec on a 100k-parameter update.
+use criterion::{criterion_group, criterion_main, Criterion};
+use lifl_fl::aggregate::CumulativeFedAvg;
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::codec::UpdateCodec;
+use lifl_fl::DenseModel;
+use lifl_types::{ClientId, CodecKind};
+
+const DIM: usize = 100_000;
+
+fn update_model(dim: usize) -> DenseModel {
+    DenseModel::from_vec(
+        (0..dim)
+            .map(|i| ((i % 251) as f32 - 125.0) * 0.013)
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    let model = update_model(DIM);
+    for kind in CodecKind::ablation_set() {
+        let mut codec = UpdateCodec::new(kind);
+        group.bench_function(format!("encode_{kind}_100k"), |b| {
+            b.iter(|| codec.encode(std::hint::black_box(&model)))
+        });
+        let encoded = UpdateCodec::new(kind).encode(&model);
+        group.bench_function(format!("decode_{kind}_100k"), |b| {
+            b.iter(|| std::hint::black_box(&encoded).decode())
+        });
+        // The interior-aggregator hot path: decode, fold, re-encode.
+        let mut interior = UpdateCodec::new(kind);
+        group.bench_function(format!("decode_fold_encode_{kind}_100k"), |b| {
+            b.iter(|| {
+                let mut acc = CumulativeFedAvg::new(DIM);
+                for client in 0..4u64 {
+                    let decoded = std::hint::black_box(&encoded).decode();
+                    acc.fold(&ModelUpdate::from_client(
+                        ClientId::new(client),
+                        decoded,
+                        client + 1,
+                    ))
+                    .unwrap();
+                }
+                let folded = acc.finalize().unwrap();
+                interior.encode(&folded.model)
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

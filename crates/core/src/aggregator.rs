@@ -2,6 +2,7 @@
 //! model of Appendix G, operating on object keys in shared memory.
 
 use lifl_fl::aggregate::{CumulativeFedAvg, ModelUpdate};
+use lifl_fl::codec::{EncodedUpdate, UpdateCodec};
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore, SharedObject};
 use lifl_types::{AggregatorId, AggregatorRole, LiflError, Result};
@@ -32,6 +33,9 @@ pub struct AggregatorRuntime {
     accumulator: CumulativeFedAvg,
     step: AggregatorStep,
     aggregated: u64,
+    /// When set (and lossy), outgoing intermediates are re-encoded with this
+    /// codec and stored compressed (the decode-fold-encode interior path).
+    codec: Option<UpdateCodec>,
 }
 
 impl AggregatorRuntime {
@@ -59,7 +63,27 @@ impl AggregatorRuntime {
             accumulator: CumulativeFedAvg::default(),
             step: AggregatorStep::Recv,
             aggregated: 0,
+            codec: None,
         })
+    }
+
+    /// Creates a runtime whose outgoing intermediates travel through `codec`.
+    /// Incoming updates are decoded from whatever representation their queue
+    /// entry declares, so mixed (dense + encoded) inboxes are fine.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidAggregationGoal`] if `goal` is zero.
+    pub fn with_codec(
+        id: AggregatorId,
+        role: AggregatorRole,
+        goal: u64,
+        store: ObjectStore,
+        inbox: InPlaceQueue,
+        codec: UpdateCodec,
+    ) -> Result<Self> {
+        let mut runtime = Self::new(id, role, goal, store, inbox)?;
+        runtime.codec = Some(codec);
+        Ok(runtime)
     }
 
     /// The aggregator's identity.
@@ -120,7 +144,7 @@ impl AggregatorRuntime {
         };
         self.step = AggregatorStep::Agg;
         let object = self.store.get(&queued.key)?;
-        let update = decode_update(&object, &queued);
+        let update = decode_update(&object, &queued)?;
         self.accumulator.fold(&update)?;
         self.aggregated += 1;
         if self.goal_met() {
@@ -141,10 +165,22 @@ impl AggregatorRuntime {
             return Err(LiflError::InvalidAggregationGoal(self.aggregated));
         }
         let result = self.accumulator.finalize()?;
-        let key = self.store.put_f32(result.model.as_slice())?;
+        let queued = match &mut self.codec {
+            Some(codec) if !codec.kind().is_lossless() => {
+                let encoded = codec.encode(&result.model);
+                let key = self
+                    .store
+                    .put_encoded(encoded.to_bytes(), encoded.dense_bytes())?;
+                QueuedUpdate::intermediate(key, result.samples).encoded()
+            }
+            _ => {
+                let key = self.store.put_f32(result.model.as_slice())?;
+                QueuedUpdate::intermediate(key, result.samples)
+            }
+        };
         self.aggregated = 0;
         self.step = AggregatorStep::Recv;
-        Ok(QueuedUpdate::intermediate(key, result.samples))
+        Ok(queued)
     }
 
     /// Drives the runtime until the goal is met and the result is sent
@@ -166,12 +202,16 @@ impl AggregatorRuntime {
     }
 }
 
-fn decode_update(object: &SharedObject, queued: &QueuedUpdate) -> ModelUpdate {
-    let model = lifl_fl::DenseModel::from_vec(object.as_f32_vec());
-    match queued.producer {
+fn decode_update(object: &SharedObject, queued: &QueuedUpdate) -> Result<ModelUpdate> {
+    let model = if queued.encoded {
+        EncodedUpdate::from_bytes(object.as_slice())?.decode()
+    } else {
+        lifl_fl::DenseModel::from_vec(object.as_f32_vec())
+    };
+    Ok(match queued.producer {
         Some(client) => ModelUpdate::from_client(client, model, queued.weight),
         None => ModelUpdate::intermediate(model, queued.weight),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -251,6 +291,69 @@ mod tests {
         assert_eq!(agg.role(), AggregatorRole::Top);
         assert!(agg.promote(2).is_err());
         assert!(agg.promote(0).is_err());
+    }
+
+    #[test]
+    fn codec_runtime_decodes_folds_and_reencodes() {
+        use lifl_fl::DenseModel;
+        use lifl_types::CodecKind;
+
+        let store = ObjectStore::new();
+        let inbox = InPlaceQueue::new();
+        let mut agg = AggregatorRuntime::with_codec(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            2,
+            store.clone(),
+            inbox.clone(),
+            UpdateCodec::new(CodecKind::Uniform8),
+        )
+        .unwrap();
+        // Client updates arrive already encoded (as the gateway stores them);
+        // 64 dims so the 16-byte wire header is amortised and bytes shrink.
+        let mut client_codec = UpdateCodec::new(CodecKind::Uniform8);
+        for (i, base) in [2.0f32, 4.0].iter().enumerate() {
+            let values: Vec<f32> = (0..64).map(|d| base * (1.0 + d as f32 / 32.0)).collect();
+            let encoded = client_codec.encode(&DenseModel::from_vec(values));
+            let key = store
+                .put_encoded(encoded.to_bytes(), encoded.dense_bytes())
+                .unwrap();
+            let mut q = QueuedUpdate::from_client(ClientId::new(i as u64), key).encoded();
+            q.weight = 1 + 2 * i as u64;
+            inbox.enqueue(q);
+        }
+        agg.poll().unwrap();
+        agg.poll().unwrap();
+        let out = agg.send().unwrap();
+        assert!(out.encoded, "interior output must stay compressed");
+        assert_eq!(out.weight, 4);
+        let object = store.get(&out.key).unwrap();
+        let decoded = EncodedUpdate::from_bytes(object.as_slice())
+            .unwrap()
+            .decode();
+        // Weighted mean is 3.5 * (1 + d/32), within quantization error.
+        assert!((decoded.as_slice()[0] - 3.5).abs() < 0.3);
+        assert!((decoded.as_slice()[63] - 3.5 * (1.0 + 63.0 / 32.0)).abs() < 0.3);
+        // The store really held compressed payloads.
+        assert!(store.stats().encoded_puts >= 3);
+        assert!(store.stats().bytes_saved() > 0);
+    }
+
+    #[test]
+    fn corrupt_encoded_payload_is_an_error() {
+        let store = ObjectStore::new();
+        let inbox = InPlaceQueue::new();
+        let mut agg = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            1,
+            store.clone(),
+            inbox.clone(),
+        )
+        .unwrap();
+        let key = store.put(vec![1u8, 2, 3]).unwrap();
+        inbox.enqueue(QueuedUpdate::from_client(ClientId::new(1), key).encoded());
+        assert!(matches!(agg.poll(), Err(LiflError::Codec(_))));
     }
 
     #[test]

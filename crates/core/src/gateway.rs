@@ -5,6 +5,7 @@
 //! aggregator's in-place queue. On the transmit side it reads a local object
 //! and ships it to a remote node's gateway.
 
+use lifl_fl::codec::EncodedUpdate;
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore};
 use lifl_types::{AggregatorId, ClientId, NodeId, Result};
@@ -65,6 +66,57 @@ impl Gateway {
         Ok(queued)
     }
 
+    /// Ingests a codec-encoded client update: the compressed self-describing
+    /// form is written to shared memory as-is (one-time payload processing,
+    /// no re-expansion) and the key is queued for `target` with the encoded
+    /// marker set.
+    ///
+    /// [`Gateway::ingested_bytes`] counts what lands in shared memory — the
+    /// stored form, 16-byte descriptor included. Data-plane *wire*
+    /// accounting (payload only, [`EncodedUpdate::wire_bytes`]) is tracked by
+    /// the callers that price transfers.
+    ///
+    /// # Errors
+    /// Fails if the shared-memory store cannot hold the payload.
+    pub fn ingest_encoded_update(
+        &mut self,
+        client: ClientId,
+        target: AggregatorId,
+        encoded: &EncodedUpdate,
+        samples: u64,
+    ) -> Result<QueuedUpdate> {
+        let wire = encoded.to_bytes();
+        let wire_len = wire.len() as u64;
+        let key = self.store.put_encoded(wire, encoded.dense_bytes())?;
+        let mut queued = QueuedUpdate::from_client(client, key).encoded();
+        queued.weight = samples;
+        self.deliver(target, queued);
+        self.ingested_updates += 1;
+        self.ingested_bytes += wire_len;
+        Ok(queued)
+    }
+
+    /// Ingests a codec-encoded intermediate arriving from a remote gateway.
+    ///
+    /// # Errors
+    /// Fails if the shared-memory store cannot hold the payload.
+    pub fn ingest_remote_encoded(
+        &mut self,
+        target: AggregatorId,
+        wire: &[u8],
+        weight: u64,
+    ) -> Result<QueuedUpdate> {
+        let encoded = EncodedUpdate::from_bytes(wire)?;
+        let key = self
+            .store
+            .put_encoded(wire.to_vec(), encoded.dense_bytes())?;
+        let queued = QueuedUpdate::intermediate(key, weight).encoded();
+        self.deliver(target, queued);
+        self.ingested_updates += 1;
+        self.ingested_bytes += wire.len() as u64;
+        Ok(queued)
+    }
+
     /// Ingests an intermediate update arriving from a remote node's gateway.
     ///
     /// # Errors
@@ -100,12 +152,25 @@ impl Gateway {
         Ok(object.as_f32_vec())
     }
 
+    /// Transmit path for codec-encoded updates: ships the raw wire bytes (the
+    /// compressed representation crosses the network, never the dense form).
+    ///
+    /// # Errors
+    /// Fails if the object key is unknown.
+    pub fn forward_remote_bytes(&mut self, update: &QueuedUpdate) -> Result<Vec<u8>> {
+        let object = self.store.get(&update.key)?;
+        self.forwarded_bytes += object.len() as u64;
+        Ok(object.as_slice().to_vec())
+    }
+
     /// Number of updates ingested.
     pub fn ingested_updates(&self) -> u64 {
         self.ingested_updates
     }
 
-    /// Bytes written into shared memory by this gateway.
+    /// Bytes written into shared memory by this gateway (stored form: for
+    /// encoded updates this includes the 16-byte codec descriptor, which is
+    /// metadata rather than data-plane payload).
     pub fn ingested_bytes(&self) -> u64 {
         self.ingested_bytes
     }
@@ -161,6 +226,39 @@ mod tests {
         assert_eq!(gw_a.forwarded_bytes(), 8);
         assert!(gw_b.store().stats().live_objects > 0);
         assert_eq!(gw_a.node(), NodeId::new(0));
+    }
+
+    #[test]
+    fn encoded_ingest_keeps_payload_compressed_end_to_end() {
+        use lifl_fl::codec::UpdateCodec;
+        use lifl_fl::DenseModel;
+        use lifl_types::CodecKind;
+
+        let store_a = ObjectStore::new();
+        let mut gw_a = Gateway::new(NodeId::new(0), store_a.clone());
+        let mut gw_b = Gateway::new(NodeId::new(1), ObjectStore::new());
+        let agg_a = AggregatorId::new(1);
+        let agg_b = AggregatorId::new(2);
+        gw_a.register_aggregator(agg_a);
+        let inbox_b = gw_b.register_aggregator(agg_b);
+
+        let model = DenseModel::from_vec((0..64).map(|i| i as f32 * 0.1).collect());
+        let mut codec = UpdateCodec::new(CodecKind::Uniform8);
+        let encoded = codec.encode(&model);
+        let queued = gw_a
+            .ingest_encoded_update(ClientId::new(3), agg_a, &encoded, 5)
+            .unwrap();
+        assert!(queued.encoded);
+        assert_eq!(gw_a.ingested_bytes(), encoded.stored_bytes());
+        assert!(store_a.stats().bytes_saved() > 0);
+
+        // Cross-node: the compressed bytes travel, the remote store stays compressed.
+        let wire = gw_a.forward_remote_bytes(&queued).unwrap();
+        assert_eq!(wire.len() as u64, encoded.stored_bytes());
+        let remote = gw_b.ingest_remote_encoded(agg_b, &wire, 5).unwrap();
+        assert!(remote.encoded);
+        assert_eq!(inbox_b.len(), 1);
+        assert!(gw_b.store().stats().encoded_puts > 0);
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub use placement::{PlacementEngine, PlacementOutcome};
 pub use platform::{LiflPlatform, PlatformProfile, RoundReport, RoundSpec};
 pub use recovery::{RecoveryManager, RecoveryOutcome};
 pub use routing::RoutingTable;
+pub use runtime::{
+    run_hierarchical, run_hierarchical_with_codec, HierarchicalRunConfig, HierarchicalRunReport,
+};
 pub use selector::{RoundAssignment, SelectorConfig, SelectorService};
 pub use system::AggregationSystem;
 pub use tag::{Channel, ChannelKind, Role, TopologyAbstractionGraph};

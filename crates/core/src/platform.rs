@@ -14,11 +14,11 @@ use crate::eager;
 use crate::hierarchy::HierarchyPlan;
 use crate::placement::{NodeCapacity, PlacementEngine};
 use crate::system::AggregationSystem;
-use lifl_dataplane::{CostModel, DataPlaneKind};
+use lifl_dataplane::{update_wire_bytes, CostModel, DataPlaneKind};
 use lifl_simcore::Gantt;
 use lifl_types::{
-    AggregationTiming, ClusterConfig, LiflConfig, ModelKind, NodeId, PlacementPolicy, RoundMetrics,
-    SimDuration, SimTime, SystemKind,
+    AggregationTiming, ClusterConfig, CodecKind, LiflConfig, ModelKind, NodeId, PlacementPolicy,
+    RoundMetrics, SimDuration, SimTime, SystemKind,
 };
 use std::collections::HashMap;
 
@@ -87,6 +87,10 @@ pub struct PlatformProfile {
     /// Whether warm instances survive between rounds (keep-alive long enough);
     /// serverless baselines lose their instances between FL rounds.
     pub warm_across_rounds: bool,
+    /// The wire representation every model update travels with: all transfer
+    /// costs are priced off the encoded bytes, and interior aggregators pay a
+    /// decode-fold-encode codec pass per update.
+    pub codec: CodecKind,
 }
 
 impl PlatformProfile {
@@ -103,6 +107,7 @@ impl PlatformProfile {
             always_on: false,
             dataplane: DataPlaneKind::LiflSharedMemory,
             warm_across_rounds: true,
+            codec: config.codec,
         }
     }
 
@@ -119,6 +124,7 @@ impl PlatformProfile {
             always_on: false,
             dataplane: DataPlaneKind::LiflSharedMemory,
             warm_across_rounds: false,
+            codec: CodecKind::Identity,
             cluster,
         }
     }
@@ -136,6 +142,7 @@ impl PlatformProfile {
             always_on: false,
             dataplane: DataPlaneKind::ServerlessBrokerSidecar,
             warm_across_rounds: false,
+            codec: CodecKind::Identity,
             cluster,
         }
     }
@@ -152,8 +159,16 @@ impl PlatformProfile {
             always_on: true,
             dataplane: DataPlaneKind::ServerfulGrpc,
             warm_across_rounds: true,
+            codec: CodecKind::Identity,
             cluster,
         }
+    }
+
+    /// Returns the profile with a different update codec (used by the
+    /// `fig_codec` codec × transport sweep).
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
     }
 }
 
@@ -222,7 +237,9 @@ impl LiflPlatform {
 
     /// Simulates one aggregation round.
     pub fn run_round(&mut self, spec: &RoundSpec) -> RoundReport {
-        let bytes = spec.model.update_bytes();
+        // Every transfer below is priced off the *encoded* update size; with
+        // the default `Identity` codec this is byte-identical to the seed.
+        let bytes = update_wire_bytes(spec.model, self.profile.codec);
         let n = spec.arrivals.len() as u64;
         let round_index = self.rounds_run + 1;
         let mut arrivals = spec.arrivals.clone();
@@ -261,7 +278,11 @@ impl LiflPlatform {
         let top_node = plan.top_node.unwrap_or(NodeId::new(0));
 
         let startup = self.cost.startup(self.profile.system);
-        let agg_compute = self.cost.aggregation_compute(spec.model);
+        // Each fold is decode + aggregate; each interior hand-off re-encodes.
+        // `codec_compute` is zero for `Identity`, keeping the seed timings.
+        let codec_pass = self.cost.codec_compute(spec.model, self.profile.codec);
+        let agg_compute = self.cost.aggregation_compute(spec.model) + codec_pass;
+        let encode_pass = codec_pass;
         let ingest = self.cost.client_ingest(self.profile.system, bytes);
         let intra = self.cost.intra_node_transfer(self.profile.dataplane, bytes);
         let inter = self.cost.inter_node_transfer(bytes);
@@ -325,9 +346,10 @@ impl LiflPlatform {
                     (*chunk.first().unwrap()).max(instance_ready),
                     done,
                 );
-                // Hand the intermediate to the node's middle (or directly onward).
-                let handoff = done + intra.latency;
-                cpu += intra.cpu.to_duration(clock);
+                // Hand the intermediate to the node's middle (or directly
+                // onward): re-encode, then the shared-memory hop.
+                let handoff = done + encode_pass + intra.latency;
+                cpu += encode_pass + intra.cpu.to_duration(clock);
                 leaf_outputs.push(handoff);
                 leaf_finish.push(done);
             }
@@ -387,10 +409,12 @@ impl LiflPlatform {
         let mut remote_outputs: Vec<SimTime> = Vec::new();
         for (node, done, _weight) in &node_outputs {
             if *node == top_node {
-                top_inputs.push(*done + intra.latency);
-                cpu += intra.cpu.to_duration(clock);
+                top_inputs.push(*done + encode_pass + intra.latency);
+                cpu += encode_pass + intra.cpu.to_duration(clock);
             } else {
-                remote_outputs.push(*done);
+                // The intermediate is re-encoded before it leaves the node.
+                remote_outputs.push(*done + encode_pass);
+                cpu += encode_pass;
             }
         }
         remote_outputs.sort();
@@ -677,6 +701,54 @@ mod tests {
         assert!(rows.iter().any(|r| r.contains("LF")));
         assert!(rows.iter().any(|r| r == "Top"));
         assert!(report.gantt.makespan() > 0.0);
+    }
+
+    #[test]
+    fn quantized_codec_shrinks_wire_bytes_and_act() {
+        let spec = RoundSpec::simultaneous(ModelKind::ResNet152, 60, SimTime::ZERO);
+        let mut reports = Vec::new();
+        for codec in [
+            CodecKind::Identity,
+            CodecKind::Uniform8,
+            CodecKind::Uniform4,
+        ] {
+            let config = LiflConfig {
+                codec,
+                ..LiflConfig::default()
+            };
+            let mut platform = LiflPlatform::new(ClusterConfig::default(), config);
+            reports.push(platform.run_round(&spec));
+        }
+        for pair in reports.windows(2) {
+            assert!(
+                pair[0].metrics.inter_node_bytes > pair[1].metrics.inter_node_bytes,
+                "stronger codec must cross fewer bytes"
+            );
+            assert!(
+                pair[0].metrics.aggregation_completion_time
+                    >= pair[1].metrics.aggregation_completion_time,
+                "stronger codec must not slow the round"
+            );
+        }
+        let ratio =
+            reports[0].metrics.inter_node_bytes as f64 / reports[1].metrics.inter_node_bytes as f64;
+        assert!(ratio >= 3.99, "uniform8 wire reduction only {ratio:.2}x");
+    }
+
+    #[test]
+    fn identity_codec_is_cost_identical_to_seed_profile() {
+        // The codec field must not perturb the calibrated baseline numbers.
+        let spec = RoundSpec::new(ModelKind::ResNet34, arrivals_spread(20, 1.0));
+        let with_default = lifl().run_round(&spec);
+        let explicit_identity = LiflPlatform::new(
+            ClusterConfig::default(),
+            LiflConfig {
+                codec: CodecKind::Identity,
+                ..LiflConfig::default()
+            },
+        )
+        .run_round(&spec);
+        assert_eq!(with_default.metrics, explicit_identity.metrics);
     }
 
     #[test]

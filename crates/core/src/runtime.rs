@@ -9,9 +9,10 @@
 use crate::aggregator::AggregatorRuntime;
 use crate::gateway::Gateway;
 use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::codec::{EncodedUpdate, ErrorFeedback, UpdateCodec};
 use lifl_fl::DenseModel;
-use lifl_shmem::{InPlaceQueue, ObjectStore};
-use lifl_types::{AggregatorId, AggregatorRole, ClientId, LiflError, NodeId, Result};
+use lifl_shmem::{InPlaceQueue, ObjectStore, StoreStats};
+use lifl_types::{AggregatorId, AggregatorRole, ClientId, CodecKind, LiflError, NodeId, Result};
 
 /// Configuration of an in-process hierarchical aggregation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,6 +119,130 @@ pub fn run_hierarchical(
     ))
 }
 
+/// What a codec-aware hierarchical run produced, beyond the global model:
+/// the shared-memory accounting that proves the compressed representation
+/// actually flowed through the store.
+#[derive(Debug, Clone)]
+pub struct HierarchicalRunReport {
+    /// The aggregated global model.
+    pub update: ModelUpdate,
+    /// Object-store statistics at the end of the run (encoded puts, real and
+    /// dense-equivalent bytes).
+    pub store_stats: StoreStats,
+    /// Total bytes client updates occupied on the data plane (encoded form).
+    pub client_wire_bytes: u64,
+}
+
+/// Runs the same two-level hierarchy as [`run_hierarchical`], but every
+/// update travels in its `codec`-encoded wire form: clients encode with
+/// per-client error feedback, each aggregator decodes before folding and
+/// re-encodes its intermediate (decode-fold-encode), and the compressed
+/// payloads are what actually sit in shared memory.
+///
+/// With [`CodecKind::Identity`] this path is bit-exact with
+/// [`run_hierarchical`].
+///
+/// # Errors
+/// Same conditions as [`run_hierarchical`], plus codec parse failures.
+pub fn run_hierarchical_with_codec(
+    config: HierarchicalRunConfig,
+    updates: &[ModelUpdate],
+    codec: CodecKind,
+) -> Result<HierarchicalRunReport> {
+    let expected = config.leaves * config.updates_per_leaf;
+    if config.leaves == 0 || updates.len() != expected {
+        return Err(LiflError::InvalidConfig(format!(
+            "expected {} updates ({} leaves x {}), got {}",
+            expected,
+            config.leaves,
+            config.updates_per_leaf,
+            updates.len()
+        )));
+    }
+    let store = ObjectStore::new();
+    let node = NodeId::new(0);
+    let mut gateway = Gateway::new(node, store.clone());
+    let mut feedback = ErrorFeedback::new(UpdateCodec::with_seed(codec, 0x5EED));
+
+    let top_inbox = InPlaceQueue::new();
+    let mut top = AggregatorRuntime::with_codec(
+        AggregatorId::new(1000),
+        AggregatorRole::Top,
+        config.leaves as u64,
+        store.clone(),
+        top_inbox.clone(),
+        UpdateCodec::with_seed(codec, 1000),
+    )?;
+
+    let mut client_wire_bytes = 0u64;
+    let mut handles = Vec::new();
+    for leaf_idx in 0..config.leaves {
+        let inbox = gateway.register_aggregator(AggregatorId::new(leaf_idx as u64));
+        for (k, update) in updates
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % config.leaves == leaf_idx)
+        {
+            let client = update.client.unwrap_or(ClientId::new(k as u64));
+            if codec.is_lossless() {
+                // Identity: the dense payload *is* the wire form; use the
+                // seed ingest path so the run stays bit-exact with it.
+                client_wire_bytes += update.model.byte_size();
+                gateway.ingest_client_update(
+                    client,
+                    AggregatorId::new(leaf_idx as u64),
+                    update.model.as_slice(),
+                    update.samples,
+                )?;
+            } else {
+                let encoded = feedback.encode(client, &update.model)?;
+                client_wire_bytes += encoded.wire_bytes();
+                gateway.ingest_encoded_update(
+                    client,
+                    AggregatorId::new(leaf_idx as u64),
+                    &encoded,
+                    update.samples,
+                )?;
+            }
+        }
+        let store = store.clone();
+        let top_inbox = top_inbox.clone();
+        let goal = config.updates_per_leaf as u64;
+        let handle = std::thread::spawn(move || -> Result<()> {
+            let mut leaf = AggregatorRuntime::with_codec(
+                AggregatorId::new(leaf_idx as u64),
+                AggregatorRole::Leaf,
+                goal,
+                store,
+                inbox,
+                UpdateCodec::with_seed(codec, leaf_idx as u64),
+            )?;
+            let intermediate = leaf.run_to_completion()?;
+            top_inbox.enqueue(intermediate);
+            Ok(())
+        });
+        handles.push(handle);
+    }
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| LiflError::Simulation("leaf thread panicked".to_string()))??;
+    }
+
+    let result = top.run_to_completion()?;
+    let object = store.get(&result.key)?;
+    let model = if result.encoded {
+        EncodedUpdate::from_bytes(object.as_slice())?.decode()
+    } else {
+        DenseModel::from_vec(object.as_f32_vec())
+    };
+    Ok(HierarchicalRunReport {
+        update: ModelUpdate::intermediate(model, result.weight),
+        store_stats: store.stats(),
+        client_wire_bytes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +297,62 @@ mod tests {
             &[]
         )
         .is_err());
+    }
+
+    #[test]
+    fn identity_codec_run_is_bit_exact_with_pre_codec_path() {
+        let updates = updates(8, 16);
+        let config = HierarchicalRunConfig {
+            leaves: 4,
+            updates_per_leaf: 2,
+        };
+        let pre_codec = run_hierarchical(config, &updates).unwrap();
+        let report = run_hierarchical_with_codec(config, &updates, CodecKind::Identity).unwrap();
+        assert_eq!(report.update.samples, pre_codec.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(pre_codec.model.as_slice())
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "identity path diverged: {a} vs {b}"
+            );
+        }
+        assert_eq!(report.store_stats.encoded_puts, 0);
+    }
+
+    #[test]
+    fn quantized_codec_run_stays_close_and_compresses() {
+        let updates = updates(8, 32);
+        let config = HierarchicalRunConfig {
+            leaves: 4,
+            updates_per_leaf: 2,
+        };
+        let flat = lifl_fl::aggregate::fedavg(&updates).unwrap();
+        let report = run_hierarchical_with_codec(config, &updates, CodecKind::Uniform8).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        let scale_bound = updates
+            .iter()
+            .flat_map(|u| u.model.as_slice())
+            .fold(0.0f32, |a, v| a.max(v.abs()))
+            / 127.0;
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            // Two quantization stages (client + leaf) bound the error.
+            assert!((a - b).abs() <= 3.0 * scale_bound, "{a} vs {b}");
+        }
+        assert!(report.store_stats.encoded_puts > 0);
+        assert!(report.store_stats.bytes_saved() > 0);
+        assert!(report.client_wire_bytes < updates.len() as u64 * 32 * 4);
     }
 
     #[test]

@@ -6,13 +6,20 @@
 //! Calibration targets come from the paper (DESIGN.md §3.2).
 
 use crate::pipeline::{DataPlaneKind, Pipeline, PipelineModels};
-use lifl_types::{CpuCycles, ModelKind, SimDuration, SystemKind};
+use lifl_types::{CodecKind, CpuCycles, ModelKind, SimDuration, SystemKind};
 use serde::{Deserialize, Serialize};
 
 /// Effective wire seconds per MiB for inter-node transfers on the 10 GbE testbed
 /// (includes TCP pacing and congestion effects; calibrated to the ~4.2 s
 /// ResNet-152 cross-node transfer of §6.1).
 pub const WIRE_SECS_PER_MIB: f64 = 0.0065;
+
+/// Bytes one update of `model` puts on the wire under `codec`: every transport
+/// cost in the simulator is priced off this encoded size rather than the dense
+/// parameter count.
+pub fn update_wire_bytes(model: ModelKind, codec: CodecKind) -> u64 {
+    codec.encoded_bytes(model.update_bytes())
+}
 
 /// The cost of moving one model update along some path.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -111,19 +118,51 @@ impl CostModel {
         cost
     }
 
+    /// CPU time of one codec pass (encode *or* decode) over one update of
+    /// `model`.
+    ///
+    /// Uniform quantization is a single linear scan (scale + round per
+    /// element); top-k pays an extra selection factor. `Identity` is free —
+    /// the payload already is its wire form, preserving the seed's cost model
+    /// bit-for-bit.
+    pub fn codec_compute(&self, model: ModelKind, codec: CodecKind) -> SimDuration {
+        let params = model.parameters() as f64;
+        let secs_per_param = match codec {
+            CodecKind::Identity => 0.0,
+            CodecKind::Uniform8 | CodecKind::Uniform4 => 1.5e-9,
+            CodecKind::TopK { .. } => 4.0e-9,
+        };
+        SimDuration::from_secs(params * secs_per_param)
+    }
+
+    /// Cost of one intra-node transfer of one `model` update under `codec`.
+    pub fn intra_node_transfer_encoded(
+        &self,
+        plane: DataPlaneKind,
+        model: ModelKind,
+        codec: CodecKind,
+    ) -> TransferCost {
+        self.intra_node_transfer(plane, update_wire_bytes(model, codec))
+    }
+
+    /// Cost of one inter-node transfer of one `model` update under `codec`.
+    pub fn inter_node_transfer_encoded(&self, model: ModelKind, codec: CodecKind) -> TransferCost {
+        self.inter_node_transfer(update_wire_bytes(model, codec))
+    }
+
     /// CPU time to aggregate one model update into a running accumulator.
     ///
     /// Calibrated so a ResNet-152 update (~60 M parameters) takes ~0.5 s, which
     /// together with the transfer costs reproduces the per-round times of
     /// Fig. 4 (57–60 s serverful) and Fig. 7(c) (44.9 s LIFL).
     pub fn aggregation_compute(&self, model: ModelKind) -> SimDuration {
-        let params = model.spec().parameters as f64;
+        let params = model.parameters() as f64;
         SimDuration::from_secs(params * 8.3e-9)
     }
 
     /// CPU time to evaluate the global model after a round (the "Eval." task of Fig. 4).
     pub fn evaluation_compute(&self, model: ModelKind) -> SimDuration {
-        let params = model.spec().parameters as f64;
+        let params = model.parameters() as f64;
         SimDuration::from_secs(2.0 + params * 25.0e-9)
     }
 
@@ -230,6 +269,61 @@ mod tests {
             cm.idle_cores_per_node(SystemKind::Lifl)
                 < cm.idle_cores_per_node(SystemKind::Serverless)
         );
+    }
+
+    #[test]
+    fn encoded_transfers_price_off_encoded_bytes() {
+        let cm = CostModel::paper_calibrated();
+        let model = ModelKind::ResNet152;
+        let identity = cm.inter_node_transfer_encoded(model, CodecKind::Identity);
+        let u8c = cm.inter_node_transfer_encoded(model, CodecKind::Uniform8);
+        let u4c = cm.inter_node_transfer_encoded(model, CodecKind::Uniform4);
+        // Identity is bit-identical to the pre-codec pricing.
+        assert_eq!(identity, cm.inter_node_transfer(model.update_bytes()));
+        assert!(identity.inter_node_bytes >= 4 * u8c.inter_node_bytes - 64);
+        assert!(u8c.inter_node_bytes > u4c.inter_node_bytes);
+        assert!(identity.latency > u8c.latency && u8c.latency > u4c.latency);
+        let intra_id = cm.intra_node_transfer_encoded(
+            DataPlaneKind::LiflSharedMemory,
+            model,
+            CodecKind::Identity,
+        );
+        let intra_u8 = cm.intra_node_transfer_encoded(
+            DataPlaneKind::LiflSharedMemory,
+            model,
+            CodecKind::Uniform8,
+        );
+        assert!(intra_id.latency > intra_u8.latency);
+    }
+
+    #[test]
+    fn codec_compute_is_cheap_relative_to_aggregation() {
+        let cm = CostModel::paper_calibrated();
+        let model = ModelKind::ResNet152;
+        assert_eq!(
+            cm.codec_compute(model, CodecKind::Identity),
+            SimDuration::ZERO
+        );
+        let quant = cm.codec_compute(model, CodecKind::Uniform8);
+        let topk = cm.codec_compute(model, CodecKind::TopK { permille: 50 });
+        assert!(quant > SimDuration::ZERO);
+        assert!(topk > quant);
+        // A codec pass must stay well under the aggregation fold itself,
+        // otherwise compressing would never pay off.
+        assert!(topk < cm.aggregation_compute(model));
+    }
+
+    #[test]
+    fn wire_bytes_shrink_with_stronger_codecs() {
+        let sizes: Vec<u64> = CodecKind::ablation_set()
+            .iter()
+            .map(|c| update_wire_bytes(ModelKind::ResNet18, *c))
+            .collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[0] > pair[1], "{sizes:?}");
+        }
+        let ratio = sizes[0] as f64 / sizes[1] as f64;
+        assert!(ratio >= 3.99, "uniform8 reduction only {ratio}x");
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! gRPC channel model: serialization/deserialization and framing on top of
 //! kernel networking. Used by the serverful baseline (§6.1 "SF").
+//!
+//! The channel is priced off the bytes actually framed into the protobuf
+//! message — for a quantized update that is its encoded wire size (see
+//! [`GrpcChannelModel::encoded_intra_node_latency`]).
 
 use crate::kernel_net::KernelNetModel;
-use lifl_types::{CpuCycles, SimDuration};
+use lifl_types::{CodecKind, CpuCycles, SimDuration};
 
 /// Cost model of a gRPC message exchange between two co-located or remote
 /// processes: protobuf (de)serialization plus two kernel-stack traversals.
@@ -46,6 +50,17 @@ impl GrpcChannelModel {
     pub fn buffered_bytes(&self, bytes: u64) -> u64 {
         2 * bytes
     }
+
+    /// Intra-node latency for one `dense_bytes`-sized update framed under
+    /// `codec`.
+    pub fn encoded_intra_node_latency(&self, dense_bytes: u64, codec: CodecKind) -> SimDuration {
+        self.intra_node_latency(codec.encoded_bytes(dense_bytes))
+    }
+
+    /// CPU cycles for the same codec-aware exchange.
+    pub fn encoded_intra_node_cpu(&self, dense_bytes: u64, codec: CodecKind) -> CpuCycles {
+        self.intra_node_cpu(codec.encoded_bytes(dense_bytes))
+    }
 }
 
 #[cfg(test)]
@@ -65,5 +80,19 @@ mod tests {
         let g = GrpcChannelModel::default();
         assert!(g.intra_node_cpu(200).0 < g.intra_node_cpu(2_000_000).0);
         assert_eq!(g.buffered_bytes(100), 200);
+    }
+
+    #[test]
+    fn quantized_channel_is_cheaper() {
+        let g = GrpcChannelModel::default();
+        let dense = 83 * 1024 * 1024;
+        assert_eq!(
+            g.encoded_intra_node_latency(dense, CodecKind::Identity),
+            g.intra_node_latency(dense)
+        );
+        assert!(
+            g.encoded_intra_node_latency(dense, CodecKind::Uniform8) < g.intra_node_latency(dense)
+        );
+        assert!(g.encoded_intra_node_cpu(dense, CodecKind::Uniform4).0 < g.intra_node_cpu(dense).0);
     }
 }

@@ -31,6 +31,6 @@ pub mod protocol;
 pub mod sharedmem;
 pub mod sidecar;
 
-pub use cost::{CostModel, TransferCost};
+pub use cost::{update_wire_bytes, CostModel, TransferCost};
 pub use pipeline::{DataPlaneKind, HopCost, Pipeline, QueuingSetup};
 pub use protocol::{L7Protocol, ProcessingBreakdown, ProcessingStep, ProtocolModel};

@@ -39,6 +39,11 @@ fn main() {
         "{}",
         lifl_experiments::fig13::format(&lifl_experiments::fig13::run())
     );
+    println!("==== Codec ablation (bytes-on-wire x time-to-accuracy) ====");
+    println!(
+        "{}",
+        lifl_experiments::fig_codec::format(&lifl_experiments::fig_codec::run())
+    );
     println!("==== Orchestration overhead ====");
     println!(
         "{}",

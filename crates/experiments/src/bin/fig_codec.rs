@@ -1,0 +1,7 @@
+//! Regenerates the codec ablation (bytes-on-wire and time-to-accuracy
+//! across update codecs and transports).
+fn main() {
+    let result = lifl_experiments::fig_codec::run();
+    println!("{}", lifl_experiments::fig_codec::format(&result));
+    println!("{}", lifl_experiments::report::to_json(&result));
+}

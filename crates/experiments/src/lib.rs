@@ -17,5 +17,6 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9_fig10;
+pub mod fig_codec;
 pub mod orchestration_overhead;
 pub mod report;

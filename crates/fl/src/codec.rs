@@ -1,0 +1,693 @@
+//! Model-update codecs: quantized / sparsified wire representations.
+//!
+//! LIFL's headline win is cutting the per-update *hand-off* cost; this module
+//! attacks the remaining term, the payload bytes themselves, in the spirit of
+//! implicitly/quantization-enhanced RL representations (iQRL, QeRL —
+//! PAPERS.md). Three lossy representations are provided next to the lossless
+//! [`CodecKind::Identity`]:
+//!
+//! * **Uniform8 / Uniform4** — stochastic uniform quantization with one `f32`
+//!   scale per tensor. Stochastic rounding makes the quantizer *unbiased*
+//!   (`E[decode(encode(x))] = x`), so cumulative FedAvg over many clients and
+//!   rounds is not systematically dragged; the worst-case per-element error is
+//!   one quantization step (`scale`), half a step in expectation.
+//! * **TopK** — magnitude sparsification; only the largest-magnitude
+//!   coordinates travel as `(index, value)` pairs.
+//!
+//! [`ErrorFeedback`] keeps a per-client residual (the part of each update the
+//! codec dropped) and folds it into the client's next transmission, the
+//! standard error-feedback construction that keeps long-run FedAvg convergent
+//! even under aggressive compression.
+//!
+//! The wire form [`EncodedUpdate`] is a self-describing byte string (16-byte
+//! header + payload) so it can be stored zero-copy in the `lifl-shmem` object
+//! store and re-parsed by any aggregator without side-channel metadata. Its
+//! size always equals [`CodecKind::encoded_bytes`] applied to the dense size,
+//! keeping the simulator's cost accounting and the in-process runtime's real
+//! byte counters consistent.
+
+use crate::model::DenseModel;
+use lifl_simcore::SimRng;
+use lifl_types::{ClientId, CodecKind, LiflError, Result, WIRE_HEADER_BYTES};
+use std::collections::HashMap;
+
+/// Codec tags used in byte 0 of the wire header.
+const TAG_IDENTITY: u8 = 0;
+const TAG_UNIFORM8: u8 = 1;
+const TAG_UNIFORM4: u8 = 2;
+const TAG_TOPK: u8 = 3;
+
+/// Quantization levels on each side of zero for the uniform codecs.
+const U8_LEVELS: f32 = 127.0;
+const U4_LEVELS: f32 = 7.0;
+
+/// A model update in its on-wire representation: a self-describing header
+/// followed by the codec-specific payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedUpdate {
+    codec: CodecKind,
+    dim: u32,
+    scale: f32,
+    kept: u32,
+    body: Vec<u8>,
+}
+
+impl EncodedUpdate {
+    /// The codec that produced this update.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    /// Number of parameters of the dense model this encodes.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The per-tensor quantization scale (0 for `Identity` and `TopK`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Payload bytes this update puts on the data plane. The 16-byte
+    /// descriptor header travels the SKMSG control channel alongside the
+    /// object key and weight, so it is excluded here — this always equals
+    /// [`CodecKind::encoded_bytes`] of the dense size.
+    pub fn wire_bytes(&self) -> u64 {
+        self.body.len() as u64
+    }
+
+    /// Bytes the self-describing form occupies in shared memory (descriptor
+    /// header + payload). The headerless dense representation of the
+    /// pre-codec path is produced by `ObjectStore::put_f32`, not by this
+    /// type, so every `EncodedUpdate` — `Identity` included — carries the
+    /// header and round-trips through [`EncodedUpdate::from_bytes`].
+    pub fn stored_bytes(&self) -> u64 {
+        WIRE_HEADER_BYTES + self.body.len() as u64
+    }
+
+    /// Bytes of the dense `f32` representation of the same model.
+    pub fn dense_bytes(&self) -> u64 {
+        u64::from(self.dim) * 4
+    }
+
+    /// Serializes header + payload into one byte string for shared memory or
+    /// the wire; [`EncodedUpdate::from_bytes`] is its exact inverse for every
+    /// codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(WIRE_HEADER_BYTES as usize + self.body.len());
+        let (tag, permille) = match self.codec {
+            CodecKind::Identity => (TAG_IDENTITY, 0u16),
+            CodecKind::Uniform8 => (TAG_UNIFORM8, 0),
+            CodecKind::Uniform4 => (TAG_UNIFORM4, 0),
+            CodecKind::TopK { permille } => (TAG_TOPK, permille),
+        };
+        out.push(tag);
+        out.push(0);
+        out.extend_from_slice(&permille.to_le_bytes());
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        out.extend_from_slice(&self.scale.to_le_bytes());
+        out.extend_from_slice(&self.kept.to_le_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a wire byte string produced by [`EncodedUpdate::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns [`LiflError::Codec`] on a truncated or malformed buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let header = bytes
+            .get(..WIRE_HEADER_BYTES as usize)
+            .ok_or_else(|| LiflError::Codec("wire buffer shorter than header".to_string()))?;
+        let permille = u16::from_le_bytes([header[2], header[3]]);
+        let dim = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        let scale = f32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        let kept = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+        let codec = match header[0] {
+            TAG_IDENTITY => CodecKind::Identity,
+            TAG_UNIFORM8 => CodecKind::Uniform8,
+            TAG_UNIFORM4 => CodecKind::Uniform4,
+            TAG_TOPK => CodecKind::TopK { permille },
+            other => return Err(LiflError::Codec(format!("unknown codec tag {other}"))),
+        };
+        let body = bytes[WIRE_HEADER_BYTES as usize..].to_vec();
+        let expected = match codec {
+            CodecKind::Identity => dim as usize * 4,
+            CodecKind::Uniform8 => dim as usize,
+            CodecKind::Uniform4 => (dim as usize).div_ceil(2),
+            CodecKind::TopK { .. } => kept as usize * 8,
+        };
+        if body.len() != expected {
+            return Err(LiflError::Codec(format!(
+                "payload length {} does not match header (codec {codec}, dim {dim}, kept {kept})",
+                body.len()
+            )));
+        }
+        Ok(EncodedUpdate {
+            codec,
+            dim,
+            scale,
+            kept,
+            body,
+        })
+    }
+
+    /// Reconstructs the dense model this update encodes.
+    pub fn decode(&self) -> DenseModel {
+        let dim = self.dim as usize;
+        match self.codec {
+            CodecKind::Identity => DenseModel::from_vec(
+                self.body
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            ),
+            CodecKind::Uniform8 => DenseModel::from_vec(
+                self.body
+                    .iter()
+                    .map(|b| f32::from(*b as i8) * self.scale)
+                    .collect(),
+            ),
+            CodecKind::Uniform4 => {
+                let mut params = Vec::with_capacity(dim);
+                for byte in &self.body {
+                    params.push(f32::from(nibble_to_i8(byte & 0x0F)) * self.scale);
+                    if params.len() < dim {
+                        params.push(f32::from(nibble_to_i8(byte >> 4)) * self.scale);
+                    }
+                }
+                params.truncate(dim);
+                DenseModel::from_vec(params)
+            }
+            CodecKind::TopK { .. } => {
+                let mut params = vec![0.0f32; dim];
+                for pair in self.body.chunks_exact(8) {
+                    let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
+                    let value = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
+                    if index < dim {
+                        params[index] = value;
+                    }
+                }
+                DenseModel::from_vec(params)
+            }
+        }
+    }
+}
+
+/// Maps a sign-magnitude 4-bit nibble back to `[-7, 7]`.
+fn nibble_to_i8(nibble: u8) -> i8 {
+    let magnitude = (nibble & 0x07) as i8;
+    if nibble & 0x08 != 0 {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+/// Maps a quantized level in `[-7, 7]` to a sign-magnitude nibble.
+fn i8_to_nibble(level: i8) -> u8 {
+    let magnitude = level.unsigned_abs().min(7);
+    if level < 0 {
+        magnitude | 0x08
+    } else {
+        magnitude
+    }
+}
+
+/// The encoder/decoder for one [`CodecKind`], owning the randomness stream the
+/// stochastic rounding draws from (deterministic given the seed).
+#[derive(Debug, Clone)]
+pub struct UpdateCodec {
+    kind: CodecKind,
+    rng: SimRng,
+}
+
+impl UpdateCodec {
+    /// Creates a codec with a fixed default seed (deterministic streams).
+    pub fn new(kind: CodecKind) -> Self {
+        Self::with_seed(kind, 0xC0DEC)
+    }
+
+    /// Creates a codec whose stochastic rounding draws from `seed`.
+    pub fn with_seed(kind: CodecKind, seed: u64) -> Self {
+        UpdateCodec {
+            kind,
+            rng: SimRng::from_seed(seed),
+        }
+    }
+
+    /// The configured codec kind.
+    pub fn kind(&self) -> CodecKind {
+        self.kind
+    }
+
+    /// Encodes a dense model into its wire representation.
+    pub fn encode(&mut self, model: &DenseModel) -> EncodedUpdate {
+        let params = model.as_slice();
+        let dim = params.len() as u32;
+        match self.kind {
+            CodecKind::Identity => {
+                let mut body = Vec::with_capacity(params.len() * 4);
+                for v in params {
+                    body.extend_from_slice(&v.to_le_bytes());
+                }
+                EncodedUpdate {
+                    codec: self.kind,
+                    dim,
+                    scale: 0.0,
+                    kept: dim,
+                    body,
+                }
+            }
+            CodecKind::Uniform8 => {
+                let scale = tensor_scale(params, U8_LEVELS);
+                let body = params
+                    .iter()
+                    .map(|v| self.stochastic_level(*v, scale, U8_LEVELS) as u8)
+                    .collect();
+                EncodedUpdate {
+                    codec: self.kind,
+                    dim,
+                    scale,
+                    kept: dim,
+                    body,
+                }
+            }
+            CodecKind::Uniform4 => {
+                let scale = tensor_scale(params, U4_LEVELS);
+                let mut body = Vec::with_capacity(params.len().div_ceil(2));
+                for pair in params.chunks(2) {
+                    let low = i8_to_nibble(self.stochastic_level(pair[0], scale, U4_LEVELS));
+                    let high = pair
+                        .get(1)
+                        .map(|v| i8_to_nibble(self.stochastic_level(*v, scale, U4_LEVELS)))
+                        .unwrap_or(0);
+                    body.push(low | (high << 4));
+                }
+                EncodedUpdate {
+                    codec: self.kind,
+                    dim,
+                    scale,
+                    kept: dim,
+                    body,
+                }
+            }
+            CodecKind::TopK { permille } => {
+                let kept = CodecKind::top_k_kept(params.len() as u64, permille) as usize;
+                let mut order: Vec<usize> = (0..params.len()).collect();
+                let by_magnitude_desc = |a: &usize, b: &usize| {
+                    params[*b]
+                        .abs()
+                        .partial_cmp(&params[*a].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(b))
+                };
+                // Linear-time selection of the top-k set; only the kept
+                // prefix needs ordering (and only by index, for the wire).
+                if kept < order.len() {
+                    order.select_nth_unstable_by(kept, by_magnitude_desc);
+                    order.truncate(kept);
+                }
+                let mut indices = order;
+                indices.sort_unstable();
+                let mut body = Vec::with_capacity(indices.len() * 8);
+                for index in &indices {
+                    body.extend_from_slice(&(*index as u32).to_le_bytes());
+                    body.extend_from_slice(&params[*index].to_le_bytes());
+                }
+                EncodedUpdate {
+                    codec: self.kind,
+                    dim,
+                    scale: 0.0,
+                    kept: indices.len() as u32,
+                    body,
+                }
+            }
+        }
+    }
+
+    /// Convenience: encode then immediately decode (what an aggregator sees).
+    pub fn roundtrip(&mut self, model: &DenseModel) -> DenseModel {
+        self.encode(model).decode()
+    }
+
+    /// Stochastically rounds `value / scale` to an integer level in
+    /// `[-levels, levels]`: the floor is kept with probability `1 - frac`,
+    /// making the quantizer unbiased.
+    fn stochastic_level(&mut self, value: f32, scale: f32, levels: f32) -> i8 {
+        if scale <= 0.0 || !value.is_finite() {
+            return 0;
+        }
+        let exact = f64::from(value / scale);
+        let floor = exact.floor();
+        let frac = exact - floor;
+        let rounded = if self.rng.uniform(0.0, 1.0) < frac {
+            floor + 1.0
+        } else {
+            floor
+        };
+        rounded.clamp(f64::from(-levels), f64::from(levels)) as i8
+    }
+}
+
+/// Per-tensor scale so the largest magnitude maps to the outermost level.
+fn tensor_scale(params: &[f32], levels: f32) -> f32 {
+    let max_abs = params
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, |acc, v| acc.max(v.abs()));
+    if max_abs == 0.0 {
+        0.0
+    } else {
+        max_abs / levels
+    }
+}
+
+/// Client-side error feedback: each client remembers the residual its codec
+/// dropped last round and adds it back before encoding the next update, so the
+/// *cumulative* FedAvg signal stays unbiased even under aggressive
+/// compression.
+#[derive(Debug, Clone)]
+pub struct ErrorFeedback {
+    codec: UpdateCodec,
+    residuals: HashMap<ClientId, DenseModel>,
+}
+
+impl ErrorFeedback {
+    /// Creates an error-feedback encoder around `codec`.
+    pub fn new(codec: UpdateCodec) -> Self {
+        ErrorFeedback {
+            codec,
+            residuals: HashMap::new(),
+        }
+    }
+
+    /// The codec kind in use.
+    pub fn kind(&self) -> CodecKind {
+        self.codec.kind()
+    }
+
+    /// Encodes `model` for `client`, compensating with the client's stored
+    /// residual and retaining the new residual for the next round.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::DimensionMismatch`] if the client's model changes
+    /// dimension between rounds.
+    pub fn encode(&mut self, client: ClientId, model: &DenseModel) -> Result<EncodedUpdate> {
+        let mut compensated = model.clone();
+        if let Some(residual) = self.residuals.get(&client) {
+            compensated.axpy(1.0, residual)?;
+        }
+        let encoded = self.codec.encode(&compensated);
+        if self.codec.kind().is_lossless() {
+            self.residuals.remove(&client);
+        } else {
+            let mut residual = compensated;
+            residual.axpy(-1.0, &encoded.decode())?;
+            self.residuals.insert(client, residual);
+        }
+        Ok(encoded)
+    }
+
+    /// The residual currently stored for `client`, if any.
+    pub fn residual(&self, client: ClientId) -> Option<&DenseModel> {
+        self.residuals.get(&client)
+    }
+
+    /// Drops every stored residual (e.g. when the model dimension changes).
+    pub fn reset(&mut self) {
+        self.residuals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(values: &[f32]) -> DenseModel {
+        DenseModel::from_vec(values.to_vec())
+    }
+
+    #[test]
+    fn identity_roundtrip_is_bit_exact() {
+        let m = model(&[1.0, -2.5, 3.75, f32::MIN_POSITIVE]);
+        let mut codec = UpdateCodec::new(CodecKind::Identity);
+        let encoded = codec.encode(&m);
+        // The data plane accounts payload bytes only; the stored form adds
+        // the 16-byte descriptor so from_bytes can re-parse it.
+        assert_eq!(encoded.wire_bytes(), 16);
+        assert_eq!(encoded.to_bytes().len(), 32);
+        let parsed = EncodedUpdate::from_bytes(&encoded.to_bytes()).unwrap();
+        assert_eq!(parsed, encoded);
+        let decoded = encoded.decode();
+        for (a, b) in m.as_slice().iter().zip(decoded.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn wire_bytes_match_codec_kind_accounting() {
+        let dims = [1usize, 2, 7, 64, 1001];
+        for kind in CodecKind::ablation_set() {
+            let mut codec = UpdateCodec::new(kind);
+            for dim in dims {
+                let m = DenseModel::from_vec((0..dim).map(|i| i as f32 * 0.3 - 1.0).collect());
+                let encoded = codec.encode(&m);
+                assert_eq!(
+                    encoded.wire_bytes(),
+                    kind.encoded_bytes((dim * 4) as u64),
+                    "codec {kind} dim {dim}"
+                );
+                assert_eq!(encoded.to_bytes().len() as u64, encoded.stored_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn from_bytes_roundtrips_every_codec() {
+        for kind in [
+            CodecKind::Identity,
+            CodecKind::Uniform8,
+            CodecKind::Uniform4,
+            CodecKind::TopK { permille: 300 },
+        ] {
+            let mut codec = UpdateCodec::new(kind);
+            let m = DenseModel::from_vec((0..33).map(|i| (i as f32 - 16.0) * 0.21).collect());
+            let encoded = codec.encode(&m);
+            let parsed = EncodedUpdate::from_bytes(&encoded.to_bytes()).unwrap();
+            assert_eq!(parsed, encoded);
+            assert_eq!(parsed.decode(), encoded.decode());
+        }
+    }
+
+    #[test]
+    fn malformed_wire_buffers_are_rejected() {
+        assert!(EncodedUpdate::from_bytes(&[1, 2, 3]).is_err());
+        let mut codec = UpdateCodec::new(CodecKind::Uniform8);
+        let mut bytes = codec.encode(&model(&[1.0, 2.0])).to_bytes();
+        bytes[0] = 99; // unknown tag
+        assert!(EncodedUpdate::from_bytes(&bytes).is_err());
+        bytes[0] = 1;
+        bytes.pop(); // truncated payload
+        assert!(EncodedUpdate::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn uniform_error_is_bounded_by_one_step() {
+        let values: Vec<f32> = (0..257)
+            .map(|i| ((i * 37) % 101) as f32 * 0.13 - 6.5)
+            .collect();
+        let m = DenseModel::from_vec(values);
+        for (kind, levels) in [
+            (CodecKind::Uniform8, U8_LEVELS),
+            (CodecKind::Uniform4, U4_LEVELS),
+        ] {
+            let mut codec = UpdateCodec::new(kind);
+            let encoded = codec.encode(&m);
+            let scale = encoded.scale();
+            assert!((scale - 6.5 / levels).abs() < 0.2, "scale {scale}");
+            for (x, y) in m.as_slice().iter().zip(encoded.decode().as_slice()) {
+                assert!(
+                    (x - y).abs() <= scale + 1e-6,
+                    "{kind}: |{x} - {y}| > step {scale}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_keeps_largest_magnitudes() {
+        let m = model(&[0.1, -9.0, 0.2, 7.0, -0.3, 0.05, 4.0, 0.0, 0.0, 0.0]);
+        let mut codec = UpdateCodec::new(CodecKind::TopK { permille: 300 });
+        let decoded = codec.encode(&m).decode();
+        let slice = decoded.as_slice();
+        assert_eq!(slice[1], -9.0);
+        assert_eq!(slice[3], 7.0);
+        assert_eq!(slice[6], 4.0);
+        assert_eq!(slice.iter().filter(|v| **v != 0.0).count(), 3);
+    }
+
+    #[test]
+    fn zero_tensor_encodes_losslessly_everywhere() {
+        for kind in CodecKind::ablation_set() {
+            let mut codec = UpdateCodec::new(kind);
+            let decoded = codec.roundtrip(&DenseModel::zeros(9));
+            assert_eq!(decoded.as_slice(), &[0.0f32; 9]);
+        }
+    }
+
+    #[test]
+    fn error_feedback_residual_tracks_dropped_mass() {
+        let client = ClientId::new(7);
+        let m = model(&[1.0, -0.4, 0.03, 0.8]);
+        let mut feedback = ErrorFeedback::new(UpdateCodec::new(CodecKind::Uniform4));
+        let encoded = feedback.encode(client, &m).unwrap();
+        let residual = feedback.residual(client).unwrap().clone();
+        // residual = compensated - decoded, so decoded + residual == input.
+        let mut reconstructed = encoded.decode();
+        reconstructed.axpy(1.0, &residual).unwrap();
+        for (a, b) in m.as_slice().iter().zip(reconstructed.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        // Identity stores no residual.
+        let mut lossless = ErrorFeedback::new(UpdateCodec::new(CodecKind::Identity));
+        lossless.encode(client, &m).unwrap();
+        assert!(lossless.residual(client).is_none());
+        lossless.reset();
+    }
+
+    #[test]
+    fn error_feedback_time_average_converges_to_input() {
+        // A client repeatedly sends the same update through an aggressive
+        // codec; with error feedback the *average* decoded signal converges to
+        // the true update even though each round is coarsely quantized.
+        let client = ClientId::new(1);
+        let m = model(&[0.31, -0.27, 0.011, 0.44, -0.09]);
+        let mut feedback = ErrorFeedback::new(UpdateCodec::new(CodecKind::Uniform4));
+        let rounds = 400;
+        let mut sum = DenseModel::zeros(m.dim());
+        for _ in 0..rounds {
+            let decoded = feedback.encode(client, &m).unwrap().decode();
+            sum.axpy(1.0, &decoded).unwrap();
+        }
+        sum.scale(1.0 / rounds as f32);
+        for (a, b) in m.as_slice().iter().zip(sum.as_slice()) {
+            assert!((a - b).abs() < 0.02, "time-average {b} far from {a}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::aggregate::{fedavg, ModelUpdate};
+    use proptest::prelude::*;
+
+    fn arbitrary_params() -> impl Strategy<Value = Vec<f32>> {
+        proptest::collection::vec(-8.0f32..8.0, 1..48)
+    }
+
+    proptest! {
+        /// Stochastic uniform quantization never errs by more than one step
+        /// per element (and half a step in expectation; the hard bound is what
+        /// holds sample-wise).
+        #[test]
+        fn quantize_dequantize_error_bounded_by_step(params in arbitrary_params(), seed in 0u64..1000) {
+            for (kind, levels) in [(CodecKind::Uniform8, 127.0f32), (CodecKind::Uniform4, 7.0f32)] {
+                let mut codec = UpdateCodec::with_seed(kind, seed);
+                let m = DenseModel::from_vec(params.clone());
+                let encoded = codec.encode(&m);
+                let step = encoded.scale();
+                let max_abs = params.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+                prop_assert!((step - max_abs / levels).abs() <= max_abs * 1e-5 + 1e-12);
+                for (x, y) in m.as_slice().iter().zip(encoded.decode().as_slice()) {
+                    prop_assert!((x - y).abs() <= step * 1.0001 + 1e-6,
+                        "{}: |{} - {}| exceeds step {}", kind, x, y, step);
+                }
+            }
+        }
+
+        /// Error-feedback FedAvg over many rounds converges to the
+        /// unquantized mean: the running average of the decoded aggregate
+        /// approaches the true FedAvg of the client updates.
+        #[test]
+        fn error_feedback_fedavg_converges_to_unquantized_mean(
+            updates in proptest::collection::vec((arbitrary_params(), 1u64..20), 2..5),
+            seed in 0u64..200,
+        ) {
+            let dim = updates[0].0.len();
+            let clients: Vec<ModelUpdate> = updates
+                .iter()
+                .enumerate()
+                .map(|(i, (params, samples))| {
+                    let mut p = params.clone();
+                    p.resize(dim, 0.0);
+                    ModelUpdate::from_client(ClientId::new(i as u64), DenseModel::from_vec(p), *samples)
+                })
+                .collect();
+            let exact = fedavg(&clients).unwrap();
+            let mut feedback = ErrorFeedback::new(UpdateCodec::with_seed(CodecKind::Uniform4, seed));
+            let rounds = 150usize;
+            let mut mean = DenseModel::zeros(dim);
+            for _ in 0..rounds {
+                let round: Vec<ModelUpdate> = clients
+                    .iter()
+                    .map(|u| {
+                        let decoded = feedback
+                            .encode(u.client.unwrap(), &u.model)
+                            .unwrap()
+                            .decode();
+                        ModelUpdate::from_client(u.client.unwrap(), decoded, u.samples)
+                    })
+                    .collect();
+                mean.axpy(1.0 / rounds as f32, &fedavg(&round).unwrap().model).unwrap();
+            }
+            let max_abs = exact.model.as_slice().iter().fold(1.0f32, |a, v| a.max(v.abs()));
+            for (a, b) in exact.model.as_slice().iter().zip(mean.as_slice()) {
+                prop_assert!((a - b).abs() <= 0.08 * max_abs + 0.05,
+                    "round-averaged {} drifted from exact {}", b, a);
+            }
+        }
+
+        /// Hierarchical aggregation over Identity-encoded updates is bit-exact
+        /// with the same hierarchy over the raw updates, and both match flat
+        /// aggregation within float tolerance.
+        #[test]
+        fn identity_hierarchy_is_bit_exact(
+            updates in proptest::collection::vec((proptest::collection::vec(-10.0f32..10.0, 4..=4), 1u64..30), 4..10),
+            split in 1usize..9,
+        ) {
+            let raw: Vec<ModelUpdate> = updates
+                .iter()
+                .enumerate()
+                .map(|(i, (p, s))| ModelUpdate::from_client(ClientId::new(i as u64), DenseModel::from_vec(p.clone()), *s))
+                .collect();
+            let mut codec = UpdateCodec::new(CodecKind::Identity);
+            let encoded: Vec<ModelUpdate> = raw
+                .iter()
+                .map(|u| ModelUpdate {
+                    client: u.client,
+                    model: codec.encode(&u.model).decode(),
+                    samples: u.samples,
+                })
+                .collect();
+            let split = split.min(raw.len() - 1).max(1);
+            let top_raw = fedavg(&[
+                fedavg(&raw[..split]).unwrap(),
+                fedavg(&raw[split..]).unwrap(),
+            ]).unwrap();
+            let top_encoded = fedavg(&[
+                fedavg(&encoded[..split]).unwrap(),
+                fedavg(&encoded[split..]).unwrap(),
+            ]).unwrap();
+            prop_assert_eq!(top_raw.samples, top_encoded.samples);
+            for (a, b) in top_raw.model.as_slice().iter().zip(top_encoded.model.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "identity hierarchy not bit-exact");
+            }
+            let flat = fedavg(&raw).unwrap();
+            for (a, b) in flat.model.as_slice().iter().zip(top_encoded.model.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-2);
+            }
+        }
+    }
+}

@@ -16,8 +16,10 @@
 //! algorithm-level extensions the paper's related-work section points at so
 //! that LIFL can act as their substrate: server-side adaptive federated
 //! optimizers ([`server_opt`]), FedProx local training ([`fedprox`]),
-//! Oort-style guided participant selection ([`oort`]) and buffered
-//! asynchronous FL with staleness weighting ([`async_driver`], [`staleness`]).
+//! Oort-style guided participant selection ([`oort`]), buffered
+//! asynchronous FL with staleness weighting ([`async_driver`], [`staleness`])
+//! and quantized/sparsified update codecs with per-client error feedback
+//! ([`codec`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@
 pub mod aggregate;
 pub mod async_driver;
 pub mod client;
+pub mod codec;
 pub mod dataset;
 pub mod fedprox;
 pub mod metrics;
@@ -40,6 +43,7 @@ pub mod trainer;
 pub use aggregate::{CumulativeFedAvg, ModelUpdate};
 pub use async_driver::{AsyncDriverConfig, AsyncFlDriver, AsyncVersionOutcome};
 pub use client::{Client, ClientAvailability};
+pub use codec::{EncodedUpdate, ErrorFeedback, UpdateCodec};
 pub use dataset::{FederatedDataset, Sample};
 pub use fedprox::{FedProxConfig, FedProxTrainer};
 pub use model::DenseModel;

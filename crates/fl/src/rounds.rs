@@ -3,12 +3,14 @@
 //! costs, yields the time-to-accuracy and cost-to-accuracy figures (Fig. 9).
 
 use crate::aggregate::{fedavg, ModelUpdate};
+use crate::codec::{ErrorFeedback, UpdateCodec};
 use crate::dataset::FederatedDataset;
 use crate::metrics::accuracy_percent;
 use crate::model::DenseModel;
 use crate::population::Population;
 use crate::trainer::{LocalTrainer, TrainerConfig};
 use lifl_simcore::SimRng;
+use lifl_types::CodecKind;
 
 /// Configuration of the FL driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +21,9 @@ pub struct FlDriverConfig {
     pub rounds: usize,
     /// Evaluate accuracy every this many rounds (1 = every round).
     pub eval_every: usize,
+    /// Codec every client update travels through before aggregation
+    /// (client-side error feedback keeps the long-run signal unbiased).
+    pub codec: CodecKind,
 }
 
 impl Default for FlDriverConfig {
@@ -27,6 +32,7 @@ impl Default for FlDriverConfig {
             trainer: TrainerConfig::default(),
             rounds: 50,
             eval_every: 1,
+            codec: CodecKind::Identity,
         }
     }
 }
@@ -54,6 +60,7 @@ pub struct FlDriver {
     trainer: LocalTrainer,
     config: FlDriverConfig,
     global: DenseModel,
+    feedback: ErrorFeedback,
     history: Vec<RoundOutcome>,
 }
 
@@ -62,12 +69,14 @@ impl FlDriver {
     pub fn new(dataset: FederatedDataset, population: Population, config: FlDriverConfig) -> Self {
         let trainer = LocalTrainer::new(dataset.num_features, dataset.num_classes, config.trainer);
         let global = dataset.initial_model();
+        let feedback = ErrorFeedback::new(UpdateCodec::new(config.codec));
         FlDriver {
             dataset,
             population,
             trainer,
             config,
             global,
+            feedback,
             history: Vec::new(),
         }
     }
@@ -90,6 +99,11 @@ impl FlDriver {
     /// Runs one synchronous round: select, train locally, aggregate with
     /// FedAvg, optionally evaluate. Returns the outcome.
     pub fn run_round(&mut self, rng: &mut SimRng) -> RoundOutcome {
+        // Re-sync the error-feedback encoder if the codec was reconfigured
+        // after construction (residuals from another codec are meaningless).
+        if self.feedback.kind() != self.config.codec {
+            self.feedback = ErrorFeedback::new(UpdateCodec::new(self.config.codec));
+        }
         let round = self.history.len() + 1;
         let participants = self.population.select_round(rng);
         let mut updates = Vec::with_capacity(participants.len());
@@ -101,7 +115,26 @@ impl FlDriver {
             let samples = shard.len().max(1) as u64;
             loss_sum += loss;
             participant_samples.push(samples);
-            updates.push(ModelUpdate::from_client(client.id, local, samples));
+            // The update crosses the data plane in its encoded form; the
+            // aggregator decodes it before folding (decode-fold-encode).
+            let received = if self.config.codec.is_lossless() {
+                local
+            } else {
+                match self.feedback.encode(client.id, &local) {
+                    Ok(encoded) => encoded.decode(),
+                    Err(_) => {
+                        // The model dimension changed mid-run, so the stored
+                        // residual is stale; drop all residuals and re-encode
+                        // (which cannot fail with no residual to compensate).
+                        self.feedback.reset();
+                        self.feedback
+                            .encode(client.id, &local)
+                            .expect("encode without residual is infallible")
+                            .decode()
+                    }
+                }
+            };
+            updates.push(ModelUpdate::from_client(client.id, received, samples));
         }
         if let Ok(aggregated) = fedavg(&updates) {
             self.global = aggregated.model;
@@ -181,6 +214,7 @@ mod tests {
                 },
                 rounds: 15,
                 eval_every: 1,
+                codec: lifl_types::CodecKind::Identity,
             },
         );
         (driver, rng)
@@ -210,6 +244,19 @@ mod tests {
         assert_eq!(outcome.updates, 10);
         assert_eq!(outcome.participant_samples.len(), 10);
         assert!(outcome.accuracy.is_some());
+    }
+
+    #[test]
+    fn quantized_driver_still_learns() {
+        let (mut driver, mut rng) = small_driver(42);
+        driver.config.codec = lifl_types::CodecKind::Uniform8;
+        let initial = driver.evaluate();
+        driver.run_all(&mut rng);
+        let final_acc = driver.evaluate();
+        assert!(
+            final_acc > initial + 10.0,
+            "uniform8 driver should still learn: {initial} -> {final_acc}"
+        );
     }
 
     #[test]

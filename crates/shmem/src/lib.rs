@@ -36,6 +36,6 @@ pub mod queue;
 pub mod store;
 
 pub use checkpoint::CheckpointStore;
-pub use object::SharedObject;
+pub use object::{PayloadEncoding, SharedObject};
 pub use queue::InPlaceQueue;
 pub use store::{ObjectStore, StoreStats};

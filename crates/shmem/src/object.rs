@@ -5,6 +5,21 @@ use lifl_types::ObjectKey;
 use std::fmt;
 use std::sync::Arc;
 
+/// How the payload of a [`SharedObject`] represents a model update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PayloadEncoding {
+    /// Dense little-endian `f32` parameters (the seed representation).
+    #[default]
+    Dense,
+    /// A compressed `EncodedUpdate` wire string (self-describing header +
+    /// quantized/sparsified payload). `dense_bytes` records how large the
+    /// same update would have been dense, so stores can report real savings.
+    Encoded {
+        /// Size of the equivalent dense representation in bytes.
+        dense_bytes: u64,
+    },
+}
+
 /// An immutable, reference-counted byte buffer living in the shared-memory
 /// object store.
 ///
@@ -15,14 +30,39 @@ use std::sync::Arc;
 pub struct SharedObject {
     key: ObjectKey,
     data: Bytes,
+    encoding: PayloadEncoding,
 }
 
 impl SharedObject {
-    /// Wraps `data` under `key`.
+    /// Wraps a dense `data` payload under `key`.
     pub fn new(key: ObjectKey, data: impl Into<Bytes>) -> Self {
         SharedObject {
             key,
             data: data.into(),
+            encoding: PayloadEncoding::Dense,
+        }
+    }
+
+    /// Wraps a compressed wire payload under `key`, remembering the size the
+    /// dense representation would have had.
+    pub fn new_encoded(key: ObjectKey, data: impl Into<Bytes>, dense_bytes: u64) -> Self {
+        SharedObject {
+            key,
+            data: data.into(),
+            encoding: PayloadEncoding::Encoded { dense_bytes },
+        }
+    }
+
+    /// How the payload is represented.
+    pub fn encoding(&self) -> PayloadEncoding {
+        self.encoding
+    }
+
+    /// Bytes the payload would occupy dense (`len()` for dense objects).
+    pub fn dense_len(&self) -> u64 {
+        match self.encoding {
+            PayloadEncoding::Dense => self.data.len() as u64,
+            PayloadEncoding::Encoded { dense_bytes } => dense_bytes,
         }
     }
 
@@ -76,6 +116,7 @@ impl fmt::Debug for SharedObject {
         f.debug_struct("SharedObject")
             .field("key", &self.key)
             .field("len", &self.data.len())
+            .field("encoding", &self.encoding)
             .finish()
     }
 }
@@ -144,5 +185,16 @@ mod tests {
     fn trailing_bytes_ignored() {
         let obj = SharedObject::new(ObjectKey::from_words(0, 3), vec![0u8; 7]);
         assert_eq!(obj.as_f32_vec().len(), 1);
+    }
+
+    #[test]
+    fn encoded_objects_remember_dense_size() {
+        let obj = SharedObject::new_encoded(ObjectKey::from_words(0, 4), vec![0u8; 26], 80);
+        assert_eq!(obj.len(), 26);
+        assert_eq!(obj.dense_len(), 80);
+        assert_eq!(obj.encoding(), PayloadEncoding::Encoded { dense_bytes: 80 });
+        let dense = SharedObject::new(ObjectKey::from_words(0, 5), vec![0u8; 12]);
+        assert_eq!(dense.dense_len(), 12);
+        assert_eq!(dense.encoding(), PayloadEncoding::Dense);
     }
 }

@@ -19,6 +19,9 @@ pub struct QueuedUpdate {
     pub key: ObjectKey,
     /// Number of raw client updates folded into this payload (1 for a client update).
     pub weight: u64,
+    /// Whether the payload is an `EncodedUpdate` wire string rather than a
+    /// dense `f32` vector (the consumer must decode before folding).
+    pub encoded: bool,
 }
 
 impl QueuedUpdate {
@@ -28,6 +31,7 @@ impl QueuedUpdate {
             producer: Some(client),
             key,
             weight: 1,
+            encoded: false,
         }
     }
 
@@ -37,7 +41,14 @@ impl QueuedUpdate {
             producer: None,
             key,
             weight,
+            encoded: false,
         }
+    }
+
+    /// Marks the payload as codec-encoded wire bytes.
+    pub fn encoded(mut self) -> Self {
+        self.encoded = true;
+        self
     }
 }
 

@@ -22,6 +22,21 @@ pub struct StoreStats {
     pub total_recycled: u64,
     /// Capacity in bytes (0 = unbounded).
     pub capacity_bytes: u64,
+    /// Objects put in compressed (encoded) form.
+    pub encoded_puts: u64,
+    /// Actual bytes of every encoded payload ever put.
+    pub encoded_bytes: u64,
+    /// Bytes the encoded payloads would have occupied dense.
+    pub dense_equivalent_bytes: u64,
+}
+
+impl StoreStats {
+    /// Bytes the update codec kept out of shared memory over the store's
+    /// lifetime (dense equivalent minus actual encoded bytes).
+    pub fn bytes_saved(&self) -> u64 {
+        self.dense_equivalent_bytes
+            .saturating_sub(self.encoded_bytes)
+    }
 }
 
 struct Inner {
@@ -86,7 +101,25 @@ impl ObjectStore {
     /// Returns [`LiflError::OutOfSharedMemory`] if the store has a capacity
     /// limit and the allocation would exceed it.
     pub fn put(&self, data: impl Into<bytes::Bytes>) -> Result<ObjectKey> {
-        let data = data.into();
+        self.put_object(data.into(), None)
+    }
+
+    /// Stores a compressed model-update wire payload under a fresh key,
+    /// accounting the real (encoded) byte footprint against capacity while
+    /// remembering the `dense_bytes` the update would have occupied
+    /// uncompressed.
+    ///
+    /// # Errors
+    /// Same as [`ObjectStore::put`].
+    pub fn put_encoded(
+        &self,
+        data: impl Into<bytes::Bytes>,
+        dense_bytes: u64,
+    ) -> Result<ObjectKey> {
+        self.put_object(data.into(), Some(dense_bytes))
+    }
+
+    fn put_object(&self, data: bytes::Bytes, dense_bytes: Option<u64>) -> Result<ObjectKey> {
         let mut inner = self.inner.lock();
         let size = data.len() as u64;
         if inner.stats.capacity_bytes > 0
@@ -105,13 +138,20 @@ impl ObjectStore {
                 break key;
             }
         };
-        inner
-            .objects
-            .insert(key, Arc::new(SharedObject::new(key, data)));
+        let object = match dense_bytes {
+            Some(dense) => SharedObject::new_encoded(key, data, dense),
+            None => SharedObject::new(key, data),
+        };
+        inner.objects.insert(key, Arc::new(object));
         inner.stats.allocated_bytes += size;
         inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.allocated_bytes);
         inner.stats.live_objects = inner.objects.len();
         inner.stats.total_puts += 1;
+        if let Some(dense) = dense_bytes {
+            inner.stats.encoded_puts += 1;
+            inner.stats.encoded_bytes += size;
+            inner.stats.dense_equivalent_bytes += dense;
+        }
         Ok(key)
     }
 
@@ -239,6 +279,32 @@ mod tests {
         assert_eq!(stats.live_objects, 0);
         assert_eq!(stats.allocated_bytes, 0);
         assert_eq!(stats.total_recycled, 10);
+    }
+
+    #[test]
+    fn encoded_puts_account_real_and_dense_bytes() {
+        let store = ObjectStore::new();
+        store.put(vec![0u8; 40]).unwrap();
+        let key = store.put_encoded(vec![0u8; 26], 80).unwrap();
+        let stats = store.stats();
+        // Capacity accounting uses the *real* (compressed) footprint.
+        assert_eq!(stats.allocated_bytes, 66);
+        assert_eq!(stats.encoded_puts, 1);
+        assert_eq!(stats.encoded_bytes, 26);
+        assert_eq!(stats.dense_equivalent_bytes, 80);
+        assert_eq!(stats.bytes_saved(), 54);
+        let obj = store.get(&key).unwrap();
+        assert_eq!(obj.dense_len(), 80);
+        assert_eq!(obj.len(), 26);
+    }
+
+    #[test]
+    fn encoded_put_respects_capacity_by_real_size() {
+        // A 30-byte encoded payload fits a 32-byte store even though its
+        // dense equivalent would not.
+        let store = ObjectStore::with_capacity(32);
+        store.put_encoded(vec![0u8; 30], 120).unwrap();
+        assert!(store.put_encoded(vec![0u8; 30], 120).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! node, EWMA α = 0.7, leaf fan-in I = 2 and a 2-minute hierarchy re-plan
 //! period.
 
+use crate::codec::CodecKind;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +101,8 @@ pub struct LiflConfig {
     pub reuse_runtimes: bool,
     /// Whether the per-node hierarchy is planned from the estimated queue length (§5.2).
     pub hierarchy_planning: bool,
+    /// The model-update codec every update travels the data plane with.
+    pub codec: CodecKind,
 }
 
 impl Default for LiflConfig {
@@ -112,6 +115,7 @@ impl Default for LiflConfig {
             timing: AggregationTiming::Eager,
             reuse_runtimes: true,
             hierarchy_planning: true,
+            codec: CodecKind::Identity,
         }
     }
 }
@@ -170,6 +174,11 @@ impl LiflConfig {
         if self.replan_period.as_secs() <= 0.0 {
             return Err("replan_period must be positive".to_string());
         }
+        if let CodecKind::TopK { permille } = self.codec {
+            if permille == 0 || permille > 1000 {
+                return Err(format!("TopK permille must be in 1..=1000, got {permille}"));
+            }
+        }
         Ok(())
     }
 }
@@ -186,6 +195,7 @@ mod tests {
         assert_eq!(cfg.replan_period.as_secs(), 120.0);
         assert_eq!(cfg.placement, PlacementPolicy::BestFit);
         assert_eq!(cfg.timing, AggregationTiming::Eager);
+        assert_eq!(cfg.codec, CodecKind::Identity);
         let node = NodeConfig::default();
         assert_eq!(node.cores, 64);
         assert_eq!(node.max_service_capacity, 20);
@@ -217,6 +227,10 @@ mod tests {
         cfg.leaf_fan_in = 0;
         assert!(cfg.validate().is_err());
         cfg.leaf_fan_in = 2;
+        assert!(cfg.validate().is_ok());
+        cfg.codec = CodecKind::TopK { permille: 0 };
+        assert!(cfg.validate().is_err());
+        cfg.codec = CodecKind::TopK { permille: 50 };
         assert!(cfg.validate().is_ok());
     }
 

@@ -47,6 +47,8 @@ pub enum LiflError {
     },
     /// The aggregation goal was invalid (for example zero).
     InvalidAggregationGoal(u64),
+    /// An encoded model update could not be parsed or produced.
+    Codec(String),
     /// A simulation invariant was violated.
     Simulation(String),
 }
@@ -81,6 +83,7 @@ impl fmt::Display for LiflError {
             LiflError::InvalidAggregationGoal(goal) => {
                 write!(f, "invalid aggregation goal {goal}")
             }
+            LiflError::Codec(msg) => write!(f, "codec error: {msg}"),
             LiflError::Simulation(msg) => write!(f, "simulation error: {msg}"),
         }
     }

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod config;
 pub mod error;
 pub mod ids;
@@ -31,6 +32,7 @@ pub mod model;
 pub mod role;
 pub mod time;
 
+pub use codec::{CodecKind, WIRE_HEADER_BYTES};
 pub use config::{AggregationTiming, ClusterConfig, LiflConfig, NodeConfig, PlacementPolicy};
 pub use error::{LiflError, Result};
 pub use ids::{AggregatorId, ClientId, InstanceId, NodeId, ObjectKey, RoundId};

@@ -29,39 +29,45 @@ pub enum ModelKind {
 }
 
 impl ModelKind {
-    /// Returns the full specification for this model kind.
+    /// Returns the full specification for this model kind (allocates the
+    /// owned name; hot paths should prefer the direct accessors below).
     pub fn spec(self) -> ModelSpec {
-        match self {
-            ModelKind::ResNet18 => ModelSpec {
-                kind: self,
-                name: "ResNet-18",
-                update_bytes: 44 * 1024 * 1024,
-                parameters: 11_689_512,
-            },
-            ModelKind::ResNet34 => ModelSpec {
-                kind: self,
-                name: "ResNet-34",
-                update_bytes: 83 * 1024 * 1024,
-                parameters: 21_797_672,
-            },
-            ModelKind::ResNet152 => ModelSpec {
-                kind: self,
-                name: "ResNet-152",
-                update_bytes: 232 * 1024 * 1024,
-                parameters: 60_192_808,
-            },
-            ModelKind::Custom { update_bytes } => ModelSpec {
-                kind: self,
-                name: "custom",
-                update_bytes,
-                parameters: update_bytes / BYTES_PER_PARAM,
-            },
+        ModelSpec {
+            kind: self,
+            name: self.name().to_string(),
+            update_bytes: self.update_bytes(),
+            parameters: self.parameters(),
         }
     }
 
-    /// Serialized update size in bytes.
+    /// Human-readable name (no allocation).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::ResNet18 => "ResNet-18",
+            ModelKind::ResNet34 => "ResNet-34",
+            ModelKind::ResNet152 => "ResNet-152",
+            ModelKind::Custom { .. } => "custom",
+        }
+    }
+
+    /// Number of trainable parameters (no allocation).
+    pub fn parameters(self) -> u64 {
+        match self {
+            ModelKind::ResNet18 => 11_689_512,
+            ModelKind::ResNet34 => 21_797_672,
+            ModelKind::ResNet152 => 60_192_808,
+            ModelKind::Custom { update_bytes } => update_bytes / BYTES_PER_PARAM,
+        }
+    }
+
+    /// Serialized update size in bytes (no allocation).
     pub fn update_bytes(self) -> u64 {
-        self.spec().update_bytes
+        match self {
+            ModelKind::ResNet18 => 44 * 1024 * 1024,
+            ModelKind::ResNet34 => 83 * 1024 * 1024,
+            ModelKind::ResNet152 => 232 * 1024 * 1024,
+            ModelKind::Custom { update_bytes } => update_bytes,
+        }
     }
 
     /// Serialized update size in mebibytes.
@@ -81,17 +87,17 @@ impl ModelKind {
 
 impl fmt::Display for ModelKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.spec().name)
+        f.write_str(self.name())
     }
 }
 
 /// Full specification of a model used as an FL workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ModelSpec {
     /// The model family.
     pub kind: ModelKind,
     /// Human-readable name.
-    pub name: &'static str,
+    pub name: String,
     /// Serialized model-update size in bytes.
     pub update_bytes: u64,
     /// Number of trainable parameters.
@@ -133,5 +139,14 @@ mod tests {
     #[test]
     fn display_uses_paper_names() {
         assert_eq!(ModelKind::ResNet152.to_string(), "ResNet-152");
+    }
+
+    #[test]
+    fn spec_serde_roundtrip_preserves_owned_name() {
+        let spec = ModelKind::ResNet34.spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.name, "ResNet-34");
     }
 }

@@ -26,6 +26,10 @@ bench-check:
 bench:
     cargo bench
 
+# Run the codec ablation (bytes-on-wire x time-to-accuracy sweep).
+fig-codec:
+    cargo run --release -p lifl-experiments --bin fig_codec
+
 # Apply formatting in place.
 fmt:
     cargo fmt --all

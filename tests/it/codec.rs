@@ -1,0 +1,176 @@
+//! The update-codec tier: proves the quantized data plane equivalent to the
+//! pre-codec path where it must be (Identity bit-exactness), close where it
+//! may drift (lossy codecs under error feedback), and cheaper where it
+//! promises to be (wire and shared-memory byte counters shrink monotonically
+//! Identity → Uniform8 → Uniform4).
+
+use lifl_core::platform::{LiflPlatform, RoundSpec};
+use lifl_core::runtime::{run_hierarchical, run_hierarchical_with_codec, HierarchicalRunConfig};
+use lifl_fl::aggregate::{fedavg, ModelUpdate};
+use lifl_fl::DenseModel;
+use lifl_types::{ClientId, ClusterConfig, CodecKind, LiflConfig, ModelKind, SimTime};
+
+fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
+    (0..n)
+        .map(|i| {
+            let values: Vec<f32> = (0..dim)
+                .map(|d| ((i * dim + d) % 97) as f32 * 0.021 - 1.0)
+                .collect();
+            ModelUpdate::from_client(
+                ClientId::new(i as u64),
+                DenseModel::from_vec(values),
+                (i % 5 + 1) as u64,
+            )
+        })
+        .collect()
+}
+
+const CONFIG: HierarchicalRunConfig = HierarchicalRunConfig {
+    leaves: 4,
+    updates_per_leaf: 2,
+};
+
+/// Acceptance: the `Identity` codec is bit-exact with the pre-codec
+/// aggregation path, end to end through gateway, shared memory and the
+/// threaded two-level hierarchy.
+#[test]
+fn identity_codec_bit_exact_with_pre_codec_path() {
+    let updates = updates(8, 64);
+    let pre_codec = run_hierarchical(CONFIG, &updates).expect("pre-codec runtime");
+    let report = run_hierarchical_with_codec(CONFIG, &updates, CodecKind::Identity)
+        .expect("identity runtime");
+    assert_eq!(report.update.samples, pre_codec.samples);
+    for (a, b) in report
+        .update
+        .model
+        .as_slice()
+        .iter()
+        .zip(pre_codec.model.as_slice())
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "identity codec diverged from the pre-codec path: {a} vs {b}"
+        );
+    }
+    // Nothing was stored compressed on the identity path.
+    assert_eq!(report.store_stats.encoded_puts, 0);
+}
+
+/// Every codec's end-to-end aggregate stays within its quantization error of
+/// the exact flat FedAvg result.
+#[test]
+fn every_codec_aggregates_correctly() {
+    let updates = updates(8, 64);
+    let exact = fedavg(&updates).expect("flat fedavg");
+    let max_abs = updates
+        .iter()
+        .flat_map(|u| u.model.as_slice())
+        .fold(0.0f32, |a, v| a.max(v.abs()));
+    for codec in CodecKind::ablation_set() {
+        let report = run_hierarchical_with_codec(CONFIG, &updates, codec).expect("codec runtime");
+        assert_eq!(report.update.samples, exact.samples, "{codec}");
+        let tolerance = match codec {
+            CodecKind::Identity => 1e-6,
+            // Client + leaf quantization stages, one step each.
+            CodecKind::Uniform8 => 3.0 * max_abs / 127.0,
+            CodecKind::Uniform4 => 3.0 * max_abs / 7.0,
+            // Top-k drops small coordinates outright; bound by the largest
+            // magnitude a dropped coordinate can have.
+            CodecKind::TopK { .. } => max_abs,
+        };
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(exact.model.as_slice())
+        {
+            assert!(
+                (a - b).abs() <= tolerance,
+                "{codec}: |{a} - {b}| > {tolerance}"
+            );
+        }
+    }
+}
+
+/// Shared-memory byte counters shrink strictly and monotonically
+/// Identity → Uniform8 → Uniform4, measured from the store's own accounting.
+#[test]
+fn shmem_bytes_shrink_monotonically_with_codec_strength() {
+    let updates = updates(8, 256);
+    let mut previous: Option<(CodecKind, u64, u64)> = None;
+    for codec in [
+        CodecKind::Identity,
+        CodecKind::Uniform8,
+        CodecKind::Uniform4,
+    ] {
+        let report = run_hierarchical_with_codec(CONFIG, &updates, codec).expect("codec runtime");
+        // Nothing recycles in this run, so the peak is the real total
+        // footprint every payload (client + intermediate) left in the store.
+        let stored = report.store_stats.peak_bytes;
+        let wire = report.client_wire_bytes;
+        if let Some((prev_codec, prev_stored, prev_wire)) = previous {
+            assert!(
+                stored < prev_stored,
+                "{codec} stored {stored} !< {prev_codec} stored {prev_stored}"
+            );
+            assert!(
+                wire < prev_wire,
+                "{codec} wire {wire} !< {prev_codec} wire {prev_wire}"
+            );
+        }
+        previous = Some((codec, stored, wire));
+    }
+}
+
+/// Acceptance: on the default workload the platform reports a >= 4x
+/// bytes-on-wire reduction for Uniform8 vs Identity, and the counters keep
+/// shrinking through Uniform4.
+#[test]
+fn platform_round_wire_bytes_shrink_at_least_4x_for_uniform8() {
+    let spec = RoundSpec::simultaneous(ModelKind::ResNet152, 60, SimTime::ZERO);
+    let mut bytes = Vec::new();
+    for codec in [
+        CodecKind::Identity,
+        CodecKind::Uniform8,
+        CodecKind::Uniform4,
+    ] {
+        let config = LiflConfig {
+            codec,
+            ..LiflConfig::default()
+        };
+        let mut platform = LiflPlatform::new(ClusterConfig::default(), config);
+        let report = platform.run_round(&spec);
+        assert_eq!(report.metrics.updates_aggregated, 60, "{codec}");
+        bytes.push(report.metrics.inter_node_bytes);
+    }
+    assert!(
+        bytes[0] >= 4 * bytes[1],
+        "uniform8 reduction only {:.3}x",
+        bytes[0] as f64 / bytes[1] as f64
+    );
+    assert!(bytes[1] > bytes[2], "uniform4 must shrink below uniform8");
+}
+
+/// The lossy codecs genuinely compress shared memory (the store's
+/// dense-equivalent accounting versus real bytes).
+#[test]
+fn store_reports_real_savings_for_lossy_codecs() {
+    let updates = updates(8, 512);
+    for codec in [
+        CodecKind::Uniform8,
+        CodecKind::Uniform4,
+        CodecKind::TopK { permille: 125 },
+    ] {
+        let report = run_hierarchical_with_codec(CONFIG, &updates, codec).expect("codec runtime");
+        let stats = report.store_stats;
+        assert!(stats.encoded_puts > 0, "{codec} stored nothing compressed");
+        assert!(
+            stats.bytes_saved() > 0,
+            "{codec} saved no bytes: encoded {} vs dense {}",
+            stats.encoded_bytes,
+            stats.dense_equivalent_bytes
+        );
+    }
+}

@@ -1,6 +1,7 @@
-//! Entry point binding the nine integration suites into one test binary.
+//! Entry point binding the ten integration suites into one test binary.
 
 mod algorithms;
+mod codec;
 mod end_to_end;
 mod extensions;
 mod failure_injection;

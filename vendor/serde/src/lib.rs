@@ -231,37 +231,6 @@ impl Serialize for str {
     }
 }
 
-impl Deserialize for &'static str {
-    fn from_value(value: &Value) -> Result<Self, DeError> {
-        let s = value
-            .as_str()
-            .ok_or_else(|| DeError::new("expected string"))?;
-        Ok(intern(s))
-    }
-}
-
-/// Interns a string with `'static` lifetime (leaks once per unique string).
-///
-/// Needed so structs holding `&'static str` label fields can derive
-/// `Deserialize`; the pool bounds the leak to one allocation per distinct
-/// string ever deserialized.
-fn intern(s: &str) -> &'static str {
-    use std::collections::HashSet;
-    use std::sync::{Mutex, OnceLock};
-
-    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
-    let mut pool = POOL
-        .get_or_init(|| Mutex::new(HashSet::new()))
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if let Some(&existing) = pool.get(s) {
-        return existing;
-    }
-    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-    pool.insert(leaked);
-    leaked
-}
-
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
