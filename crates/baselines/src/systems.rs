@@ -37,6 +37,7 @@ pub fn no_hierarchy_profile(mut cluster: ClusterConfig) -> PlatformProfile {
         dataplane: DataPlaneKind::ServerfulGrpc,
         warm_across_rounds: true,
         codec: lifl_types::CodecKind::Identity,
+        aggregation_shards: 1,
         cluster,
     }
 }

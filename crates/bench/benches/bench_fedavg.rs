@@ -31,6 +31,7 @@ fn bench(c: &mut Criterion) {
                 HierarchicalRunConfig {
                     leaves: 4,
                     updates_per_leaf: 2,
+                    aggregation_shards: 1,
                 },
                 std::hint::black_box(&hier),
             )

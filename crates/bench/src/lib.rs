@@ -4,5 +4,12 @@
 //! evaluation plus micro-benchmarks of the shared-memory store and FedAvg.
 //! Run `cargo bench --workspace`; each target prints the rows/series it
 //! regenerates before measuring.
+//!
+//! [`baseline`] is the *persisted* counterpart: the `bench_baseline` binary
+//! measures the aggregation hot path and writes the schema-versioned
+//! `BENCH_aggregation.json` committed at the repo root.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;

@@ -1,8 +1,9 @@
 //! The LIFL aggregator runtime: the step-based Recv → Agg → Send processing
 //! model of Appendix G, operating on object keys in shared memory.
 
-use lifl_fl::aggregate::{CumulativeFedAvg, ModelUpdate};
-use lifl_fl::codec::{EncodedUpdate, UpdateCodec};
+use lifl_fl::aggregate::CumulativeFedAvg;
+use lifl_fl::codec::{EncodedView, UpdateCodec};
+use lifl_fl::sharded::ShardedFedAvg;
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore, SharedObject};
 use lifl_types::{AggregatorId, AggregatorRole, LiflError, Result};
@@ -36,6 +37,8 @@ pub struct AggregatorRuntime {
     /// When set (and lossy), outgoing intermediates are re-encoded with this
     /// codec and stored compressed (the decode-fold-encode interior path).
     codec: Option<UpdateCodec>,
+    /// Parameter-vector partitions for batch folding (1 = sequential).
+    shards: usize,
 }
 
 impl AggregatorRuntime {
@@ -64,6 +67,7 @@ impl AggregatorRuntime {
             step: AggregatorStep::Recv,
             aggregated: 0,
             codec: None,
+            shards: 1,
         })
     }
 
@@ -84,6 +88,20 @@ impl AggregatorRuntime {
         let mut runtime = Self::new(id, role, goal, store, inbox)?;
         runtime.codec = Some(codec);
         Ok(runtime)
+    }
+
+    /// Sets the number of parameter-vector shards batch drains fold across
+    /// (`LiflConfig.aggregation_shards`; clamped to at least 1). With more
+    /// than one shard, [`AggregatorRuntime::run_to_completion`] drains the
+    /// inbox in batches through the sharded cache-blocked fold instead of
+    /// polling one update at a time.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The aggregator's identity.
@@ -144,8 +162,10 @@ impl AggregatorRuntime {
         };
         self.step = AggregatorStep::Agg;
         let object = self.store.get(&queued.key)?;
-        let update = decode_update(&object, &queued)?;
-        self.accumulator.fold(&update)?;
+        // Fused decode-fold straight off the shared-memory bytes: no
+        // intermediate `DenseModel` (or payload copy) is materialised.
+        self.accumulator
+            .fold_encoded_view(&payload_view(&object, &queued)?, queued.weight)?;
         self.aggregated += 1;
         if self.goal_met() {
             self.step = AggregatorStep::Send;
@@ -153,6 +173,79 @@ impl AggregatorRuntime {
             self.step = AggregatorStep::Recv;
         }
         Ok(true)
+    }
+
+    /// Drains queued updates up to the aggregation goal in one batch, folding
+    /// the batch across the configured shard partitions (cache-blocked,
+    /// parallel when `shards > 1`). Returns the number of updates folded.
+    ///
+    /// The result is bit-identical to polling the same updates one at a time:
+    /// the sharded fold applies updates in queue order within every element,
+    /// and — like the eager poll loop — updates beyond the goal stay queued.
+    ///
+    /// # Errors
+    /// Propagates object-store, codec-parse and dimension errors. On failure
+    /// nothing is folded; every drained update except a corrupt one (which is
+    /// dropped, exactly as a failed [`AggregatorRuntime::poll`] drops it) is
+    /// re-enqueued in order.
+    pub fn drain_batch(&mut self) -> Result<usize> {
+        let remaining = self.goal.saturating_sub(self.aggregated) as usize;
+        let mut queued = Vec::with_capacity(remaining);
+        while queued.len() < remaining {
+            match self.inbox.dequeue() {
+                Some(entry) => queued.push(entry),
+                None => break,
+            }
+        }
+        if queued.is_empty() {
+            self.step = AggregatorStep::Recv;
+            return Ok(0);
+        }
+        self.step = AggregatorStep::Agg;
+        match self.fold_drained(&queued) {
+            Ok(folded) => {
+                self.aggregated += folded as u64;
+                if self.goal_met() {
+                    self.step = AggregatorStep::Send;
+                } else {
+                    self.step = AggregatorStep::Recv;
+                }
+                Ok(folded)
+            }
+            Err((corrupt, error)) => {
+                for (i, entry) in queued.into_iter().enumerate() {
+                    if Some(i) != corrupt {
+                        self.inbox.enqueue(entry);
+                    }
+                }
+                self.step = AggregatorStep::Recv;
+                Err(error)
+            }
+        }
+    }
+
+    /// Folds a drained batch all-or-nothing; on failure reports which entry
+    /// (if any single one) was at fault so the caller can drop just it.
+    fn fold_drained(
+        &mut self,
+        queued: &[QueuedUpdate],
+    ) -> std::result::Result<usize, (Option<usize>, LiflError)> {
+        let mut objects = Vec::with_capacity(queued.len());
+        for (i, entry) in queued.iter().enumerate() {
+            objects.push(self.store.get(&entry.key).map_err(|e| (Some(i), e))?);
+        }
+        let mut views = Vec::with_capacity(queued.len());
+        for (i, (object, entry)) in objects.iter().zip(queued).enumerate() {
+            views.push((
+                payload_view(object, entry).map_err(|e| (Some(i), e))?,
+                entry.weight,
+            ));
+        }
+        let mut sharded = ShardedFedAvg::around(std::mem::take(&mut self.accumulator), self.shards);
+        let outcome = sharded.fold_encoded_batch(&views);
+        self.accumulator = sharded.into_inner();
+        outcome.map_err(|e| (None, e))?;
+        Ok(views.len())
     }
 
     /// Runs the Send step: finalises the aggregate, writes it into shared
@@ -191,7 +284,12 @@ impl AggregatorRuntime {
     /// Propagates the errors of [`AggregatorRuntime::poll`] and [`AggregatorRuntime::send`].
     pub fn run_to_completion(&mut self) -> Result<QueuedUpdate> {
         while !self.goal_met() {
-            if !self.poll()? {
+            let progressed = if self.shards > 1 {
+                self.drain_batch()? > 0
+            } else {
+                self.poll()?
+            };
+            if !progressed {
                 return Err(LiflError::Simulation(format!(
                     "aggregator {} starved: {}/{} updates received",
                     self.id, self.aggregated, self.goal
@@ -202,16 +300,15 @@ impl AggregatorRuntime {
     }
 }
 
-fn decode_update(object: &SharedObject, queued: &QueuedUpdate) -> Result<ModelUpdate> {
-    let model = if queued.encoded {
-        EncodedUpdate::from_bytes(object.as_slice())?.decode()
+/// A zero-copy fused-fold view over a queued payload: encoded payloads parse
+/// their self-describing header in place; dense payloads fold through the
+/// bit-exact `Identity` kernel.
+fn payload_view<'a>(object: &'a SharedObject, queued: &QueuedUpdate) -> Result<EncodedView<'a>> {
+    if queued.encoded {
+        EncodedView::parse(object.as_slice())
     } else {
-        lifl_fl::DenseModel::from_vec(object.as_f32_vec())
-    };
-    Ok(match queued.producer {
-        Some(client) => ModelUpdate::from_client(client, model, queued.weight),
-        None => ModelUpdate::intermediate(model, queued.weight),
-    })
+        Ok(EncodedView::identity_over(object.as_slice()))
+    }
 }
 
 #[cfg(test)]
@@ -328,15 +425,120 @@ mod tests {
         assert!(out.encoded, "interior output must stay compressed");
         assert_eq!(out.weight, 4);
         let object = store.get(&out.key).unwrap();
-        let decoded = EncodedUpdate::from_bytes(object.as_slice())
-            .unwrap()
-            .decode();
+        let decoded = EncodedView::parse(object.as_slice()).unwrap().decode();
         // Weighted mean is 3.5 * (1 + d/32), within quantization error.
         assert!((decoded.as_slice()[0] - 3.5).abs() < 0.3);
         assert!((decoded.as_slice()[63] - 3.5 * (1.0 + 63.0 / 32.0)).abs() < 0.3);
         // The store really held compressed payloads.
         assert!(store.stats().encoded_puts >= 3);
         assert!(store.stats().bytes_saved() > 0);
+    }
+
+    #[test]
+    fn drain_batch_is_bit_identical_to_eager_polling() {
+        let dim = 9000;
+        let values = |i: usize| -> Vec<f32> {
+            (0..dim)
+                .map(|d| ((i * 13 + d) % 59) as f32 * 0.03)
+                .collect()
+        };
+        let run = |shards: usize| -> Vec<f32> {
+            let store = ObjectStore::new();
+            let inbox = InPlaceQueue::new();
+            let mut agg = AggregatorRuntime::new(
+                AggregatorId::new(1),
+                AggregatorRole::Leaf,
+                4,
+                store.clone(),
+                inbox.clone(),
+            )
+            .unwrap();
+            agg.set_shards(shards);
+            assert_eq!(agg.shards(), shards);
+            for i in 0..4 {
+                queue_client_update(&store, &inbox, i as u64, &values(i), i as u64 + 1);
+            }
+            let out = agg.run_to_completion().unwrap();
+            store.get(&out.key).unwrap().as_f32_vec()
+        };
+        let eager = run(1);
+        for shards in [2usize, 4] {
+            let batched = run(shards);
+            for (a, b) in eager.iter().zip(&batched) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{shards}-shard drain diverged: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drain_batch_stops_at_the_goal_like_eager_polling() {
+        let store = ObjectStore::new();
+        let inbox = InPlaceQueue::new();
+        let mut agg = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            2,
+            store.clone(),
+            inbox.clone(),
+        )
+        .unwrap();
+        agg.set_shards(4);
+        for i in 0..5u64 {
+            queue_client_update(&store, &inbox, i, &[i as f32, 1.0], 1);
+        }
+        assert_eq!(agg.drain_batch().unwrap(), 2);
+        assert_eq!(agg.step(), AggregatorStep::Send);
+        // The three updates beyond the goal survive for the next round.
+        assert_eq!(inbox.len(), 3);
+        let out = agg.send().unwrap();
+        let result = store.get(&out.key).unwrap().as_f32_vec();
+        assert!((result[0] - 0.5).abs() < 1e-6, "folded first two only");
+        assert_eq!(agg.drain_batch().unwrap(), 2);
+        assert_eq!(inbox.len(), 1);
+    }
+
+    #[test]
+    fn drain_batch_requeues_valid_updates_around_a_corrupt_one() {
+        let store = ObjectStore::new();
+        let inbox = InPlaceQueue::new();
+        let mut agg = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            3,
+            store.clone(),
+            inbox.clone(),
+        )
+        .unwrap();
+        agg.set_shards(2);
+        queue_client_update(&store, &inbox, 0, &[1.0, 2.0], 1);
+        let corrupt = store.put(vec![1u8, 2, 3]).unwrap();
+        inbox.enqueue(QueuedUpdate::from_client(ClientId::new(1), corrupt).encoded());
+        queue_client_update(&store, &inbox, 2, &[3.0, 4.0], 1);
+        assert!(matches!(agg.drain_batch(), Err(LiflError::Codec(_))));
+        // Nothing was folded; the two valid updates went back in order.
+        assert_eq!(agg.aggregated(), 0);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox.dequeue().unwrap().producer, Some(ClientId::new(0)));
+        assert_eq!(inbox.dequeue().unwrap().producer, Some(ClientId::new(2)));
+    }
+
+    #[test]
+    fn drain_batch_on_empty_inbox_reports_starvation() {
+        let mut agg = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            1,
+            ObjectStore::new(),
+            InPlaceQueue::new(),
+        )
+        .unwrap();
+        agg.set_shards(4);
+        assert_eq!(agg.drain_batch().unwrap(), 0);
+        assert!(agg.run_to_completion().is_err());
     }
 
     #[test]

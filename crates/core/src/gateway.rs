@@ -5,7 +5,7 @@
 //! aggregator's in-place queue. On the transmit side it reads a local object
 //! and ships it to a remote node's gateway.
 
-use lifl_fl::codec::EncodedUpdate;
+use lifl_fl::codec::{EncodedUpdate, EncodedView};
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore};
 use lifl_types::{AggregatorId, ClientId, NodeId, Result};
@@ -106,10 +106,10 @@ impl Gateway {
         wire: &[u8],
         weight: u64,
     ) -> Result<QueuedUpdate> {
-        let encoded = EncodedUpdate::from_bytes(wire)?;
-        let key = self
-            .store
-            .put_encoded(wire.to_vec(), encoded.dense_bytes())?;
+        // Only the 16-byte descriptor needs parsing here; the payload is
+        // validated in place (no body copy) and stored as-is.
+        let dense_bytes = EncodedView::parse(wire)?.dim() as u64 * 4;
+        let key = self.store.put_encoded(wire.to_vec(), dense_bytes)?;
         let queued = QueuedUpdate::intermediate(key, weight).encoded();
         self.deliver(target, queued);
         self.ingested_updates += 1;
@@ -154,13 +154,14 @@ impl Gateway {
 
     /// Transmit path for codec-encoded updates: ships the raw wire bytes (the
     /// compressed representation crosses the network, never the dense form).
+    /// The returned handle shares the store's buffer — no copy is made.
     ///
     /// # Errors
     /// Fails if the object key is unknown.
-    pub fn forward_remote_bytes(&mut self, update: &QueuedUpdate) -> Result<Vec<u8>> {
+    pub fn forward_remote_bytes(&mut self, update: &QueuedUpdate) -> Result<bytes::Bytes> {
         let object = self.store.get(&update.key)?;
         self.forwarded_bytes += object.len() as u64;
-        Ok(object.as_slice().to_vec())
+        Ok(object.bytes())
     }
 
     /// Number of updates ingested.

@@ -89,8 +89,10 @@ pub struct PlatformProfile {
     pub warm_across_rounds: bool,
     /// The wire representation every model update travels with: all transfer
     /// costs are priced off the encoded bytes, and interior aggregators pay a
-    /// decode-fold-encode codec pass per update.
+    /// fused decode-fold pass plus a re-encode pass per update.
     pub codec: CodecKind,
+    /// Parameter-vector shards the fold is split across (1 = sequential).
+    pub aggregation_shards: u32,
 }
 
 impl PlatformProfile {
@@ -108,6 +110,7 @@ impl PlatformProfile {
             dataplane: DataPlaneKind::LiflSharedMemory,
             warm_across_rounds: true,
             codec: config.codec,
+            aggregation_shards: config.aggregation_shards,
         }
     }
 
@@ -125,6 +128,7 @@ impl PlatformProfile {
             dataplane: DataPlaneKind::LiflSharedMemory,
             warm_across_rounds: false,
             codec: CodecKind::Identity,
+            aggregation_shards: 1,
             cluster,
         }
     }
@@ -143,6 +147,7 @@ impl PlatformProfile {
             dataplane: DataPlaneKind::ServerlessBrokerSidecar,
             warm_across_rounds: false,
             codec: CodecKind::Identity,
+            aggregation_shards: 1,
             cluster,
         }
     }
@@ -160,6 +165,7 @@ impl PlatformProfile {
             dataplane: DataPlaneKind::ServerfulGrpc,
             warm_across_rounds: true,
             codec: CodecKind::Identity,
+            aggregation_shards: 1,
             cluster,
         }
     }
@@ -278,11 +284,18 @@ impl LiflPlatform {
         let top_node = plan.top_node.unwrap_or(NodeId::new(0));
 
         let startup = self.cost.startup(self.profile.system);
-        // Each fold is decode + aggregate; each interior hand-off re-encodes.
-        // `codec_compute` is zero for `Identity`, keeping the seed timings.
-        let codec_pass = self.cost.codec_compute(spec.model, self.profile.codec);
-        let agg_compute = self.cost.aggregation_compute(spec.model) + codec_pass;
-        let encode_pass = codec_pass;
+        // Each fold is a *fused* decode-fold pass (dequantize-and-axpy over
+        // the wire payload — `fused_fold_compute` discounts the quantized
+        // codecs' smaller memory traffic and is exactly the seed
+        // `aggregation_compute` for `Identity`), split across the configured
+        // shards; each interior hand-off still pays a re-encode pass.
+        let shards = self
+            .profile
+            .aggregation_shards
+            .clamp(1, self.profile.cluster.node.cores.max(1));
+        let fused = self.cost.fused_fold_compute(spec.model, self.profile.codec);
+        let agg_compute = fused.scaled(1.0 / sharded_fold_speedup(shards));
+        let encode_pass = self.cost.codec_compute(spec.model, self.profile.codec);
         let ingest = self.cost.client_ingest(self.profile.system, bytes);
         let intra = self.cost.intra_node_transfer(self.profile.dataplane, bytes);
         let inter = self.cost.inter_node_transfer(bytes);
@@ -549,6 +562,14 @@ impl LiflPlatform {
     }
 }
 
+/// Modelled speedup of folding across `shards` partitions: near-linear with
+/// an Amdahl-style 85% parallel efficiency per extra shard (the real
+/// `ShardedFedAvg` is memory-bandwidth-bound, so perfect scaling is not
+/// assumed). Exactly 1.0 for one shard, keeping the seed timings bit-exact.
+fn sharded_fold_speedup(shards: u32) -> f64 {
+    1.0 + 0.85 * (f64::from(shards) - 1.0)
+}
+
 impl AggregationSystem for LiflPlatform {
     fn system(&self) -> SystemKind {
         self.profile.system
@@ -733,6 +754,26 @@ mod tests {
         let ratio =
             reports[0].metrics.inter_node_bytes as f64 / reports[1].metrics.inter_node_bytes as f64;
         assert!(ratio >= 3.99, "uniform8 wire reduction only {ratio:.2}x");
+    }
+
+    #[test]
+    fn sharded_fold_shortens_the_round() {
+        let spec = RoundSpec::simultaneous(ModelKind::ResNet152, 20, SimTime::ZERO);
+        let act = |shards: u32| {
+            let config = LiflConfig {
+                aggregation_shards: shards,
+                ..LiflConfig::default()
+            };
+            LiflPlatform::new(ClusterConfig::default(), config)
+                .run_round(&spec)
+                .metrics
+                .aggregation_completion_time
+        };
+        let sequential = act(1);
+        let sharded4 = act(4);
+        let sharded16 = act(16);
+        assert!(sharded4 < sequential, "{sharded4} !< {sequential}");
+        assert!(sharded16 < sharded4, "{sharded16} !< {sharded4}");
     }
 
     #[test]

@@ -9,8 +9,9 @@
 use crate::aggregator::AggregatorRuntime;
 use crate::gateway::Gateway;
 use lifl_fl::aggregate::ModelUpdate;
-use lifl_fl::codec::{EncodedUpdate, ErrorFeedback, UpdateCodec};
+use lifl_fl::codec::{EncodedView, ErrorFeedback, UpdateCodec};
 use lifl_fl::DenseModel;
+use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore, StoreStats};
 use lifl_types::{AggregatorId, AggregatorRole, ClientId, CodecKind, LiflError, NodeId, Result};
 
@@ -21,6 +22,9 @@ pub struct HierarchicalRunConfig {
     pub leaves: usize,
     /// Updates expected per leaf (the leaf's aggregation goal).
     pub updates_per_leaf: usize,
+    /// Parameter-vector shards every aggregator folds batches across
+    /// (`LiflConfig.aggregation_shards`; 1 = the sequential eager fold).
+    pub aggregation_shards: usize,
 }
 
 impl Default for HierarchicalRunConfig {
@@ -28,6 +32,7 @@ impl Default for HierarchicalRunConfig {
         HierarchicalRunConfig {
             leaves: 4,
             updates_per_leaf: 2,
+            aggregation_shards: 1,
         }
     }
 }
@@ -69,6 +74,7 @@ pub fn run_hierarchical(
         store.clone(),
         top_inbox.clone(),
     )?;
+    top.set_shards(config.aggregation_shards);
 
     // Spawn leaf threads.
     let mut handles = Vec::new();
@@ -89,9 +95,9 @@ pub fn run_hierarchical(
             )?;
         }
         let store = store.clone();
-        let top_inbox = top_inbox.clone();
         let goal = config.updates_per_leaf as u64;
-        let handle = std::thread::spawn(move || -> Result<()> {
+        let shards = config.aggregation_shards;
+        let handle = std::thread::spawn(move || -> Result<QueuedUpdate> {
             let mut leaf = AggregatorRuntime::new(
                 AggregatorId::new(leaf_idx as u64),
                 AggregatorRole::Leaf,
@@ -99,16 +105,19 @@ pub fn run_hierarchical(
                 store,
                 inbox,
             )?;
-            let intermediate = leaf.run_to_completion()?;
-            top_inbox.enqueue(intermediate);
-            Ok(())
+            leaf.set_shards(shards);
+            leaf.run_to_completion()
         });
         handles.push(handle);
     }
+    // Enqueue intermediates in leaf order (not completion order) so the top
+    // fold applies them deterministically — results are bit-identical
+    // run-to-run regardless of thread scheduling.
     for handle in handles {
-        handle
+        let intermediate = handle
             .join()
             .map_err(|_| LiflError::Simulation("leaf thread panicked".to_string()))??;
+        top_inbox.enqueue(intermediate);
     }
 
     let result = top.run_to_completion()?;
@@ -173,6 +182,7 @@ pub fn run_hierarchical_with_codec(
         top_inbox.clone(),
         UpdateCodec::with_seed(codec, 1000),
     )?;
+    top.set_shards(config.aggregation_shards);
 
     let mut client_wire_bytes = 0u64;
     let mut handles = Vec::new();
@@ -206,9 +216,9 @@ pub fn run_hierarchical_with_codec(
             }
         }
         let store = store.clone();
-        let top_inbox = top_inbox.clone();
         let goal = config.updates_per_leaf as u64;
-        let handle = std::thread::spawn(move || -> Result<()> {
+        let shards = config.aggregation_shards;
+        let handle = std::thread::spawn(move || -> Result<QueuedUpdate> {
             let mut leaf = AggregatorRuntime::with_codec(
                 AggregatorId::new(leaf_idx as u64),
                 AggregatorRole::Leaf,
@@ -217,22 +227,29 @@ pub fn run_hierarchical_with_codec(
                 inbox,
                 UpdateCodec::with_seed(codec, leaf_idx as u64),
             )?;
-            let intermediate = leaf.run_to_completion()?;
-            top_inbox.enqueue(intermediate);
-            Ok(())
+            leaf.set_shards(shards);
+            leaf.run_to_completion()
         });
         handles.push(handle);
     }
+    // Deterministic fixed-tree merge order: leaf intermediates fold at the
+    // top in leaf-index order, independent of thread completion order.
     for handle in handles {
-        handle
+        let intermediate = handle
             .join()
             .map_err(|_| LiflError::Simulation("leaf thread panicked".to_string()))??;
+        top_inbox.enqueue(intermediate);
     }
 
     let result = top.run_to_completion()?;
     let object = store.get(&result.key)?;
     let model = if result.encoded {
-        EncodedUpdate::from_bytes(object.as_slice())?.decode()
+        // The one remaining full-decode site: parse the header in place and
+        // dequantize straight into the output buffer (no body copy).
+        let view = EncodedView::parse(object.as_slice())?;
+        let mut out = vec![0.0f32; view.dim()];
+        view.decode_into(&mut out)?;
+        DenseModel::from_vec(out)
     } else {
         DenseModel::from_vec(object.as_f32_vec())
     };
@@ -267,6 +284,7 @@ mod tests {
         let config = HierarchicalRunConfig {
             leaves: 4,
             updates_per_leaf: 2,
+            aggregation_shards: 1,
         };
         let hierarchical = run_hierarchical(config, &updates).unwrap();
         let flat = fedavg(&updates).unwrap();
@@ -287,12 +305,14 @@ mod tests {
         let config = HierarchicalRunConfig {
             leaves: 4,
             updates_per_leaf: 2,
+            aggregation_shards: 1,
         };
         assert!(run_hierarchical(config, &updates).is_err());
         assert!(run_hierarchical(
             HierarchicalRunConfig {
                 leaves: 0,
-                updates_per_leaf: 2
+                updates_per_leaf: 2,
+                aggregation_shards: 1
             },
             &[]
         )
@@ -305,6 +325,7 @@ mod tests {
         let config = HierarchicalRunConfig {
             leaves: 4,
             updates_per_leaf: 2,
+            aggregation_shards: 1,
         };
         let pre_codec = run_hierarchical(config, &updates).unwrap();
         let report = run_hierarchical_with_codec(config, &updates, CodecKind::Identity).unwrap();
@@ -331,6 +352,7 @@ mod tests {
         let config = HierarchicalRunConfig {
             leaves: 4,
             updates_per_leaf: 2,
+            aggregation_shards: 1,
         };
         let flat = lifl_fl::aggregate::fedavg(&updates).unwrap();
         let report = run_hierarchical_with_codec(config, &updates, CodecKind::Uniform8).unwrap();
@@ -361,6 +383,7 @@ mod tests {
         let config = HierarchicalRunConfig {
             leaves: 1,
             updates_per_leaf: 3,
+            aggregation_shards: 1,
         };
         let result = run_hierarchical(config, &updates).unwrap();
         let flat = fedavg(&updates).unwrap();

@@ -135,6 +135,34 @@ impl CostModel {
         SimDuration::from_secs(params * secs_per_param)
     }
 
+    /// CPU time of one *fused* decode-fold pass over one update of `model`:
+    /// the dequantize is folded into the aggregation scan
+    /// (`EncodedView::fold_range_into` in `lifl-fl`), so instead of paying
+    /// [`CostModel::codec_compute`] *plus* [`CostModel::aggregation_compute`]
+    /// the pass costs a *fraction* of the dense fold — the quantized payload
+    /// streams fewer bytes per element than dense `f32`, and `TopK` touches
+    /// only its kept coordinates.
+    ///
+    /// `Identity` returns exactly [`CostModel::aggregation_compute`],
+    /// preserving the seed cost model bit-for-bit.
+    pub fn fused_fold_compute(&self, model: ModelKind, codec: CodecKind) -> SimDuration {
+        let fold = self.aggregation_compute(model);
+        match codec {
+            CodecKind::Identity => fold,
+            // One u8 (or packed nibble) stream + the f32 accumulator instead
+            // of two f32 streams: ~12 (10.5) bytes of traffic per element
+            // against 12 dense.
+            CodecKind::Uniform8 => fold.scaled(0.80),
+            CodecKind::Uniform4 => fold.scaled(0.72),
+            // Folds only the kept coordinates; the scatter costs ~2x a
+            // streaming element, and the whole-payload scan floors the cost.
+            CodecKind::TopK { permille } => {
+                let kept = f64::from(permille.clamp(1, 1000)) / 1000.0;
+                fold.scaled((2.0 * kept).clamp(0.05, 1.0))
+            }
+        }
+    }
+
     /// Cost of one intra-node transfer of one `model` update under `codec`.
     pub fn intra_node_transfer_encoded(
         &self,
@@ -311,6 +339,39 @@ mod tests {
         // A codec pass must stay well under the aggregation fold itself,
         // otherwise compressing would never pay off.
         assert!(topk < cm.aggregation_compute(model));
+    }
+
+    #[test]
+    fn fused_fold_discounts_quantized_codecs() {
+        let cm = CostModel::paper_calibrated();
+        let model = ModelKind::ResNet152;
+        let dense_fold = cm.aggregation_compute(model);
+        // Identity is bit-identical to the seed fold cost.
+        assert_eq!(
+            cm.fused_fold_compute(model, CodecKind::Identity),
+            dense_fold
+        );
+        // The fused pass beats decode-then-fold for every lossy codec...
+        for codec in [
+            CodecKind::Uniform8,
+            CodecKind::Uniform4,
+            CodecKind::TopK { permille: 50 },
+        ] {
+            let fused = cm.fused_fold_compute(model, codec);
+            let two_step = cm.codec_compute(model, codec) + dense_fold;
+            assert!(fused < two_step, "{codec}: {fused:?} !< {two_step:?}");
+            // ...and even the dense fold alone (it streams fewer bytes).
+            assert!(fused < dense_fold, "{codec}: {fused:?} !< {dense_fold:?}");
+        }
+        // Stronger codecs fold faster.
+        assert!(
+            cm.fused_fold_compute(model, CodecKind::Uniform4)
+                < cm.fused_fold_compute(model, CodecKind::Uniform8)
+        );
+        assert!(
+            cm.fused_fold_compute(model, CodecKind::TopK { permille: 50 })
+                < cm.fused_fold_compute(model, CodecKind::Uniform4)
+        );
     }
 
     #[test]

@@ -119,6 +119,7 @@ fn run_policy(policy: StalenessPolicy, label: &str, seed: u64) -> AsyncPolicyRow
         staleness: policy,
         model: ModelKind::ResNet18,
         eval_every: 1,
+        codec: lifl_types::CodecKind::Identity,
     };
     let mut driver = AsyncFlDriver::new(dataset, population, config).expect("valid config");
     let versions = driver.run(&mut rng);

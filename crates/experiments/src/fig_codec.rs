@@ -59,11 +59,24 @@ pub struct CodecTtaRow {
     pub final_accuracy: f64,
 }
 
+/// One shard count of the sharded-fold sweep (LIFL transport, `uniform8`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardRow {
+    /// Configured `aggregation_shards`.
+    pub shards: u32,
+    /// Aggregation completion time in seconds.
+    pub act_seconds: f64,
+    /// Speedup versus the sequential (1-shard) fold.
+    pub speedup: f64,
+}
+
 /// The full codec-ablation result.
 #[derive(Debug, Clone, Serialize)]
 pub struct FigCodecResult {
     /// Codec x transport sweep on the default workload.
     pub transport_rows: Vec<CodecTransportRow>,
+    /// Sharded-fold sweep on the LIFL transport under `uniform8`.
+    pub shard_rows: Vec<ShardRow>,
     /// Time-to-accuracy sweep on the LIFL transport.
     pub tta_rows: Vec<CodecTtaRow>,
     /// Headline: wire-byte reduction of `uniform8` vs `identity` on LIFL.
@@ -163,6 +176,31 @@ pub fn run() -> FigCodecResult {
         }
     }
 
+    // --- System level: sharded fold sweep (uniform8 on LIFL). ---
+    let mut shard_rows = Vec::new();
+    let mut sequential_act = 0.0;
+    for shards in [1u32, 2, 4, 8, 16] {
+        let config = LiflConfig {
+            codec: CodecKind::Uniform8,
+            aggregation_shards: shards,
+            ..LiflConfig::default()
+        };
+        let mut platform = LiflPlatform::new(cluster.clone(), config);
+        let act = platform
+            .run_round(&spec)
+            .metrics
+            .aggregation_completion_time
+            .as_secs();
+        if shards == 1 {
+            sequential_act = act;
+        }
+        shard_rows.push(ShardRow {
+            shards,
+            act_seconds: act,
+            speedup: sequential_act / act.max(f64::EPSILON),
+        });
+    }
+
     // --- Algorithm level: time-to-accuracy through each codec. ---
     let rounds = 20;
     // Target the paper-style "both reach it" level: a band the Identity run
@@ -200,6 +238,7 @@ pub fn run() -> FigCodecResult {
 
     FigCodecResult {
         transport_rows,
+        shard_rows,
         tta_rows,
         uniform8_reduction,
         target_accuracy,
@@ -241,6 +280,20 @@ pub fn format(result: &FigCodecResult) -> String {
         "\nHeadline: uniform8 moves {:.2}x fewer bytes than identity on LIFL\n\n",
         result.uniform8_reduction
     ));
+    let shard: Vec<Vec<String>> = result
+        .shard_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shards.to_string(),
+                format!("{:.1}", r.act_seconds),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    out.push_str("Sharded fold sweep (uniform8, LIFL transport)\n");
+    out.push_str(&format_table(&["shards", "ACT (s)", "speedup"], &shard));
+    out.push('\n');
     let tta: Vec<Vec<String>> = result
         .tta_rows
         .iter()
@@ -295,6 +348,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shard_sweep_speeds_up_monotonically() {
+        let result = run();
+        assert_eq!(result.shard_rows.len(), 5);
+        assert_eq!(result.shard_rows[0].shards, 1);
+        assert!((result.shard_rows[0].speedup - 1.0).abs() < 1e-9);
+        for pair in result.shard_rows.windows(2) {
+            assert!(
+                pair[1].act_seconds <= pair[0].act_seconds,
+                "{} shards slower than {}",
+                pair[1].shards,
+                pair[0].shards
+            );
+        }
+        let at4 = &result.shard_rows[2];
+        assert!(at4.speedup > 1.0, "4 shards gave {}x", at4.speedup);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! aggregation possible (Fig. 1, §5.4), and that lets hierarchical aggregation
 //! produce the same result as flat aggregation.
 
+use crate::codec::{EncodedUpdate, EncodedView};
 use crate::model::DenseModel;
 use lifl_types::{ClientId, LiflError, Result};
 use serde::{Deserialize, Serialize};
@@ -52,9 +53,9 @@ impl ModelUpdate {
 /// A running, sample-weighted FedAvg accumulator.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CumulativeFedAvg {
-    weighted_sum: DenseModel,
-    total_samples: u64,
-    updates_folded: u64,
+    pub(crate) weighted_sum: DenseModel,
+    pub(crate) total_samples: u64,
+    pub(crate) updates_folded: u64,
 }
 
 impl CumulativeFedAvg {
@@ -92,6 +93,46 @@ impl CumulativeFedAvg {
         Ok(())
     }
 
+    /// Folds one *encoded* update in a single fused dequantize-and-axpy pass
+    /// over the wire payload — no intermediate `DenseModel` is materialised
+    /// (the per-codec kernels live in [`EncodedView::fold_range_into`];
+    /// `TopK` folds only its nonzeros).
+    ///
+    /// # Errors
+    /// Same conditions as [`CumulativeFedAvg::fold`].
+    pub fn fold_encoded(&mut self, update: &EncodedUpdate, samples: u64) -> Result<()> {
+        self.fold_encoded_view(&update.view(), samples)
+    }
+
+    /// Zero-copy variant of [`CumulativeFedAvg::fold_encoded`] operating on a
+    /// borrowed wire payload (e.g. straight out of the shared-memory store).
+    ///
+    /// # Errors
+    /// Same conditions as [`CumulativeFedAvg::fold`].
+    pub fn fold_encoded_view(&mut self, view: &EncodedView<'_>, samples: u64) -> Result<()> {
+        if samples == 0 {
+            return Err(LiflError::InvalidAggregationGoal(0));
+        }
+        if self.weighted_sum.is_empty() {
+            self.weighted_sum = DenseModel::zeros(view.dim());
+        }
+        view.fold_into(samples as f32, self.weighted_sum.as_mut_slice())?;
+        self.total_samples += samples;
+        self.updates_folded += 1;
+        Ok(())
+    }
+
+    /// Folds a headerless dense little-endian `f32` payload (the pre-codec
+    /// shared-memory representation) without materialising a `DenseModel`;
+    /// bit-exact with decoding the payload and calling
+    /// [`CumulativeFedAvg::fold`].
+    ///
+    /// # Errors
+    /// Same conditions as [`CumulativeFedAvg::fold`].
+    pub fn fold_dense_bytes(&mut self, payload: &[u8], samples: u64) -> Result<()> {
+        self.fold_encoded_view(&EncodedView::identity_over(payload), samples)
+    }
+
     /// Number of updates folded so far.
     pub fn updates_folded(&self) -> u64 {
         self.updates_folded
@@ -122,6 +163,27 @@ impl CumulativeFedAvg {
         self.total_samples = 0;
         self.updates_folded = 0;
         Ok(ModelUpdate::intermediate(model, samples))
+    }
+
+    /// Allocation-free [`CumulativeFedAvg::finalize`]: writes the aggregated
+    /// model into `out` (resizing it only if the dimension changed), zeroes
+    /// the accumulator *in place* so the next round reuses its allocation,
+    /// and returns the total sample count.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidAggregationGoal`] if nothing has been folded.
+    pub fn drain_into(&mut self, out: &mut DenseModel) -> Result<u64> {
+        if self.updates_folded == 0 || self.total_samples == 0 {
+            return Err(LiflError::InvalidAggregationGoal(self.updates_folded));
+        }
+        let inv = 1.0 / self.total_samples as f32;
+        out.copy_from_slice(self.weighted_sum.as_slice());
+        out.scale(inv);
+        self.weighted_sum.as_mut_slice().fill(0.0);
+        let samples = self.total_samples;
+        self.total_samples = 0;
+        self.updates_folded = 0;
+        Ok(samples)
     }
 }
 

@@ -10,6 +10,7 @@
 //! map onto the aggregation hierarchy) lives in `lifl-core::async_round`.
 
 use crate::aggregate::{CumulativeFedAvg, ModelUpdate};
+use crate::codec::{ErrorFeedback, UpdateCodec};
 use crate::dataset::FederatedDataset;
 use crate::metrics::accuracy_percent;
 use crate::model::DenseModel;
@@ -17,7 +18,7 @@ use crate::population::Population;
 use crate::staleness::{StalenessPolicy, StalenessTracker};
 use crate::trainer::{LocalTrainer, TrainerConfig};
 use lifl_simcore::SimRng;
-use lifl_types::{LiflError, ModelKind, Result, SimTime};
+use lifl_types::{CodecKind, LiflError, ModelKind, Result, SimTime};
 
 /// Configuration of the asynchronous driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +37,10 @@ pub struct AsyncDriverConfig {
     pub model: ModelKind,
     /// Evaluate accuracy every this many committed versions (1 = every version).
     pub eval_every: usize,
+    /// Codec every client update travels through before buffering. Lossy
+    /// codecs run per-client error feedback and the staleness-weighted
+    /// update is folded via the fused encoded path — no dense intermediate.
+    pub codec: CodecKind,
 }
 
 impl Default for AsyncDriverConfig {
@@ -48,6 +53,7 @@ impl Default for AsyncDriverConfig {
             staleness: StalenessPolicy::Polynomial { exponent: 0.5 },
             model: ModelKind::ResNet18,
             eval_every: 1,
+            codec: CodecKind::Identity,
         }
     }
 }
@@ -113,6 +119,7 @@ pub struct AsyncFlDriver {
     global: DenseModel,
     history: Vec<AsyncVersionOutcome>,
     tracker: StalenessTracker,
+    feedback: ErrorFeedback,
 }
 
 impl AsyncFlDriver {
@@ -128,6 +135,7 @@ impl AsyncFlDriver {
         config.validate()?;
         let trainer = LocalTrainer::new(dataset.num_features, dataset.num_classes, config.trainer);
         let global = dataset.initial_model();
+        let feedback = ErrorFeedback::new(UpdateCodec::with_seed(config.codec, 0xA51C));
         Ok(AsyncFlDriver {
             dataset,
             population,
@@ -136,6 +144,7 @@ impl AsyncFlDriver {
             global,
             history: Vec::new(),
             tracker: StalenessTracker::new(),
+            feedback,
         })
     }
 
@@ -217,9 +226,25 @@ impl AsyncFlDriver {
             // the trust discount.
             let shard = self.dataset.shard(client.id);
             let (local, _) = self.trainer.train(&self.global, shard, rng);
-            let raw = ModelUpdate::from_client(client.id, local, shard.len().max(1) as u64);
-            let weighted = self.config.staleness.apply(&raw, tau);
-            if buffer.fold(&weighted).is_ok() {
+            let samples = shard.len().max(1) as u64;
+            let weighted_samples = self.config.staleness.scaled_samples(samples, tau);
+            // Lossy codecs ship the encoded form and fold it fused
+            // (dequantize-and-axpy); the staleness discount rides the sample
+            // weight exactly as on the dense path.
+            let folded = if self.config.codec.is_lossless() {
+                let raw = ModelUpdate::from_client(client.id, local, weighted_samples);
+                buffer.fold(&raw).is_ok()
+            } else {
+                match self.feedback.encode(client.id, &local) {
+                    Ok(encoded) => {
+                        let ok = buffer.fold_encoded(&encoded, weighted_samples).is_ok();
+                        self.feedback.recycle(encoded);
+                        ok
+                    }
+                    Err(_) => false,
+                }
+            };
+            if folded {
                 buffered += 1;
             }
 
@@ -317,6 +342,7 @@ mod tests {
             staleness: StalenessPolicy::Polynomial { exponent: 0.5 },
             model: ModelKind::ResNet18,
             eval_every: 1,
+            codec: CodecKind::Identity,
         }
     }
 
@@ -368,6 +394,65 @@ mod tests {
         // With clients continuously training across commits, some staleness
         // must appear after the first version.
         assert!(tracker.stale_count() > 0);
+    }
+
+    #[test]
+    fn quantized_async_single_commit_stays_within_quantization_error() {
+        // With one committed version both runs fold exactly the same updates
+        // in the same order (the sim RNG stream is untouched by the codec),
+        // so the only divergence is the per-update quantization error.
+        let config = AsyncDriverConfig {
+            target_versions: 1,
+            ..fast_config()
+        };
+        let (mut dense, mut rng_d) = setup(23, config);
+        let (mut quant, mut rng_q) = setup(
+            23,
+            AsyncDriverConfig {
+                codec: CodecKind::Uniform8,
+                ..config
+            },
+        );
+        dense.run(&mut rng_d);
+        quant.run(&mut rng_q);
+        let max_abs = dense
+            .global_model()
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |a, v| a.max(v.abs()));
+        // One quantization step of the largest update magnitude, with slack
+        // for the weighted averaging across the buffer.
+        let tolerance = (2.0 * max_abs / 127.0).max(1e-4);
+        for (a, b) in dense
+            .global_model()
+            .as_slice()
+            .iter()
+            .zip(quant.global_model().as_slice())
+        {
+            assert!(
+                (a - b).abs() <= tolerance,
+                "uniform8 async drifted: |{a} - {b}| > {tolerance}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_async_run_still_learns() {
+        let (mut driver, mut rng) = setup(
+            31,
+            AsyncDriverConfig {
+                codec: CodecKind::Uniform8,
+                target_versions: 12,
+                ..fast_config()
+            },
+        );
+        let initial = driver.evaluate();
+        driver.run(&mut rng);
+        let final_acc = driver.evaluate();
+        assert!(
+            final_acc > initial + 10.0,
+            "quantized async training should learn: {initial} -> {final_acc}"
+        );
     }
 
     #[test]

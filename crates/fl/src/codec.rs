@@ -27,6 +27,7 @@
 //! byte counters consistent.
 
 use crate::model::DenseModel;
+use lifl_shmem::BufferPool;
 use lifl_simcore::SimRng;
 use lifl_types::{ClientId, CodecKind, LiflError, Result, WIRE_HEADER_BYTES};
 use std::collections::HashMap;
@@ -111,11 +112,69 @@ impl EncodedUpdate {
         out
     }
 
-    /// Parses a wire byte string produced by [`EncodedUpdate::to_bytes`].
+    /// Parses a wire byte string produced by [`EncodedUpdate::to_bytes`] into
+    /// an owned update (the body is copied). The zero-copy alternative is
+    /// [`EncodedView::parse`], which borrows the payload in place.
     ///
     /// # Errors
     /// Returns [`LiflError::Codec`] on a truncated or malformed buffer.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Ok(EncodedView::parse(bytes)?.to_update())
+    }
+
+    /// A zero-copy view over this update's payload, for in-place decode and
+    /// fused decode-fold.
+    pub fn view(&self) -> EncodedView<'_> {
+        EncodedView {
+            codec: self.codec,
+            dim: self.dim,
+            scale: self.scale,
+            kept: self.kept,
+            body: &self.body,
+        }
+    }
+
+    /// Reconstructs the dense model this update encodes.
+    pub fn decode(&self) -> DenseModel {
+        self.view().decode()
+    }
+
+    /// Dequantizes this update into `out` without allocating; `out` becomes
+    /// exactly what [`EncodedUpdate::decode`] would return.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::DimensionMismatch`] if `out.len() != self.dim()`.
+    pub fn decode_into(&self, out: &mut [f32]) -> Result<()> {
+        self.view().decode_into(out)
+    }
+
+    /// Consumes the update and returns its body buffer so it can be checked
+    /// back into a [`BufferPool`] (see [`UpdateCodec::recycle`]).
+    pub fn into_body(self) -> Vec<u8> {
+        self.body
+    }
+}
+
+/// A borrowed, zero-copy view of an encoded update: the parsed 16-byte
+/// descriptor plus a reference to the payload bytes, typically straight out of
+/// the shared-memory object store. All decode and fused decode-fold kernels
+/// operate on views so interior aggregators never materialise an intermediate
+/// `DenseModel` (or even copy the payload) on the Recv+Agg critical path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodedView<'a> {
+    codec: CodecKind,
+    dim: u32,
+    scale: f32,
+    kept: u32,
+    body: &'a [u8],
+}
+
+impl<'a> EncodedView<'a> {
+    /// Parses the self-describing wire form without copying the payload.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::Codec`] on a truncated or malformed buffer.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self> {
         let header = bytes
             .get(..WIRE_HEADER_BYTES as usize)
             .ok_or_else(|| LiflError::Codec("wire buffer shorter than header".to_string()))?;
@@ -130,7 +189,7 @@ impl EncodedUpdate {
             TAG_TOPK => CodecKind::TopK { permille },
             other => return Err(LiflError::Codec(format!("unknown codec tag {other}"))),
         };
-        let body = bytes[WIRE_HEADER_BYTES as usize..].to_vec();
+        let body = &bytes[WIRE_HEADER_BYTES as usize..];
         let expected = match codec {
             CodecKind::Identity => dim as usize * 4,
             CodecKind::Uniform8 => dim as usize,
@@ -143,7 +202,7 @@ impl EncodedUpdate {
                 body.len()
             )));
         }
-        Ok(EncodedUpdate {
+        Ok(EncodedView {
             codec,
             dim,
             scale,
@@ -152,49 +211,227 @@ impl EncodedUpdate {
         })
     }
 
-    /// Reconstructs the dense model this update encodes.
+    /// Wraps a headerless dense little-endian `f32` payload (the pre-codec
+    /// `ObjectStore::put_f32` representation) as an `Identity` view, so dense
+    /// and encoded payloads share one fused fold path.
+    pub fn identity_over(payload: &'a [u8]) -> Self {
+        let dim = (payload.len() / 4) as u32;
+        EncodedView {
+            codec: CodecKind::Identity,
+            dim,
+            scale: 0.0,
+            kept: dim,
+            body: &payload[..dim as usize * 4],
+        }
+    }
+
+    /// The codec that produced this update.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    /// Number of parameters of the dense model this encodes.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The per-tensor quantization scale (0 for `Identity` and `TopK`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Copies the view into an owned [`EncodedUpdate`].
+    pub fn to_update(&self) -> EncodedUpdate {
+        EncodedUpdate {
+            codec: self.codec,
+            dim: self.dim,
+            scale: self.scale,
+            kept: self.kept,
+            body: self.body.to_vec(),
+        }
+    }
+
+    /// Reconstructs the dense model this view encodes (allocating).
     pub fn decode(&self) -> DenseModel {
-        let dim = self.dim as usize;
+        let mut out = vec![0.0f32; self.dim as usize];
+        self.decode_into(&mut out)
+            .expect("freshly sized buffer matches dim");
+        DenseModel::from_vec(out)
+    }
+
+    /// Dequantizes into `out` without allocating, bit-exactly reproducing
+    /// [`EncodedView::decode`].
+    ///
+    /// # Errors
+    /// Returns [`LiflError::DimensionMismatch`] if `out.len() != self.dim()`.
+    pub fn decode_into(&self, out: &mut [f32]) -> Result<()> {
+        if out.len() != self.dim as usize {
+            return Err(LiflError::DimensionMismatch {
+                expected: self.dim as usize,
+                actual: out.len(),
+            });
+        }
         match self.codec {
-            CodecKind::Identity => DenseModel::from_vec(
-                self.body
-                    .chunks_exact(4)
-                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                    .collect(),
-            ),
-            CodecKind::Uniform8 => DenseModel::from_vec(
-                self.body
-                    .iter()
-                    .map(|b| f32::from(*b as i8) * self.scale)
-                    .collect(),
-            ),
-            CodecKind::Uniform4 => {
-                let mut params = Vec::with_capacity(dim);
-                for byte in &self.body {
-                    params.push(f32::from(nibble_to_i8(byte & 0x0F)) * self.scale);
-                    if params.len() < dim {
-                        params.push(f32::from(nibble_to_i8(byte >> 4)) * self.scale);
-                    }
+            CodecKind::Identity => {
+                for (o, c) in out.iter_mut().zip(self.body.chunks_exact(4)) {
+                    *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
                 }
-                params.truncate(dim);
-                DenseModel::from_vec(params)
+            }
+            CodecKind::Uniform8 => {
+                for (o, b) in out.iter_mut().zip(self.body) {
+                    *o = f32::from(*b as i8) * self.scale;
+                }
+            }
+            CodecKind::Uniform4 => {
+                let mut pairs = out.chunks_exact_mut(2);
+                for (pair, byte) in pairs.by_ref().zip(self.body) {
+                    pair[0] = NIBBLE_F32[(byte & 0x0F) as usize] * self.scale;
+                    pair[1] = NIBBLE_F32[(byte >> 4) as usize] * self.scale;
+                }
+                if let [last] = pairs.into_remainder() {
+                    *last =
+                        NIBBLE_F32[(self.body[self.body.len() - 1] & 0x0F) as usize] * self.scale;
+                }
             }
             CodecKind::TopK { .. } => {
-                let mut params = vec![0.0f32; dim];
+                out.fill(0.0);
                 for pair in self.body.chunks_exact(8) {
                     let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
                     let value = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
-                    if index < dim {
-                        params[index] = value;
+                    if index < out.len() {
+                        out[index] = value;
                     }
                 }
-                DenseModel::from_vec(params)
             }
+        }
+        Ok(())
+    }
+
+    /// Fused decode-fold: adds `weight * decode(self)` into `acc` in a single
+    /// pass over the wire payload, with no intermediate buffer. `TopK` touches
+    /// only its nonzero coordinates. For `Identity` this is bit-exact with
+    /// decode-then-`axpy`; for the quantized codecs the dequantize and weight
+    /// multiplies are fused (`level * (weight * scale)`), which differs from
+    /// the two-step path by at most a few ulps — far inside one quantization
+    /// step.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::DimensionMismatch`] if `acc.len() != self.dim()`.
+    pub fn fold_into(&self, weight: f32, acc: &mut [f32]) -> Result<()> {
+        if acc.len() != self.dim as usize {
+            return Err(LiflError::DimensionMismatch {
+                expected: self.dim as usize,
+                actual: acc.len(),
+            });
+        }
+        self.fold_range_into(weight, 0, acc);
+        Ok(())
+    }
+
+    /// Fused decode-fold over the element range `[start, start + acc.len())`
+    /// of the decoded update: the shard-local kernel behind
+    /// `ShardedFedAvg`. The caller guarantees the range lies inside
+    /// `0..self.dim()`; out-of-range tails simply fold nothing.
+    pub fn fold_range_into(&self, weight: f32, start: usize, acc: &mut [f32]) {
+        let dim = self.dim as usize;
+        let len = acc.len().min(dim.saturating_sub(start));
+        if len == 0 {
+            return;
+        }
+        let acc = &mut acc[..len];
+        match self.codec {
+            CodecKind::Identity => {
+                let body = &self.body[start * 4..(start + len) * 4];
+                for (a, c) in acc.iter_mut().zip(body.chunks_exact(4)) {
+                    *a += weight * f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                }
+            }
+            CodecKind::Uniform8 => {
+                let k = weight * self.scale;
+                for (a, b) in acc.iter_mut().zip(&self.body[start..start + len]) {
+                    *a += f32::from(*b as i8) * k;
+                }
+            }
+            CodecKind::Uniform4 => {
+                let k = weight * self.scale;
+                let mut j = 0usize;
+                // Align to an even element so whole bytes decode pairwise.
+                if (start & 1) == 1 && j < len {
+                    acc[j] += NIBBLE_F32[(self.body[start >> 1] >> 4) as usize] * k;
+                    j += 1;
+                }
+                while j + 1 < len {
+                    let byte = self.body[(start + j) >> 1];
+                    acc[j] += NIBBLE_F32[(byte & 0x0F) as usize] * k;
+                    acc[j + 1] += NIBBLE_F32[(byte >> 4) as usize] * k;
+                    j += 2;
+                }
+                if j < len {
+                    let byte = self.body[(start + j) >> 1];
+                    acc[j] += NIBBLE_F32[(byte & 0x0F) as usize] * k;
+                }
+            }
+            CodecKind::TopK { .. } => {
+                let end = start + len;
+                for pair in self.body.chunks_exact(8) {
+                    let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
+                    if index >= start && index < end {
+                        let value = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
+                        acc[index - start] += weight * value;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether this is a `TopK` view whose indices are sorted ascending (the
+    /// form [`UpdateCodec::encode`] produces). Sorted `TopK` payloads can be
+    /// folded block-by-block with a resumable cursor
+    /// ([`EncodedView::fold_topk_window`]) instead of rescanning the whole
+    /// body per block.
+    pub fn topk_indices_sorted(&self) -> bool {
+        if !matches!(self.codec, CodecKind::TopK { .. }) {
+            return false;
+        }
+        let mut previous = 0u32;
+        for (i, pair) in self.body.chunks_exact(8).enumerate() {
+            let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]);
+            if i > 0 && index <= previous {
+                return false;
+            }
+            previous = index;
+        }
+        true
+    }
+
+    /// Cursor-resumed `TopK` window fold for callers that walk blocks in
+    /// ascending order over a sorted payload (see
+    /// [`EncodedView::topk_indices_sorted`]): `cursor` is a pair offset that
+    /// only ever advances, so a whole walk costs `O(kept + blocks)` instead
+    /// of `O(kept × blocks)`. Folds exactly the pairs `fold_range_into`
+    /// would, in the same order.
+    pub fn fold_topk_window(&self, cursor: &mut usize, weight: f32, start: usize, acc: &mut [f32]) {
+        let dim = self.dim as usize;
+        let len = acc.len().min(dim.saturating_sub(start));
+        let end = start + len;
+        while let Some(pair) = self.body.get(*cursor * 8..*cursor * 8 + 8) {
+            let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
+            if index >= end {
+                break;
+            }
+            if index >= start {
+                let value = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
+                acc[index - start] += weight * value;
+            }
+            *cursor += 1;
         }
     }
 }
 
-/// Maps a sign-magnitude 4-bit nibble back to `[-7, 7]`.
+/// Maps a sign-magnitude 4-bit nibble back to `[-7, 7]` — the reference the
+/// branch-free [`NIBBLE_F32`] table is checked against in tests; the hot
+/// kernels use the table.
+#[cfg(test)]
 fn nibble_to_i8(nibble: u8) -> i8 {
     let magnitude = (nibble & 0x07) as i8;
     if nibble & 0x08 != 0 {
@@ -203,6 +440,13 @@ fn nibble_to_i8(nibble: u8) -> i8 {
         magnitude
     }
 }
+
+/// `f32::from(nibble_to_i8(n))` for every nibble, as a branch-free table for
+/// the hot dequantize kernels (index 8, "negative zero", decodes to `0.0`
+/// exactly like [`nibble_to_i8`]).
+const NIBBLE_F32: [f32; 16] = [
+    0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 0.0, -1.0, -2.0, -3.0, -4.0, -5.0, -6.0, -7.0,
+];
 
 /// Maps a quantized level in `[-7, 7]` to a sign-magnitude nibble.
 fn i8_to_nibble(level: i8) -> u8 {
@@ -215,11 +459,13 @@ fn i8_to_nibble(level: i8) -> u8 {
 }
 
 /// The encoder/decoder for one [`CodecKind`], owning the randomness stream the
-/// stochastic rounding draws from (deterministic given the seed).
+/// stochastic rounding draws from (deterministic given the seed) and the
+/// scratch-buffer pool its encode bodies are drawn from.
 #[derive(Debug, Clone)]
 pub struct UpdateCodec {
     kind: CodecKind,
     rng: SimRng,
+    pool: BufferPool,
 }
 
 impl UpdateCodec {
@@ -233,7 +479,27 @@ impl UpdateCodec {
         UpdateCodec {
             kind,
             rng: SimRng::from_seed(seed),
+            pool: BufferPool::new(),
         }
+    }
+
+    /// Shares `pool` as the scratch slab the encode bodies are drawn from.
+    /// Retire encoded updates with [`UpdateCodec::recycle`] and steady-state
+    /// encoding allocates nothing after warm-up.
+    pub fn with_pool(mut self, pool: BufferPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The scratch-buffer pool this codec draws encode bodies from.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Checks a retired update's body buffer back into the pool so the next
+    /// [`UpdateCodec::encode`] reuses it instead of allocating.
+    pub fn recycle(&self, encoded: EncodedUpdate) {
+        self.pool.checkin_bytes(encoded.into_body());
     }
 
     /// The configured codec kind.
@@ -243,11 +509,17 @@ impl UpdateCodec {
 
     /// Encodes a dense model into its wire representation.
     pub fn encode(&mut self, model: &DenseModel) -> EncodedUpdate {
-        let params = model.as_slice();
+        self.encode_slice(model.as_slice())
+    }
+
+    /// Encodes a raw parameter slice into its wire representation (the
+    /// `DenseModel`-free entry point used by pooled scratch buffers). The
+    /// body buffer is checked out of the codec's pool.
+    pub fn encode_slice(&mut self, params: &[f32]) -> EncodedUpdate {
         let dim = params.len() as u32;
         match self.kind {
             CodecKind::Identity => {
-                let mut body = Vec::with_capacity(params.len() * 4);
+                let mut body = self.pool.checkout_bytes(params.len() * 4);
                 for v in params {
                     body.extend_from_slice(&v.to_le_bytes());
                 }
@@ -261,10 +533,12 @@ impl UpdateCodec {
             }
             CodecKind::Uniform8 => {
                 let scale = tensor_scale(params, U8_LEVELS);
-                let body = params
-                    .iter()
-                    .map(|v| self.stochastic_level(*v, scale, U8_LEVELS) as u8)
-                    .collect();
+                let mut body = self.pool.checkout_bytes(params.len());
+                body.extend(
+                    params
+                        .iter()
+                        .map(|v| self.stochastic_level(*v, scale, U8_LEVELS) as u8),
+                );
                 EncodedUpdate {
                     codec: self.kind,
                     dim,
@@ -275,7 +549,7 @@ impl UpdateCodec {
             }
             CodecKind::Uniform4 => {
                 let scale = tensor_scale(params, U4_LEVELS);
-                let mut body = Vec::with_capacity(params.len().div_ceil(2));
+                let mut body = self.pool.checkout_bytes(params.len().div_ceil(2));
                 for pair in params.chunks(2) {
                     let low = i8_to_nibble(self.stochastic_level(pair[0], scale, U4_LEVELS));
                     let high = pair
@@ -310,7 +584,7 @@ impl UpdateCodec {
                 }
                 let mut indices = order;
                 indices.sort_unstable();
-                let mut body = Vec::with_capacity(indices.len() * 8);
+                let mut body = self.pool.checkout_bytes(indices.len() * 8);
                 for index in &indices {
                     body.extend_from_slice(&(*index as u32).to_le_bytes());
                     body.extend_from_slice(&params[*index].to_le_bytes());
@@ -390,23 +664,47 @@ impl ErrorFeedback {
     /// Encodes `model` for `client`, compensating with the client's stored
     /// residual and retaining the new residual for the next round.
     ///
+    /// The compensation scratch is drawn from the codec's [`BufferPool`] and
+    /// the residual is updated in place via the fused decode-fold kernel, so
+    /// steady-state encoding performs no model-sized heap allocation.
+    ///
     /// # Errors
     /// Returns [`LiflError::DimensionMismatch`] if the client's model changes
     /// dimension between rounds.
     pub fn encode(&mut self, client: ClientId, model: &DenseModel) -> Result<EncodedUpdate> {
-        let mut compensated = model.clone();
+        let dim = model.dim();
         if let Some(residual) = self.residuals.get(&client) {
-            compensated.axpy(1.0, residual)?;
+            if residual.dim() != dim {
+                return Err(LiflError::DimensionMismatch {
+                    expected: dim,
+                    actual: residual.dim(),
+                });
+            }
         }
-        let encoded = self.codec.encode(&compensated);
+        let pool = self.codec.pool().clone();
+        let mut compensated = pool.checkout_f32(dim);
+        compensated.copy_from_slice(model.as_slice());
+        if let Some(residual) = self.residuals.get(&client) {
+            for (c, r) in compensated.iter_mut().zip(residual.as_slice()) {
+                *c += r;
+            }
+        }
+        let encoded = self.codec.encode_slice(&compensated);
         if self.codec.kind().is_lossless() {
             self.residuals.remove(&client);
         } else {
-            let mut residual = compensated;
-            residual.axpy(-1.0, &encoded.decode())?;
-            self.residuals.insert(client, residual);
+            // residual = compensated - decode(encoded), computed in place.
+            let residual = self.residuals.entry(client).or_default();
+            residual.copy_from_slice(&compensated);
+            encoded.view().fold_into(-1.0, residual.as_mut_slice())?;
         }
+        pool.checkin_f32(compensated);
         Ok(encoded)
+    }
+
+    /// Checks a retired update's body back into the shared scratch pool.
+    pub fn recycle(&self, encoded: EncodedUpdate) {
+        self.codec.recycle(encoded);
     }
 
     /// The residual currently stored for `client`, if any.
@@ -426,6 +724,38 @@ mod tests {
 
     fn model(values: &[f32]) -> DenseModel {
         DenseModel::from_vec(values.to_vec())
+    }
+
+    #[test]
+    fn nibble_table_matches_sign_magnitude_reference() {
+        for nibble in 0u8..16 {
+            assert_eq!(
+                NIBBLE_F32[nibble as usize].to_bits(),
+                f32::from(nibble_to_i8(nibble)).to_bits(),
+                "nibble {nibble}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_range_beyond_dim_folds_nothing() {
+        let m = model(&[1.0, 2.0, 3.0]);
+        for kind in CodecKind::ablation_set() {
+            let mut codec = UpdateCodec::new(kind);
+            let encoded = codec.encode(&m);
+            let mut acc = [5.0f32; 4];
+            // Entirely past the dimension: no-op, no panic.
+            encoded.view().fold_range_into(2.0, 7, &mut acc);
+            assert_eq!(acc, [5.0; 4], "{kind}");
+            // Straddling the end folds only the in-range tail.
+            encoded.view().fold_range_into(1.0, 2, &mut acc);
+            let decoded = encoded.decode();
+            assert!(
+                (acc[0] - (5.0 + decoded.as_slice()[2])).abs() < 1e-6,
+                "{kind}"
+            );
+            assert_eq!(&acc[1..], [5.0; 3], "{kind}");
+        }
     }
 
     #[test]
@@ -588,6 +918,72 @@ mod proptests {
     }
 
     proptest! {
+        /// `decode_into` (and the zero-copy view parse) reproduce `decode`
+        /// bit-exactly for every codec, and the wire roundtrip preserves it.
+        #[test]
+        fn decode_into_is_bit_exact_with_decode(params in arbitrary_params(), seed in 0u64..500) {
+            for kind in [
+                CodecKind::Identity,
+                CodecKind::Uniform8,
+                CodecKind::Uniform4,
+                CodecKind::TopK { permille: 400 },
+            ] {
+                let mut codec = UpdateCodec::with_seed(kind, seed);
+                let encoded = codec.encode(&DenseModel::from_vec(params.clone()));
+                let wire = encoded.to_bytes();
+                let view = EncodedView::parse(&wire).unwrap();
+                prop_assert_eq!(view.to_update(), encoded.clone());
+                let mut out = vec![7.7f32; params.len()];
+                encoded.decode_into(&mut out).unwrap();
+                for (a, b) in out.iter().zip(encoded.decode().as_slice()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{}: {} vs {}", kind, a, b);
+                }
+                let mut short = vec![0.0f32; params.len() + 1];
+                prop_assert!(encoded.decode_into(&mut short).is_err());
+            }
+        }
+
+        /// The fused `fold_encoded` equals decode-then-fold bit-exactly for
+        /// `Identity` and within one quantization step for `Uniform8/4`
+        /// (`TopK` stores raw values, so it is bit-exact too).
+        #[test]
+        fn fused_fold_matches_decode_then_fold(
+            params in arbitrary_params(),
+            samples in 1u64..40,
+            seed in 0u64..500,
+        ) {
+            use crate::aggregate::CumulativeFedAvg;
+            for kind in [
+                CodecKind::Identity,
+                CodecKind::Uniform8,
+                CodecKind::Uniform4,
+                CodecKind::TopK { permille: 400 },
+            ] {
+                let mut codec = UpdateCodec::with_seed(kind, seed);
+                let encoded = codec.encode(&DenseModel::from_vec(params.clone()));
+                let mut two_step = CumulativeFedAvg::new(params.len());
+                two_step
+                    .fold(&ModelUpdate::intermediate(encoded.decode(), samples))
+                    .unwrap();
+                let mut fused = CumulativeFedAvg::new(params.len());
+                fused.fold_encoded(&encoded, samples).unwrap();
+                let expected = two_step.finalize().unwrap();
+                let got = fused.finalize().unwrap();
+                prop_assert_eq!(got.samples, expected.samples);
+                let step = encoded.scale();
+                for (a, b) in got.model.as_slice().iter().zip(expected.model.as_slice()) {
+                    match kind {
+                        CodecKind::Identity | CodecKind::TopK { .. } => {
+                            prop_assert_eq!(a.to_bits(), b.to_bits(),
+                                "{}: fused {} vs two-step {}", kind, a, b);
+                        }
+                        _ => prop_assert!((a - b).abs() <= step.max(1e-6),
+                            "{}: fused {} vs two-step {} beyond one step {}", kind, a, b, step),
+                    }
+                }
+            }
+        }
+
         /// Stochastic uniform quantization never errs by more than one step
         /// per element (and half a step in expectation; the hard bound is what
         /// holds sample-wise).

@@ -37,13 +37,14 @@ pub mod population;
 pub mod rounds;
 pub mod selector;
 pub mod server_opt;
+pub mod sharded;
 pub mod staleness;
 pub mod trainer;
 
 pub use aggregate::{CumulativeFedAvg, ModelUpdate};
 pub use async_driver::{AsyncDriverConfig, AsyncFlDriver, AsyncVersionOutcome};
 pub use client::{Client, ClientAvailability};
-pub use codec::{EncodedUpdate, ErrorFeedback, UpdateCodec};
+pub use codec::{EncodedUpdate, EncodedView, ErrorFeedback, UpdateCodec};
 pub use dataset::{FederatedDataset, Sample};
 pub use fedprox::{FedProxConfig, FedProxTrainer};
 pub use model::DenseModel;
@@ -51,5 +52,6 @@ pub use oort::{OortConfig, OortSelector};
 pub use population::{Population, PopulationConfig};
 pub use rounds::{FlDriver, FlDriverConfig, RoundOutcome};
 pub use server_opt::{ServerOptConfig, ServerOptKind, ServerOptimizer};
+pub use sharded::ShardedFedAvg;
 pub use staleness::{StalenessPolicy, StalenessTracker};
 pub use trainer::{LocalTrainer, TrainerConfig};

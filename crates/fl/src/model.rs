@@ -74,6 +74,13 @@ impl DenseModel {
         Ok(())
     }
 
+    /// Overwrites this model with `src`, resizing if required while reusing
+    /// the existing allocation when its capacity suffices.
+    pub fn copy_from_slice(&mut self, src: &[f32]) {
+        self.params.clear();
+        self.params.extend_from_slice(src);
+    }
+
     /// Multiplies every parameter by `scale`.
     pub fn scale(&mut self, scale: f32) {
         for p in &mut self.params {

@@ -2,7 +2,7 @@
 //! curve that, combined with a system simulator's per-round wall-clock and CPU
 //! costs, yields the time-to-accuracy and cost-to-accuracy figures (Fig. 9).
 
-use crate::aggregate::{fedavg, ModelUpdate};
+use crate::aggregate::{CumulativeFedAvg, ModelUpdate};
 use crate::codec::{ErrorFeedback, UpdateCodec};
 use crate::dataset::FederatedDataset;
 use crate::metrics::accuracy_percent;
@@ -106,7 +106,8 @@ impl FlDriver {
         }
         let round = self.history.len() + 1;
         let participants = self.population.select_round(rng);
-        let mut updates = Vec::with_capacity(participants.len());
+        let mut accumulator = CumulativeFedAvg::new(self.dataset.model_dim());
+        let mut folded = 0usize;
         let mut loss_sum = 0.0;
         let mut participant_samples = Vec::with_capacity(participants.len());
         for client in &participants {
@@ -115,13 +116,17 @@ impl FlDriver {
             let samples = shard.len().max(1) as u64;
             loss_sum += loss;
             participant_samples.push(samples);
-            // The update crosses the data plane in its encoded form; the
-            // aggregator decodes it before folding (decode-fold-encode).
-            let received = if self.config.codec.is_lossless() {
-                local
+            // The update crosses the data plane in its encoded form and is
+            // folded fused (dequantize-and-axpy) straight off the wire bytes
+            // — no dense intermediate is ever materialised.
+            if self.config.codec.is_lossless() {
+                let raw = ModelUpdate::from_client(client.id, local, samples);
+                if accumulator.fold(&raw).is_ok() {
+                    folded += 1;
+                }
             } else {
-                match self.feedback.encode(client.id, &local) {
-                    Ok(encoded) => encoded.decode(),
+                let encoded = match self.feedback.encode(client.id, &local) {
+                    Ok(encoded) => encoded,
                     Err(_) => {
                         // The model dimension changed mid-run, so the stored
                         // residual is stale; drop all residuals and re-encode
@@ -130,13 +135,15 @@ impl FlDriver {
                         self.feedback
                             .encode(client.id, &local)
                             .expect("encode without residual is infallible")
-                            .decode()
                     }
+                };
+                if accumulator.fold_encoded(&encoded, samples).is_ok() {
+                    folded += 1;
                 }
-            };
-            updates.push(ModelUpdate::from_client(client.id, received, samples));
+                self.feedback.recycle(encoded);
+            }
         }
-        if let Ok(aggregated) = fedavg(&updates) {
+        if let Ok(aggregated) = accumulator.finalize() {
             self.global = aggregated.model;
         }
         let accuracy = if round.is_multiple_of(self.config.eval_every.max(1)) {
@@ -146,7 +153,7 @@ impl FlDriver {
         };
         let outcome = RoundOutcome {
             round,
-            updates: updates.len(),
+            updates: folded,
             accuracy,
             train_loss: loss_sum / participants.len().max(1) as f64,
             participant_samples,

@@ -74,13 +74,18 @@ impl StalenessPolicy {
     /// Applies the staleness weight to an update by scaling its sample count
     /// (rounded, but never below 1 so the update still contributes).
     pub fn apply(self, update: &ModelUpdate, tau: u64) -> ModelUpdate {
-        let weight = self.weight(tau);
-        let scaled = ((update.samples as f64) * weight).round().max(1.0) as u64;
         ModelUpdate {
             client: update.client,
             model: update.model.clone(),
-            samples: scaled,
+            samples: self.scaled_samples(update.samples, tau),
         }
+    }
+
+    /// The staleness-discounted sample count on its own — the borrow-friendly
+    /// core of [`StalenessPolicy::apply`] for paths (such as the fused
+    /// encoded fold) that never need a scaled copy of the model.
+    pub fn scaled_samples(self, samples: u64, tau: u64) -> u64 {
+        ((samples as f64) * self.weight(tau)).round().max(1.0) as u64
     }
 }
 

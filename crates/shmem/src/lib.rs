@@ -14,6 +14,8 @@
 //!   16-byte key push instead of a copy.
 //! * [`checkpoint::CheckpointStore`] emulates the external persistent storage
 //!   service the LIFL agent checkpoints global models to (Appendix B).
+//! * [`pool::BufferPool`] keeps model-sized scratch buffers alive between
+//!   uses so the codec/fold hot path runs at zero steady-state heap growth.
 //!
 //! ```
 //! use lifl_shmem::ObjectStore;
@@ -32,10 +34,12 @@
 
 pub mod checkpoint;
 pub mod object;
+pub mod pool;
 pub mod queue;
 pub mod store;
 
 pub use checkpoint::CheckpointStore;
 pub use object::{PayloadEncoding, SharedObject};
+pub use pool::{BufferPool, PoolStats};
 pub use queue::InPlaceQueue;
 pub use store::{ObjectStore, StoreStats};

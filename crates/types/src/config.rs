@@ -103,6 +103,11 @@ pub struct LiflConfig {
     pub hierarchy_planning: bool,
     /// The model-update codec every update travels the data plane with.
     pub codec: CodecKind,
+    /// Number of parameter-vector shards the aggregation fold is split into.
+    /// `1` folds sequentially (the seed behaviour); larger values let an
+    /// aggregator fold a batch of pending updates across that many
+    /// cache-sized partitions in parallel.
+    pub aggregation_shards: u32,
 }
 
 impl Default for LiflConfig {
@@ -116,6 +121,7 @@ impl Default for LiflConfig {
             reuse_runtimes: true,
             hierarchy_planning: true,
             codec: CodecKind::Identity,
+            aggregation_shards: 1,
         }
     }
 }
@@ -125,36 +131,23 @@ impl LiflConfig {
     /// addition of ① locality-aware placement, ② hierarchy planning,
     /// ③ aggregator reuse and ④ eager aggregation.
     pub fn ablation_steps() -> Vec<(String, LiflConfig)> {
-        let base = LiflConfig {
+        let mut config = LiflConfig {
             placement: PlacementPolicy::WorstFit,
             hierarchy_planning: false,
             reuse_runtimes: false,
             timing: AggregationTiming::Lazy,
             ..LiflConfig::default()
         };
-        let p1 = LiflConfig {
-            placement: PlacementPolicy::BestFit,
-            ..base.clone()
-        };
-        let p12 = LiflConfig {
-            hierarchy_planning: true,
-            ..p1.clone()
-        };
-        let p123 = LiflConfig {
-            reuse_runtimes: true,
-            ..p12.clone()
-        };
-        let p1234 = LiflConfig {
-            timing: AggregationTiming::Eager,
-            ..p123.clone()
-        };
-        vec![
-            ("SL-H".to_string(), base),
-            ("+1".to_string(), p1),
-            ("+1+2".to_string(), p12),
-            ("+1+2+3".to_string(), p123),
-            ("+1+2+3+4".to_string(), p1234),
-        ]
+        let mut steps = vec![("SL-H".to_string(), config.clone())];
+        config.placement = PlacementPolicy::BestFit;
+        steps.push(("+1".to_string(), config.clone()));
+        config.hierarchy_planning = true;
+        steps.push(("+1+2".to_string(), config.clone()));
+        config.reuse_runtimes = true;
+        steps.push(("+1+2+3".to_string(), config.clone()));
+        config.timing = AggregationTiming::Eager;
+        steps.push(("+1+2+3+4".to_string(), config));
+        steps
     }
 
     /// Validates configuration invariants.
@@ -179,6 +172,9 @@ impl LiflConfig {
                 return Err(format!("TopK permille must be in 1..=1000, got {permille}"));
             }
         }
+        if self.aggregation_shards == 0 {
+            return Err("aggregation_shards must be at least 1".to_string());
+        }
         Ok(())
     }
 }
@@ -196,6 +192,7 @@ mod tests {
         assert_eq!(cfg.placement, PlacementPolicy::BestFit);
         assert_eq!(cfg.timing, AggregationTiming::Eager);
         assert_eq!(cfg.codec, CodecKind::Identity);
+        assert_eq!(cfg.aggregation_shards, 1);
         let node = NodeConfig::default();
         assert_eq!(node.cores, 64);
         assert_eq!(node.max_service_capacity, 20);
@@ -231,6 +228,10 @@ mod tests {
         cfg.codec = CodecKind::TopK { permille: 0 };
         assert!(cfg.validate().is_err());
         cfg.codec = CodecKind::TopK { permille: 50 };
+        assert!(cfg.validate().is_ok());
+        cfg.aggregation_shards = 0;
+        assert!(cfg.validate().is_err());
+        cfg.aggregation_shards = 8;
         assert!(cfg.validate().is_ok());
     }
 

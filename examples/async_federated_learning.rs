@@ -49,6 +49,7 @@ fn main() {
         staleness: StalenessPolicy::Polynomial { exponent: 0.5 },
         model: ModelKind::ResNet18,
         eval_every: 1,
+        codec: lifl_types::CodecKind::Identity,
     };
     let mut driver = AsyncFlDriver::new(dataset, population, config).expect("valid config");
     println!("running buffered asynchronous FedAvg (goal = 16 updates per version)...");

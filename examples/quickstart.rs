@@ -15,6 +15,7 @@ fn main() {
         HierarchicalRunConfig {
             leaves: 4,
             updates_per_leaf: 2,
+            aggregation_shards: 1,
         },
         &updates,
     )

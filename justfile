@@ -3,12 +3,13 @@
 # plain cargo command, so copy-paste works without it too.
 
 # Run the full CI gate locally.
-default: lint build test bench-check
+default: lint build test bench-check bench-baseline-check
 
 # Formatting + clippy, denying warnings (CI `lint` job).
 lint:
     cargo fmt --all --check
     cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy -p lifl-types -p lifl-shmem -p lifl-fl -p lifl-core -- -D clippy::redundant_clone
 
 # Tier-1 release build.
 build:
@@ -25,6 +26,16 @@ bench-check:
 # Actually run the benchmark suite (slow).
 bench:
     cargo bench
+
+# Regenerate the committed aggregation-path baseline (BENCH_aggregation.json).
+bench-baseline:
+    cargo run --release -p lifl-bench --bin bench_baseline
+
+# CI gate: the baseline runner works in --quick mode and the committed
+# baseline parses with the current schema (fails if missing or stale).
+bench-baseline-check:
+    cargo run --release -p lifl-bench --bin bench_baseline -- --quick --out target/bench_quick.json
+    cargo run --release -p lifl-bench --bin bench_baseline -- --check BENCH_aggregation.json
 
 # Run the codec ablation (bytes-on-wire x time-to-accuracy sweep).
 fig-codec:

@@ -1,0 +1,163 @@
+//! Allocation-counting tier: proves the buffer-pooled aggregation hot path
+//! runs at **zero model-sized heap allocations** per steady-state round.
+//!
+//! A counting [`GlobalAlloc`] shim wraps the system allocator and counts
+//! every allocation (and growing reallocation) of at least
+//! [`MODEL_SIZED_BYTES`]. The tier lives in its own test binary so no
+//! unrelated test's allocations can pollute the counters; the one test is
+//! `#[test]`-single so the counter observes exactly the round loop.
+
+use lifl_fl::aggregate::CumulativeFedAvg;
+use lifl_fl::codec::{ErrorFeedback, UpdateCodec};
+use lifl_fl::sharded::ShardedFedAvg;
+use lifl_fl::{DenseModel, ModelUpdate};
+use lifl_shmem::BufferPool;
+use lifl_types::{ClientId, CodecKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Anything at least this large counts as "model-sized". The test model is
+/// 2 MiB dense (524288 `f32`), so every model-shaped buffer — dense scratch,
+/// u8 encode body, residual — is at least twice this threshold.
+const MODEL_SIZED_BYTES: usize = 256 * 1024;
+
+static LARGE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation unchanged to the system allocator; the
+// only addition is a relaxed atomic counter bump on large requests.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= MODEL_SIZED_BYTES {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= MODEL_SIZED_BYTES {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= MODEL_SIZED_BYTES {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn model_sized_allocs() -> u64 {
+    LARGE_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One steady-state aggregation round over the pooled hot path: every client
+/// encodes with error feedback (pooled compensation scratch + pooled encode
+/// body), the aggregator folds each encoded update fused, the round drains
+/// in place, and the encode bodies are checked back in.
+fn run_round(
+    clients: &[(ClientId, DenseModel)],
+    feedback: &mut ErrorFeedback,
+    accumulator: &mut CumulativeFedAvg,
+    global: &mut DenseModel,
+) {
+    for (client, model) in clients {
+        let encoded = feedback.encode(*client, model).expect("encode");
+        accumulator
+            .fold_encoded(&encoded, 1 + client.index())
+            .expect("fold");
+        feedback.recycle(encoded);
+    }
+    accumulator.drain_into(global).expect("drain");
+}
+
+// Both phases live in ONE #[test]: the harness runs tests in parallel
+// threads, and two tests sampling the same global counter would race.
+#[test]
+fn steady_state_rounds_make_zero_model_sized_allocations() {
+    const DIM: usize = 1 << 19; // 2 MiB of f32 per model
+    let pool = BufferPool::new();
+    let codec = UpdateCodec::with_seed(CodecKind::Uniform8, 0xA110C).with_pool(pool.clone());
+    let mut feedback = ErrorFeedback::new(codec);
+    let mut accumulator = CumulativeFedAvg::new(DIM);
+    let mut global = DenseModel::zeros(DIM);
+    let clients: Vec<(ClientId, DenseModel)> = (0..4u64)
+        .map(|c| {
+            let values: Vec<f32> = (0..DIM)
+                .map(|d| ((d as u64 * 29 + c * 13) % 97) as f32 * 0.02 - 0.9)
+                .collect();
+            (ClientId::new(c), DenseModel::from_vec(values))
+        })
+        .collect();
+
+    // Warm-up: first rounds size the pool slab, the per-client residuals and
+    // the accumulator.
+    for _ in 0..2 {
+        run_round(&clients, &mut feedback, &mut accumulator, &mut global);
+    }
+
+    let before = model_sized_allocs();
+    for _ in 0..10 {
+        run_round(&clients, &mut feedback, &mut accumulator, &mut global);
+    }
+    let after = model_sized_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state rounds must not allocate model-sized buffers \
+         ({} allocations of >= {} bytes in 10 rounds)",
+        after - before,
+        MODEL_SIZED_BYTES
+    );
+
+    // The pool did real work: scratch checkouts were served from the slab...
+    let stats = pool.stats();
+    assert!(stats.hits > 0, "pool never reused a buffer: {stats:?}");
+    // ...and its resident footprint stayed bounded (compensation scratch +
+    // encode body, not one buffer per round).
+    assert!(
+        stats.peak_idle_buffers <= 4,
+        "pool slab grew unexpectedly: {stats:?}"
+    );
+
+    // The rounds actually aggregated: the drained global is the weighted mean
+    // of the (quantized) client updates, which is nonzero.
+    assert!(global.l2_norm() > 1.0, "global model was never written");
+
+    // Phase 2: the sharded batch fold + in-place drain is equally
+    // allocation-free once its accumulator is sized.
+    let updates: Vec<ModelUpdate> = (0..4u64)
+        .map(|c| {
+            let values: Vec<f32> = (0..DIM)
+                .map(|d| ((d as u64 * 7 + c * 31) % 89) as f32 * 0.01 - 0.4)
+                .collect();
+            ModelUpdate::from_client(ClientId::new(c), DenseModel::from_vec(values), c + 1)
+        })
+        .collect();
+    let mut sharded = ShardedFedAvg::new(DIM, 2);
+    let mut out = DenseModel::zeros(DIM);
+    sharded.fold_batch(&updates).expect("warm-up fold");
+    sharded.drain_into(&mut out).expect("warm-up drain");
+
+    let before = model_sized_allocs();
+    for _ in 0..10 {
+        sharded.fold_batch(&updates).expect("fold");
+        sharded.drain_into(&mut out).expect("drain");
+    }
+    assert_eq!(
+        model_sized_allocs() - before,
+        0,
+        "sharded batch fold + drain must reuse the accumulator allocation"
+    );
+    assert!(out.l2_norm() > 0.0);
+}

@@ -17,7 +17,7 @@ use lifl_fl::staleness::StalenessPolicy;
 use lifl_fl::trainer::{LocalTrainer, TrainerConfig};
 use lifl_fl::DenseModel;
 use lifl_simcore::SimRng;
-use lifl_types::{AggregationTiming, ClientId, ModelKind, SimTime};
+use lifl_types::{AggregationTiming, ClientId, CodecKind, ModelKind, SimTime};
 
 fn small_dataset(rng: &mut SimRng) -> FederatedDataset {
     FederatedDataset::generate(
@@ -190,6 +190,7 @@ fn algorithm_level_async_driver_matches_platform_async_semantics() {
             staleness: StalenessPolicy::Constant,
             model: ModelKind::ResNet18,
             eval_every: 1,
+            codec: CodecKind::Identity,
         },
     )
     .unwrap();

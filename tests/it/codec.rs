@@ -28,6 +28,7 @@ fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
 const CONFIG: HierarchicalRunConfig = HierarchicalRunConfig {
     leaves: 4,
     updates_per_leaf: 2,
+    aggregation_shards: 1,
 };
 
 /// Acceptance: the `Identity` codec is bit-exact with the pre-codec
@@ -151,6 +152,46 @@ fn platform_round_wire_bytes_shrink_at_least_4x_for_uniform8() {
         bytes[0] as f64 / bytes[1] as f64
     );
     assert!(bytes[1] > bytes[2], "uniform4 must shrink below uniform8");
+}
+
+/// Acceptance: sharded batch draining (`aggregation_shards > 1`) is
+/// bit-identical to the sequential eager fold through the whole threaded
+/// hierarchy, for both the dense and the encoded data plane.
+#[test]
+fn sharded_hierarchy_is_bit_identical_to_sequential() {
+    let updates = updates(8, 4096);
+    for codec in [CodecKind::Identity, CodecKind::Uniform8] {
+        let run = |shards: usize| {
+            run_hierarchical_with_codec(
+                HierarchicalRunConfig {
+                    leaves: 4,
+                    updates_per_leaf: 2,
+                    aggregation_shards: shards,
+                },
+                &updates,
+                codec,
+            )
+            .expect("codec runtime")
+        };
+        let sequential = run(1);
+        for shards in [2usize, 4] {
+            let sharded = run(shards);
+            assert_eq!(sharded.update.samples, sequential.update.samples);
+            for (a, b) in sharded
+                .update
+                .model
+                .as_slice()
+                .iter()
+                .zip(sequential.update.model.as_slice())
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{codec} with {shards} shards diverged: {a} vs {b}"
+                );
+            }
+        }
+    }
 }
 
 /// The lossy codecs genuinely compress shared memory (the store's

@@ -27,6 +27,7 @@ fn hierarchy_of_threads_matches_flat_fedavg() {
         let config = HierarchicalRunConfig {
             leaves,
             updates_per_leaf: per_leaf,
+            aggregation_shards: 1,
         };
         let hierarchical = run_hierarchical(config, &updates).expect("runtime");
         let flat = fedavg(&updates).expect("fedavg");
@@ -49,6 +50,7 @@ fn larger_payloads_still_aggregate_correctly() {
         HierarchicalRunConfig {
             leaves: 2,
             updates_per_leaf: 2,
+            aggregation_shards: 1,
         },
         &updates,
     )
