@@ -55,6 +55,14 @@ impl WorkloadSetup {
         }
     }
 
+    /// Returns the setup with every client update travelling `codec`
+    /// (algorithm-level error-feedback encoding; pair it with a platform
+    /// profile carrying the same codec so system costs match).
+    pub fn with_codec(mut self, codec: lifl_types::CodecKind) -> Self {
+        self.fl.codec = codec;
+        self
+    }
+
     /// The ResNet-152 workload of §6.2 (15 always-on server clients).
     pub fn resnet152(rounds: usize) -> Self {
         WorkloadSetup {

@@ -25,4 +25,7 @@ pub mod driver;
 pub mod systems;
 
 pub use driver::{WorkloadDriver, WorkloadOutcome, WorkloadSetup};
-pub use systems::{no_hierarchy_profile, serverful, serverless, sl_hierarchical};
+pub use systems::{
+    no_hierarchy_profile, serverful, serverful_with_codec, serverless, serverless_with_codec,
+    sl_hierarchical,
+};

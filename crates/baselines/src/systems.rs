@@ -2,17 +2,28 @@
 
 use lifl_core::platform::{LiflPlatform, PlatformProfile};
 use lifl_dataplane::DataPlaneKind;
-use lifl_types::{AggregationTiming, ClusterConfig, PlacementPolicy, SystemKind};
+use lifl_types::{AggregationTiming, ClusterConfig, CodecKind, PlacementPolicy, SystemKind};
 
 /// The serverful baseline (SF): always-on aggregators over gRPC (Fig. 2(a)).
 pub fn serverful(cluster: ClusterConfig) -> LiflPlatform {
-    LiflPlatform::with_profile(PlatformProfile::serverful(cluster))
+    serverful_with_codec(cluster, CodecKind::Identity)
+}
+
+/// [`serverful`] with every transfer priced off `codec`-encoded bytes (the
+/// Fig. 9 codec × system sweep) — the one owner of the SF profile either way.
+pub fn serverful_with_codec(cluster: ClusterConfig, codec: CodecKind) -> LiflPlatform {
+    LiflPlatform::with_profile(PlatformProfile::serverful(cluster).with_codec(codec))
 }
 
 /// The serverless baseline (SL): Knative-style functions behind a broker with
 /// container sidecars (Fig. 2(b)).
 pub fn serverless(cluster: ClusterConfig) -> LiflPlatform {
-    LiflPlatform::with_profile(PlatformProfile::serverless(cluster))
+    serverless_with_codec(cluster, CodecKind::Identity)
+}
+
+/// [`serverless`] with every transfer priced off `codec`-encoded bytes.
+pub fn serverless_with_codec(cluster: ClusterConfig, codec: CodecKind) -> LiflPlatform {
+    LiflPlatform::with_profile(PlatformProfile::serverless(cluster).with_codec(codec))
 }
 
 /// The SL-H baseline of Fig. 8: LIFL's data plane with a conventional

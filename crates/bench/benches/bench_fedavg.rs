@@ -1,9 +1,9 @@
 //! Micro-benchmark: FedAvg folding (eager) and the threaded hierarchical runtime.
 use criterion::{criterion_group, criterion_main, Criterion};
-use lifl_core::runtime::{run_hierarchical, HierarchicalRunConfig};
+use lifl_core::session::{SessionBuilder, Update};
 use lifl_fl::aggregate::{fedavg, ModelUpdate};
 use lifl_fl::DenseModel;
-use lifl_types::ClientId;
+use lifl_types::{ClientId, Topology};
 
 fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
     (0..n)
@@ -17,6 +17,17 @@ fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
         .collect()
 }
 
+fn run_session(topology: Topology, updates: &[ModelUpdate]) {
+    let mut session = SessionBuilder::new()
+        .topology(topology)
+        .build()
+        .expect("session");
+    session
+        .ingest_all(updates.iter().cloned().map(Update::Dense))
+        .expect("ingest");
+    session.drive().expect("drive");
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fedavg");
     group.sample_size(20);
@@ -26,13 +37,12 @@ fn bench(c: &mut Criterion) {
     });
     let hier = updates(8, 10_000);
     group.bench_function("threaded_hierarchy_8x10k", |b| {
+        b.iter(|| run_session(Topology::two_level(4, 2), std::hint::black_box(&hier)))
+    });
+    group.bench_function("threaded_3level_8x10k", |b| {
         b.iter(|| {
-            run_hierarchical(
-                HierarchicalRunConfig {
-                    leaves: 4,
-                    updates_per_leaf: 2,
-                    aggregation_shards: 1,
-                },
+            run_session(
+                Topology::new(vec![2, 2, 2]).expect("topology"),
                 std::hint::black_box(&hier),
             )
         })

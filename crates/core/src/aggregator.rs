@@ -6,7 +6,7 @@ use lifl_fl::codec::{EncodedView, UpdateCodec};
 use lifl_fl::sharded::ShardedFedAvg;
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore, SharedObject};
-use lifl_types::{AggregatorId, AggregatorRole, LiflError, Result};
+use lifl_types::{AggregatorId, AggregatorRole, LiflError, Result, Topology};
 
 /// The step the runtime is currently in (Appendix G, Fig. 14).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +88,39 @@ impl AggregatorRuntime {
         let mut runtime = Self::new(id, role, goal, store, inbox)?;
         runtime.codec = Some(codec);
         Ok(runtime)
+    }
+
+    /// Creates the runtime serving position (`level`, `index`) of an N-level
+    /// [`Topology`] tree: the role (level 0 = leaf, last level = top,
+    /// anything between = middle), the aggregation goal (the level's fan-in)
+    /// and the aggregator identity all derive from the tree position, so a
+    /// session can instantiate any tree without per-shape wiring code.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] if the position lies outside the
+    /// topology.
+    pub fn for_level(
+        topology: &Topology,
+        level: usize,
+        index: usize,
+        store: ObjectStore,
+        inbox: InPlaceQueue,
+        codec: UpdateCodec,
+    ) -> Result<Self> {
+        if level >= topology.levels() || index >= topology.width(level) {
+            return Err(LiflError::InvalidConfig(format!(
+                "aggregator position (level {level}, index {index}) outside {topology}"
+            )));
+        }
+        let role = if level + 1 == topology.levels() {
+            AggregatorRole::Top
+        } else if level == 0 {
+            AggregatorRole::Leaf
+        } else {
+            AggregatorRole::Middle
+        };
+        let id = position_id(level, index);
+        Self::with_codec(id, role, topology.fan_in(level) as u64, store, inbox, codec)
     }
 
     /// Sets the number of parameter-vector shards batch drains fold across
@@ -300,6 +333,14 @@ impl AggregatorRuntime {
     }
 }
 
+/// The aggregator identity at position (`level`, `index`) of a topology tree
+/// — the one packing shared by [`AggregatorRuntime::for_level`] and the
+/// session's gateway inbox registration, so routing ids always match
+/// aggregator identities.
+pub(crate) fn position_id(level: usize, index: usize) -> AggregatorId {
+    AggregatorId::new(((level as u64) << 32) | index as u64)
+}
+
 /// A zero-copy fused-fold view over a queued payload: encoded payloads parse
 /// their self-describing header in place; dense payloads fold through the
 /// bit-exact `Identity` kernel.
@@ -388,6 +429,35 @@ mod tests {
         assert_eq!(agg.role(), AggregatorRole::Top);
         assert!(agg.promote(2).is_err());
         assert!(agg.promote(0).is_err());
+    }
+
+    #[test]
+    fn for_level_derives_role_goal_and_identity_from_topology() {
+        use lifl_types::CodecKind;
+
+        let topology = Topology::new(vec![2, 3, 4]).unwrap();
+        let make = |level: usize, index: usize| {
+            AggregatorRuntime::for_level(
+                &topology,
+                level,
+                index,
+                ObjectStore::new(),
+                InPlaceQueue::new(),
+                UpdateCodec::new(CodecKind::Identity),
+            )
+        };
+        let leaf = make(0, 11).unwrap();
+        assert_eq!(leaf.role(), AggregatorRole::Leaf);
+        assert_eq!(leaf.id(), AggregatorId::new(11));
+        let middle = make(1, 3).unwrap();
+        assert_eq!(middle.role(), AggregatorRole::Middle);
+        assert_eq!(middle.id(), AggregatorId::new((1 << 32) | 3));
+        let top = make(2, 0).unwrap();
+        assert_eq!(top.role(), AggregatorRole::Top);
+        // Positions outside the tree are rejected.
+        assert!(make(0, 12).is_err());
+        assert!(make(1, 4).is_err());
+        assert!(make(3, 0).is_err());
     }
 
     #[test]

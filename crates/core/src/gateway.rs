@@ -6,6 +6,7 @@
 //! and ships it to a remote node's gateway.
 
 use lifl_fl::codec::{EncodedUpdate, EncodedView};
+use lifl_fl::update::Update;
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore};
 use lifl_types::{AggregatorId, ClientId, NodeId, Result};
@@ -43,6 +44,59 @@ impl Gateway {
     /// Registers (or returns) the in-place queue feeding `aggregator`.
     pub fn register_aggregator(&mut self, aggregator: AggregatorId) -> InPlaceQueue {
         self.inboxes.entry(aggregator).or_default().clone()
+    }
+
+    /// The single polymorphic ingress: accepts a model update in whatever
+    /// representation it arrived ([`Update`]) and performs the matching
+    /// one-time payload processing — dense parameters and encoded payloads
+    /// are written to shared memory as-is, encoded remote wire bytes have
+    /// their descriptor validated in place (dense remote bytes are stored
+    /// as-is; a dimension mismatch surfaces at fold time) — before the
+    /// object key is queued for `target`.
+    ///
+    /// The representation-specific methods below remain as typed shortcuts;
+    /// this entry point is what `Session::ingest` and other
+    /// representation-agnostic callers use. A dense or encoded update with
+    /// no client id is attributed to its arrival index.
+    ///
+    /// # Errors
+    /// Fails if the shared-memory store cannot hold the payload or a remote
+    /// encoded payload is malformed.
+    pub fn ingest(&mut self, target: AggregatorId, update: &Update) -> Result<QueuedUpdate> {
+        let fallback = ClientId::new(self.ingested_updates);
+        match update {
+            Update::Dense(dense) => {
+                let client = dense.client.unwrap_or(fallback);
+                self.ingest_client_update(client, target, dense.model.as_slice(), dense.samples)
+            }
+            Update::Encoded {
+                client,
+                update,
+                samples,
+            } => {
+                let client = client.unwrap_or(fallback);
+                self.ingest_encoded_update(client, target, update, *samples)
+            }
+            Update::RemoteBytes {
+                wire,
+                weight,
+                encoded,
+            } => {
+                if *encoded {
+                    self.ingest_remote_encoded(target, wire, *weight)
+                } else {
+                    // Headerless dense little-endian `f32` bytes, stored
+                    // as-is (byte-identical to `put_f32` of the decoded
+                    // values, with no intermediate decode).
+                    let key = self.store.put(wire.clone())?;
+                    let queued = QueuedUpdate::intermediate(key, *weight);
+                    self.deliver(target, queued);
+                    self.ingested_updates += 1;
+                    self.ingested_bytes += wire.len() as u64;
+                    Ok(queued)
+                }
+            }
+        }
     }
 
     /// Ingests a raw client update: writes the payload into shared memory and
@@ -260,6 +314,65 @@ mod tests {
         assert!(remote.encoded);
         assert_eq!(inbox_b.len(), 1);
         assert!(gw_b.store().stats().encoded_puts > 0);
+    }
+
+    #[test]
+    fn polymorphic_ingest_covers_every_representation() {
+        use lifl_fl::codec::UpdateCodec;
+        use lifl_fl::{DenseModel, ModelUpdate, Update};
+        use lifl_types::CodecKind;
+
+        let store = ObjectStore::new();
+        let mut gw = Gateway::new(NodeId::new(0), store.clone());
+        let agg = AggregatorId::new(1);
+        let inbox = gw.register_aggregator(agg);
+
+        let model = DenseModel::from_vec((0..32).map(|i| i as f32 * 0.5).collect());
+        // Dense without a client id: attributed to the arrival index.
+        let dense = gw
+            .ingest(
+                agg,
+                &Update::Dense(ModelUpdate::intermediate(model.clone(), 3)),
+            )
+            .unwrap();
+        assert_eq!(dense.producer, Some(ClientId::new(0)));
+        assert_eq!(dense.weight, 3);
+        assert!(!dense.encoded);
+
+        let mut codec = UpdateCodec::new(CodecKind::Uniform8);
+        let encoded = codec.encode(&model);
+        let wire = encoded.to_bytes();
+        let queued = gw
+            .ingest(agg, &Update::encoded(ClientId::new(9), encoded, 4))
+            .unwrap();
+        assert!(queued.encoded);
+
+        let remote = gw
+            .ingest(agg, &Update::remote_bytes(wire, 7, true))
+            .unwrap();
+        assert!(remote.encoded);
+        assert_eq!(remote.weight, 7);
+
+        // Remote dense bytes land byte-identical to put_f32.
+        let raw: Vec<u8> = model
+            .as_slice()
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let dense_remote = gw
+            .ingest(agg, &Update::remote_bytes(raw, 2, false))
+            .unwrap();
+        assert!(!dense_remote.encoded);
+        assert_eq!(
+            store.get(&dense_remote.key).unwrap().as_f32_vec(),
+            model.as_slice()
+        );
+
+        assert_eq!(inbox.len(), 4);
+        assert_eq!(gw.ingested_updates(), 4);
+        assert!(gw
+            .ingest(agg, &Update::remote_bytes(vec![1u8, 2], 1, true))
+            .is_err());
     }
 
     #[test]

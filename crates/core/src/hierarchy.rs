@@ -2,7 +2,7 @@
 //! length per node and a planner that builds a two-level k-ary aggregation
 //! tree on each node, sized to the estimated load.
 
-use lifl_types::NodeId;
+use lifl_types::{NodeId, Topology};
 
 /// The Exponentially Weighted Moving Average estimator of the pending queue
 /// length `Q_{i,t}` (§5.2): `Q_t = α·Q_{t−1} + (1−α)·q_t` with α = 0.7.
@@ -49,12 +49,23 @@ pub struct NodeHierarchy {
     pub leaves: u32,
     /// Whether a middle aggregator is needed (more than one leaf).
     pub middle: bool,
+    /// Client updates per leaf the subtree was planned with (I, §5.2).
+    pub leaf_fan_in: u32,
 }
 
 impl NodeHierarchy {
     /// Total aggregators in this node's subtree.
     pub fn aggregators(&self) -> u32 {
         self.leaves + u32::from(self.middle)
+    }
+
+    /// This subtree as a [`Topology`] (the shape an in-process `Session`
+    /// would instantiate for the node's load): two-level when a middle
+    /// aggregator is planned, a single flat aggregator otherwise. Derived
+    /// from the same load and fan-in the plan was built with, so it always
+    /// agrees with [`NodeHierarchy::aggregators`].
+    pub fn topology(&self) -> Topology {
+        Topology::for_load(self.pending_updates as usize, self.leaf_fan_in as usize)
     }
 }
 
@@ -76,7 +87,6 @@ impl HierarchyPlan {
     /// is placed on the node with the most pending updates so that the largest
     /// intermediate never crosses nodes.
     pub fn plan(pending_per_node: &[(NodeId, u32)], leaf_fan_in: u32) -> HierarchyPlan {
-        let fan_in = leaf_fan_in.max(1);
         let mut nodes = Vec::new();
         let mut top_node = None;
         let mut top_load = 0u32;
@@ -84,12 +94,15 @@ impl HierarchyPlan {
             if pending == 0 {
                 continue;
             }
-            let leaves = pending.div_ceil(fan_in);
+            // The per-node subtree shape comes from the one shared
+            // tree-sizing rule (§5.2) in `Topology::for_load`.
+            let subtree = Topology::for_load(pending as usize, leaf_fan_in as usize);
             nodes.push(NodeHierarchy {
                 node,
                 pending_updates: pending,
-                leaves,
-                middle: leaves > 1,
+                leaves: subtree.leaves() as u32,
+                middle: subtree.levels() > 1,
+                leaf_fan_in,
             });
             if pending > top_load || top_node.is_none() {
                 top_load = pending;
@@ -157,6 +170,20 @@ mod tests {
         // Top on the most loaded node.
         assert_eq!(plan.top_node, Some(NodeId::new(0)));
         assert_eq!(plan.total_aggregators(), 10 + 1 + 4 + 1 + 1);
+    }
+
+    #[test]
+    fn node_subtree_converts_to_topology() {
+        let plan = HierarchyPlan::plan(&[(NodeId::new(0), 20), (NodeId::new(1), 2)], 2);
+        let big = plan.on_node(NodeId::new(0)).unwrap().topology();
+        assert_eq!(big.levels(), 2);
+        assert_eq!(big.leaves(), 10);
+        assert_eq!(big.fan_in(0), 2);
+        let small = plan.on_node(NodeId::new(1)).unwrap().topology();
+        assert_eq!(small.levels(), 1, "one leaf's load plans a flat subtree");
+        // The derived topology always agrees with the plan's own counts.
+        let node = plan.on_node(NodeId::new(0)).unwrap();
+        assert_eq!(big.aggregators() as u32, node.aggregators());
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! * the **TAG** (topology abstraction graph) used to describe aggregator
 //!   connectivity and placement affinity (Appendix D),
 //! * a cluster-scale **simulation engine** ([`platform`]) that reproduces the
-//!   paper's evaluation, and an **in-process threaded runtime** ([`runtime`])
-//!   that actually aggregates real model parameters through shared memory.
+//!   paper's evaluation, and the **unified session API** ([`session`]): a
+//!   builder-driven, codec-transparent in-process runtime that actually
+//!   aggregates real model parameters through shared memory over an N-level
+//!   aggregation tree (the deprecated free functions in [`runtime`] are thin
+//!   shims over it).
 //!
 //! ```
 //! use lifl_core::platform::{LiflPlatform, RoundSpec};
@@ -48,6 +51,7 @@ pub mod reuse;
 pub mod routing;
 pub mod runtime;
 pub mod selector;
+pub mod session;
 pub mod system;
 pub mod tag;
 
@@ -59,9 +63,11 @@ pub use placement::{PlacementEngine, PlacementOutcome};
 pub use platform::{LiflPlatform, PlatformProfile, RoundReport, RoundSpec};
 pub use recovery::{RecoveryManager, RecoveryOutcome};
 pub use routing::RoutingTable;
+#[allow(deprecated)]
 pub use runtime::{
     run_hierarchical, run_hierarchical_with_codec, HierarchicalRunConfig, HierarchicalRunReport,
 };
 pub use selector::{RoundAssignment, SelectorConfig, SelectorService};
+pub use session::{Session, SessionBuilder, SessionReport, Update};
 pub use system::AggregationSystem;
 pub use tag::{Channel, ChannelKind, Role, TopologyAbstractionGraph};

@@ -315,6 +315,9 @@ impl LiflPlatform {
             let node = *node;
             let node_arrivals = &per_node[&node];
             let hierarchy = plan.on_node(node).expect("planned node");
+            // The node's subtree shape as the shared Topology vocabulary:
+            // leaf chunking and the middle level both derive from it.
+            let subtree = hierarchy.topology();
             // Ingest every update through the gateway / queuing pipeline.
             let mut ready: Vec<SimTime> =
                 node_arrivals.iter().map(|a| *a + ingest.latency).collect();
@@ -325,8 +328,8 @@ impl LiflPlatform {
                 .scaled(node_arrivals.len() as f64);
             inter_node_bytes += ingest.inter_node_bytes * node_arrivals.len() as u64;
 
-            // Leaf aggregators: consecutive chunks of `leaf_fan_in` updates.
-            let fan_in = self.profile.leaf_fan_in.max(1) as usize;
+            // Leaf aggregators: consecutive chunks of the subtree's leaf fan-in.
+            let fan_in = subtree.fan_in(0);
             let mut leaf_outputs: Vec<SimTime> = Vec::new();
             let mut leaf_finish: Vec<SimTime> = Vec::new();
             for (leaf_idx, chunk) in ready.chunks(fan_in).enumerate() {
@@ -367,8 +370,8 @@ impl LiflPlatform {
                 leaf_finish.push(done);
             }
 
-            // Middle aggregator (only when more than one leaf).
-            let (node_done, node_weight) = if hierarchy.middle {
+            // Middle aggregator (only when the subtree has a second level).
+            let (node_done, node_weight) = if subtree.levels() > 1 {
                 let first_input = *leaf_outputs.iter().min().expect("at least one leaf output");
                 let (instance_ready, was_created, was_reused) = if self.profile.reuse_runtimes {
                     // Reuse the earliest-finished leaf on this node (§5.3).

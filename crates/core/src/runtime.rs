@@ -1,21 +1,27 @@
-//! The in-process threaded runtime: real aggregation of real model parameters
-//! through the shared-memory object store, exercised by examples, integration
-//! tests and the data-plane micro-benchmarks.
+//! Deprecated compatibility shims over the unified [`crate::session`] API.
 //!
-//! Each aggregator of a two-level hierarchy runs the step-based processing
-//! model of Appendix G on its own thread; model updates are placed in shared
-//! memory by the gateway and only 16-byte object keys travel between threads.
+//! The in-process threaded runtime used to be driven through two parallel
+//! free functions (codec-blind [`run_hierarchical`] and codec-aware
+//! [`run_hierarchical_with_codec`]) hard-wired to a two-level tree. Both now
+//! delegate to a [`SessionBuilder`]-built [`crate::session::Session`] — one
+//! builder-driven, codec-transparent entry point supporting N-level
+//! topologies — and exist only so downstream code migrates incrementally
+//! (see `MIGRATION.md`).
 
-use crate::aggregator::AggregatorRuntime;
-use crate::gateway::Gateway;
+// The deprecated entry points are intentionally defined, exercised and
+// cross-checked against `Session` here.
+#![allow(deprecated)]
+
+use crate::session::{SessionBuilder, SessionReport, Update};
 use lifl_fl::aggregate::ModelUpdate;
-use lifl_fl::codec::{EncodedView, ErrorFeedback, UpdateCodec};
-use lifl_fl::DenseModel;
-use lifl_shmem::queue::QueuedUpdate;
-use lifl_shmem::{InPlaceQueue, ObjectStore, StoreStats};
-use lifl_types::{AggregatorId, AggregatorRole, ClientId, CodecKind, LiflError, NodeId, Result};
+use lifl_shmem::StoreStats;
+use lifl_types::{CodecKind, Result, Topology};
 
-/// Configuration of an in-process hierarchical aggregation run.
+/// Configuration of an in-process two-level hierarchical aggregation run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use lifl_types::Topology with lifl_core::session::SessionBuilder (see MIGRATION.md)"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HierarchicalRunConfig {
     /// Number of leaf aggregators.
@@ -37,226 +43,88 @@ impl Default for HierarchicalRunConfig {
     }
 }
 
-/// Runs a complete two-level hierarchical aggregation over the given client
-/// updates using real threads and shared memory, returning the global model.
-///
-/// The updates are distributed to leaves round-robin; each leaf aggregates its
-/// share eagerly, sends its intermediate to the top aggregator, and the top
-/// produces the global model once every leaf has reported.
-///
-/// # Errors
-/// Fails if `updates` does not evenly cover `leaves * updates_per_leaf`, or on
-/// any store/aggregation error.
-pub fn run_hierarchical(
-    config: HierarchicalRunConfig,
-    updates: &[ModelUpdate],
-) -> Result<ModelUpdate> {
-    let expected = config.leaves * config.updates_per_leaf;
-    if config.leaves == 0 || updates.len() != expected {
-        return Err(LiflError::InvalidConfig(format!(
-            "expected {} updates ({} leaves x {}), got {}",
-            expected,
-            config.leaves,
-            config.updates_per_leaf,
-            updates.len()
-        )));
+impl From<HierarchicalRunConfig> for Topology {
+    fn from(config: HierarchicalRunConfig) -> Topology {
+        Topology::two_level(config.leaves, config.updates_per_leaf)
     }
-    let store = ObjectStore::new();
-    let node = NodeId::new(0);
-    let mut gateway = Gateway::new(node, store.clone());
-
-    // Top aggregator consumes one intermediate per leaf.
-    let top_inbox = InPlaceQueue::new();
-    let mut top = AggregatorRuntime::new(
-        AggregatorId::new(1000),
-        AggregatorRole::Top,
-        config.leaves as u64,
-        store.clone(),
-        top_inbox.clone(),
-    )?;
-    top.set_shards(config.aggregation_shards);
-
-    // Spawn leaf threads.
-    let mut handles = Vec::new();
-    for leaf_idx in 0..config.leaves {
-        let inbox = gateway.register_aggregator(AggregatorId::new(leaf_idx as u64));
-        // Queue this leaf's share of updates through the gateway.
-        for (k, update) in updates
-            .iter()
-            .enumerate()
-            .filter(|(k, _)| k % config.leaves == leaf_idx)
-        {
-            let client = update.client.unwrap_or(ClientId::new(k as u64));
-            gateway.ingest_client_update(
-                client,
-                AggregatorId::new(leaf_idx as u64),
-                update.model.as_slice(),
-                update.samples,
-            )?;
-        }
-        let store = store.clone();
-        let goal = config.updates_per_leaf as u64;
-        let shards = config.aggregation_shards;
-        let handle = std::thread::spawn(move || -> Result<QueuedUpdate> {
-            let mut leaf = AggregatorRuntime::new(
-                AggregatorId::new(leaf_idx as u64),
-                AggregatorRole::Leaf,
-                goal,
-                store,
-                inbox,
-            )?;
-            leaf.set_shards(shards);
-            leaf.run_to_completion()
-        });
-        handles.push(handle);
-    }
-    // Enqueue intermediates in leaf order (not completion order) so the top
-    // fold applies them deterministically — results are bit-identical
-    // run-to-run regardless of thread scheduling.
-    for handle in handles {
-        let intermediate = handle
-            .join()
-            .map_err(|_| LiflError::Simulation("leaf thread panicked".to_string()))??;
-        top_inbox.enqueue(intermediate);
-    }
-
-    let result = top.run_to_completion()?;
-    let object = store.get(&result.key)?;
-    Ok(ModelUpdate::intermediate(
-        DenseModel::from_vec(object.as_f32_vec()),
-        result.weight,
-    ))
 }
 
-/// What a codec-aware hierarchical run produced, beyond the global model:
-/// the shared-memory accounting that proves the compressed representation
-/// actually flowed through the store.
+/// What a codec-aware hierarchical run produced, beyond the global model.
+#[deprecated(
+    since = "0.2.0",
+    note = "use lifl_core::session::SessionReport (see MIGRATION.md)"
+)]
 #[derive(Debug, Clone)]
 pub struct HierarchicalRunReport {
     /// The aggregated global model.
     pub update: ModelUpdate,
-    /// Object-store statistics at the end of the run (encoded puts, real and
-    /// dense-equivalent bytes).
+    /// Object-store statistics at the end of the run.
     pub store_stats: StoreStats,
     /// Total bytes client updates occupied on the data plane (encoded form).
     pub client_wire_bytes: u64,
 }
 
-/// Runs the same two-level hierarchy as [`run_hierarchical`], but every
-/// update travels in its `codec`-encoded wire form: clients encode with
-/// per-client error feedback, each aggregator decodes before folding and
-/// re-encodes its intermediate (decode-fold-encode), and the compressed
-/// payloads are what actually sit in shared memory.
+/// Builds a two-level session for a shim run and drives it over `updates`.
+fn run_session(
+    config: HierarchicalRunConfig,
+    updates: &[ModelUpdate],
+    codec: CodecKind,
+) -> Result<SessionReport> {
+    // The seed rejected degenerate shapes outright; `Topology::two_level`
+    // clamps zeros to 1 instead, so keep the old contract explicitly.
+    if config.leaves == 0 || config.updates_per_leaf == 0 {
+        return Err(lifl_types::LiflError::InvalidConfig(format!(
+            "leaves ({}) and updates_per_leaf ({}) must be at least 1",
+            config.leaves, config.updates_per_leaf
+        )));
+    }
+    Topology::from(config).validate(updates.len())?;
+    let mut session = SessionBuilder::new()
+        .topology(config.into())
+        .codec(codec)
+        .shards(config.aggregation_shards)
+        .build()?;
+    session.ingest_all(updates.iter().cloned().map(Update::Dense))?;
+    session.drive()
+}
+
+/// Runs a complete two-level hierarchical aggregation over the given client
+/// updates using real threads and shared memory, returning the global model.
 ///
-/// With [`CodecKind::Identity`] this path is bit-exact with
-/// [`run_hierarchical`].
+/// # Errors
+/// Fails if `updates` does not evenly cover `leaves * updates_per_leaf`, or on
+/// any store/aggregation error.
+#[deprecated(
+    since = "0.2.0",
+    note = "use lifl_core::session::SessionBuilder + Session::drive (see MIGRATION.md)"
+)]
+pub fn run_hierarchical(
+    config: HierarchicalRunConfig,
+    updates: &[ModelUpdate],
+) -> Result<ModelUpdate> {
+    Ok(run_session(config, updates, CodecKind::Identity)?.update)
+}
+
+/// Runs the same two-level hierarchy as [`run_hierarchical`], but every
+/// update travels in its `codec`-encoded wire form. With
+/// [`CodecKind::Identity`] this path is bit-exact with [`run_hierarchical`].
 ///
 /// # Errors
 /// Same conditions as [`run_hierarchical`], plus codec parse failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use lifl_core::session::SessionBuilder with .codec(..) (see MIGRATION.md)"
+)]
 pub fn run_hierarchical_with_codec(
     config: HierarchicalRunConfig,
     updates: &[ModelUpdate],
     codec: CodecKind,
 ) -> Result<HierarchicalRunReport> {
-    let expected = config.leaves * config.updates_per_leaf;
-    if config.leaves == 0 || updates.len() != expected {
-        return Err(LiflError::InvalidConfig(format!(
-            "expected {} updates ({} leaves x {}), got {}",
-            expected,
-            config.leaves,
-            config.updates_per_leaf,
-            updates.len()
-        )));
-    }
-    let store = ObjectStore::new();
-    let node = NodeId::new(0);
-    let mut gateway = Gateway::new(node, store.clone());
-    let mut feedback = ErrorFeedback::new(UpdateCodec::with_seed(codec, 0x5EED));
-
-    let top_inbox = InPlaceQueue::new();
-    let mut top = AggregatorRuntime::with_codec(
-        AggregatorId::new(1000),
-        AggregatorRole::Top,
-        config.leaves as u64,
-        store.clone(),
-        top_inbox.clone(),
-        UpdateCodec::with_seed(codec, 1000),
-    )?;
-    top.set_shards(config.aggregation_shards);
-
-    let mut client_wire_bytes = 0u64;
-    let mut handles = Vec::new();
-    for leaf_idx in 0..config.leaves {
-        let inbox = gateway.register_aggregator(AggregatorId::new(leaf_idx as u64));
-        for (k, update) in updates
-            .iter()
-            .enumerate()
-            .filter(|(k, _)| k % config.leaves == leaf_idx)
-        {
-            let client = update.client.unwrap_or(ClientId::new(k as u64));
-            if codec.is_lossless() {
-                // Identity: the dense payload *is* the wire form; use the
-                // seed ingest path so the run stays bit-exact with it.
-                client_wire_bytes += update.model.byte_size();
-                gateway.ingest_client_update(
-                    client,
-                    AggregatorId::new(leaf_idx as u64),
-                    update.model.as_slice(),
-                    update.samples,
-                )?;
-            } else {
-                let encoded = feedback.encode(client, &update.model)?;
-                client_wire_bytes += encoded.wire_bytes();
-                gateway.ingest_encoded_update(
-                    client,
-                    AggregatorId::new(leaf_idx as u64),
-                    &encoded,
-                    update.samples,
-                )?;
-            }
-        }
-        let store = store.clone();
-        let goal = config.updates_per_leaf as u64;
-        let shards = config.aggregation_shards;
-        let handle = std::thread::spawn(move || -> Result<QueuedUpdate> {
-            let mut leaf = AggregatorRuntime::with_codec(
-                AggregatorId::new(leaf_idx as u64),
-                AggregatorRole::Leaf,
-                goal,
-                store,
-                inbox,
-                UpdateCodec::with_seed(codec, leaf_idx as u64),
-            )?;
-            leaf.set_shards(shards);
-            leaf.run_to_completion()
-        });
-        handles.push(handle);
-    }
-    // Deterministic fixed-tree merge order: leaf intermediates fold at the
-    // top in leaf-index order, independent of thread completion order.
-    for handle in handles {
-        let intermediate = handle
-            .join()
-            .map_err(|_| LiflError::Simulation("leaf thread panicked".to_string()))??;
-        top_inbox.enqueue(intermediate);
-    }
-
-    let result = top.run_to_completion()?;
-    let object = store.get(&result.key)?;
-    let model = if result.encoded {
-        // The one remaining full-decode site: parse the header in place and
-        // dequantize straight into the output buffer (no body copy).
-        let view = EncodedView::parse(object.as_slice())?;
-        let mut out = vec![0.0f32; view.dim()];
-        view.decode_into(&mut out)?;
-        DenseModel::from_vec(out)
-    } else {
-        DenseModel::from_vec(object.as_f32_vec())
-    };
+    let report = run_session(config, updates, codec)?;
     Ok(HierarchicalRunReport {
-        update: ModelUpdate::intermediate(model, result.weight),
-        store_stats: store.stats(),
-        client_wire_bytes,
+        update: report.update,
+        store_stats: report.store_stats,
+        client_wire_bytes: report.ingress_wire_bytes,
     })
 }
 
@@ -264,6 +132,8 @@ pub fn run_hierarchical_with_codec(
 mod tests {
     use super::*;
     use lifl_fl::aggregate::fedavg;
+    use lifl_fl::DenseModel;
+    use lifl_types::ClientId;
 
     fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
         (0..n)
@@ -315,6 +185,26 @@ mod tests {
                 aggregation_shards: 1
             },
             &[]
+        )
+        .is_err());
+        // Zero-valued shapes are rejected even when the (clamped) update
+        // count would match — the seed contract.
+        assert!(run_hierarchical(
+            HierarchicalRunConfig {
+                leaves: 0,
+                updates_per_leaf: 1,
+                aggregation_shards: 1
+            },
+            &updates[..1]
+        )
+        .is_err());
+        assert!(run_hierarchical(
+            HierarchicalRunConfig {
+                leaves: 4,
+                updates_per_leaf: 0,
+                aggregation_shards: 1
+            },
+            &updates[..4]
         )
         .is_err());
     }
@@ -389,6 +279,44 @@ mod tests {
         let flat = fedavg(&updates).unwrap();
         for (a, b) in result.model.as_slice().iter().zip(flat.model.as_slice()) {
             assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// The shims are *thin*: byte-for-byte the same result as driving the
+    /// session directly, for every codec.
+    #[test]
+    fn shims_delegate_to_session_exactly() {
+        use crate::session::SessionBuilder;
+        use lifl_types::Topology;
+
+        let updates = updates(8, 48);
+        let config = HierarchicalRunConfig {
+            leaves: 4,
+            updates_per_leaf: 2,
+            aggregation_shards: 1,
+        };
+        for codec in CodecKind::ablation_set() {
+            let shim = run_hierarchical_with_codec(config, &updates, codec).unwrap();
+            let mut session = SessionBuilder::new()
+                .topology(Topology::two_level(4, 2))
+                .codec(codec)
+                .build()
+                .unwrap();
+            session
+                .ingest_all(updates.iter().cloned().map(Update::Dense))
+                .unwrap();
+            let direct = session.drive().unwrap();
+            assert_eq!(shim.update.samples, direct.update.samples, "{codec}");
+            assert_eq!(shim.client_wire_bytes, direct.ingress_wire_bytes, "{codec}");
+            for (a, b) in shim
+                .update
+                .model
+                .as_slice()
+                .iter()
+                .zip(direct.update.model.as_slice())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "{codec}: shim diverged");
+            }
         }
     }
 }

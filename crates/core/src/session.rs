@@ -1,0 +1,871 @@
+//! The unified session API: one builder-driven, codec-transparent entry point
+//! for N-level hierarchical aggregation.
+//!
+//! Before this module, the in-process runtime had forked into parallel
+//! codec-blind and codec-aware paths (`run_hierarchical` vs
+//! `run_hierarchical_with_codec`, four `Gateway::ingest_*` variants) and the
+//! tree shape was hard-wired to two levels. A [`Session`] owns the whole
+//! stack — gateway, shared-memory store, scratch pool, error-feedback encoder
+//! and the aggregator tree described by a [`Topology`] — behind exactly two
+//! operations:
+//!
+//! * [`Session::ingest`] — the single polymorphic ingress. Every
+//!   representation an update can arrive in ([`Update::Dense`],
+//!   [`Update::Encoded`], [`Update::RemoteBytes`]) goes through the same
+//!   call; under a lossy codec, dense updates are transparently encoded with
+//!   per-client error feedback before they enter shared memory.
+//! * [`Session::drive`] — runs the configured tree to completion (leaves on
+//!   their own threads, every interior level folding child intermediates in
+//!   deterministic child order) and returns a [`SessionReport`].
+//!
+//! With [`CodecKind::Identity`] and a two-level topology the session is
+//! bit-exact with the seed `run_hierarchical` path; the deprecated free
+//! functions in [`crate::runtime`] are thin shims over this type.
+
+#![deny(missing_docs)]
+
+use crate::aggregator::AggregatorRuntime;
+use crate::gateway::Gateway;
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::codec::{EncodedView, ErrorFeedback, UpdateCodec};
+use lifl_fl::DenseModel;
+use lifl_shmem::queue::QueuedUpdate;
+use lifl_shmem::{BufferPool, InPlaceQueue, ObjectStore, StoreStats};
+use lifl_types::{ClientId, CodecKind, LiflError, NodeId, Result, Topology};
+
+pub use lifl_fl::update::Update;
+
+/// Default seed of the session's client-side error-feedback encoder (the
+/// value the pre-redesign codec path used).
+const DEFAULT_SEED: u64 = 0x5EED;
+
+/// Builds a [`Session`]: topology, codec, shard count, RNG seed and
+/// store/pool injection, with working defaults for all of them.
+///
+/// ```
+/// use lifl_core::session::SessionBuilder;
+/// use lifl_types::{CodecKind, Topology};
+///
+/// let session = SessionBuilder::new()
+///     .topology(Topology::new(vec![2, 2, 2]).unwrap()) // 3-level tree
+///     .codec(CodecKind::Uniform8)
+///     .shards(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(session.topology().levels(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    topology: Topology,
+    codec: CodecKind,
+    shards: usize,
+    seed: u64,
+    node: NodeId,
+    store: Option<ObjectStore>,
+    pool: Option<BufferPool>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with the seed defaults: the classic 4×2 two-level tree,
+    /// [`CodecKind::Identity`], one shard (sequential fold), a fresh
+    /// shared-memory store and scratch pool.
+    pub fn new() -> Self {
+        SessionBuilder {
+            topology: Topology::default(),
+            codec: CodecKind::Identity,
+            shards: 1,
+            seed: DEFAULT_SEED,
+            node: NodeId::new(0),
+            store: None,
+            pool: None,
+        }
+    }
+
+    /// Sets the aggregation-tree shape (any [`Topology`]; see
+    /// [`Topology::two_level`] for the seed shape).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Convenience for the classic two-level tree: `leaves` leaf aggregators
+    /// each consuming `updates_per_leaf` client updates.
+    pub fn two_level(self, leaves: usize, updates_per_leaf: usize) -> Self {
+        self.topology(Topology::two_level(leaves, updates_per_leaf))
+    }
+
+    /// Sets the wire codec every update travels with. Lossy codecs encode
+    /// dense ingests with per-client error feedback and re-encode every
+    /// interior intermediate; `Identity` is bit-exact with the dense path.
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Sets the number of parameter-vector shards every aggregator folds
+    /// batches across (`LiflConfig.aggregation_shards`; clamped to ≥ 1,
+    /// where 1 is the sequential eager fold).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Seeds the client-side error-feedback encoder's stochastic-rounding
+    /// stream (per-aggregator codec streams derive deterministically from the
+    /// tree position, so whole runs are reproducible).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the node identity of the session's gateway.
+    pub fn node(mut self, node: NodeId) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Injects a shared-memory object store (e.g. one shared with other
+    /// components on the node) instead of creating a fresh one.
+    pub fn store(mut self, store: ObjectStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Injects the scratch-buffer pool the codecs draw encode bodies and
+    /// compensation buffers from, instead of creating a fresh one.
+    pub fn pool(mut self, pool: BufferPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Builds the session: registers one gateway inbox per leaf aggregator
+    /// and wires the error-feedback encoder to the scratch pool.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] for an invalid codec
+    /// configuration (e.g. `TopK` with a permille outside `1..=1000`).
+    pub fn build(self) -> Result<Session> {
+        if let CodecKind::TopK { permille } = self.codec {
+            if permille == 0 || permille > 1000 {
+                return Err(LiflError::InvalidConfig(format!(
+                    "TopK permille must be in 1..=1000, got {permille}"
+                )));
+            }
+        }
+        let store = self.store.unwrap_or_default();
+        let pool = self.pool.unwrap_or_default();
+        let mut gateway = Gateway::new(self.node, store.clone());
+        let leaf_inboxes: Vec<InPlaceQueue> = (0..self.topology.leaves())
+            .map(|j| gateway.register_aggregator(Session::aggregator_id(0, j)))
+            .collect();
+        let feedback = ErrorFeedback::new(
+            UpdateCodec::with_seed(self.codec, self.seed).with_pool(pool.clone()),
+        );
+        Ok(Session {
+            topology: self.topology,
+            codec: self.codec,
+            shards: self.shards,
+            store,
+            pool,
+            gateway,
+            leaf_inboxes,
+            feedback,
+            ingested: 0,
+            lifetime_ingested: 0,
+            ingress_wire_bytes: 0,
+            round_keys: Vec::new(),
+        })
+    }
+}
+
+/// What one driven round produced, beyond the global model: the
+/// shared-memory accounting proving what representation actually flowed
+/// through the store.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The aggregated global model (decoded to dense parameters).
+    pub update: ModelUpdate,
+    /// Object-store statistics at the end of the round (encoded puts, real
+    /// and dense-equivalent bytes).
+    pub store_stats: StoreStats,
+    /// Total data-plane payload bytes the ingested updates occupied in their
+    /// wire form.
+    pub ingress_wire_bytes: u64,
+    /// Updates ingested into this round.
+    pub updates_ingested: u64,
+    /// The tree the round ran over.
+    pub topology: Topology,
+}
+
+/// One in-process aggregation session: the gateway, the shared-memory store,
+/// the codec state and an N-level aggregator tree behind a single ingress
+/// ([`Session::ingest`]) and a single driver ([`Session::drive`]).
+///
+/// A session is reusable: after [`Session::drive`] returns — successfully or
+/// with an aggregation error (which discards the failed round) — the next
+/// round's updates can be ingested immediately, and per-client
+/// error-feedback residuals persist across rounds, exactly as a long-lived
+/// deployment would keep them.
+///
+/// ```
+/// use lifl_core::session::{SessionBuilder, Update};
+/// use lifl_fl::DenseModel;
+/// use lifl_types::ClientId;
+///
+/// // 2 leaves × 2 updates each, identity codec (the defaults, shrunk).
+/// let mut session = SessionBuilder::new().two_level(2, 2).build().unwrap();
+/// for i in 0..4u64 {
+///     let model = DenseModel::from_vec(vec![i as f32; 8]);
+///     session
+///         .ingest(Update::dense(ClientId::new(i), model, i + 1))
+///         .unwrap();
+/// }
+/// let report = session.drive().unwrap();
+/// assert_eq!(report.update.samples, 1 + 2 + 3 + 4);
+/// assert_eq!(report.update.model.dim(), 8);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    topology: Topology,
+    codec: CodecKind,
+    shards: usize,
+    store: ObjectStore,
+    pool: BufferPool,
+    gateway: Gateway,
+    leaf_inboxes: Vec<InPlaceQueue>,
+    feedback: ErrorFeedback,
+    ingested: u64,
+    /// Successful ingests over the session's whole life (never reset):
+    /// the fallback client-id attribution for anonymous updates.
+    lifetime_ingested: u64,
+    ingress_wire_bytes: u64,
+    /// Every object key the current round has put into the store (client
+    /// payloads at ingest, intermediates per level): recycled when the round
+    /// ends so a long-lived session does not grow the store round over round.
+    round_keys: Vec<lifl_types::ObjectKey>,
+}
+
+impl Session {
+    /// The aggregator identity at position (`level`, `index`) of the tree
+    /// (the packing shared with [`AggregatorRuntime::for_level`]).
+    fn aggregator_id(level: usize, index: usize) -> lifl_types::AggregatorId {
+        crate::aggregator::position_id(level, index)
+    }
+
+    /// The tree this session aggregates over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The wire codec in use.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    /// The shared-memory store backing the session.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The scratch-buffer pool the session's codecs recycle through.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Updates ingested into the current (not yet driven) round.
+    pub fn pending_updates(&self) -> u64 {
+        self.ingested
+    }
+
+    /// The single polymorphic ingress: accepts an update in whatever
+    /// representation it arrived and routes it to the next leaf aggregator
+    /// round-robin (update *k* of a round feeds leaf `k % leaves`, exactly
+    /// the distribution of the deprecated `run_hierarchical` path).
+    ///
+    /// Under a lossy codec, a [`Update::Dense`] ingest is transparently
+    /// encoded with the producing client's error-feedback residual before it
+    /// enters shared memory; [`Update::Encoded`] and [`Update::RemoteBytes`]
+    /// are stored in their arriving form (one-time payload processing). A
+    /// dense or encoded update missing a client id is attributed to its
+    /// session-lifetime arrival index (the same rule on every codec path).
+    ///
+    /// # Errors
+    /// Fails if the shared-memory store cannot hold the payload, on a codec
+    /// dimension mismatch, or if the round already holds a full tree's worth
+    /// of updates. A failed ingest counts nothing toward the round; note
+    /// that if the store rejects a lossy-encoded dense update, the client's
+    /// error-feedback residual already reflects the attempted encoding (the
+    /// standard feedback construction re-absorbs the loss only if the
+    /// client keeps sending).
+    pub fn ingest(&mut self, update: Update) -> Result<()> {
+        if self.ingested as usize >= self.topology.total_updates() {
+            return Err(LiflError::InvalidConfig(format!(
+                "session round is full: topology aggregates {} updates",
+                self.topology.total_updates()
+            )));
+        }
+        let target = Self::aggregator_id(0, (self.ingested as usize) % self.topology.leaves());
+        // One attribution rule for every representation: anonymous updates
+        // take the session-lifetime arrival index, so residual slots never
+        // alias across rounds and the codec choice cannot change attribution.
+        let fallback = ClientId::new(self.lifetime_ingested);
+        let update = match update {
+            Update::Dense(mut dense) => {
+                dense.client.get_or_insert(fallback);
+                if self.codec.is_lossless() {
+                    Update::Dense(dense)
+                } else {
+                    // Lossy codec: the dense payload is encoded (with
+                    // per-client error feedback) before it enters shared
+                    // memory, so the compressed representation is what flows.
+                    let client = dense.client.expect("attributed above");
+                    let samples = dense.samples;
+                    self.feedback.encode_update(client, dense.model, samples)
+                }
+            }
+            Update::Encoded {
+                client,
+                update,
+                samples,
+            } => Update::Encoded {
+                client: Some(client.unwrap_or(fallback)),
+                update,
+                samples,
+            },
+            other => other,
+        };
+        let outcome = self.gateway.ingest(target, &update);
+        if let Ok(queued) = &outcome {
+            // Account (and count) only what actually entered the round.
+            self.ingress_wire_bytes += update.wire_bytes();
+            self.ingested += 1;
+            self.lifetime_ingested += 1;
+            self.round_keys.push(queued.key);
+        }
+        self.feedback.recycle_update(update);
+        outcome.map(|_| ())
+    }
+
+    /// Ingests a batch of updates in order (see [`Session::ingest`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`Session::ingest`]; updates before the failing one
+    /// stay ingested.
+    pub fn ingest_all(&mut self, updates: impl IntoIterator<Item = Update>) -> Result<()> {
+        for update in updates {
+            self.ingest(update)?;
+        }
+        Ok(())
+    }
+
+    /// Drives the configured tree to completion over the ingested updates and
+    /// returns the aggregated global model with the round's accounting.
+    ///
+    /// Every aggregator of a level runs on its own thread; intermediates are
+    /// handed to the next level in child-index order (not completion order),
+    /// so results are bit-identical run-to-run regardless of thread
+    /// scheduling — and, for `Identity`, bit-identical to the seed two-level
+    /// path.
+    ///
+    /// # Errors
+    /// Fails if the ingested updates do not exactly fill the tree
+    /// ([`Topology::validate`] — the round is kept and can be topped up) or
+    /// on any store/codec/aggregation error — in which case the partially
+    /// folded round cannot be resumed, so its remaining updates are
+    /// discarded and the session is reset to an empty round.
+    pub fn drive(&mut self) -> Result<SessionReport> {
+        self.topology.validate(self.ingested as usize)?;
+        let outcome = self.drive_and_decode();
+        let report = outcome.map(|(model, weight)| SessionReport {
+            update: ModelUpdate::intermediate(model, weight),
+            store_stats: self.store.stats(),
+            ingress_wire_bytes: self.ingress_wire_bytes,
+            updates_ingested: self.ingested,
+            topology: self.topology.clone(),
+        });
+        // Success or aggregation failure, the round is over: free its store
+        // objects and counters so the session stays bounded over its life.
+        self.reset_round();
+        report
+    }
+
+    /// Runs the tree to completion and decodes the top's intermediate.
+    fn drive_and_decode(&mut self) -> Result<(DenseModel, u64)> {
+        let result = self.drive_tree()?;
+        let object = self.store.get(&result.key)?;
+        let model = if result.encoded {
+            // The one remaining full-decode site: parse the header in place
+            // and dequantize straight into the output buffer (no body copy).
+            let view = EncodedView::parse(object.as_slice())?;
+            let mut out = vec![0.0f32; view.dim()];
+            view.decode_into(&mut out)?;
+            DenseModel::from_vec(out)
+        } else {
+            DenseModel::from_vec(object.as_f32_vec())
+        };
+        Ok((model, result.weight))
+    }
+
+    /// Runs the tree level by level, returning the top's intermediate.
+    fn drive_tree(&mut self) -> Result<QueuedUpdate> {
+        let levels = self.topology.levels();
+        let mut inboxes = self.leaf_inboxes.clone();
+        let mut outputs = Vec::new();
+        for level in 0..levels {
+            // Record every successful sibling's intermediate key before
+            // surfacing a failure, so a failed level's survivors are still
+            // recycled by reset_round instead of leaking in the store.
+            let mut first_error = None;
+            outputs = Vec::with_capacity(inboxes.len());
+            for result in self.run_level(level, &inboxes) {
+                match result {
+                    Ok(output) => {
+                        self.round_keys.push(output.key);
+                        outputs.push(output);
+                    }
+                    Err(error) if first_error.is_none() => first_error = Some(error),
+                    Err(_) => {}
+                }
+            }
+            if let Some(error) = first_error {
+                return Err(error);
+            }
+            if level + 1 < levels {
+                // Chunk this level's outputs onto the next level's inboxes in
+                // child order: parent j consumes children j·f .. (j+1)·f.
+                let fan_in = self.topology.fan_in(level + 1);
+                inboxes = outputs
+                    .chunks(fan_in)
+                    .map(|chunk| {
+                        let inbox = InPlaceQueue::new();
+                        for intermediate in chunk {
+                            inbox.enqueue(*intermediate);
+                        }
+                        inbox
+                    })
+                    .collect();
+            }
+        }
+        outputs
+            .pop()
+            .ok_or_else(|| LiflError::Simulation("top level produced no output".to_string()))
+    }
+
+    /// Returns the session to an empty round: drains whatever a failed (or
+    /// finished) round left in the leaf inboxes, recycles every store object
+    /// the round created (only this round's keys — an injected shared store's
+    /// other objects are untouched) and zeroes the counters.
+    fn reset_round(&mut self) {
+        for inbox in &self.leaf_inboxes {
+            while inbox.dequeue().is_some() {}
+        }
+        for key in self.round_keys.drain(..) {
+            let _ = self.store.recycle(&key);
+        }
+        self.ingested = 0;
+        self.ingress_wire_bytes = 0;
+    }
+
+    /// Runs every aggregator of one level on its own thread, returning each
+    /// position's outcome in aggregator-index order (no short-circuiting:
+    /// the caller needs every survivor's key even when a sibling fails).
+    fn run_level(&self, level: usize, inboxes: &[InPlaceQueue]) -> Vec<Result<QueuedUpdate>> {
+        let codec = self.codec;
+        let shards = self.shards;
+        let topology = &self.topology;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inboxes
+                .iter()
+                .enumerate()
+                .map(|(index, inbox)| {
+                    let store = self.store.clone();
+                    let inbox = inbox.clone();
+                    // Deterministic, position-unique codec stream (the same
+                    // (level, index) packing as the aggregator identity):
+                    // leaves draw from seed = index, exactly the streams of
+                    // the pre-redesign codec path.
+                    let seed = Self::aggregator_id(level, index).index();
+                    let agg_codec =
+                        UpdateCodec::with_seed(codec, seed).with_pool(self.pool.clone());
+                    scope.spawn(move || -> Result<QueuedUpdate> {
+                        let mut aggregator = AggregatorRuntime::for_level(
+                            topology, level, index, store, inbox, agg_codec,
+                        )?;
+                        aggregator.set_shards(shards);
+                        aggregator.run_to_completion()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| {
+                        Err(LiflError::Simulation(
+                            "aggregator thread panicked".to_string(),
+                        ))
+                    })
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifl_fl::aggregate::fedavg;
+
+    fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
+        (0..n)
+            .map(|i| {
+                let values: Vec<f32> = (0..dim)
+                    .map(|d| ((i * dim + d) % 89) as f32 * 0.05 - 2.0)
+                    .collect();
+                ModelUpdate::from_client(
+                    ClientId::new(i as u64),
+                    DenseModel::from_vec(values),
+                    (i + 1) as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn drive(topology: Topology, codec: CodecKind, updates: &[ModelUpdate]) -> SessionReport {
+        let mut session = SessionBuilder::new()
+            .topology(topology)
+            .codec(codec)
+            .build()
+            .unwrap();
+        session
+            .ingest_all(updates.iter().cloned().map(Update::Dense))
+            .unwrap();
+        session.drive().unwrap()
+    }
+
+    #[test]
+    fn two_level_identity_matches_flat_fedavg() {
+        let updates = updates(8, 16);
+        let report = drive(Topology::two_level(4, 2), CodecKind::Identity, &updates);
+        let flat = fedavg(&updates).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(report.store_stats.encoded_puts, 0);
+        assert_eq!(report.updates_ingested, 8);
+        assert_eq!(report.ingress_wire_bytes, 8 * 16 * 4);
+    }
+
+    #[test]
+    fn three_level_tree_matches_flat_fedavg() {
+        // 2 updates per leaf, 4 leaves feeding 2 middles, 1 top: 8 updates.
+        let updates = updates(8, 16);
+        let topology = Topology::new(vec![2, 2, 2]).unwrap();
+        let report = drive(topology.clone(), CodecKind::Identity, &updates);
+        assert_eq!(report.topology, topology);
+        let flat = fedavg(&updates).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn flat_topology_runs_one_aggregator() {
+        let updates = updates(3, 8);
+        let report = drive(Topology::flat(3), CodecKind::Identity, &updates);
+        let flat = fedavg(&updates).unwrap();
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "flat session is the flat fold");
+        }
+    }
+
+    #[test]
+    fn wrong_update_count_is_rejected_and_over_ingest_refused() {
+        let mut session = SessionBuilder::new().two_level(2, 2).build().unwrap();
+        session
+            .ingest_all(updates(3, 4).into_iter().map(Update::Dense))
+            .unwrap();
+        let err = session.drive().unwrap_err().to_string();
+        assert!(
+            err.contains("expected 4 updates (2 leaves x 2), got 3"),
+            "{err}"
+        );
+        // The round survives the failed drive; topping it up works.
+        session
+            .ingest(Update::Dense(updates(4, 4).pop().unwrap()))
+            .unwrap();
+        assert!(session.drive().is_ok());
+        // A full round refuses a fifth ingest.
+        session
+            .ingest_all(updates(4, 4).into_iter().map(Update::Dense))
+            .unwrap();
+        assert!(session
+            .ingest(Update::Dense(updates(1, 4).pop().unwrap()))
+            .is_err());
+    }
+
+    #[test]
+    fn encoded_and_remote_ingests_share_the_round() {
+        let dim = 64;
+        let batch = updates(4, dim);
+        // Two dense, one pre-encoded, one forwarded as remote wire bytes.
+        let mut client_codec = UpdateCodec::with_seed(CodecKind::Uniform8, 7);
+        let encoded = client_codec.encode(&batch[2].model);
+        let remote_wire = client_codec.encode(&batch[3].model).to_bytes();
+
+        let mut session = SessionBuilder::new()
+            .two_level(2, 2)
+            .codec(CodecKind::Uniform8)
+            .build()
+            .unwrap();
+        session.ingest(Update::Dense(batch[0].clone())).unwrap();
+        session.ingest(Update::Dense(batch[1].clone())).unwrap();
+        session
+            .ingest(Update::encoded(ClientId::new(2), encoded, batch[2].samples))
+            .unwrap();
+        session
+            .ingest(Update::remote_bytes(remote_wire, batch[3].samples, true))
+            .unwrap();
+        let report = session.drive().unwrap();
+
+        let flat = fedavg(&batch).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        let max_abs = batch
+            .iter()
+            .flat_map(|u| u.model.as_slice())
+            .fold(0.0f32, |a, v| a.max(v.abs()));
+        let tolerance = 3.0 * max_abs / 127.0;
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() <= tolerance, "{a} vs {b}");
+        }
+        assert!(report.store_stats.encoded_puts > 0);
+    }
+
+    #[test]
+    fn sessions_are_reusable_across_rounds() {
+        let mut session = SessionBuilder::new()
+            .two_level(2, 2)
+            .codec(CodecKind::Uniform4)
+            .build()
+            .unwrap();
+        let batch = updates(4, 32);
+        for _ in 0..3 {
+            session
+                .ingest_all(batch.iter().cloned().map(Update::Dense))
+                .unwrap();
+            let report = session.drive().unwrap();
+            assert_eq!(report.updates_ingested, 4);
+            assert_eq!(session.pending_updates(), 0);
+        }
+        // Long-lived sessions stay bounded: every round's store objects are
+        // recycled when the round ends.
+        assert_eq!(
+            session.store().stats().live_objects,
+            0,
+            "rounds must not leak store objects"
+        );
+        // Error feedback accumulated residuals for the lossy codec.
+        assert_eq!(session.codec(), CodecKind::Uniform4);
+        assert!(session.store().stats().encoded_puts > 0);
+        assert!(session.pool().stats().hits > 0, "codec scratch was pooled");
+    }
+
+    #[test]
+    fn failed_round_is_discarded_and_the_session_recovers() {
+        let mut session = SessionBuilder::new().two_level(2, 2).build().unwrap();
+        let batch = updates(4, 16);
+        // Three valid updates plus raw remote bytes of the wrong dimension:
+        // the fold fails mid-drive.
+        for update in batch.iter().take(3) {
+            session.ingest(Update::Dense(update.clone())).unwrap();
+        }
+        session
+            .ingest(Update::remote_bytes(vec![0u8; 8], 1, false))
+            .unwrap();
+        assert!(session.drive().is_err(), "mismatched dimension must fail");
+        // The corrupt round is gone: counters are zero, nothing leaked in
+        // the store (surviving siblings' intermediates included), and a
+        // fresh, fully valid round drives cleanly.
+        assert_eq!(session.pending_updates(), 0);
+        assert_eq!(
+            session.store().stats().live_objects,
+            0,
+            "failed rounds must not leak store objects"
+        );
+        session
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let report = session.drive().unwrap();
+        assert_eq!(report.updates_ingested, 4);
+        // A malformed *encoded* ingest is rejected up front and counts
+        // nothing toward the round or its wire accounting.
+        assert!(session
+            .ingest(Update::remote_bytes(vec![1u8, 2, 3], 1, true))
+            .is_err());
+        assert_eq!(session.pending_updates(), 0);
+    }
+
+    #[test]
+    fn invalid_topk_is_rejected_at_build() {
+        assert!(SessionBuilder::new()
+            .codec(CodecKind::TopK { permille: 0 })
+            .build()
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use lifl_fl::aggregate::CumulativeFedAvg;
+    use proptest::prelude::*;
+
+    /// The seed `run_hierarchical` semantics, restated from first principles:
+    /// update k feeds leaf k % leaves; each leaf folds its share in arrival
+    /// order and finalizes; the top folds leaf intermediates in leaf order.
+    fn seed_reference(leaves: usize, per_leaf: usize, updates: &[ModelUpdate]) -> ModelUpdate {
+        let dim = updates[0].model.dim();
+        let mut top = CumulativeFedAvg::new(dim);
+        for leaf in 0..leaves {
+            let mut acc = CumulativeFedAvg::new(dim);
+            for update in updates
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| k % leaves == leaf)
+                .map(|(_, u)| u)
+            {
+                acc.fold(update).unwrap();
+            }
+            assert_eq!(acc.updates_folded(), per_leaf as u64);
+            top.fold(&acc.finalize().unwrap()).unwrap();
+        }
+        top.finalize().unwrap()
+    }
+
+    proptest! {
+        /// Acceptance: a `Session` with `Identity` is bit-exact with the seed
+        /// `run_hierarchical` fold semantics for arbitrary two-level shapes.
+        #[test]
+        fn identity_session_bit_exact_with_seed_semantics(
+            leaves in 1usize..6,
+            per_leaf in 1usize..5,
+            dim in 1usize..24,
+            values in proptest::collection::vec(-50.0f32..50.0, 30 * 24),
+            samples in proptest::collection::vec(1u64..40, 30),
+        ) {
+            let n = leaves * per_leaf;
+            let updates: Vec<ModelUpdate> = (0..n)
+                .map(|i| {
+                    let params: Vec<f32> =
+                        (0..dim).map(|d| values[(i * dim + d) % values.len()]).collect();
+                    ModelUpdate::from_client(
+                        ClientId::new(i as u64),
+                        DenseModel::from_vec(params),
+                        samples[i % samples.len()],
+                    )
+                })
+                .collect();
+            let mut session = SessionBuilder::new()
+                .two_level(leaves, per_leaf)
+                .build()
+                .unwrap();
+            session
+                .ingest_all(updates.iter().cloned().map(Update::Dense))
+                .unwrap();
+            let report = session.drive().unwrap();
+            let reference = seed_reference(leaves, per_leaf, &updates);
+            prop_assert_eq!(report.update.samples, reference.samples);
+            for (a, b) in report
+                .update
+                .model
+                .as_slice()
+                .iter()
+                .zip(reference.model.as_slice())
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "session diverged: {} vs {}", a, b);
+            }
+        }
+
+        /// Deep trees are deterministic run-to-run for every codec: two
+        /// sessions over the same ingests produce bit-identical models.
+        #[test]
+        fn deep_sessions_are_deterministic(
+            fan0 in 1usize..4,
+            fan1 in 1usize..4,
+            fan2 in 1usize..4,
+            seed in 0u64..500,
+        ) {
+            let topology = Topology::new(vec![fan0, fan1, fan2]).unwrap();
+            let n = topology.total_updates();
+            let updates: Vec<ModelUpdate> = (0..n)
+                .map(|i| {
+                    let params: Vec<f32> = (0..16)
+                        .map(|d| ((i * 31 + d * 7 + seed as usize) % 101) as f32 * 0.07 - 3.0)
+                        .collect();
+                    ModelUpdate::from_client(
+                        ClientId::new(i as u64),
+                        DenseModel::from_vec(params),
+                        (i + 1) as u64,
+                    )
+                })
+                .collect();
+            for codec in [CodecKind::Uniform8, CodecKind::TopK { permille: 400 }] {
+                let run = || {
+                    let mut session = SessionBuilder::new()
+                        .topology(topology.clone())
+                        .codec(codec)
+                        .seed(seed)
+                        .build()
+                        .unwrap();
+                    session
+                        .ingest_all(updates.iter().cloned().map(Update::Dense))
+                        .unwrap();
+                    session.drive().unwrap()
+                };
+                let first = run();
+                let second = run();
+                prop_assert_eq!(first.update.samples, second.update.samples);
+                for (a, b) in first
+                    .update
+                    .model
+                    .as_slice()
+                    .iter()
+                    .zip(second.update.model.as_slice())
+                {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{} not deterministic", codec);
+                }
+            }
+        }
+    }
+}

@@ -1,16 +1,26 @@
 //! Regenerates Fig. 9 (time-to-accuracy and cost-to-accuracy).
-//! Pass `--rounds N` to change the number of simulated FL rounds (default 40).
+//! Pass `--rounds N` to change the number of simulated FL rounds (default 40)
+//! and `--sweep-codecs` to additionally sweep every update codec across the
+//! three systems (codec × system time-to-accuracy interactions).
 fn main() {
     let rounds = std::env::args()
         .skip_while(|a| a != "--rounds")
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
+    let sweep_codecs = std::env::args().any(|a| a == "--sweep-codecs");
     for model in [
         lifl_types::ModelKind::ResNet18,
         lifl_types::ModelKind::ResNet152,
     ] {
         let comparison = lifl_experiments::fig9_fig10::run_workload(model, rounds, 50.0);
         println!("{}", lifl_experiments::fig9_fig10::format(&comparison));
+        if sweep_codecs {
+            let sweep = lifl_experiments::fig9_fig10::codec_sweep(model, rounds, 50.0);
+            println!(
+                "{}",
+                lifl_experiments::fig9_fig10::format_codec_sweep(&sweep)
+            );
+        }
     }
 }

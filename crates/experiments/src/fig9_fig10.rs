@@ -6,9 +6,11 @@
 //! aggregators and per-round CPU cost for the same runs.
 
 use crate::report::format_table;
-use lifl_baselines::{serverful, serverless, WorkloadDriver, WorkloadOutcome, WorkloadSetup};
-use lifl_core::platform::LiflPlatform;
-use lifl_types::{ClusterConfig, LiflConfig, ModelKind};
+use lifl_baselines::{
+    serverful_with_codec, serverless_with_codec, WorkloadDriver, WorkloadOutcome, WorkloadSetup,
+};
+use lifl_core::platform::{LiflPlatform, PlatformProfile};
+use lifl_types::{ClusterConfig, CodecKind, LiflConfig, ModelKind};
 use serde::Serialize;
 
 /// Summary of one (workload, system) run.
@@ -18,6 +20,8 @@ pub struct WorkloadSummary {
     pub model: String,
     /// System label.
     pub system: String,
+    /// Wire codec every update travelled with.
+    pub codec: String,
     /// Wall-clock hours to the target accuracy (None if never reached).
     pub time_to_accuracy_h: Option<f64>,
     /// CPU hours to the target accuracy (None if never reached).
@@ -41,23 +45,41 @@ pub struct WorkloadComparison {
     pub outcomes: Vec<WorkloadOutcome>,
 }
 
-/// Runs one workload (ResNet-18 or ResNet-152 setup) on SF, SL and LIFL.
+/// Runs one workload (ResNet-18 or ResNet-152 setup) on SF, SL and LIFL with
+/// the default lossless codec.
 ///
 /// `rounds` controls simulation length; `target_accuracy` is the accuracy
 /// level the headline numbers are reported at (the paper uses 70% on FEMNIST;
 /// the synthetic task converges to a different absolute scale, so callers pick
 /// a level both systems reach, keeping the comparison meaningful).
 pub fn run_workload(model: ModelKind, rounds: usize, target_accuracy: f64) -> WorkloadComparison {
+    run_workload_with_codec(model, rounds, target_accuracy, CodecKind::Identity)
+}
+
+/// [`run_workload`] with every client update travelling `codec` — both at
+/// the algorithm level (error-feedback encoding in the FL driver) and at the
+/// system level (every baseline's transfer costs priced off the encoded
+/// bytes), so the time-to-accuracy curves expose codec × system
+/// interactions.
+pub fn run_workload_with_codec(
+    model: ModelKind,
+    rounds: usize,
+    target_accuracy: f64,
+    codec: CodecKind,
+) -> WorkloadComparison {
     let setup = match model {
         ModelKind::ResNet152 => WorkloadSetup::resnet152(rounds),
         _ => WorkloadSetup::resnet18(rounds),
-    };
+    }
+    .with_codec(codec);
     let driver = WorkloadDriver::new(setup.clone());
     let cluster = ClusterConfig::default();
 
-    let mut lifl = LiflPlatform::new(cluster.clone(), LiflConfig::default());
-    let mut sf = serverful(cluster.clone());
-    let mut sl = serverless(cluster);
+    let mut lifl = LiflPlatform::with_profile(
+        PlatformProfile::lifl(cluster.clone(), &LiflConfig::default()).with_codec(codec),
+    );
+    let mut sf = serverful_with_codec(cluster.clone(), codec);
+    let mut sl = serverless_with_codec(cluster, codec);
 
     let outcomes = vec![
         driver.run(&mut sf),
@@ -69,6 +91,7 @@ pub fn run_workload(model: ModelKind, rounds: usize, target_accuracy: f64) -> Wo
         .map(|o| WorkloadSummary {
             model: setup.model.to_string(),
             system: o.system.clone(),
+            codec: codec.label(),
             time_to_accuracy_h: o.time_to_accuracy_hours(target_accuracy),
             cpu_to_accuracy_h: o.cpu_to_accuracy_hours(target_accuracy),
             final_accuracy: o.final_accuracy,
@@ -81,6 +104,65 @@ pub fn run_workload(model: ModelKind, rounds: usize, target_accuracy: f64) -> Wo
         summaries,
         outcomes,
     }
+}
+
+/// The ROADMAP codec × baseline sweep: runs the workload once per codec of
+/// the ablation set, on all three systems, so time-to-accuracy curves show
+/// codec × system interactions (quantization shortens every system's rounds,
+/// but the broker-bound SL baseline gains the most wall-clock, while the
+/// accuracy cost is shared).
+pub fn codec_sweep(
+    model: ModelKind,
+    rounds: usize,
+    target_accuracy: f64,
+) -> Vec<(CodecKind, WorkloadComparison)> {
+    CodecKind::ablation_set()
+        .into_iter()
+        .map(|codec| {
+            (
+                codec,
+                run_workload_with_codec(model, rounds, target_accuracy, codec),
+            )
+        })
+        .collect()
+}
+
+/// Formats the codec × system sweep as one table.
+pub fn format_codec_sweep(sweep: &[(CodecKind, WorkloadComparison)]) -> String {
+    let fmt_opt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .flat_map(|(_, comparison)| &comparison.summaries)
+        .map(|s| {
+            vec![
+                s.codec.clone(),
+                s.system.clone(),
+                fmt_opt(s.time_to_accuracy_h),
+                fmt_opt(s.cpu_to_accuracy_h),
+                format!("{:.1}", s.final_accuracy),
+                format!("{:.2}", s.total_wall_h),
+                format!("{:.2}", s.total_cpu_h),
+            ]
+        })
+        .collect();
+    let target = sweep.first().map(|(_, c)| c.target_accuracy).unwrap_or(0.0);
+    let mut out = format!("Fig. 9 codec sweep: time/cost to {target:.0}% accuracy per codec\n");
+    out.push_str(&format_table(
+        &[
+            "codec",
+            "system",
+            "TTA (h)",
+            "CPU-to-acc (h)",
+            "final acc (%)",
+            "wall (h)",
+            "CPU (h)",
+        ],
+        &rows,
+    ));
+    out
 }
 
 /// Formats the Fig. 9 headline table for one workload.
@@ -194,5 +276,47 @@ mod tests {
         assert!(text.contains("LIFL"));
         let ts = format_timeseries(&comparison);
         assert!(ts.contains("arrivals/min"));
+    }
+
+    #[test]
+    fn codec_sweep_exposes_codec_x_system_interactions() {
+        let sweep = codec_sweep(ModelKind::ResNet18, 4, 30.0);
+        assert_eq!(sweep.len(), 4, "one comparison per ablation codec");
+        let wall = |codec: CodecKind, system: &str| {
+            sweep
+                .iter()
+                .find(|(c, _)| *c == codec)
+                .unwrap()
+                .1
+                .summaries
+                .iter()
+                .find(|s| s.system == system)
+                .unwrap()
+                .total_wall_h
+        };
+        for system in ["LIFL", "SF", "SL"] {
+            // Quantized transfers never slow a system's rounds down.
+            assert!(
+                wall(CodecKind::Uniform8, system) <= wall(CodecKind::Identity, system) + 1e-9,
+                "{system}: uniform8 must not be slower than identity"
+            );
+            // Every codec's run still learns on every system.
+            for (codec, comparison) in &sweep {
+                let summary = comparison
+                    .summaries
+                    .iter()
+                    .find(|s| s.system == system)
+                    .unwrap();
+                assert_eq!(summary.codec, codec.label());
+                assert!(
+                    summary.final_accuracy > 20.0,
+                    "{system}/{codec} never learned: {:.1}%",
+                    summary.final_accuracy
+                );
+            }
+        }
+        let text = format_codec_sweep(&sweep);
+        assert!(text.contains("uniform8"));
+        assert!(text.contains("codec"));
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::codec::{EncodedUpdate, EncodedView};
 use crate::model::DenseModel;
+use crate::update::Update;
 use lifl_types::{ClientId, LiflError, Result};
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +121,35 @@ impl CumulativeFedAvg {
         self.total_samples += samples;
         self.updates_folded += 1;
         Ok(())
+    }
+
+    /// Folds one update in whatever representation its [`Update`] envelope
+    /// carries — the single polymorphic fold behind the FL drivers and the
+    /// `lifl-core` session: dense updates fold exactly like
+    /// [`CumulativeFedAvg::fold`], encoded ones fuse dequantize-and-axpy, and
+    /// remote wire bytes are parsed (or wrapped) in place with no copy.
+    ///
+    /// # Errors
+    /// Same conditions as [`CumulativeFedAvg::fold`], plus codec parse
+    /// failures for malformed remote bytes.
+    pub fn fold_update(&mut self, update: &Update) -> Result<()> {
+        match update {
+            Update::Dense(dense) => self.fold(dense),
+            Update::Encoded {
+                update, samples, ..
+            } => self.fold_encoded(update, *samples),
+            Update::RemoteBytes {
+                wire,
+                weight,
+                encoded,
+            } => {
+                if *encoded {
+                    self.fold_encoded_view(&EncodedView::parse(wire)?, *weight)
+                } else {
+                    self.fold_dense_bytes(wire, *weight)
+                }
+            }
+        }
     }
 
     /// Folds a headerless dense little-endian `f32` payload (the pre-codec

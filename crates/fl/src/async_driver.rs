@@ -9,7 +9,7 @@
 //! updates with a [`StalenessPolicy`]. The platform half (how those commits
 //! map onto the aggregation hierarchy) lives in `lifl-core::async_round`.
 
-use crate::aggregate::{CumulativeFedAvg, ModelUpdate};
+use crate::aggregate::CumulativeFedAvg;
 use crate::codec::{ErrorFeedback, UpdateCodec};
 use crate::dataset::FederatedDataset;
 use crate::metrics::accuracy_percent;
@@ -228,25 +228,16 @@ impl AsyncFlDriver {
             let (local, _) = self.trainer.train(&self.global, shard, rng);
             let samples = shard.len().max(1) as u64;
             let weighted_samples = self.config.staleness.scaled_samples(samples, tau);
-            // Lossy codecs ship the encoded form and fold it fused
-            // (dequantize-and-axpy); the staleness discount rides the sample
-            // weight exactly as on the dense path.
-            let folded = if self.config.codec.is_lossless() {
-                let raw = ModelUpdate::from_client(client.id, local, weighted_samples);
-                buffer.fold(&raw).is_ok()
-            } else {
-                match self.feedback.encode(client.id, &local) {
-                    Ok(encoded) => {
-                        let ok = buffer.fold_encoded(&encoded, weighted_samples).is_ok();
-                        self.feedback.recycle(encoded);
-                        ok
-                    }
-                    Err(_) => false,
-                }
-            };
-            if folded {
+            // The staleness discount rides the sample weight of the
+            // codec-transparent envelope: lossy codecs ship the encoded form
+            // and fold fused, dense stays dense, through one path.
+            let update = self
+                .feedback
+                .encode_update(client.id, local, weighted_samples);
+            if buffer.fold_update(&update).is_ok() {
                 buffered += 1;
             }
+            self.feedback.recycle_update(update);
 
             // Commit when the buffer goal is reached.
             if buffered >= self.config.buffer_goal {

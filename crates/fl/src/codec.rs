@@ -27,6 +27,7 @@
 //! byte counters consistent.
 
 use crate::model::DenseModel;
+use crate::update::Update;
 use lifl_shmem::BufferPool;
 use lifl_simcore::SimRng;
 use lifl_types::{ClientId, CodecKind, LiflError, Result, WIRE_HEADER_BYTES};
@@ -568,11 +569,14 @@ impl UpdateCodec {
             }
             CodecKind::TopK { permille } => {
                 let kept = CodecKind::top_k_kept(params.len() as u64, permille) as usize;
-                let mut order: Vec<usize> = (0..params.len()).collect();
-                let by_magnitude_desc = |a: &usize, b: &usize| {
-                    params[*b]
+                // The index scratch is pooled like the body: steady-state
+                // top-k encoding touches the allocator zero times.
+                let mut order = self.pool.checkout_u32(params.len());
+                order.extend(0..params.len() as u32);
+                let by_magnitude_desc = |a: &u32, b: &u32| {
+                    params[*b as usize]
                         .abs()
-                        .partial_cmp(&params[*a].abs())
+                        .partial_cmp(&params[*a as usize].abs())
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.cmp(b))
                 };
@@ -582,18 +586,19 @@ impl UpdateCodec {
                     order.select_nth_unstable_by(kept, by_magnitude_desc);
                     order.truncate(kept);
                 }
-                let mut indices = order;
-                indices.sort_unstable();
-                let mut body = self.pool.checkout_bytes(indices.len() * 8);
-                for index in &indices {
-                    body.extend_from_slice(&(*index as u32).to_le_bytes());
-                    body.extend_from_slice(&params[*index].to_le_bytes());
+                order.sort_unstable();
+                let mut body = self.pool.checkout_bytes(order.len() * 8);
+                for index in &order {
+                    body.extend_from_slice(&index.to_le_bytes());
+                    body.extend_from_slice(&params[*index as usize].to_le_bytes());
                 }
+                let kept = order.len() as u32;
+                self.pool.checkin_u32(order);
                 EncodedUpdate {
                     codec: self.kind,
                     dim,
                     scale: 0.0,
-                    kept: indices.len() as u32,
+                    kept,
                     body,
                 }
             }
@@ -705,6 +710,35 @@ impl ErrorFeedback {
     /// Checks a retired update's body back into the shared scratch pool.
     pub fn recycle(&self, encoded: EncodedUpdate) {
         self.codec.recycle(encoded);
+    }
+
+    /// Wraps `model` in the codec-transparent [`Update`] envelope the data
+    /// plane carries: `Dense` under a lossless codec (bit-exact, no residual
+    /// bookkeeping), `Encoded` otherwise, with this client's error-feedback
+    /// compensation applied. If the stored residual no longer matches the
+    /// model's dimension (the model changed shape mid-run), every residual is
+    /// dropped and the update is re-encoded compensation-free.
+    pub fn encode_update(&mut self, client: ClientId, model: DenseModel, samples: u64) -> Update {
+        if self.kind().is_lossless() {
+            return Update::dense(client, model, samples);
+        }
+        let encoded = match self.encode(client, &model) {
+            Ok(encoded) => encoded,
+            Err(_) => {
+                self.reset();
+                self.encode(client, &model)
+                    .expect("encode without a residual is infallible")
+            }
+        };
+        Update::encoded(client, encoded, samples)
+    }
+
+    /// Returns a retired envelope's encode-body buffer to the shared scratch
+    /// pool (a no-op for non-encoded variants).
+    pub fn recycle_update(&self, update: Update) {
+        if let Update::Encoded { update, .. } = update {
+            self.recycle(update);
+        }
     }
 
     /// The residual currently stored for `client`, if any.

@@ -40,6 +40,7 @@ pub mod server_opt;
 pub mod sharded;
 pub mod staleness;
 pub mod trainer;
+pub mod update;
 
 pub use aggregate::{CumulativeFedAvg, ModelUpdate};
 pub use async_driver::{AsyncDriverConfig, AsyncFlDriver, AsyncVersionOutcome};
@@ -55,3 +56,4 @@ pub use server_opt::{ServerOptConfig, ServerOptKind, ServerOptimizer};
 pub use sharded::ShardedFedAvg;
 pub use staleness::{StalenessPolicy, StalenessTracker};
 pub use trainer::{LocalTrainer, TrainerConfig};
+pub use update::Update;

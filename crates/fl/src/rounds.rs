@@ -2,7 +2,7 @@
 //! curve that, combined with a system simulator's per-round wall-clock and CPU
 //! costs, yields the time-to-accuracy and cost-to-accuracy figures (Fig. 9).
 
-use crate::aggregate::{CumulativeFedAvg, ModelUpdate};
+use crate::aggregate::CumulativeFedAvg;
 use crate::codec::{ErrorFeedback, UpdateCodec};
 use crate::dataset::FederatedDataset;
 use crate::metrics::accuracy_percent;
@@ -116,32 +116,16 @@ impl FlDriver {
             let samples = shard.len().max(1) as u64;
             loss_sum += loss;
             participant_samples.push(samples);
-            // The update crosses the data plane in its encoded form and is
-            // folded fused (dequantize-and-axpy) straight off the wire bytes
-            // — no dense intermediate is ever materialised.
-            if self.config.codec.is_lossless() {
-                let raw = ModelUpdate::from_client(client.id, local, samples);
-                if accumulator.fold(&raw).is_ok() {
-                    folded += 1;
-                }
-            } else {
-                let encoded = match self.feedback.encode(client.id, &local) {
-                    Ok(encoded) => encoded,
-                    Err(_) => {
-                        // The model dimension changed mid-run, so the stored
-                        // residual is stale; drop all residuals and re-encode
-                        // (which cannot fail with no residual to compensate).
-                        self.feedback.reset();
-                        self.feedback
-                            .encode(client.id, &local)
-                            .expect("encode without residual is infallible")
-                    }
-                };
-                if accumulator.fold_encoded(&encoded, samples).is_ok() {
-                    folded += 1;
-                }
-                self.feedback.recycle(encoded);
+            // The update crosses the data plane in its codec-transparent
+            // envelope and folds through the one polymorphic path: dense
+            // stays dense under a lossless codec, lossy codecs ship the
+            // encoded form (with per-client error feedback) and fold fused —
+            // no dense intermediate is ever materialised.
+            let update = self.feedback.encode_update(client.id, local, samples);
+            if accumulator.fold_update(&update).is_ok() {
+                folded += 1;
             }
+            self.feedback.recycle_update(update);
         }
         if let Ok(aggregated) = accumulator.finalize() {
             self.global = aggregated.model;

@@ -7,6 +7,7 @@
 
 use crate::codec::CodecKind;
 use crate::time::SimDuration;
+use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
 /// When aggregation is triggered relative to update arrival (Fig. 1, §2.1, §5.4).
@@ -148,6 +149,13 @@ impl LiflConfig {
         config.timing = AggregationTiming::Eager;
         steps.push(("+1+2+3+4".to_string(), config));
         steps
+    }
+
+    /// The per-node aggregation tree this configuration plans for a load of
+    /// `pending_updates` client updates (§5.2): the hierarchy planner and the
+    /// simulated platform both size node subtrees through this one helper.
+    pub fn node_topology(&self, pending_updates: usize) -> Topology {
+        Topology::for_load(pending_updates, self.leaf_fan_in as usize)
     }
 
     /// Validates configuration invariants.

@@ -7,7 +7,7 @@
 //!
 //! The types in this crate are deliberately small, `Copy` where possible, and
 //! free of behaviour beyond what is needed to keep invariants (for example
-//! [`ObjectKey`](ids::ObjectKey) is always exactly 16 bytes, matching the key
+//! [`ObjectKey`] is always exactly 16 bytes, matching the key
 //! format of the paper's shared-memory object store, Appendix A).
 //!
 //! ```
@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod model;
 pub mod role;
 pub mod time;
+pub mod topology;
 
 pub use codec::{CodecKind, WIRE_HEADER_BYTES};
 pub use config::{AggregationTiming, ClusterConfig, LiflConfig, NodeConfig, PlacementPolicy};
@@ -40,3 +41,4 @@ pub use metrics::{CpuCycles, ResourceUsage, RoundMetrics};
 pub use model::{ModelKind, ModelSpec};
 pub use role::{AggregatorRole, SystemKind};
 pub use time::{SimDuration, SimTime};
+pub use topology::Topology;

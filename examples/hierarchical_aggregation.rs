@@ -1,13 +1,16 @@
 //! Hierarchical aggregation deep dive: shows the TAG, direct routing and the
-//! step-based aggregator runtime working together on one node, then compares
-//! the three data planes of Fig. 7 for a single transfer.
+//! step-based aggregator runtime working together on one node, compares the
+//! three data planes of Fig. 7 for a single transfer, and runs a real
+//! 4-level aggregation tree through the unified `Session` API.
 //!
 //! Run with: `cargo run -p lifl-examples --example hierarchical_aggregation`
 
+use lifl_core::session::{SessionBuilder, Update};
 use lifl_core::tag::{Role, TopologyAbstractionGraph};
 use lifl_core::RoutingTable;
 use lifl_dataplane::{CostModel, DataPlaneKind};
-use lifl_types::{AggregatorId, AggregatorRole, ModelKind, NodeId};
+use lifl_examples::demo_updates;
+use lifl_types::{AggregatorId, AggregatorRole, CodecKind, ModelKind, NodeId, Topology};
 
 fn main() {
     // Build the TAG for 4 leaves + 1 middle on node 0 and the top on node 1.
@@ -49,6 +52,27 @@ fn main() {
         "node-0 routing: {} sockmap entries, {} inter-node routes",
         routes.local_routes(),
         routes.inter_node_routes()
+    );
+
+    // A deep tree the two-level API could not express: 16 client updates
+    // through 8 leaves, 4 middles, 2 upper middles and the top, all updates
+    // travelling 8-bit quantized.
+    let topology = Topology::uniform(4, 2);
+    let mut session = SessionBuilder::new()
+        .topology(topology)
+        .codec(CodecKind::Uniform8)
+        .build()
+        .expect("session");
+    session
+        .ingest_all(demo_updates(16, 128).into_iter().map(Update::Dense))
+        .expect("ingest");
+    let report = session.drive().expect("drive");
+    println!(
+        "session over a {}: {} updates, {} shmem bytes saved, ||w|| = {:.4}",
+        report.topology,
+        report.updates_ingested,
+        report.store_stats.bytes_saved(),
+        report.update.model.l2_norm()
     );
 
     let cost = CostModel::paper_calibrated();

@@ -4,27 +4,45 @@
 //! Run with: `cargo run -p lifl-examples --example quickstart`
 
 use lifl_core::platform::{LiflPlatform, RoundSpec};
-use lifl_core::runtime::{run_hierarchical, HierarchicalRunConfig};
+use lifl_core::session::{SessionBuilder, Update};
 use lifl_examples::demo_updates;
-use lifl_types::{ClusterConfig, LiflConfig, ModelKind, SimTime};
+use lifl_types::{ClusterConfig, CodecKind, LiflConfig, ModelKind, SimTime, Topology};
 
 fn main() {
-    // 1. Real in-process aggregation over shared memory (Appendix G runtime).
+    // 1. Real in-process aggregation over shared memory (Appendix G runtime):
+    //    one builder-driven session owns the gateway, the store and the tree.
     let updates = demo_updates(8, 64);
-    let result = run_hierarchical(
-        HierarchicalRunConfig {
-            leaves: 4,
-            updates_per_leaf: 2,
-            aggregation_shards: 1,
-        },
-        &updates,
-    )
-    .expect("hierarchical aggregation");
+    let mut session = SessionBuilder::new()
+        .topology(Topology::two_level(4, 2))
+        .build()
+        .expect("session");
+    session
+        .ingest_all(updates.iter().cloned().map(Update::Dense))
+        .expect("ingest");
+    let report = session.drive().expect("hierarchical aggregation");
     println!(
         "aggregated {} client updates ({} samples), ||w|| = {:.4}",
         updates.len(),
-        result.samples,
-        result.model.l2_norm()
+        report.update.samples,
+        report.update.model.l2_norm()
+    );
+
+    // 1b. The same entry point scales to deeper trees and lossy codecs: a
+    //     3-level tree whose updates travel 8-bit quantized.
+    let updates = demo_updates(8, 64);
+    let mut deep = SessionBuilder::new()
+        .topology(Topology::new(vec![2, 2, 2]).expect("topology"))
+        .codec(CodecKind::Uniform8)
+        .build()
+        .expect("session");
+    deep.ingest_all(updates.into_iter().map(Update::Dense))
+        .expect("ingest");
+    let deep_report = deep.drive().expect("deep aggregation");
+    println!(
+        "3-level quantized session: {} ({} wire bytes, {} saved in shmem)",
+        deep_report.topology,
+        deep_report.ingress_wire_bytes,
+        deep_report.store_stats.bytes_saved()
     );
 
     // 2. Cluster-scale simulation of one LIFL round with 20 ResNet-152 updates.

@@ -3,13 +3,18 @@
 # plain cargo command, so copy-paste works without it too.
 
 # Run the full CI gate locally.
-default: lint build test bench-check bench-baseline-check
+default: lint doc build test bench-check bench-baseline-check
 
 # Formatting + clippy, denying warnings (CI `lint` job).
 lint:
     cargo fmt --all --check
     cargo clippy --workspace --all-targets -- -D warnings
     cargo clippy -p lifl-types -p lifl-shmem -p lifl-fl -p lifl-core -- -D clippy::redundant_clone
+
+# Rustdoc gate: no broken links / bad doc syntax anywhere; the public
+# `session` module additionally denies missing docs.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
 # Tier-1 release build.
 build:

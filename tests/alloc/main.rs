@@ -160,4 +160,45 @@ fn steady_state_rounds_make_zero_model_sized_allocations() {
         "sharded batch fold + drain must reuse the accumulator allocation"
     );
     assert!(out.l2_norm() > 0.0);
+
+    // Phase 3: top-k encoding is equally allocation-free — its
+    // index-selection scratch (one u32 per parameter, 2 MiB here) is drawn
+    // from the pool alongside the encode body and compensation buffer.
+    let topk_pool = BufferPool::new();
+    let topk_codec = UpdateCodec::with_seed(CodecKind::TopK { permille: 250 }, 0x70CF)
+        .with_pool(topk_pool.clone());
+    let mut topk_feedback = ErrorFeedback::new(topk_codec);
+    let mut topk_accumulator = CumulativeFedAvg::new(DIM);
+    let mut topk_global = DenseModel::zeros(DIM);
+    for _ in 0..2 {
+        run_round(
+            &clients,
+            &mut topk_feedback,
+            &mut topk_accumulator,
+            &mut topk_global,
+        );
+    }
+    let before = model_sized_allocs();
+    for _ in 0..10 {
+        run_round(
+            &clients,
+            &mut topk_feedback,
+            &mut topk_accumulator,
+            &mut topk_global,
+        );
+    }
+    assert_eq!(
+        model_sized_allocs() - before,
+        0,
+        "steady-state top-k encode must draw its index scratch from the pool"
+    );
+    let topk_stats = topk_pool.stats();
+    assert!(
+        topk_stats.hits > 0,
+        "top-k pool never reused: {topk_stats:?}"
+    );
+    assert!(
+        topk_global.l2_norm() > 0.0,
+        "top-k rounds aggregated nothing"
+    );
 }

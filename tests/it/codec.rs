@@ -2,13 +2,14 @@
 //! pre-codec path where it must be (Identity bit-exactness), close where it
 //! may drift (lossy codecs under error feedback), and cheaper where it
 //! promises to be (wire and shared-memory byte counters shrink monotonically
-//! Identity → Uniform8 → Uniform4).
+//! Identity → Uniform8 → Uniform4) — all through the unified `Session` API,
+//! with the deprecated shims cross-checked against it.
 
 use lifl_core::platform::{LiflPlatform, RoundSpec};
-use lifl_core::runtime::{run_hierarchical, run_hierarchical_with_codec, HierarchicalRunConfig};
+use lifl_core::session::{Session, SessionBuilder, SessionReport, Update};
 use lifl_fl::aggregate::{fedavg, ModelUpdate};
 use lifl_fl::DenseModel;
-use lifl_types::{ClientId, ClusterConfig, CodecKind, LiflConfig, ModelKind, SimTime};
+use lifl_types::{ClientId, ClusterConfig, CodecKind, LiflConfig, ModelKind, SimTime, Topology};
 
 fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
     (0..n)
@@ -25,37 +26,66 @@ fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
         .collect()
 }
 
-const CONFIG: HierarchicalRunConfig = HierarchicalRunConfig {
-    leaves: 4,
-    updates_per_leaf: 2,
-    aggregation_shards: 1,
-};
+fn session(codec: CodecKind, shards: usize) -> Session {
+    SessionBuilder::new()
+        .topology(Topology::two_level(4, 2))
+        .codec(codec)
+        .shards(shards)
+        .build()
+        .expect("session")
+}
 
-/// Acceptance: the `Identity` codec is bit-exact with the pre-codec
-/// aggregation path, end to end through gateway, shared memory and the
-/// threaded two-level hierarchy.
+fn drive(codec: CodecKind, shards: usize, updates: &[ModelUpdate]) -> SessionReport {
+    let mut session = session(codec, shards);
+    session
+        .ingest_all(updates.iter().cloned().map(Update::Dense))
+        .expect("ingest");
+    session.drive().expect("drive")
+}
+
+/// Acceptance: the `Identity` codec is bit-exact with the codec-blind
+/// session, end to end through gateway, shared memory and the threaded
+/// two-level hierarchy — and the deprecated `run_hierarchical*` entry points
+/// still deliver exactly the session's results.
 #[test]
+#[allow(deprecated)]
 fn identity_codec_bit_exact_with_pre_codec_path() {
+    use lifl_core::runtime::{
+        run_hierarchical, run_hierarchical_with_codec, HierarchicalRunConfig,
+    };
+
     let updates = updates(8, 64);
-    let pre_codec = run_hierarchical(CONFIG, &updates).expect("pre-codec runtime");
-    let report = run_hierarchical_with_codec(CONFIG, &updates, CodecKind::Identity)
-        .expect("identity runtime");
-    assert_eq!(report.update.samples, pre_codec.samples);
-    for (a, b) in report
+    let config = HierarchicalRunConfig {
+        leaves: 4,
+        updates_per_leaf: 2,
+        aggregation_shards: 1,
+    };
+    let pre_codec = run_hierarchical(config, &updates).expect("pre-codec shim");
+    let shim_report =
+        run_hierarchical_with_codec(config, &updates, CodecKind::Identity).expect("identity shim");
+    let session_report = drive(CodecKind::Identity, 1, &updates);
+    assert_eq!(session_report.update.samples, pre_codec.samples);
+    for ((a, b), c) in session_report
         .update
         .model
         .as_slice()
         .iter()
         .zip(pre_codec.model.as_slice())
+        .zip(shim_report.update.model.as_slice())
     {
         assert_eq!(
             a.to_bits(),
             b.to_bits(),
-            "identity codec diverged from the pre-codec path: {a} vs {b}"
+            "identity session diverged from the deprecated path: {a} vs {b}"
         );
+        assert_eq!(a.to_bits(), c.to_bits(), "codec shim diverged: {a} vs {c}");
     }
     // Nothing was stored compressed on the identity path.
-    assert_eq!(report.store_stats.encoded_puts, 0);
+    assert_eq!(session_report.store_stats.encoded_puts, 0);
+    assert_eq!(
+        shim_report.client_wire_bytes,
+        session_report.ingress_wire_bytes
+    );
 }
 
 /// Every codec's end-to-end aggregate stays within its quantization error of
@@ -69,7 +99,7 @@ fn every_codec_aggregates_correctly() {
         .flat_map(|u| u.model.as_slice())
         .fold(0.0f32, |a, v| a.max(v.abs()));
     for codec in CodecKind::ablation_set() {
-        let report = run_hierarchical_with_codec(CONFIG, &updates, codec).expect("codec runtime");
+        let report = drive(codec, 1, &updates);
         assert_eq!(report.update.samples, exact.samples, "{codec}");
         let tolerance = match codec {
             CodecKind::Identity => 1e-6,
@@ -106,11 +136,11 @@ fn shmem_bytes_shrink_monotonically_with_codec_strength() {
         CodecKind::Uniform8,
         CodecKind::Uniform4,
     ] {
-        let report = run_hierarchical_with_codec(CONFIG, &updates, codec).expect("codec runtime");
+        let report = drive(codec, 1, &updates);
         // Nothing recycles in this run, so the peak is the real total
         // footprint every payload (client + intermediate) left in the store.
         let stored = report.store_stats.peak_bytes;
-        let wire = report.client_wire_bytes;
+        let wire = report.ingress_wire_bytes;
         if let Some((prev_codec, prev_stored, prev_wire)) = previous {
             assert!(
                 stored < prev_stored,
@@ -161,21 +191,9 @@ fn platform_round_wire_bytes_shrink_at_least_4x_for_uniform8() {
 fn sharded_hierarchy_is_bit_identical_to_sequential() {
     let updates = updates(8, 4096);
     for codec in [CodecKind::Identity, CodecKind::Uniform8] {
-        let run = |shards: usize| {
-            run_hierarchical_with_codec(
-                HierarchicalRunConfig {
-                    leaves: 4,
-                    updates_per_leaf: 2,
-                    aggregation_shards: shards,
-                },
-                &updates,
-                codec,
-            )
-            .expect("codec runtime")
-        };
-        let sequential = run(1);
+        let sequential = drive(codec, 1, &updates);
         for shards in [2usize, 4] {
-            let sharded = run(shards);
+            let sharded = drive(codec, shards, &updates);
             assert_eq!(sharded.update.samples, sequential.update.samples);
             for (a, b) in sharded
                 .update
@@ -204,7 +222,7 @@ fn store_reports_real_savings_for_lossy_codecs() {
         CodecKind::Uniform4,
         CodecKind::TopK { permille: 125 },
     ] {
-        let report = run_hierarchical_with_codec(CONFIG, &updates, codec).expect("codec runtime");
+        let report = drive(codec, 1, &updates);
         let stats = report.store_stats;
         assert!(stats.encoded_puts > 0, "{codec} stored nothing compressed");
         assert!(

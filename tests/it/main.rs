@@ -1,4 +1,4 @@
-//! Entry point binding the ten integration suites into one test binary.
+//! Entry point binding the eleven integration suites into one test binary.
 
 mod algorithms;
 mod codec;
@@ -9,4 +9,5 @@ mod placement_routing;
 mod platform_vs_baselines;
 mod runtime_inprocess;
 mod serverless_substrate;
+mod session;
 mod workspace_smoke;

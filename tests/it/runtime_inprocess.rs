@@ -1,9 +1,10 @@
-//! The in-process threaded runtime produces exactly the FedAvg result.
+//! The in-process threaded runtime produces exactly the FedAvg result,
+//! driven through the unified `Session` API.
 
-use lifl_core::runtime::{run_hierarchical, HierarchicalRunConfig};
+use lifl_core::session::{SessionBuilder, Update};
 use lifl_fl::aggregate::{fedavg, ModelUpdate};
 use lifl_fl::DenseModel;
-use lifl_types::ClientId;
+use lifl_types::{ClientId, Topology};
 
 fn updates(n: usize, dim: usize, seed: f32) -> Vec<ModelUpdate> {
     (0..n)
@@ -20,16 +21,22 @@ fn updates(n: usize, dim: usize, seed: f32) -> Vec<ModelUpdate> {
         .collect()
 }
 
+fn drive(topology: Topology, updates: &[ModelUpdate]) -> ModelUpdate {
+    let mut session = SessionBuilder::new()
+        .topology(topology)
+        .build()
+        .expect("session");
+    session
+        .ingest_all(updates.iter().cloned().map(Update::Dense))
+        .expect("ingest");
+    session.drive().expect("drive").update
+}
+
 #[test]
 fn hierarchy_of_threads_matches_flat_fedavg() {
     for (leaves, per_leaf) in [(2usize, 2usize), (4, 2), (3, 3), (8, 2)] {
         let updates = updates(leaves * per_leaf, 32, 0.5);
-        let config = HierarchicalRunConfig {
-            leaves,
-            updates_per_leaf: per_leaf,
-            aggregation_shards: 1,
-        };
-        let hierarchical = run_hierarchical(config, &updates).expect("runtime");
+        let hierarchical = drive(Topology::two_level(leaves, per_leaf), &updates);
         let flat = fedavg(&updates).expect("fedavg");
         assert_eq!(hierarchical.samples, flat.samples);
         for (a, b) in hierarchical
@@ -44,17 +51,29 @@ fn hierarchy_of_threads_matches_flat_fedavg() {
 }
 
 #[test]
+fn deep_hierarchies_match_flat_fedavg() {
+    // 3 and 4 levels: the shapes the pre-session API could not express.
+    for fan_ins in [vec![2usize, 2, 2], vec![2, 2, 2, 2], vec![3, 2, 3]] {
+        let topology = Topology::new(fan_ins.clone()).expect("topology");
+        let updates = updates(topology.total_updates(), 32, -0.25);
+        let hierarchical = drive(topology, &updates);
+        let flat = fedavg(&updates).expect("fedavg");
+        assert_eq!(hierarchical.samples, flat.samples, "{fan_ins:?}");
+        for (a, b) in hierarchical
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{fan_ins:?}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
 fn larger_payloads_still_aggregate_correctly() {
     let updates = updates(4, 4096, -1.0);
-    let result = run_hierarchical(
-        HierarchicalRunConfig {
-            leaves: 2,
-            updates_per_leaf: 2,
-            aggregation_shards: 1,
-        },
-        &updates,
-    )
-    .expect("runtime");
+    let result = drive(Topology::two_level(2, 2), &updates);
     assert_eq!(result.model.dim(), 4096);
     assert!(result.model.l2_norm() > 0.0);
 }
