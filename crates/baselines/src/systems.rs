@@ -49,6 +49,7 @@ pub fn no_hierarchy_profile(mut cluster: ClusterConfig) -> PlatformProfile {
         warm_across_rounds: true,
         codec: lifl_types::CodecKind::Identity,
         aggregation_shards: 1,
+        max_interior_fan_in: 0,
         cluster,
     }
 }

@@ -1,0 +1,697 @@
+//! Multi-node session federation over [`Update::RemoteBytes`]: N in-process
+//! [`Session`]s composed gateway-to-gateway into one cluster-spanning
+//! aggregation tree.
+//!
+//! The unified session API (see [`crate::session`]) drives an N-level tree
+//! inside one process. LIFL's headline claim, however, is hierarchical
+//! aggregation that spans *machines*: each node runs its own subtree over its
+//! own shared-memory store, and only the node's merged intermediate crosses
+//! the network — in its codec-tagged wire form, never re-expanded to dense
+//! parameters. [`Cluster`] is that deployment in process form:
+//!
+//! * [`ClusterBuilder`] splits a configured global [`Topology`] at its top
+//!   level: the top fan-in is the machine count, and every node runs the
+//!   remaining levels as its own [`Session`] (placed into the global tree via
+//!   [`SessionBuilder::tree_position`], so per-position codec streams match a
+//!   single session over the whole tree bit-for-bit).
+//! * [`Cluster::ingest`] routes each leaf ingest to the owning node with the
+//!   same round-robin rule a single session uses, applying per-client
+//!   error-feedback encoding once at the cluster ingress.
+//! * [`Cluster::drive`] drives every node subtree, exports each merged
+//!   update as wire bytes ([`Session::drive_to_wire`] — zero-copy, no
+//!   intermediate `DenseModel`), ships it to the parent session's gateway as
+//!   [`Update::RemoteBytes`] (header-only parsing on arrival) and prices the
+//!   hop through the `lifl-dataplane` transport cost models.
+//!
+//! A cluster round is **bit-exact** with the equivalent single-session
+//! [`Session::drive`] for every codec (enforced by the `tests/it/cluster.rs`
+//! tier), so federating over machines changes where bytes live and what the
+//! hops cost — never the aggregate.
+
+use crate::session::{Session, SessionBuilder, Update, WireExport};
+use lifl_dataplane::{CostModel, DataPlaneKind, TransferCost};
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::codec::{ErrorFeedback, UpdateCodec};
+use lifl_shmem::{BufferPool, StoreStats};
+use lifl_types::{ClientId, CodecKind, LiflError, NodeId, Result, SimDuration, Topology};
+
+/// Builds a [`Cluster`]: the global tree, codec, shard count, seed, hop cost
+/// model and the node hosting the global top, with working defaults.
+///
+/// ```
+/// use lifl_core::cluster::ClusterBuilder;
+/// use lifl_types::{CodecKind, Topology};
+///
+/// // A 3-level global tree whose top fan-in is the machine count: 4 nodes
+/// // each drive a [2, 2] subtree, and node 0 hosts the global top.
+/// let cluster = ClusterBuilder::new()
+///     .topology(Topology::new(vec![2, 2, 4]).unwrap())
+///     .codec(CodecKind::Uniform8)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cluster.nodes(), 4);
+/// assert_eq!(cluster.subtree().levels(), 2);
+/// assert_eq!(cluster.topology().total_updates(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    topology: Topology,
+    codec: CodecKind,
+    shards: usize,
+    seed: u64,
+    top_node: usize,
+    cost: CostModel,
+    dataplane: DataPlaneKind,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// A builder with the session defaults: the classic 4×2 two-level tree
+    /// split into 4 single-leaf nodes, [`CodecKind::Identity`], one shard,
+    /// the paper-calibrated hop cost model, LIFL's shared-memory data plane
+    /// for same-node hops, and the global top hosted on node 0.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            topology: Topology::default(),
+            codec: CodecKind::Identity,
+            shards: 1,
+            seed: 0x5EED,
+            top_node: 0,
+            cost: CostModel::paper_calibrated(),
+            dataplane: DataPlaneKind::LiflSharedMemory,
+        }
+    }
+
+    /// Sets the global aggregation-tree shape. The top level's fan-in is the
+    /// machine count; every node drives the remaining levels in process.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Convenience mirroring the hierarchy planner's sizing rule (§5.2):
+    /// plans each node's subtree with [`Topology::for_load_capped`] for an
+    /// even share of `total_updates` across `nodes` machines, then appends
+    /// the cross-machine top level.
+    ///
+    /// Like the planner, the built tree covers *at least* `total_updates`:
+    /// when the load does not divide evenly, per-node shares round up, and a
+    /// round must still fill the tree exactly —
+    /// [`Cluster::drive`] aggregates `cluster.topology().total_updates()`
+    /// updates, which may exceed the `total_updates` planned for (pad with
+    /// real ingests, as the planner's under-filled leaves do).
+    pub fn for_load(
+        mut self,
+        total_updates: usize,
+        leaf_fan_in: usize,
+        max_interior_fan_in: usize,
+        nodes: usize,
+    ) -> Self {
+        let nodes = nodes.max(1);
+        let per_node = total_updates.max(1).div_ceil(nodes);
+        let subtree = Topology::for_load_capped(per_node, leaf_fan_in, max_interior_fan_in);
+        let mut fan_in = subtree.fan_ins().to_vec();
+        fan_in.push(nodes);
+        self.topology = Topology::new(fan_in).expect("per-node subtree fans are nonzero");
+        self
+    }
+
+    /// Sets the wire codec every update — and every inter-node hop — travels
+    /// with.
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Sets the per-aggregator shard count on every node (see
+    /// [`SessionBuilder::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Seeds the cluster-ingress error-feedback encoder (per-aggregator
+    /// codec streams derive from tree positions, exactly as in a single
+    /// session with the same seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Picks which node hosts the global top aggregator (the paper places it
+    /// on the most loaded node so the largest intermediate never crosses
+    /// machines; the default is node 0). That node's hop is priced as an
+    /// intra-node shared-memory transfer instead of a network transfer.
+    pub fn top_node(mut self, node: usize) -> Self {
+        self.top_node = node;
+        self
+    }
+
+    /// Injects the transport cost model every hop is priced through.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the data plane same-node hops cross (remote hops always price as
+    /// network transfers).
+    pub fn dataplane(mut self, dataplane: DataPlaneKind) -> Self {
+        self.dataplane = dataplane;
+        self
+    }
+
+    /// Builds the cluster: one child session per node (each with its own
+    /// gateway and shared-memory store, all recycling scratch through one
+    /// shared [`BufferPool`]) plus the parent session hosting the global
+    /// top.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] if the global topology is flat
+    /// (a cluster needs a top level to split off), the configured top node
+    /// lies outside the machine count, or the codec configuration is
+    /// invalid.
+    pub fn build(self) -> Result<Cluster> {
+        let Some((subtree, nodes)) = self.topology.split_top() else {
+            return Err(LiflError::InvalidConfig(format!(
+                "cluster federation needs at least two levels to split \
+                 gateway-to-gateway, got {}",
+                self.topology
+            )));
+        };
+        if self.top_node >= nodes {
+            return Err(LiflError::InvalidConfig(format!(
+                "top node {} outside the cluster's {nodes} nodes",
+                self.top_node
+            )));
+        }
+        let pool = BufferPool::new();
+        let children = (0..nodes)
+            .map(|k| {
+                SessionBuilder::new()
+                    .topology(subtree.clone())
+                    .codec(self.codec)
+                    .shards(self.shards)
+                    .seed(self.seed)
+                    .node(NodeId::new(k as u64))
+                    .tree_position(0, k)
+                    .pool(pool.clone())
+                    .build()
+            })
+            .collect::<Result<Vec<Session>>>()?;
+        let parent = SessionBuilder::new()
+            .topology(Topology::flat(nodes))
+            .codec(self.codec)
+            .shards(self.shards)
+            .seed(self.seed)
+            .node(NodeId::new(self.top_node as u64))
+            .tree_position(subtree.levels(), 0)
+            .pool(pool.clone())
+            .build()?;
+        let feedback = ErrorFeedback::new(
+            UpdateCodec::with_seed(self.codec, self.seed).with_pool(pool.clone()),
+        );
+        Ok(Cluster {
+            topology: self.topology,
+            subtree,
+            codec: self.codec,
+            top_node: self.top_node,
+            cost: self.cost,
+            dataplane: self.dataplane,
+            children,
+            parent,
+            feedback,
+            pool,
+            ingested: 0,
+            lifetime_ingested: 0,
+        })
+    }
+}
+
+/// One priced gateway-to-gateway hop of a driven cluster round.
+#[derive(Debug, Clone)]
+pub struct ClusterHop {
+    /// The node whose merged intermediate crossed to the top.
+    pub node: NodeId,
+    /// Payload bytes the hop put on the data plane (codec-encoded form; the
+    /// 16-byte descriptor rides the control channel).
+    pub wire_bytes: u64,
+    /// Whether the hop stayed on the top-hosting node (shared memory) or
+    /// crossed the network.
+    pub same_node: bool,
+    /// The modelled transport cost of the hop.
+    pub cost: TransferCost,
+}
+
+/// What one node's subtree contributed to a driven cluster round.
+#[derive(Debug, Clone)]
+pub struct NodeRoundReport {
+    /// The node.
+    pub node: NodeId,
+    /// The node store's statistics at the end of the round.
+    pub store_stats: StoreStats,
+    /// Data-plane payload bytes the node's leaf ingests occupied.
+    pub ingress_wire_bytes: u64,
+    /// Client updates the node's subtree aggregated.
+    pub updates_ingested: u64,
+}
+
+/// Everything a driven cluster round produced.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The aggregated global model (decoded once, at the global top).
+    pub update: ModelUpdate,
+    /// The global tree the round ran over.
+    pub topology: Topology,
+    /// Per-node subtree accounting, in node order.
+    pub nodes: Vec<NodeRoundReport>,
+    /// Every gateway-to-gateway hop, in node order, priced through the
+    /// cluster's transport cost model.
+    pub hops: Vec<ClusterHop>,
+    /// The top-hosting node store's statistics at the end of the round.
+    pub top_store_stats: StoreStats,
+}
+
+impl ClusterReport {
+    /// Total client updates the round aggregated.
+    pub fn updates_ingested(&self) -> u64 {
+        self.nodes.iter().map(|n| n.updates_ingested).sum()
+    }
+
+    /// Payload bytes that actually crossed machines (same-node hops stay in
+    /// shared memory and are excluded).
+    pub fn inter_node_wire_bytes(&self) -> u64 {
+        self.hops
+            .iter()
+            .filter(|h| !h.same_node)
+            .map(|h| h.wire_bytes)
+            .sum()
+    }
+
+    /// Modelled wall-clock cost of the round's *remote* hops when the top
+    /// node's gateway serialises arrivals one update at a time (§4.2),
+    /// exactly the contention rule the simulated platform applies at its top
+    /// stage — the top-hosting node's own intermediate arrives over shared
+    /// memory concurrently and is excluded.
+    pub fn serialized_hop_latency(&self) -> SimDuration {
+        self.hops
+            .iter()
+            .filter(|h| !h.same_node)
+            .map(|h| h.cost.latency)
+            .fold(SimDuration::ZERO, |acc, l| acc + l)
+    }
+}
+
+/// N in-process sessions composed gateway-to-gateway over
+/// [`Update::RemoteBytes`] into one cluster-spanning aggregation tree: the
+/// multi-node deployment of the unified session API.
+///
+/// A cluster is reusable across rounds exactly like a [`Session`]: after
+/// [`Cluster::drive`] returns (or fails, discarding the round on every
+/// node), the next round's ingests begin immediately, and per-client
+/// error-feedback residuals persist at the cluster ingress.
+///
+/// ```
+/// use lifl_core::cluster::ClusterBuilder;
+/// use lifl_core::session::Update;
+/// use lifl_fl::DenseModel;
+/// use lifl_types::{ClientId, Topology};
+///
+/// // Two nodes, each driving a [2, 2] subtree of the global [2, 2, 2] tree.
+/// let mut cluster = ClusterBuilder::new()
+///     .topology(Topology::new(vec![2, 2, 2]).unwrap())
+///     .build()
+///     .unwrap();
+/// for i in 0..8u64 {
+///     let model = DenseModel::from_vec(vec![i as f32; 16]);
+///     cluster
+///         .ingest(Update::dense(ClientId::new(i), model, i + 1))
+///         .unwrap();
+/// }
+/// let report = cluster.drive().unwrap();
+/// assert_eq!(report.update.samples, (1..=8).sum::<u64>());
+/// assert_eq!(report.hops.len(), 2);
+/// // Node 0 hosts the top: only node 1's intermediate crossed machines.
+/// assert!(report.hops[0].same_node && !report.hops[1].same_node);
+/// assert_eq!(report.inter_node_wire_bytes(), 16 * 4);
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    topology: Topology,
+    subtree: Topology,
+    codec: CodecKind,
+    top_node: usize,
+    cost: CostModel,
+    dataplane: DataPlaneKind,
+    children: Vec<Session>,
+    parent: Session,
+    feedback: ErrorFeedback,
+    pool: BufferPool,
+    ingested: u64,
+    lifetime_ingested: u64,
+}
+
+impl Cluster {
+    /// The global tree this cluster aggregates over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The per-node subtree every child session drives.
+    pub fn subtree(&self) -> &Topology {
+        &self.subtree
+    }
+
+    /// The wire codec in use.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    /// Number of nodes (child sessions) in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The per-node child sessions, in node order (read-only observability;
+    /// ingests must go through [`Cluster::ingest`] so routing and
+    /// error-feedback state stay consistent).
+    pub fn node_sessions(&self) -> &[Session] {
+        &self.children
+    }
+
+    /// The scratch-buffer pool shared by every session's codecs.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Updates ingested into the current (not yet driven) round.
+    pub fn pending_updates(&self) -> u64 {
+        self.ingested
+    }
+
+    /// The cluster-wide ingress: routes the update to the node owning the
+    /// next leaf, with the exact round-robin rule a single session over the
+    /// global tree applies (update *k* of a round feeds global leaf
+    /// `k % leaves`, and each node owns a contiguous block of leaves).
+    ///
+    /// Under a lossy codec, dense ingests are encoded once here — with
+    /// per-client error feedback seeded like a single session's ingress — so
+    /// child sessions store the compressed form as-is and the cluster stays
+    /// bit-exact with its single-session equivalent.
+    ///
+    /// # Errors
+    /// Same conditions as [`Session::ingest`]. A failed ingest counts
+    /// nothing toward the round.
+    pub fn ingest(&mut self, update: Update) -> Result<()> {
+        if self.ingested as usize >= self.topology.total_updates() {
+            return Err(LiflError::InvalidConfig(format!(
+                "cluster round is full: topology aggregates {} updates",
+                self.topology.total_updates()
+            )));
+        }
+        let leaf = (self.ingested as usize) % self.topology.leaves();
+        let node = leaf / self.subtree.leaves();
+        // One attribution rule for every representation and node: anonymous
+        // updates take the *cluster*-lifetime arrival index, so residual
+        // slots and fallback ids match the single-session equivalent.
+        let fallback = ClientId::new(self.lifetime_ingested);
+        let update = match update {
+            Update::Dense(mut dense) => {
+                dense.client.get_or_insert(fallback);
+                if self.codec.is_lossless() {
+                    Update::Dense(dense)
+                } else {
+                    let client = dense.client.expect("attributed above");
+                    let samples = dense.samples;
+                    self.feedback.encode_update(client, dense.model, samples)
+                }
+            }
+            Update::Encoded {
+                client,
+                update,
+                samples,
+            } => Update::Encoded {
+                client: Some(client.unwrap_or(fallback)),
+                update,
+                samples,
+            },
+            other => other,
+        };
+        let outcome = self.children[node].ingest(update);
+        if outcome.is_ok() {
+            self.ingested += 1;
+            self.lifetime_ingested += 1;
+        }
+        outcome
+    }
+
+    /// Ingests a batch of updates in order (see [`Cluster::ingest`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`Cluster::ingest`]; updates before the failing
+    /// one stay ingested.
+    pub fn ingest_all(&mut self, updates: impl IntoIterator<Item = Update>) -> Result<()> {
+        for update in updates {
+            self.ingest(update)?;
+        }
+        Ok(())
+    }
+
+    /// Drives the round across every node: each child session drives its
+    /// subtree and exports the merged update as codec-tagged wire bytes
+    /// ([`Session::drive_to_wire`] — no intermediate `DenseModel`); the
+    /// parent gateway ingests each export via [`Update::RemoteBytes`]
+    /// (header-only parsing, the arriving buffer is stored as-is) and the
+    /// global top folds them in node order, so results are deterministic —
+    /// and bit-exact with a single session over the global tree.
+    ///
+    /// Every hop is priced through the cluster's [`CostModel`]: a network
+    /// transfer for remote nodes, a shared-memory transfer for the node
+    /// hosting the top.
+    ///
+    /// # Errors
+    /// Fails if the ingested updates do not exactly fill the global tree
+    /// (the round is kept and can be topped up), or on any store, codec or
+    /// aggregation error — in which case the round is discarded on every
+    /// node and the cluster is reset to an empty round.
+    pub fn drive(&mut self) -> Result<ClusterReport> {
+        self.topology.validate(self.ingested as usize)?;
+        match self.drive_hops() {
+            Ok(report) => {
+                self.ingested = 0;
+                Ok(report)
+            }
+            Err(error) => {
+                self.abort_round();
+                Err(error)
+            }
+        }
+    }
+
+    /// Runs the export → hop → parent-fold pipeline over every node.
+    fn drive_hops(&mut self) -> Result<ClusterReport> {
+        let mut hops = Vec::with_capacity(self.children.len());
+        let mut nodes = Vec::with_capacity(self.children.len());
+        for (k, child) in self.children.iter_mut().enumerate() {
+            let node = NodeId::new(k as u64);
+            let export: WireExport = child.drive_to_wire()?;
+            let wire_bytes = export.wire_bytes();
+            let same_node = k == self.top_node;
+            let cost = self
+                .cost
+                .hop_transfer(same_node, self.dataplane, wire_bytes);
+            nodes.push(NodeRoundReport {
+                node,
+                store_stats: export.store_stats,
+                ingress_wire_bytes: export.ingress_wire_bytes,
+                updates_ingested: export.updates_ingested,
+            });
+            self.parent.ingest(export.update)?;
+            hops.push(ClusterHop {
+                node,
+                wire_bytes,
+                same_node,
+                cost,
+            });
+        }
+        let report = self.parent.drive()?;
+        Ok(ClusterReport {
+            update: report.update,
+            topology: self.topology.clone(),
+            nodes,
+            hops,
+            top_store_stats: report.store_stats,
+        })
+    }
+
+    /// Discards the round on every node (failed drives already reset the
+    /// failing session; this sweeps the survivors and the parent).
+    fn abort_round(&mut self) {
+        for child in &mut self.children {
+            child.discard_round();
+        }
+        self.parent.discard_round();
+        self.ingested = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifl_fl::aggregate::fedavg;
+    use lifl_fl::DenseModel;
+
+    fn updates(n: usize, dim: usize) -> Vec<ModelUpdate> {
+        (0..n)
+            .map(|i| {
+                let values: Vec<f32> = (0..dim)
+                    .map(|d| ((i * dim + d * 5) % 97) as f32 * 0.04 - 1.9)
+                    .collect();
+                ModelUpdate::from_client(
+                    ClientId::new(i as u64),
+                    DenseModel::from_vec(values),
+                    (i + 1) as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_topology_cannot_federate() {
+        assert!(ClusterBuilder::new()
+            .topology(Topology::flat(4))
+            .build()
+            .is_err());
+        assert!(ClusterBuilder::new().top_node(9).build().is_err());
+    }
+
+    #[test]
+    fn identity_cluster_matches_flat_fedavg() {
+        let topology = Topology::new(vec![2, 2, 2]).unwrap();
+        let batch = updates(topology.total_updates(), 24);
+        let mut cluster = ClusterBuilder::new()
+            .topology(topology.clone())
+            .build()
+            .unwrap();
+        assert_eq!(cluster.nodes(), 2);
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let report = cluster.drive().unwrap();
+        let flat = fedavg(&batch).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        assert_eq!(report.updates_ingested(), 8);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // Every node contributed half the round through its own store.
+        assert_eq!(report.nodes.len(), 2);
+        for node in &report.nodes {
+            assert_eq!(node.updates_ingested, 4);
+        }
+        // One hop stayed on the top node, one crossed the network.
+        assert_eq!(report.hops.len(), 2);
+        assert!(report.hops[0].same_node);
+        assert!(!report.hops[1].same_node);
+        assert!(report.hops[1].cost.latency > report.hops[0].cost.latency);
+        assert_eq!(report.inter_node_wire_bytes(), 24 * 4);
+        assert!(report.serialized_hop_latency() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quantized_hops_cross_fewer_bytes() {
+        let topology = Topology::new(vec![2, 2, 3]).unwrap();
+        let batch = updates(topology.total_updates(), 256);
+        let run = |codec: CodecKind| {
+            let mut cluster = ClusterBuilder::new()
+                .topology(topology.clone())
+                .codec(codec)
+                .build()
+                .unwrap();
+            cluster
+                .ingest_all(batch.iter().cloned().map(Update::Dense))
+                .unwrap();
+            cluster.drive().unwrap()
+        };
+        let dense = run(CodecKind::Identity);
+        let quantized = run(CodecKind::Uniform8);
+        assert!(quantized.inter_node_wire_bytes() * 3 < dense.inter_node_wire_bytes());
+        assert!(quantized.serialized_hop_latency() < dense.serialized_hop_latency());
+        // The compressed form is what the top node's store received.
+        assert!(quantized.top_store_stats.encoded_puts > 0);
+        assert_eq!(dense.top_store_stats.encoded_puts, 0);
+    }
+
+    #[test]
+    fn clusters_are_reusable_and_stores_stay_bounded() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .codec(CodecKind::Uniform4)
+            .build()
+            .unwrap();
+        let batch = updates(8, 64);
+        for _ in 0..3 {
+            cluster
+                .ingest_all(batch.iter().cloned().map(Update::Dense))
+                .unwrap();
+            let report = cluster.drive().unwrap();
+            assert_eq!(report.updates_ingested(), 8);
+            assert_eq!(cluster.pending_updates(), 0);
+        }
+        for session in cluster.node_sessions() {
+            assert_eq!(
+                session.store().stats().live_objects,
+                0,
+                "node rounds must not leak store objects"
+            );
+        }
+        assert!(cluster.pool().stats().hits > 0, "codec scratch was pooled");
+    }
+
+    #[test]
+    fn failed_round_is_discarded_on_every_node() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 1, 2]).unwrap())
+            .build()
+            .unwrap();
+        let batch = updates(4, 16);
+        for update in batch.iter().take(3) {
+            cluster.ingest(Update::Dense(update.clone())).unwrap();
+        }
+        // Wrong dimension on the last leaf: node 1's subtree fails mid-drive.
+        cluster
+            .ingest(Update::remote_bytes(vec![0u8; 8], 1, false))
+            .unwrap();
+        assert!(cluster.drive().is_err());
+        assert_eq!(cluster.pending_updates(), 0);
+        for session in cluster.node_sessions() {
+            assert_eq!(session.store().stats().live_objects, 0);
+        }
+        // A fresh, fully valid round drives cleanly.
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        assert!(cluster.drive().is_ok());
+    }
+
+    #[test]
+    fn for_load_builds_the_planner_shape() {
+        let cluster = ClusterBuilder::new().for_load(40, 2, 0, 4).build().unwrap();
+        // 10 updates per node at fan-in 2: a [2, 5] subtree per node.
+        assert_eq!(cluster.nodes(), 4);
+        assert_eq!(cluster.subtree(), &Topology::two_level(5, 2));
+        // A capped interior fan-in grows deeper per-node subtrees.
+        let deep = ClusterBuilder::new().for_load(64, 2, 4, 2).build().unwrap();
+        assert!(deep.subtree().levels() > 2);
+    }
+}

@@ -83,7 +83,7 @@ impl Gateway {
                 encoded,
             } => {
                 if *encoded {
-                    self.ingest_remote_encoded(target, wire, *weight)
+                    self.ingest_remote_encoded(target, wire.clone(), *weight)
                 } else {
                     // Headerless dense little-endian `f32` bytes, stored
                     // as-is (byte-identical to `put_f32` of the decoded
@@ -151,23 +151,27 @@ impl Gateway {
     }
 
     /// Ingests a codec-encoded intermediate arriving from a remote gateway.
+    /// The arriving buffer is stored as-is: pass shared `Bytes` (as a
+    /// cluster hop does) and zero model-sized copies are made.
     ///
     /// # Errors
     /// Fails if the shared-memory store cannot hold the payload.
     pub fn ingest_remote_encoded(
         &mut self,
         target: AggregatorId,
-        wire: &[u8],
+        wire: impl Into<bytes::Bytes>,
         weight: u64,
     ) -> Result<QueuedUpdate> {
+        let wire = wire.into();
         // Only the 16-byte descriptor needs parsing here; the payload is
         // validated in place (no body copy) and stored as-is.
-        let dense_bytes = EncodedView::parse(wire)?.dim() as u64 * 4;
-        let key = self.store.put_encoded(wire.to_vec(), dense_bytes)?;
+        let dense_bytes = EncodedView::parse(&wire)?.dim() as u64 * 4;
+        let wire_len = wire.len() as u64;
+        let key = self.store.put_encoded(wire, dense_bytes)?;
         let queued = QueuedUpdate::intermediate(key, weight).encoded();
         self.deliver(target, queued);
         self.ingested_updates += 1;
-        self.ingested_bytes += wire.len() as u64;
+        self.ingested_bytes += wire_len;
         Ok(queued)
     }
 
@@ -310,7 +314,7 @@ mod tests {
         // Cross-node: the compressed bytes travel, the remote store stays compressed.
         let wire = gw_a.forward_remote_bytes(&queued).unwrap();
         assert_eq!(wire.len() as u64, encoded.stored_bytes());
-        let remote = gw_b.ingest_remote_encoded(agg_b, &wire, 5).unwrap();
+        let remote = gw_b.ingest_remote_encoded(agg_b, wire.clone(), 5).unwrap();
         assert!(remote.encoded);
         assert_eq!(inbox_b.len(), 1);
         assert!(gw_b.store().stats().encoded_puts > 0);

@@ -1,6 +1,8 @@
 //! Hierarchy-aware autoscaling (§5.2): an EWMA estimator of the pending queue
-//! length per node and a planner that builds a two-level k-ary aggregation
-//! tree on each node, sized to the estimated load.
+//! length per node and a planner that builds a k-ary aggregation tree on each
+//! node, sized to the estimated load — two-level by default as in the paper,
+//! deeper when an interior fan-in cap is configured
+//! (`LiflConfig::max_interior_fan_in`).
 
 use lifl_types::{NodeId, Topology};
 
@@ -38,34 +40,44 @@ impl EwmaEstimator {
 }
 
 /// The aggregation tree planned for one node: `leaves` leaf aggregators
-/// feeding one "central" middle aggregator (§5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// feeding the node's interior levels (§5.2 plans one "central" middle;
+/// with a capped interior fan-in, heavy nodes grow additional middle
+/// levels).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeHierarchy {
     /// The node this hierarchy lives on.
     pub node: NodeId,
     /// Number of model updates expected at this node.
     pub pending_updates: u32,
-    /// Number of leaf aggregators.
-    pub leaves: u32,
-    /// Whether a middle aggregator is needed (more than one leaf).
-    pub middle: bool,
     /// Client updates per leaf the subtree was planned with (I, §5.2).
     pub leaf_fan_in: u32,
+    /// The full subtree shape (the shape an in-process `Session` — or one
+    /// node of a `Cluster` — would instantiate for this node's load). The
+    /// leaf and middle counts derive from it, so the plan cannot hold an
+    /// inconsistent triple.
+    pub subtree: Topology,
 }
 
 impl NodeHierarchy {
-    /// Total aggregators in this node's subtree.
-    pub fn aggregators(&self) -> u32 {
-        self.leaves + u32::from(self.middle)
+    /// Number of leaf aggregators.
+    pub fn leaves(&self) -> u32 {
+        self.subtree.leaves() as u32
     }
 
-    /// This subtree as a [`Topology`] (the shape an in-process `Session`
-    /// would instantiate for the node's load): two-level when a middle
-    /// aggregator is planned, a single flat aggregator otherwise. Derived
-    /// from the same load and fan-in the plan was built with, so it always
-    /// agrees with [`NodeHierarchy::aggregators`].
+    /// Whether at least one middle aggregator is needed (more than one leaf).
+    pub fn middle(&self) -> bool {
+        self.subtree.levels() > 1
+    }
+
+    /// Total aggregators in this node's subtree (every level's width).
+    pub fn aggregators(&self) -> u32 {
+        self.subtree.aggregators() as u32
+    }
+
+    /// This subtree as a [`Topology`]. Always agrees with
+    /// [`NodeHierarchy::aggregators`] because it *is* the planned shape.
     pub fn topology(&self) -> Topology {
-        Topology::for_load(self.pending_updates as usize, self.leaf_fan_in as usize)
+        self.subtree.clone()
     }
 }
 
@@ -87,6 +99,18 @@ impl HierarchyPlan {
     /// is placed on the node with the most pending updates so that the largest
     /// intermediate never crosses nodes.
     pub fn plan(pending_per_node: &[(NodeId, u32)], leaf_fan_in: u32) -> HierarchyPlan {
+        Self::plan_capped(pending_per_node, leaf_fan_in, 0)
+    }
+
+    /// [`HierarchyPlan::plan`] with a cap on every interior aggregator's
+    /// fan-in (`LiflConfig::max_interior_fan_in`; 0 = uncapped): heavily
+    /// loaded nodes grow deeper-than-two-level subtrees instead of one wide
+    /// middle, so cross-machine rounds can run 3+ levels end to end.
+    pub fn plan_capped(
+        pending_per_node: &[(NodeId, u32)],
+        leaf_fan_in: u32,
+        max_interior_fan_in: u32,
+    ) -> HierarchyPlan {
         let mut nodes = Vec::new();
         let mut top_node = None;
         let mut top_load = 0u32;
@@ -95,14 +119,17 @@ impl HierarchyPlan {
                 continue;
             }
             // The per-node subtree shape comes from the one shared
-            // tree-sizing rule (§5.2) in `Topology::for_load`.
-            let subtree = Topology::for_load(pending as usize, leaf_fan_in as usize);
+            // tree-sizing rule (§5.2) in `Topology::for_load_capped`.
+            let subtree = Topology::for_load_capped(
+                pending as usize,
+                leaf_fan_in as usize,
+                max_interior_fan_in as usize,
+            );
             nodes.push(NodeHierarchy {
                 node,
                 pending_updates: pending,
-                leaves: subtree.leaves() as u32,
-                middle: subtree.levels() > 1,
                 leaf_fan_in,
+                subtree,
             });
             if pending > top_load || top_node.is_none() {
                 top_load = pending;
@@ -162,10 +189,10 @@ mod tests {
         assert_eq!(plan.total_updates(), 27);
         assert_eq!(plan.nodes.len(), 2);
         let n0 = plan.on_node(NodeId::new(0)).unwrap();
-        assert_eq!(n0.leaves, 10);
-        assert!(n0.middle);
+        assert_eq!(n0.leaves(), 10);
+        assert!(n0.middle());
         let n1 = plan.on_node(NodeId::new(1)).unwrap();
-        assert_eq!(n1.leaves, 4);
+        assert_eq!(n1.leaves(), 4);
         assert!(plan.on_node(NodeId::new(2)).is_none());
         // Top on the most loaded node.
         assert_eq!(plan.top_node, Some(NodeId::new(0)));
@@ -187,11 +214,29 @@ mod tests {
     }
 
     #[test]
+    fn capped_plan_grows_deep_subtrees() {
+        let pending = vec![(NodeId::new(0), 40), (NodeId::new(1), 4)];
+        let plan = HierarchyPlan::plan_capped(&pending, 2, 4);
+        let heavy = plan.on_node(NodeId::new(0)).unwrap();
+        assert!(heavy.subtree.levels() > 2, "{}", heavy.subtree);
+        assert!(heavy.subtree.fan_ins()[1..].iter().all(|f| *f <= 4));
+        assert_eq!(heavy.aggregators(), heavy.subtree.aggregators() as u32);
+        // Light nodes keep the paper's two-level (or flat) shape.
+        let light = plan.on_node(NodeId::new(1)).unwrap();
+        assert_eq!(light.subtree.levels(), 2);
+        // Uncapped planning is the classic plan.
+        assert_eq!(
+            HierarchyPlan::plan_capped(&pending, 2, 0),
+            HierarchyPlan::plan(&pending, 2)
+        );
+    }
+
+    #[test]
     fn single_leaf_needs_no_middle() {
         let plan = HierarchyPlan::plan(&[(NodeId::new(3), 2)], 2);
         let h = plan.on_node(NodeId::new(3)).unwrap();
-        assert_eq!(h.leaves, 1);
-        assert!(!h.middle);
+        assert_eq!(h.leaves(), 1);
+        assert!(!h.middle());
         assert_eq!(h.aggregators(), 1);
     }
 
@@ -205,7 +250,7 @@ mod tests {
     #[test]
     fn fan_in_of_zero_is_clamped() {
         let plan = HierarchyPlan::plan(&[(NodeId::new(0), 5)], 0);
-        assert_eq!(plan.on_node(NodeId::new(0)).unwrap().leaves, 5);
+        assert_eq!(plan.on_node(NodeId::new(0)).unwrap().leaves(), 5);
     }
 }
 
@@ -231,8 +276,8 @@ mod proptests {
             for node in &plan.nodes {
                 prop_assert!(node.pending_updates > 0);
                 // Leaves suffice for the load and never exceed it by more than one leaf.
-                prop_assert!(node.leaves * fan_in >= node.pending_updates);
-                prop_assert!((node.leaves - 1) * fan_in < node.pending_updates);
+                prop_assert!(node.leaves() * fan_in >= node.pending_updates);
+                prop_assert!((node.leaves() - 1) * fan_in < node.pending_updates);
             }
             if expected > 0 {
                 prop_assert!(plan.top_node.is_some());

@@ -18,7 +18,14 @@
 //!   builder-driven, codec-transparent in-process runtime that actually
 //!   aggregates real model parameters through shared memory over an N-level
 //!   aggregation tree (the deprecated free functions in [`runtime`] are thin
-//!   shims over it).
+//!   shims over it), and
+//! * **multi-node session federation** ([`cluster`]): N sessions composed
+//!   gateway-to-gateway over `Update::RemoteBytes`, bit-exact with the
+//!   single-session round, every hop priced through the `lifl-dataplane`
+//!   cost models.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the life of one update
+//! through these layers.
 //!
 //! ```
 //! use lifl_core::platform::{LiflPlatform, RoundSpec};
@@ -36,6 +43,7 @@
 pub mod agent;
 pub mod aggregator;
 pub mod async_round;
+pub mod cluster;
 pub mod coordinator;
 pub mod eager;
 pub mod fleet;
@@ -56,6 +64,7 @@ pub mod system;
 pub mod tag;
 
 pub use aggregator::{AggregatorRuntime, AggregatorStep};
+pub use cluster::{Cluster, ClusterBuilder, ClusterHop, ClusterReport, NodeRoundReport};
 pub use fleet::NodeFleet;
 pub use gateway_scaler::{GatewayScaleDecision, GatewayScaler, GatewayScalerConfig};
 pub use hierarchy::{EwmaEstimator, HierarchyPlan, NodeHierarchy};
@@ -68,6 +77,6 @@ pub use runtime::{
     run_hierarchical, run_hierarchical_with_codec, HierarchicalRunConfig, HierarchicalRunReport,
 };
 pub use selector::{RoundAssignment, SelectorConfig, SelectorService};
-pub use session::{Session, SessionBuilder, SessionReport, Update};
+pub use session::{Session, SessionBuilder, SessionReport, Update, WireExport};
 pub use system::AggregationSystem;
 pub use tag::{Channel, ChannelKind, Role, TopologyAbstractionGraph};

@@ -3,8 +3,9 @@
 //! [`LiflPlatform`] simulates one aggregation round at a time: client updates
 //! arrive at the cluster ingress, are load-balanced to worker nodes
 //! (locality-aware bin-packing or least-connection spreading, §5.1), flow
-//! through each node's two-level aggregation tree (§5.2) and finally reach the
-//! top aggregator that updates the global model. All data-plane and start-up
+//! through each node's aggregation subtree (two-level by default, §5.2;
+//! deeper when `max_interior_fan_in` caps the middle width) and finally reach
+//! the top aggregator that updates the global model. All data-plane and start-up
 //! costs come from the calibrated [`CostModel`]; the orchestration behaviour
 //! (placement policy, hierarchy planning, runtime reuse, eager/lazy timing,
 //! always-on provisioning) is captured by a [`PlatformProfile`] so the same
@@ -93,6 +94,12 @@ pub struct PlatformProfile {
     pub codec: CodecKind,
     /// Parameter-vector shards the fold is split across (1 = sequential).
     pub aggregation_shards: u32,
+    /// Cap on every interior aggregator's fan-in when planning node subtrees
+    /// (`LiflConfig::max_interior_fan_in`; 0 = uncapped two-level plans,
+    /// the paper shape). With a cap, heavily loaded nodes run
+    /// deeper-than-two-level subtrees and the simulated round pays an
+    /// intra-node hand-off per extra level.
+    pub max_interior_fan_in: u32,
 }
 
 impl PlatformProfile {
@@ -111,6 +118,7 @@ impl PlatformProfile {
             warm_across_rounds: true,
             codec: config.codec,
             aggregation_shards: config.aggregation_shards,
+            max_interior_fan_in: config.max_interior_fan_in,
         }
     }
 
@@ -129,6 +137,7 @@ impl PlatformProfile {
             warm_across_rounds: false,
             codec: CodecKind::Identity,
             aggregation_shards: 1,
+            max_interior_fan_in: 0,
             cluster,
         }
     }
@@ -148,6 +157,7 @@ impl PlatformProfile {
             warm_across_rounds: false,
             codec: CodecKind::Identity,
             aggregation_shards: 1,
+            max_interior_fan_in: 0,
             cluster,
         }
     }
@@ -166,6 +176,7 @@ impl PlatformProfile {
             warm_across_rounds: true,
             codec: CodecKind::Identity,
             aggregation_shards: 1,
+            max_interior_fan_in: 0,
             cluster,
         }
     }
@@ -280,7 +291,11 @@ impl LiflPlatform {
             .map(|(node, list)| (*node, list.len() as u32))
             .collect();
         pending.sort_by_key(|(node, _)| *node);
-        let plan = HierarchyPlan::plan(&pending, self.profile.leaf_fan_in);
+        let plan = HierarchyPlan::plan_capped(
+            &pending,
+            self.profile.leaf_fan_in,
+            self.profile.max_interior_fan_in,
+        );
         let top_node = plan.top_node.unwrap_or(NodeId::new(0));
 
         let startup = self.cost.startup(self.profile.system);
@@ -370,49 +385,87 @@ impl LiflPlatform {
                 leaf_finish.push(done);
             }
 
-            // Middle aggregator (only when the subtree has a second level).
-            let (node_done, node_weight) = if subtree.levels() > 1 {
-                let first_input = *leaf_outputs.iter().min().expect("at least one leaf output");
-                let (instance_ready, was_created, was_reused) = if self.profile.reuse_runtimes {
-                    // Reuse the earliest-finished leaf on this node (§5.3).
-                    let earliest = *leaf_finish.iter().min().expect("leaf finished");
-                    (earliest, false, true)
-                } else {
-                    let (ready_at, was_created) = self.instance_ready(
-                        node,
-                        first_input,
-                        round_start,
-                        &startup,
-                        &mut cpu,
-                        clock,
-                    );
-                    (ready_at, was_created, false)
-                };
-                if was_created {
-                    created += 1;
-                    aggregators_live += 1;
+            // Interior levels of the node's subtree: §5.2 plans exactly one
+            // middle; a capped plan may stack several middle levels, each
+            // consuming the previous level's intermediates in chunks of its
+            // fan-in, paying an intra-node hand-off (re-encode + transfer)
+            // between consecutive interior levels.
+            let node_done = if subtree.levels() > 1 {
+                let mut inputs = leaf_outputs;
+                let mut prev_finish = leaf_finish;
+                let mut done_at = None;
+                for level in 1..subtree.levels() {
+                    let fan_in = subtree.fan_in(level);
+                    let last_level = level + 1 == subtree.levels();
+                    let mut outputs = Vec::new();
+                    let mut finishes = Vec::new();
+                    for (idx, (chunk, finish_chunk)) in inputs
+                        .chunks(fan_in)
+                        .zip(prev_finish.chunks(fan_in))
+                        .enumerate()
+                    {
+                        let first_input = *chunk.iter().min().expect("non-empty chunk");
+                        let (instance_ready, was_created, was_reused) =
+                            if self.profile.reuse_runtimes {
+                                // Reuse the earliest-finished child of this
+                                // aggregator's chunk on this node (§5.3).
+                                let earliest = *finish_chunk.iter().min().expect("child finished");
+                                (earliest, false, true)
+                            } else {
+                                let (ready_at, was_created) = self.instance_ready(
+                                    node,
+                                    first_input,
+                                    round_start,
+                                    &startup,
+                                    &mut cpu,
+                                    clock,
+                                );
+                                (ready_at, was_created, false)
+                            };
+                        if was_created {
+                            created += 1;
+                            aggregators_live += 1;
+                        }
+                        if was_reused {
+                            reused += 1;
+                        }
+                        let done = eager::completion_time(
+                            self.profile.timing,
+                            instance_ready,
+                            chunk,
+                            agg_compute,
+                        );
+                        cpu += eager::busy_time(chunk, agg_compute);
+                        // The seed's single middle keeps its "{node}-MID"
+                        // row; deeper levels get indexed rows.
+                        let row = if level == 1 && subtree.levels() == 2 {
+                            format!("{node}-MID")
+                        } else {
+                            format!("{node}-MID{level}.{}", idx + 1)
+                        };
+                        gantt.add(row, "Agg.", first_input.max(instance_ready), done);
+                        if last_level {
+                            outputs.push(done);
+                        } else {
+                            // Hand the intermediate to the next interior
+                            // level: re-encode, then the shared-memory hop.
+                            outputs.push(done + encode_pass + intra.latency);
+                            cpu += encode_pass + intra.cpu.to_duration(clock);
+                        }
+                        finishes.push(done);
+                    }
+                    if last_level {
+                        done_at = outputs.into_iter().max();
+                        break;
+                    }
+                    inputs = outputs;
+                    prev_finish = finishes;
                 }
-                if was_reused {
-                    reused += 1;
-                }
-                let done = eager::completion_time(
-                    self.profile.timing,
-                    instance_ready,
-                    &leaf_outputs,
-                    agg_compute,
-                );
-                cpu += eager::busy_time(&leaf_outputs, agg_compute);
-                gantt.add(
-                    format!("{node}-MID"),
-                    "Agg.",
-                    first_input.max(instance_ready),
-                    done,
-                );
-                (done, node_arrivals.len() as u64)
+                done_at.expect("subtree has a final level")
             } else {
-                (leaf_outputs[0], node_arrivals.len() as u64)
+                leaf_outputs[0]
             };
-            node_outputs.push((node, node_done, node_weight));
+            node_outputs.push((node, node_done, node_arrivals.len() as u64));
         }
 
         // --- 4. Top aggregation on the designated node. ---
@@ -777,6 +830,44 @@ mod tests {
         let sharded16 = act(16);
         assert!(sharded4 < sequential, "{sharded4} !< {sequential}");
         assert!(sharded16 < sharded4, "{sharded16} !< {sharded4}");
+    }
+
+    #[test]
+    fn capped_interior_fan_in_runs_deep_cross_machine_rounds() {
+        // 60 simultaneous updates spread by SL-H-style placement would be
+        // wide; with BestFit they pack to 3 nodes of 20 updates = 10 leaves
+        // each. Capping interior fan-in at 4 stacks middle levels: each
+        // node's subtree is 3 levels, plus the cross-machine top = 4 levels
+        // end to end.
+        let spec = RoundSpec::simultaneous(ModelKind::ResNet152, 60, SimTime::ZERO);
+        let config = LiflConfig {
+            max_interior_fan_in: 4,
+            ..LiflConfig::default()
+        };
+        let mut platform = LiflPlatform::new(ClusterConfig::default(), config);
+        let report = platform.run_round(&spec);
+        assert_eq!(report.metrics.updates_aggregated, 60);
+        let deep = report
+            .plan
+            .nodes
+            .iter()
+            .find(|n| n.subtree.levels() > 2)
+            .expect("a capped heavy node plans a deep subtree");
+        assert!(deep.subtree.fan_ins()[1..].iter().all(|f| *f <= 4));
+        // The deep rounds pay for their extra levels but still complete,
+        // and the gantt shows stacked middle rows.
+        assert!(report.metrics.aggregation_completion_time.as_secs() > 0.0);
+        assert!(
+            report.gantt.rows().iter().any(|r| r.contains("-MID2.")),
+            "{:?}",
+            report.gantt.rows()
+        );
+
+        // Uncapped profiles are untouched: bit-identical to the seed plan.
+        let uncapped =
+            LiflPlatform::new(ClusterConfig::default(), LiflConfig::default()).run_round(&spec);
+        let baseline = lifl().run_round(&spec);
+        assert_eq!(uncapped.metrics, baseline.metrics);
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub struct SessionBuilder {
     shards: usize,
     seed: u64,
     node: NodeId,
+    level_offset: usize,
+    branch: usize,
     store: Option<ObjectStore>,
     pool: Option<BufferPool>,
 }
@@ -82,6 +84,8 @@ impl SessionBuilder {
             shards: 1,
             seed: DEFAULT_SEED,
             node: NodeId::new(0),
+            level_offset: 0,
+            branch: 0,
             store: None,
             pool: None,
         }
@@ -130,6 +134,44 @@ impl SessionBuilder {
         self
     }
 
+    /// Places this session's tree at a position inside a larger,
+    /// cluster-spanning tree: the session drives `branch`-th subtree of the
+    /// level-`level_offset` layer, so every aggregator identity — and with
+    /// it the deterministic per-position codec stream — matches what a
+    /// single session over the whole tree would use at the same position.
+    /// This is what makes a multi-node round composed over
+    /// [`Update::RemoteBytes`] bit-exact with its single-session equivalent
+    /// (see [`crate::cluster::ClusterBuilder`], which wires this up).
+    ///
+    /// The default `(0, 0)` places the session at the origin of its own
+    /// tree — the ordinary standalone case.
+    ///
+    /// ```
+    /// use lifl_core::session::SessionBuilder;
+    /// use lifl_types::{NodeId, Topology};
+    ///
+    /// // Node 1 of a cluster drives the second [2, 2] subtree of a global
+    /// // [2, 2, 4] tree; a parent session at level 2 folds the node exports.
+    /// let child = SessionBuilder::new()
+    ///     .topology(Topology::new(vec![2, 2]).unwrap())
+    ///     .node(NodeId::new(1))
+    ///     .tree_position(0, 1)
+    ///     .build()
+    ///     .unwrap();
+    /// let parent = SessionBuilder::new()
+    ///     .topology(Topology::flat(4))
+    ///     .tree_position(2, 0)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(child.topology().total_updates(), 4);
+    /// assert_eq!(parent.topology().total_updates(), 4);
+    /// ```
+    pub fn tree_position(mut self, level_offset: usize, branch: usize) -> Self {
+        self.level_offset = level_offset;
+        self.branch = branch;
+        self
+    }
+
     /// Injects a shared-memory object store (e.g. one shared with other
     /// components on the node) instead of creating a fresh one.
     pub fn store(mut self, store: ObjectStore) -> Self {
@@ -161,8 +203,14 @@ impl SessionBuilder {
         let store = self.store.unwrap_or_default();
         let pool = self.pool.unwrap_or_default();
         let mut gateway = Gateway::new(self.node, store.clone());
-        let leaf_inboxes: Vec<InPlaceQueue> = (0..self.topology.leaves())
-            .map(|j| gateway.register_aggregator(Session::aggregator_id(0, j)))
+        let leaves = self.topology.leaves();
+        let leaf_inboxes: Vec<InPlaceQueue> = (0..leaves)
+            .map(|j| {
+                gateway.register_aggregator(crate::aggregator::position_id(
+                    self.level_offset,
+                    self.branch * leaves + j,
+                ))
+            })
             .collect();
         let feedback = ErrorFeedback::new(
             UpdateCodec::with_seed(self.codec, self.seed).with_pool(pool.clone()),
@@ -171,6 +219,8 @@ impl SessionBuilder {
             topology: self.topology,
             codec: self.codec,
             shards: self.shards,
+            level_offset: self.level_offset,
+            branch: self.branch,
             store,
             pool,
             gateway,
@@ -201,6 +251,34 @@ pub struct SessionReport {
     pub updates_ingested: u64,
     /// The tree the round ran over.
     pub topology: Topology,
+}
+
+/// One driven round exported in wire form for a cluster hop: what a node's
+/// gateway ships to the parent gateway instead of a decoded model.
+#[derive(Debug, Clone)]
+pub struct WireExport {
+    /// The merged subtree update as [`Update::RemoteBytes`]: a zero-copy
+    /// handle onto the session store's top intermediate — the
+    /// self-describing encoded form under a lossy codec, headerless
+    /// little-endian `f32` otherwise — ready for the parent session's
+    /// [`Session::ingest`].
+    pub update: Update,
+    /// Object-store statistics at the end of the round.
+    pub store_stats: StoreStats,
+    /// Total data-plane payload bytes the round's ingests occupied in wire
+    /// form.
+    pub ingress_wire_bytes: u64,
+    /// Updates ingested into the round.
+    pub updates_ingested: u64,
+}
+
+impl WireExport {
+    /// Payload bytes this export puts on the inter-node wire (the 16-byte
+    /// descriptor of an encoded export rides the control channel and is
+    /// excluded, consistent with [`Update::wire_bytes`]).
+    pub fn wire_bytes(&self) -> u64 {
+        self.update.wire_bytes()
+    }
 }
 
 /// One in-process aggregation session: the gateway, the shared-memory store,
@@ -235,6 +313,10 @@ pub struct Session {
     topology: Topology,
     codec: CodecKind,
     shards: usize,
+    /// The session's position inside a larger cluster-spanning tree (see
+    /// [`SessionBuilder::tree_position`]); `(0, 0)` for standalone sessions.
+    level_offset: usize,
+    branch: usize,
     store: ObjectStore,
     pool: BufferPool,
     gateway: Gateway,
@@ -252,10 +334,16 @@ pub struct Session {
 }
 
 impl Session {
-    /// The aggregator identity at position (`level`, `index`) of the tree
-    /// (the packing shared with [`AggregatorRuntime::for_level`]).
-    fn aggregator_id(level: usize, index: usize) -> lifl_types::AggregatorId {
-        crate::aggregator::position_id(level, index)
+    /// The aggregator identity at local position (`level`, `index`) of this
+    /// session's tree, mapped into the enclosing cluster-spanning tree via
+    /// the configured [`SessionBuilder::tree_position`] (identity for
+    /// standalone sessions; the packing is shared with
+    /// [`AggregatorRuntime::for_level`]).
+    fn aggregator_id(&self, level: usize, index: usize) -> lifl_types::AggregatorId {
+        crate::aggregator::position_id(
+            level + self.level_offset,
+            self.branch * self.topology.width(level) + index,
+        )
     }
 
     /// The tree this session aggregates over.
@@ -310,7 +398,7 @@ impl Session {
                 self.topology.total_updates()
             )));
         }
-        let target = Self::aggregator_id(0, (self.ingested as usize) % self.topology.leaves());
+        let target = self.aggregator_id(0, (self.ingested as usize) % self.topology.leaves());
         // One attribution rule for every representation: anonymous updates
         // take the session-lifetime arrival index, so residual slots never
         // alias across rounds and the codec choice cannot change attribution.
@@ -395,6 +483,32 @@ impl Session {
         report
     }
 
+    /// Drives the configured tree to completion like [`Session::drive`], but
+    /// exports the merged update as codec-tagged wire bytes instead of
+    /// decoding it — the transmit half of a cluster hop. No intermediate
+    /// [`DenseModel`] is materialised: the returned [`Update::RemoteBytes`]
+    /// shares the store's top-intermediate buffer (the store's objects are
+    /// immutable, so the handle stays valid after the round's objects are
+    /// recycled), and the parent gateway ingests it with header-only
+    /// parsing.
+    ///
+    /// # Errors
+    /// Same conditions as [`Session::drive`].
+    pub fn drive_to_wire(&mut self) -> Result<WireExport> {
+        self.topology.validate(self.ingested as usize)?;
+        let outcome = self.drive_tree().and_then(|result| {
+            let object = self.store.get(&result.key)?;
+            Ok(WireExport {
+                update: Update::remote_bytes(object.bytes(), result.weight, result.encoded),
+                store_stats: self.store.stats(),
+                ingress_wire_bytes: self.ingress_wire_bytes,
+                updates_ingested: self.ingested,
+            })
+        });
+        self.reset_round();
+        outcome
+    }
+
     /// Runs the tree to completion and decodes the top's intermediate.
     fn drive_and_decode(&mut self) -> Result<(DenseModel, u64)> {
         let result = self.drive_tree()?;
@@ -457,6 +571,17 @@ impl Session {
             .ok_or_else(|| LiflError::Simulation("top level produced no output".to_string()))
     }
 
+    /// Discards the current (not yet driven) round: every ingested update is
+    /// dropped, its store objects are recycled and the counters are zeroed,
+    /// leaving the session ready for a fresh round. Per-client
+    /// error-feedback residuals are kept — the discarded round's loss is
+    /// re-absorbed if the clients keep sending, exactly as after a failed
+    /// [`Session::drive`]. Used by a cluster coordinator to abort sibling
+    /// nodes' rounds when one node's drive fails.
+    pub fn discard_round(&mut self) {
+        self.reset_round();
+    }
+
     /// Returns the session to an empty round: drains whatever a failed (or
     /// finished) round left in the leaf inboxes, recycles every store object
     /// the round created (only this round's keys — an injected shared store's
@@ -487,10 +612,11 @@ impl Session {
                     let store = self.store.clone();
                     let inbox = inbox.clone();
                     // Deterministic, position-unique codec stream (the same
-                    // (level, index) packing as the aggregator identity):
-                    // leaves draw from seed = index, exactly the streams of
-                    // the pre-redesign codec path.
-                    let seed = Self::aggregator_id(level, index).index();
+                    // (level, index) packing as the aggregator identity,
+                    // mapped into the enclosing cluster tree): leaves of a
+                    // standalone session draw from seed = index, exactly the
+                    // streams of the pre-redesign codec path.
+                    let seed = self.aggregator_id(level, index).index();
                     let agg_codec =
                         UpdateCodec::with_seed(codec, seed).with_pool(self.pool.clone());
                     scope.spawn(move || -> Result<QueuedUpdate> {

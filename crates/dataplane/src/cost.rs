@@ -163,6 +163,22 @@ impl CostModel {
         }
     }
 
+    /// Cost of one cluster hop: shipping a node session's exported
+    /// intermediate to the node hosting the global top aggregator. When the
+    /// exporting node hosts the top itself (`same_node`), the intermediate
+    /// crosses the local data plane (`plane`); otherwise it crosses the
+    /// network via [`CostModel::inter_node_transfer`]. This is the pricing
+    /// rule `lifl_core`'s in-process `Cluster` applies to every
+    /// gateway-to-gateway hop, mirroring the simulated platform's top-stage
+    /// accounting.
+    pub fn hop_transfer(&self, same_node: bool, plane: DataPlaneKind, bytes: u64) -> TransferCost {
+        if same_node {
+            self.intra_node_transfer(plane, bytes)
+        } else {
+            self.inter_node_transfer(bytes)
+        }
+    }
+
     /// Cost of one intra-node transfer of one `model` update under `codec`.
     pub fn intra_node_transfer_encoded(
         &self,

@@ -1,7 +1,10 @@
 //! Regenerates Fig. 9 (time-to-accuracy and cost-to-accuracy).
-//! Pass `--rounds N` to change the number of simulated FL rounds (default 40)
-//! and `--sweep-codecs` to additionally sweep every update codec across the
-//! three systems (codec × system time-to-accuracy interactions).
+//! Pass `--rounds N` to change the number of simulated FL rounds (default 40),
+//! `--sweep-codecs` to additionally sweep every update codec across the
+//! three systems (codec × system time-to-accuracy interactions), and
+//! `--sweep-cluster` to drive the single-node-vs-cluster federation sweep
+//! (bytes over machines and hop cost per codec and node count, bit-exactness
+//! proven inline).
 fn main() {
     let rounds = std::env::args()
         .skip_while(|a| a != "--rounds")
@@ -9,6 +12,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
     let sweep_codecs = std::env::args().any(|a| a == "--sweep-codecs");
+    let sweep_cluster = std::env::args().any(|a| a == "--sweep-cluster");
     for model in [
         lifl_types::ModelKind::ResNet18,
         lifl_types::ModelKind::ResNet152,
@@ -22,5 +26,15 @@ fn main() {
                 lifl_experiments::fig9_fig10::format_codec_sweep(&sweep)
             );
         }
+    }
+    if sweep_cluster {
+        // The in-process federation aggregates real parameters; sweep a
+        // mid-sized update so the run stays fast while the byte accounting
+        // is meaningful.
+        let rows = lifl_experiments::fig9_fig10::cluster_sweep(4096, &[1, 2, 4, 8]);
+        println!(
+            "{}",
+            lifl_experiments::fig9_fig10::format_cluster_sweep(&rows)
+        );
     }
 }

@@ -9,8 +9,12 @@ use crate::report::format_table;
 use lifl_baselines::{
     serverful_with_codec, serverless_with_codec, WorkloadDriver, WorkloadOutcome, WorkloadSetup,
 };
+use lifl_core::cluster::ClusterBuilder;
 use lifl_core::platform::{LiflPlatform, PlatformProfile};
-use lifl_types::{ClusterConfig, CodecKind, LiflConfig, ModelKind};
+use lifl_core::session::{SessionBuilder, Update};
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::DenseModel;
+use lifl_types::{ClientId, ClusterConfig, CodecKind, LiflConfig, ModelKind, Topology};
 use serde::Serialize;
 
 /// Summary of one (workload, system) run.
@@ -165,6 +169,128 @@ pub fn format_codec_sweep(sweep: &[(CodecKind, WorkloadComparison)]) -> String {
     out
 }
 
+/// One row of the single-node-vs-cluster sweep: the same aggregation round
+/// driven by one in-process session versus a federation of N sessions
+/// composed gateway-to-gateway over `Update::RemoteBytes`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterSweepRow {
+    /// Wire codec every update (and every hop) travelled with.
+    pub codec: String,
+    /// Machines the global tree was split across (1 = everything on the
+    /// top-hosting node).
+    pub nodes: usize,
+    /// The global tree.
+    pub topology: String,
+    /// Payload bytes that crossed machines during the round.
+    pub inter_node_wire_bytes: u64,
+    /// Modelled wall-clock of the *remote* hops serialised through the top
+    /// gateway (the top-hosting node's shared-memory hop is concurrent and
+    /// excluded, matching the simulator's top-stage rule).
+    pub hop_latency_s: f64,
+    /// Whether the federated aggregate was bit-exact with the single-session
+    /// drive (it always must be; recorded so the sweep output proves it).
+    pub bit_exact: bool,
+}
+
+/// The ROADMAP single-node-vs-cluster sweep: drives the *same* round — same
+/// updates, same global tree — through one in-process `Session` and through
+/// an N-node `Cluster`, for every ablation codec and every requested node
+/// count. The aggregate never changes (bit-exact by construction); what the
+/// sweep exposes is the transport bill of federating: how many bytes cross
+/// machines and what the hops cost, and how hard quantized wire forms cut
+/// both.
+pub fn cluster_sweep(dim: usize, node_counts: &[usize]) -> Vec<ClusterSweepRow> {
+    let mut rows = Vec::new();
+    for &nodes in node_counts {
+        let nodes = nodes.max(1);
+        // Each machine drives a [2, 2] subtree; the top fan-in is the
+        // machine count.
+        let topology = Topology::new(vec![2, 2, nodes]).expect("sweep topology");
+        let updates: Vec<ModelUpdate> = (0..topology.total_updates())
+            .map(|i| {
+                let values: Vec<f32> = (0..dim)
+                    .map(|d| ((i * dim + d * 11) % 103) as f32 * 0.019 - 0.95)
+                    .collect();
+                ModelUpdate::from_client(
+                    ClientId::new(i as u64),
+                    DenseModel::from_vec(values),
+                    (i + 1) as u64,
+                )
+            })
+            .collect();
+        for codec in CodecKind::ablation_set() {
+            let mut session = SessionBuilder::new()
+                .topology(topology.clone())
+                .codec(codec)
+                .build()
+                .expect("session");
+            session
+                .ingest_all(updates.iter().cloned().map(Update::Dense))
+                .expect("session ingest");
+            let single = session.drive().expect("session drive");
+
+            let mut cluster = ClusterBuilder::new()
+                .topology(topology.clone())
+                .codec(codec)
+                .build()
+                .expect("cluster");
+            cluster
+                .ingest_all(updates.iter().cloned().map(Update::Dense))
+                .expect("cluster ingest");
+            let federated = cluster.drive().expect("cluster drive");
+
+            let bit_exact = single.update.samples == federated.update.samples
+                && single
+                    .update
+                    .model
+                    .as_slice()
+                    .iter()
+                    .zip(federated.update.model.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            rows.push(ClusterSweepRow {
+                codec: codec.label(),
+                nodes,
+                topology: topology.to_string(),
+                inter_node_wire_bytes: federated.inter_node_wire_bytes(),
+                hop_latency_s: federated.serialized_hop_latency().as_secs(),
+                bit_exact,
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the single-node-vs-cluster sweep as one table.
+pub fn format_cluster_sweep(rows: &[ClusterSweepRow]) -> String {
+    let mut out =
+        String::from("Fig. 9 cluster sweep: single session vs gateway-to-gateway federation\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.codec.clone(),
+                r.nodes.to_string(),
+                r.topology.clone(),
+                r.inter_node_wire_bytes.to_string(),
+                format!("{:.4}", r.hop_latency_s),
+                if r.bit_exact { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(
+        &[
+            "codec",
+            "nodes",
+            "global tree",
+            "inter-node B",
+            "hop lat (s)",
+            "bit-exact",
+        ],
+        &table,
+    ));
+    out
+}
+
 /// Formats the Fig. 9 headline table for one workload.
 pub fn format(comparison: &WorkloadComparison) -> String {
     let fmt_opt = |v: Option<f64>| {
@@ -276,6 +402,32 @@ mod tests {
         assert!(text.contains("LIFL"));
         let ts = format_timeseries(&comparison);
         assert!(ts.contains("arrivals/min"));
+    }
+
+    #[test]
+    fn cluster_sweep_is_bit_exact_and_prices_federation() {
+        let rows = cluster_sweep(96, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3 * 4, "node counts x ablation codecs");
+        for row in &rows {
+            assert!(row.bit_exact, "{}/{} nodes diverged", row.codec, row.nodes);
+        }
+        // A single-node "cluster" never crosses machines.
+        assert!(rows
+            .iter()
+            .filter(|r| r.nodes == 1)
+            .all(|r| r.inter_node_wire_bytes == 0));
+        // More machines cross more bytes; stronger codecs cross fewer.
+        let bytes = |codec: &str, nodes: usize| {
+            rows.iter()
+                .find(|r| r.codec == codec && r.nodes == nodes)
+                .unwrap()
+                .inter_node_wire_bytes
+        };
+        assert!(bytes("identity", 4) > bytes("identity", 2));
+        assert!(bytes("identity", 4) > 3 * bytes("uniform8", 4));
+        let text = format_cluster_sweep(&rows);
+        assert!(text.contains("bit-exact"));
+        assert!(text.contains("uniform8"));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! ([`codec`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod async_driver;

@@ -14,6 +14,31 @@ use crate::model::DenseModel;
 use lifl_types::{ClientId, WIRE_HEADER_BYTES};
 
 /// A model update in whichever representation it arrived.
+///
+/// ```
+/// use lifl_fl::codec::UpdateCodec;
+/// use lifl_fl::update::Update;
+/// use lifl_fl::DenseModel;
+/// use lifl_types::{ClientId, CodecKind};
+///
+/// let model = DenseModel::from_vec(vec![0.5; 64]);
+///
+/// // A client's dense update, a pre-quantized update, and the same wire
+/// // bytes as a remote gateway would forward them: one envelope for all
+/// // three, so every consumer folds through a single polymorphic path.
+/// let dense = Update::dense(ClientId::new(1), model.clone(), 10);
+/// let mut codec = UpdateCodec::new(CodecKind::Uniform8);
+/// let encoded = codec.encode(&model);
+/// let wire = encoded.to_bytes();
+/// let compressed = Update::encoded(ClientId::new(2), encoded, 10);
+/// let forwarded = Update::remote_bytes(wire, 20, true);
+///
+/// assert_eq!(dense.wire_bytes(), 64 * 4);
+/// assert_eq!(compressed.wire_bytes(), 64); // one byte per parameter
+/// assert_eq!(forwarded.wire_bytes(), 64); // descriptor rides the control channel
+/// assert_eq!(forwarded.weight(), 20);
+/// assert_eq!(forwarded.client(), None); // intermediates have no single producer
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Update {
     /// A dense full-precision update (a client's parameters or an

@@ -109,6 +109,12 @@ pub struct LiflConfig {
     /// aggregator fold a batch of pending updates across that many
     /// cache-sized partitions in parallel.
     pub aggregation_shards: u32,
+    /// Cap on every *interior* aggregator's fan-in when planning a node's
+    /// subtree (§5.2 plans two levels; with a cap, heavily loaded nodes grow
+    /// middle levels instead of one wide middle — see
+    /// [`Topology::for_load_capped`]). `0` (the default) leaves interior
+    /// fan-ins uncapped, reproducing the paper's two-level plans bit-exactly.
+    pub max_interior_fan_in: u32,
 }
 
 impl Default for LiflConfig {
@@ -123,6 +129,7 @@ impl Default for LiflConfig {
             hierarchy_planning: true,
             codec: CodecKind::Identity,
             aggregation_shards: 1,
+            max_interior_fan_in: 0,
         }
     }
 }
@@ -154,8 +161,14 @@ impl LiflConfig {
     /// The per-node aggregation tree this configuration plans for a load of
     /// `pending_updates` client updates (§5.2): the hierarchy planner and the
     /// simulated platform both size node subtrees through this one helper.
+    /// With [`LiflConfig::max_interior_fan_in`] set, heavily loaded nodes
+    /// grow deeper-than-two-level subtrees instead of one wide middle.
     pub fn node_topology(&self, pending_updates: usize) -> Topology {
-        Topology::for_load(pending_updates, self.leaf_fan_in as usize)
+        Topology::for_load_capped(
+            pending_updates,
+            self.leaf_fan_in as usize,
+            self.max_interior_fan_in as usize,
+        )
     }
 
     /// Validates configuration invariants.
@@ -241,6 +254,21 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.aggregation_shards = 8;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn node_topology_respects_interior_cap() {
+        let flat = LiflConfig::default();
+        assert_eq!(flat.node_topology(20).levels(), 2);
+        let capped = LiflConfig {
+            max_interior_fan_in: 4,
+            ..LiflConfig::default()
+        };
+        let deep = capped.node_topology(40);
+        assert!(deep.levels() > 2, "capped heavy load grows middle levels");
+        assert!(deep.fan_ins()[1..].iter().all(|f| *f <= 4));
+        // Light loads are unaffected by the cap.
+        assert_eq!(capped.node_topology(4), flat.node_topology(4));
     }
 
     #[test]

@@ -26,6 +26,23 @@ use std::fmt;
 /// [`Topology::two_level`] tree with `leaves` leaves of goal `k` is therefore
 /// `fan-ins [k, leaves]`, and a single flat aggregator consuming `n` updates
 /// is `fan-ins [n]`.
+///
+/// ```
+/// use lifl_types::Topology;
+///
+/// // A 3-level tree: leaves fold 2 client updates, 3 leaves feed each
+/// // middle, 4 middles feed the top — 24 updates per round.
+/// let tree = Topology::new(vec![2, 3, 4]).unwrap();
+/// assert_eq!(tree.levels(), 3);
+/// assert_eq!(tree.leaves(), 12);
+/// assert_eq!(tree.total_updates(), 24);
+///
+/// // The top level's fan-in doubles as the machine count of a
+/// // cluster-federated round: each node runs one [2, 3] subtree.
+/// let (subtree, nodes) = tree.split_top().unwrap();
+/// assert_eq!(subtree, Topology::new(vec![2, 3]).unwrap());
+/// assert_eq!(nodes, 4);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Topology {
     fan_in: Vec<usize>,
@@ -105,6 +122,69 @@ impl Topology {
         } else {
             Topology::two_level(leaves, fan_in)
         }
+    }
+
+    /// [`Topology::for_load`] with a cap on every interior fan-in: when the
+    /// planned leaf count exceeds `max_interior_fan_in`, additional middle
+    /// levels are inserted until the tree converges to a single top, so no
+    /// aggregator ever consumes more than the cap.
+    ///
+    /// A cap of 0 (or anything at least the planned leaf count) degenerates to
+    /// [`Topology::for_load`], keeping the classic two-level plan bit-exact.
+    /// Like [`Topology::for_load`], the planned tree covers *at least*
+    /// `pending_updates`; trailing aggregators may run under-filled when the
+    /// widths do not divide evenly.
+    ///
+    /// ```
+    /// use lifl_types::Topology;
+    ///
+    /// // 32 pending updates at leaf fan-in 2 is 16 leaves; capping interior
+    /// // fan-in at 4 inserts a middle level: 16 leaves / 4 middles / 1 top.
+    /// let deep = Topology::for_load_capped(32, 2, 4);
+    /// assert_eq!(deep.fan_ins(), &[2, 4, 4]);
+    /// assert_eq!(Topology::for_load_capped(32, 2, 0), Topology::for_load(32, 2));
+    /// ```
+    pub fn for_load_capped(
+        pending_updates: usize,
+        leaf_fan_in: usize,
+        max_interior_fan_in: usize,
+    ) -> Self {
+        let leaf_fan_in = leaf_fan_in.max(1);
+        let leaves = pending_updates.max(1).div_ceil(leaf_fan_in);
+        if max_interior_fan_in == 0 || leaves <= max_interior_fan_in {
+            return Topology::for_load(pending_updates, leaf_fan_in);
+        }
+        // A cap of 1 would never converge to a single top; 2 is the smallest
+        // branching interior level.
+        let cap = max_interior_fan_in.max(2);
+        let mut fan_in = vec![leaf_fan_in];
+        let mut width = leaves;
+        while width > 1 {
+            let f = width.min(cap);
+            fan_in.push(f);
+            width = width.div_ceil(f);
+        }
+        Topology { fan_in }
+    }
+
+    /// Splits off the top level: the per-node subtree (every level below the
+    /// top) and the top fan-in, i.e. the number of such subtrees the top
+    /// consumes. This is how a cluster-federated deployment carves a global
+    /// tree into one in-process session per machine plus a global top.
+    ///
+    /// Returns `None` for a single-level (flat) topology, which has no level
+    /// to split off.
+    pub fn split_top(&self) -> Option<(Topology, usize)> {
+        if self.fan_in.len() < 2 {
+            return None;
+        }
+        let (top, rest) = self.fan_in.split_last().expect("at least two levels");
+        Some((
+            Topology {
+                fan_in: rest.to_vec(),
+            },
+            *top,
+        ))
     }
 
     /// Number of levels in the tree (≥ 1; the last level is the top).
@@ -236,6 +316,44 @@ mod tests {
         assert_eq!(small.levels(), 1);
         // Zero fan-in is clamped like the planner's.
         assert_eq!(Topology::for_load(5, 0).leaves(), 5);
+    }
+
+    #[test]
+    fn for_load_capped_bounds_every_interior_fan_in() {
+        // 20 leaves at cap 4: 4-wide middles, then 4, then the 2-wide top.
+        let t = Topology::for_load_capped(40, 2, 4);
+        assert_eq!(t.fan_ins(), &[2, 4, 4, 2]);
+        assert!(t.fan_ins()[1..].iter().all(|f| *f <= 4));
+        // The capped tree covers at least the planned load.
+        assert!(t.total_updates() >= 40);
+        // Caps that never bind reproduce the two-level plan exactly.
+        assert_eq!(
+            Topology::for_load_capped(20, 2, 10),
+            Topology::for_load(20, 2)
+        );
+        assert_eq!(
+            Topology::for_load_capped(20, 2, 0),
+            Topology::for_load(20, 2)
+        );
+        // A degenerate cap of 1 is clamped to the smallest branching fan-in.
+        let clamped = Topology::for_load_capped(8, 2, 1);
+        assert!(clamped.fan_ins()[1..].iter().all(|f| *f == 2));
+        // Single-leaf loads stay flat regardless of cap.
+        assert_eq!(Topology::for_load_capped(2, 2, 2).levels(), 1);
+    }
+
+    #[test]
+    fn split_top_carves_per_node_subtrees() {
+        let t = Topology::new(vec![2, 3, 4]).unwrap();
+        let (subtree, nodes) = t.split_top().unwrap();
+        assert_eq!(subtree.fan_ins(), &[2, 3]);
+        assert_eq!(nodes, 4);
+        // Subtree count x subtree load covers the global round.
+        assert_eq!(subtree.total_updates() * nodes, t.total_updates());
+        let (flat_sub, pair_nodes) = Topology::two_level(4, 2).split_top().unwrap();
+        assert_eq!(flat_sub.levels(), 1);
+        assert_eq!(pair_nodes, 4);
+        assert!(Topology::flat(5).split_top().is_none());
     }
 
     #[test]

@@ -36,7 +36,10 @@ fn main() {
         // --- LIFL: hierarchy planned from the smoothed queue estimate. ---
         let estimate = ewma.observe(rate);
         let plan = HierarchyPlan::plan(&[(NodeId::new(0), estimate.round() as u32)], 2);
-        let leaves = plan.on_node(NodeId::new(0)).map(|h| h.leaves).unwrap_or(0);
+        let leaves = plan
+            .on_node(NodeId::new(0))
+            .map(|h| h.leaves())
+            .unwrap_or(0);
         println!(
             "{:>6}  {:>12.0}  {:>11}  {:>5}  {:>6} (+{})",
             minute,

@@ -46,8 +46,8 @@ fn main() {
                     "    {}: {} pending -> {} leaves{}",
                     node_plan.node,
                     node_plan.pending_updates,
-                    node_plan.leaves,
-                    if node_plan.middle { " + middle" } else { "" }
+                    node_plan.leaves(),
+                    if node_plan.middle() { " + middle" } else { "" }
                 );
             }
         }

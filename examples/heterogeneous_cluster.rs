@@ -82,8 +82,8 @@ fn main() {
         println!(
             "  {}: {} leaves{}{}",
             node.node,
-            node.leaves,
-            if node.middle { " + 1 middle" } else { "" },
+            node.leaves(),
+            if node.middle() { " + 1 middle" } else { "" },
             if Some(node.node) == plan.top_node {
                 " + the top aggregator"
             } else {

@@ -3,7 +3,7 @@
 # plain cargo command, so copy-paste works without it too.
 
 # Run the full CI gate locally.
-default: lint doc build test bench-check bench-baseline-check
+default: lint doc build test bench-check bench-baseline-check smoke
 
 # Formatting + clippy, denying warnings (CI `lint` job).
 lint:
@@ -41,6 +41,15 @@ bench-baseline:
 bench-baseline-check:
     cargo run --release -p lifl-bench --bin bench_baseline -- --quick --out target/bench_quick.json
     cargo run --release -p lifl-bench --bin bench_baseline -- --check BENCH_aggregation.json
+
+# CI smoke step: the quickstart example runs end to end.
+smoke:
+    cargo run --release -p lifl-examples --example quickstart
+
+# Run the multi-node cluster federation demo (sessions composed
+# gateway-to-gateway over Update::RemoteBytes, bit-exactness asserted inline).
+cluster-demo:
+    cargo run --release -p lifl-examples --example cluster_federation
 
 # Run the codec ablation (bytes-on-wire x time-to-accuracy sweep).
 fig-codec:

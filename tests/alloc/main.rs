@@ -201,4 +201,54 @@ fn steady_state_rounds_make_zero_model_sized_allocations() {
         topk_global.l2_norm() > 0.0,
         "top-k rounds aggregated nothing"
     );
+
+    // Phase 4: the cluster hop — forwarding a node session's exported
+    // intermediate to the parent gateway as `Update::RemoteBytes` — is
+    // zero-copy end to end: the sending store's buffer is shared into the
+    // envelope and stored as-is by the receiving gateway (header-only
+    // parsing for encoded payloads), so a steady-state hop never allocates
+    // a model-sized buffer, encoded or dense.
+    use lifl_core::gateway::Gateway;
+    use lifl_fl::Update;
+    use lifl_shmem::ObjectStore;
+    use lifl_types::{AggregatorId, NodeId};
+
+    let values: Vec<f32> = (0..DIM).map(|d| (d % 83) as f32 * 0.01 - 0.4).collect();
+    let sender = ObjectStore::new();
+    let mut hop_codec = UpdateCodec::with_seed(CodecKind::Uniform8, 0xC10B);
+    let encoded = hop_codec.encode(&DenseModel::from_vec(values.clone()));
+    let encoded_key = sender
+        .put_encoded(encoded.to_bytes(), encoded.dense_bytes())
+        .expect("sender put encoded");
+    let dense_key = sender.put_f32(&values).expect("sender put dense");
+
+    let receiver_store = ObjectStore::new();
+    let mut receiver = Gateway::new(NodeId::new(1), receiver_store.clone());
+    let top = AggregatorId::new(1);
+    let inbox = receiver.register_aggregator(top);
+
+    let mut run_hop = |key: &lifl_types::ObjectKey, encoded: bool| {
+        // Transmit side: a shared handle onto the sender store's bytes.
+        let wire = sender.get(key).expect("sender get").bytes();
+        let update = Update::remote_bytes(wire, 4, encoded);
+        // Receive side: one-time payload processing + in-place enqueue.
+        receiver.ingest(top, &update).expect("receiver ingest");
+        let queued = inbox.dequeue().expect("queued hop");
+        receiver_store.recycle(&queued.key).expect("recycle");
+    };
+    // Warm-up sizes the receiver store's bookkeeping.
+    run_hop(&encoded_key, true);
+    run_hop(&dense_key, false);
+
+    let before = model_sized_allocs();
+    for _ in 0..10 {
+        run_hop(&encoded_key, true);
+        run_hop(&dense_key, false);
+    }
+    assert_eq!(
+        model_sized_allocs() - before,
+        0,
+        "steady-state cluster hops must share the sender's buffer, not copy it"
+    );
+    assert_eq!(receiver_store.stats().live_objects, 0);
 }

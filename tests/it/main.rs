@@ -1,6 +1,7 @@
-//! Entry point binding the eleven integration suites into one test binary.
+//! Entry point binding the twelve integration suites into one test binary.
 
 mod algorithms;
+mod cluster;
 mod codec;
 mod end_to_end;
 mod extensions;

@@ -32,7 +32,7 @@ fn placement_feeds_hierarchy_plan_and_routes() {
     let mut middles = Vec::new();
     for node_plan in &plan.nodes {
         let mut leaf_ids = Vec::new();
-        for _ in 0..node_plan.leaves {
+        for _ in 0..node_plan.leaves() {
             let id = AggregatorId::new(next_id);
             next_id += 1;
             tag.add_role(Role {
