@@ -1,0 +1,60 @@
+#!/bin/sh
+# CI guard: `just ci` and the CI workflow must run the same commands.
+# Collects the body lines of every recipe the justfile's `ci` recipe depends
+# on, collects every `run:` command from .github/workflows/ci.yml, drops the
+# toolchain bootstrap lines (rustup is CI-only) and diffs the two sets —
+# drift in either direction fails.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+deps=$(sed -n 's/^ci: //p' justfile)
+if [ -z "$deps" ]; then
+    echo "ci-sync: no 'ci:' recipe found in justfile" >&2
+    exit 1
+fi
+
+just_cmds=$(mktemp)
+yml_cmds=$(mktemp)
+trap 'rm -f "$just_cmds" "$yml_cmds"' EXIT
+
+# Recipe bodies: indented, non-comment lines under each dependency's header.
+for recipe in $deps; do
+    awk -v recipe="$recipe" '
+        $0 ~ "^" recipe ":" { body = 1; next }
+        body && /^[^ \t]/ { body = 0 }
+        body && /^[ \t]+[^#[:space:]]/ {
+            line = $0
+            sub(/^[ \t]+/, "", line)
+            print line
+        }
+    ' justfile
+done | grep -v '^rustup' | sort -u >"$just_cmds"
+
+# Workflow commands: single-line `run:` values plus the content lines of
+# `run: |` blocks (10-space indented in this workflow). Intervals like
+# `{10}` are spelled out because mawk lacks regex interval support.
+awk '
+    /^ *run: \|/ { block = 1; next }
+    block && /^          [^ ]/ {
+        line = $0
+        sub(/^ +/, "", line)
+        print line
+        next
+    }
+    block { block = 0 }
+    /^ *run: / {
+        line = $0
+        sub(/^ *run: /, "", line)
+        print line
+    }
+' .github/workflows/ci.yml | grep -v '^rustup' | sort -u >"$yml_cmds"
+
+if ! diff -u "$yml_cmds" "$just_cmds"; then
+    echo "ci-sync: justfile 'ci' recipe and ci.yml steps have drifted" >&2
+    echo "(-: only in ci.yml, +: only in justfile). Update whichever side" >&2
+    echo "is missing the command so local 'just ci' keeps mirroring CI." >&2
+    exit 1
+fi
+
+echo "ci-sync: justfile and ci.yml agree on $(wc -l <"$just_cmds" | tr -d ' ') commands"

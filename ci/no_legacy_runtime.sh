@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI guard: the legacy runtime (`run_hierarchical*` shims + runtime.rs,
+# deleted in PR 6) must stay deleted. Fails on the module file reappearing
+# or on any `run_hierarchical`, `runtime::` or `#[allow(deprecated)]` token
+# in Rust sources. A line with a genuine new need can opt out by carrying a
+# `no-legacy-runtime: allow` marker in a comment (none should need to).
+set -u
+
+cd "$(dirname "$0")/.."
+
+if [ -e crates/core/src/runtime.rs ]; then
+    echo "no-legacy-runtime: crates/core/src/runtime.rs is back; the legacy" >&2
+    echo "runtime was deleted in PR 6 (see MIGRATION.md) and must stay gone." >&2
+    exit 1
+fi
+
+hits=$(grep -rnE --include='*.rs' \
+    'run_hierarchical|runtime::|allow\(deprecated\)' \
+    crates tests examples 2>/dev/null |
+    grep -v 'no-legacy-runtime: allow' || true)
+if [ -n "$hits" ]; then
+    echo "no-legacy-runtime: references to the deleted legacy runtime found:" >&2
+    echo "$hits" >&2
+    echo "Port the call sites onto Session/Cluster (see MIGRATION.md), or" >&2
+    echo "mark a genuinely unrelated line with 'no-legacy-runtime: allow'." >&2
+    exit 1
+fi
+
+echo "no-legacy-runtime: clean"

@@ -27,7 +27,19 @@
 //! [`Session::drive`] for every codec (enforced by the `tests/it/cluster.rs`
 //! tier), so federating over machines changes where bytes live and what the
 //! hops cost — never the aggregate.
+//!
+//! **Live top placement.** The node hosting the global top is not a static
+//! wiring decision: under the default [`TopPlacement::MostLoaded`] policy the
+//! cluster keeps a per-node [`EwmaEstimator`] of observed load (each round's
+//! per-node ingest counts, plus any external queue-depth observations fed in
+//! via [`Cluster::observe_node_load`]) and re-places the top on the
+//! most-loaded node at every round boundary — the paper's §5.2 rule, so the
+//! largest intermediate never crosses machines. A move is a cheap warm-state
+//! handoff (the codec streams are tree-position-derived, so results are
+//! unchanged — enforced by the re-placement test in `tests/it/driver.rs`)
+//! priced like every other hop through [`CostModel::hop_transfer`].
 
+use crate::hierarchy::EwmaEstimator;
 use crate::session::{Session, SessionBuilder, Update, WireExport};
 use lifl_dataplane::{CostModel, DataPlaneKind, TransferCost};
 use lifl_fl::aggregate::ModelUpdate;
@@ -35,15 +47,53 @@ use lifl_fl::codec::{ErrorFeedback, UpdateCodec};
 use lifl_shmem::{BufferPool, StoreStats};
 use lifl_types::{ClientId, CodecKind, LiflError, NodeId, Result, SimDuration, Topology};
 
+/// How a [`Cluster`] chooses the node hosting the global top aggregator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopPlacement {
+    /// Pin the top to a fixed node for the cluster's whole life (the
+    /// pre-live-placement behaviour; useful as an experimental control).
+    Pinned(usize),
+    /// Live placement (§5.2): host the top on the node with the highest
+    /// EWMA-smoothed load estimate, re-evaluated at every round boundary.
+    /// Ties keep the incumbent, so a uniformly loaded cluster never churns.
+    MostLoaded {
+        /// EWMA smoothing coefficient α (the paper uses 0.7).
+        alpha: f64,
+    },
+}
+
+impl Default for TopPlacement {
+    fn default() -> Self {
+        TopPlacement::MostLoaded { alpha: 0.7 }
+    }
+}
+
+/// A top re-placement performed at a round boundary: the warm top state (the
+/// current global intermediate) handed off from the old host to the new,
+/// most-loaded one.
+#[derive(Debug, Clone)]
+pub struct TopMove {
+    /// The node that hosted the top until this round.
+    pub from: NodeId,
+    /// The node hosting the top from this round on.
+    pub to: NodeId,
+    /// Bytes of warm top state shipped (zero before any round has produced
+    /// a global intermediate).
+    pub state_bytes: u64,
+    /// The modelled transport cost of the handoff (always a cross-machine
+    /// transfer).
+    pub cost: TransferCost,
+}
+
 /// Builds a [`Cluster`]: the global tree, codec, shard count, seed, hop cost
-/// model and the node hosting the global top, with working defaults.
+/// model and the top-placement policy, with working defaults.
 ///
 /// ```
 /// use lifl_core::cluster::ClusterBuilder;
 /// use lifl_types::{CodecKind, Topology};
 ///
 /// // A 3-level global tree whose top fan-in is the machine count: 4 nodes
-/// // each drive a [2, 2] subtree, and node 0 hosts the global top.
+/// // each drive a [2, 2] subtree, and live placement picks the top host.
 /// let cluster = ClusterBuilder::new()
 ///     .topology(Topology::new(vec![2, 2, 4]).unwrap())
 ///     .codec(CodecKind::Uniform8)
@@ -59,7 +109,7 @@ pub struct ClusterBuilder {
     codec: CodecKind,
     shards: usize,
     seed: u64,
-    top_node: usize,
+    placement: TopPlacement,
     cost: CostModel,
     dataplane: DataPlaneKind,
 }
@@ -74,14 +124,15 @@ impl ClusterBuilder {
     /// A builder with the session defaults: the classic 4×2 two-level tree
     /// split into 4 single-leaf nodes, [`CodecKind::Identity`], one shard,
     /// the paper-calibrated hop cost model, LIFL's shared-memory data plane
-    /// for same-node hops, and the global top hosted on node 0.
+    /// for same-node hops, and live [`TopPlacement::MostLoaded`] placement
+    /// of the global top (which starts on node 0 until load signals differ).
     pub fn new() -> Self {
         ClusterBuilder {
             topology: Topology::default(),
             codec: CodecKind::Identity,
             shards: 1,
             seed: 0x5EED,
-            top_node: 0,
+            placement: TopPlacement::default(),
             cost: CostModel::paper_calibrated(),
             dataplane: DataPlaneKind::LiflSharedMemory,
         }
@@ -143,12 +194,15 @@ impl ClusterBuilder {
         self
     }
 
-    /// Picks which node hosts the global top aggregator (the paper places it
-    /// on the most loaded node so the largest intermediate never crosses
-    /// machines; the default is node 0). That node's hop is priced as an
-    /// intra-node shared-memory transfer instead of a network transfer.
-    pub fn top_node(mut self, node: usize) -> Self {
-        self.top_node = node;
+    /// Picks the policy deciding which node hosts the global top aggregator.
+    /// The paper places it on the most loaded node so the largest
+    /// intermediate never crosses machines — that live policy
+    /// ([`TopPlacement::MostLoaded`]) is the default; pin with
+    /// [`TopPlacement::Pinned`] to reproduce the old static wiring. The
+    /// hosting node's hop is priced as an intra-node shared-memory transfer
+    /// instead of a network transfer.
+    pub fn placement(mut self, placement: TopPlacement) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -172,9 +226,8 @@ impl ClusterBuilder {
     ///
     /// # Errors
     /// Returns [`LiflError::InvalidConfig`] if the global topology is flat
-    /// (a cluster needs a top level to split off), the configured top node
-    /// lies outside the machine count, or the codec configuration is
-    /// invalid.
+    /// (a cluster needs a top level to split off), a pinned top node lies
+    /// outside the machine count, or the codec configuration is invalid.
     pub fn build(self) -> Result<Cluster> {
         let Some((subtree, nodes)) = self.topology.split_top() else {
             return Err(LiflError::InvalidConfig(format!(
@@ -183,12 +236,17 @@ impl ClusterBuilder {
                 self.topology
             )));
         };
-        if self.top_node >= nodes {
-            return Err(LiflError::InvalidConfig(format!(
-                "top node {} outside the cluster's {nodes} nodes",
-                self.top_node
-            )));
-        }
+        let (top_node, alpha) = match self.placement {
+            TopPlacement::Pinned(node) => {
+                if node >= nodes {
+                    return Err(LiflError::InvalidConfig(format!(
+                        "pinned top node {node} outside the cluster's {nodes} nodes"
+                    )));
+                }
+                (node, 0.7)
+            }
+            TopPlacement::MostLoaded { alpha } => (0, alpha),
+        };
         let pool = BufferPool::new();
         let children = (0..nodes)
             .map(|k| {
@@ -208,7 +266,7 @@ impl ClusterBuilder {
             .codec(self.codec)
             .shards(self.shards)
             .seed(self.seed)
-            .node(NodeId::new(self.top_node as u64))
+            .node(NodeId::new(top_node as u64))
             .tree_position(subtree.levels(), 0)
             .pool(pool.clone())
             .build()?;
@@ -219,7 +277,11 @@ impl ClusterBuilder {
             topology: self.topology,
             subtree,
             codec: self.codec,
-            top_node: self.top_node,
+            placement: self.placement,
+            top_node,
+            estimators: vec![EwmaEstimator::new(alpha); nodes],
+            node_pending: vec![0; nodes],
+            handoff_bytes: 0,
             cost: self.cost,
             dataplane: self.dataplane,
             children,
@@ -272,6 +334,12 @@ pub struct ClusterReport {
     /// Every gateway-to-gateway hop, in node order, priced through the
     /// cluster's transport cost model.
     pub hops: Vec<ClusterHop>,
+    /// The node that hosted the global top for this round (after any
+    /// round-boundary re-placement).
+    pub top_node: NodeId,
+    /// The top re-placement performed at this round's boundary, if the
+    /// placement policy moved the top to a newly most-loaded node.
+    pub replacement: Option<TopMove>,
     /// The top-hosting node store's statistics at the end of the round.
     pub top_store_stats: StoreStats,
 }
@@ -344,7 +412,11 @@ pub struct Cluster {
     topology: Topology,
     subtree: Topology,
     codec: CodecKind,
+    placement: TopPlacement,
     top_node: usize,
+    estimators: Vec<EwmaEstimator>,
+    node_pending: Vec<u64>,
+    handoff_bytes: u64,
     cost: CostModel,
     dataplane: DataPlaneKind,
     children: Vec<Session>,
@@ -386,6 +458,38 @@ impl Cluster {
     /// The scratch-buffer pool shared by every session's codecs.
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// The placement policy deciding which node hosts the global top.
+    pub fn placement(&self) -> TopPlacement {
+        self.placement
+    }
+
+    /// The node currently hosting the global top aggregator.
+    pub fn top_node(&self) -> NodeId {
+        NodeId::new(self.top_node as u64)
+    }
+
+    /// Feeds an external load observation (e.g. a node's reported pending
+    /// queue depth, as the coordinator's metric reports do) into the node's
+    /// EWMA load estimator. Ingest routing already feeds each round's
+    /// per-node update counts automatically; this adds out-of-band signals
+    /// so placement can react to load the cluster ingress does not see.
+    pub fn observe_node_load(&mut self, node: NodeId, pending: f64) {
+        let index = node.index() as usize;
+        if index < self.estimators.len() {
+            self.estimators[index].observe(pending);
+        }
+    }
+
+    /// The smoothed per-node load estimates live placement decides over, in
+    /// node order (zero until a node has been observed).
+    pub fn load_estimates(&self) -> Vec<(NodeId, f64)> {
+        self.estimators
+            .iter()
+            .enumerate()
+            .map(|(k, e)| (NodeId::new(k as u64), e.estimate().unwrap_or(0.0)))
+            .collect()
     }
 
     /// Updates ingested into the current (not yet driven) round.
@@ -445,6 +549,7 @@ impl Cluster {
         if outcome.is_ok() {
             self.ingested += 1;
             self.lifetime_ingested += 1;
+            self.node_pending[node] += 1;
         }
         outcome
     }
@@ -473,6 +578,14 @@ impl Cluster {
     /// transfer for remote nodes, a shared-memory transfer for the node
     /// hosting the top.
     ///
+    /// At the round boundary (after the round's load is known, before any
+    /// hop is priced) the placement policy re-evaluates which node should
+    /// host the top: under [`TopPlacement::MostLoaded`] the round's per-node
+    /// ingest counts (plus any [`Cluster::observe_node_load`] signals) feed
+    /// the per-node EWMAs, and a now-more-loaded node takes the top over —
+    /// a warm-state handoff priced in [`ClusterReport::replacement`]. The
+    /// aggregate is placement-invariant: only hop pricing moves.
+    ///
     /// # Errors
     /// Fails if the ingested updates do not exactly fill the global tree
     /// (the round is kept and can be topped up), or on any store, codec or
@@ -480,9 +593,14 @@ impl Cluster {
     /// node and the cluster is reset to an empty round.
     pub fn drive(&mut self) -> Result<ClusterReport> {
         self.topology.validate(self.ingested as usize)?;
+        let replacement = self.place_top();
         match self.drive_hops() {
-            Ok(report) => {
+            Ok(mut report) => {
+                report.replacement = replacement;
                 self.ingested = 0;
+                self.node_pending.fill(0);
+                // Next move's handoff ships the warm global intermediate.
+                self.handoff_bytes = report.update.model.dim() as u64 * 4;
                 Ok(report)
             }
             Err(error) => {
@@ -490,6 +608,43 @@ impl Cluster {
                 Err(error)
             }
         }
+    }
+
+    /// Re-evaluates top placement at a round boundary: feeds the round's
+    /// per-node ingest counts into the EWMAs, then (under live placement)
+    /// moves the top to the most-loaded node unless the incumbent already
+    /// ties it. Returns the priced handoff when a move happened.
+    fn place_top(&mut self) -> Option<TopMove> {
+        for (estimator, pending) in self.estimators.iter_mut().zip(&self.node_pending) {
+            estimator.observe(*pending as f64);
+        }
+        if !matches!(self.placement, TopPlacement::MostLoaded { .. }) {
+            return None;
+        }
+        let estimates: Vec<f64> = self
+            .estimators
+            .iter()
+            .map(|e| e.estimate().unwrap_or(0.0))
+            .collect();
+        let best = estimates.iter().copied().fold(f64::MIN, f64::max);
+        // Incumbent-wins tie-breaking: equal load never churns the top.
+        if estimates[self.top_node] >= best {
+            return None;
+        }
+        let to = estimates
+            .iter()
+            .position(|&e| e == best)
+            .expect("max of a nonempty list is in it");
+        let from = NodeId::new(self.top_node as u64);
+        self.top_node = to;
+        Some(TopMove {
+            from,
+            to: NodeId::new(to as u64),
+            state_bytes: self.handoff_bytes,
+            cost: self
+                .cost
+                .hop_transfer(false, self.dataplane, self.handoff_bytes),
+        })
     }
 
     /// Runs the export → hop → parent-fold pipeline over every node.
@@ -524,8 +679,17 @@ impl Cluster {
             topology: self.topology.clone(),
             nodes,
             hops,
+            top_node: NodeId::new(self.top_node as u64),
+            replacement: None,
             top_store_stats: report.store_stats,
         })
+    }
+
+    /// Discards the current (not yet driven) round on every node, returning
+    /// the cluster to an empty round. Per-client error-feedback residuals
+    /// and the load estimators persist.
+    pub fn discard_round(&mut self) {
+        self.abort_round();
     }
 
     /// Discards the round on every node (failed drives already reset the
@@ -536,6 +700,39 @@ impl Cluster {
         }
         self.parent.discard_round();
         self.ingested = 0;
+        self.node_pending.fill(0);
+    }
+}
+
+/// A cluster is an [`Ingest`](lifl_fl::Ingest) backend: the federated,
+/// multi-node target the multi-round training driver
+/// ([`crate::training::TrainingDriver`]) runs over — bit-exact with the
+/// same driver over a single [`Session`] of the global tree (enforced by
+/// the `tests/it/driver.rs` tier).
+impl lifl_fl::Ingest for Cluster {
+    fn ingest_update(&mut self, update: Update) -> Result<()> {
+        self.ingest(update)
+    }
+
+    fn round_capacity(&self) -> usize {
+        self.topology.total_updates()
+    }
+
+    fn ingress_codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    fn aggregate_round(&mut self) -> Result<lifl_fl::RoundAggregate> {
+        let report = self.drive()?;
+        Ok(lifl_fl::RoundAggregate {
+            ingress_wire_bytes: report.nodes.iter().map(|n| n.ingress_wire_bytes).sum(),
+            updates_ingested: report.updates_ingested(),
+            update: report.update,
+        })
+    }
+
+    fn discard_round(&mut self) {
+        Cluster::discard_round(self);
     }
 }
 
@@ -566,7 +763,75 @@ mod tests {
             .topology(Topology::flat(4))
             .build()
             .is_err());
-        assert!(ClusterBuilder::new().top_node(9).build().is_err());
+        assert!(ClusterBuilder::new()
+            .placement(TopPlacement::Pinned(9))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn live_placement_moves_top_to_most_loaded_node() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(cluster.top_node(), NodeId::new(0));
+        // A cluster round always fills the tree evenly, so ingest counts
+        // alone never move the top: uniform load keeps the incumbent.
+        let batch = updates(8, 16);
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let report = cluster.drive().unwrap();
+        assert!(report.replacement.is_none());
+        assert_eq!(report.top_node, NodeId::new(0));
+        // An out-of-band signal (a deep pending queue reported for node 1)
+        // tips the EWMA and the next round's boundary moves the top.
+        cluster.observe_node_load(NodeId::new(1), 64.0);
+        let estimates = cluster.load_estimates();
+        assert!(estimates[1].1 > estimates[0].1);
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let report = cluster.drive().unwrap();
+        let moved = report.replacement.as_ref().expect("top must move");
+        assert_eq!(moved.from, NodeId::new(0));
+        assert_eq!(moved.to, NodeId::new(1));
+        // The handoff ships the previous round's warm global intermediate.
+        assert_eq!(moved.state_bytes, 16 * 4);
+        assert!(moved.cost.latency > SimDuration::ZERO);
+        assert_eq!(report.top_node, NodeId::new(1));
+        assert_eq!(cluster.top_node(), NodeId::new(1));
+        // Hop pricing follows the move: node 1's hop is now the local one.
+        assert!(!report.hops[0].same_node);
+        assert!(report.hops[1].same_node);
+        // With no fresh signal the EWMA decays slowly: the top stays put
+        // rather than churning back on the next round.
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let report = cluster.drive().unwrap();
+        assert!(report.replacement.is_none());
+        assert_eq!(report.top_node, NodeId::new(1));
+    }
+
+    #[test]
+    fn pinned_placement_never_moves() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .placement(TopPlacement::Pinned(1))
+            .build()
+            .unwrap();
+        cluster.observe_node_load(NodeId::new(0), 1000.0);
+        let batch = updates(8, 16);
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let report = cluster.drive().unwrap();
+        assert!(report.replacement.is_none());
+        assert_eq!(report.top_node, NodeId::new(1));
+        assert!(!report.hops[0].same_node);
+        assert!(report.hops[1].same_node);
     }
 
     #[test]

@@ -17,12 +17,14 @@
 //!   paper's evaluation, and the **unified session API** ([`session`]): a
 //!   builder-driven, codec-transparent in-process runtime that actually
 //!   aggregates real model parameters through shared memory over an N-level
-//!   aggregation tree (the deprecated free functions in [`runtime`] are thin
-//!   shims over it), and
+//!   aggregation tree,
 //! * **multi-node session federation** ([`cluster`]): N sessions composed
 //!   gateway-to-gateway over `Update::RemoteBytes`, bit-exact with the
 //!   single-session round, every hop priced through the `lifl-dataplane`
-//!   cost models.
+//!   cost models, its global top hosted by live EWMA-driven placement, and
+//! * the backend-generic **multi-round training driver** ([`training`]):
+//!   one FedAvg loop over any `Ingest` backend — session or cluster — with
+//!   bit-exact results across backends.
 //!
 //! See `ARCHITECTURE.md` at the repository root for the life of one update
 //! through these layers.
@@ -57,14 +59,16 @@ pub mod platform;
 pub mod recovery;
 pub mod reuse;
 pub mod routing;
-pub mod runtime;
 pub mod selector;
 pub mod session;
 pub mod system;
 pub mod tag;
+pub mod training;
 
 pub use aggregator::{AggregatorRuntime, AggregatorStep};
-pub use cluster::{Cluster, ClusterBuilder, ClusterHop, ClusterReport, NodeRoundReport};
+pub use cluster::{
+    Cluster, ClusterBuilder, ClusterHop, ClusterReport, NodeRoundReport, TopMove, TopPlacement,
+};
 pub use fleet::NodeFleet;
 pub use gateway_scaler::{GatewayScaleDecision, GatewayScaler, GatewayScalerConfig};
 pub use hierarchy::{EwmaEstimator, HierarchyPlan, NodeHierarchy};
@@ -72,11 +76,8 @@ pub use placement::{PlacementEngine, PlacementOutcome};
 pub use platform::{LiflPlatform, PlatformProfile, RoundReport, RoundSpec};
 pub use recovery::{RecoveryManager, RecoveryOutcome};
 pub use routing::RoutingTable;
-#[allow(deprecated)]
-pub use runtime::{
-    run_hierarchical, run_hierarchical_with_codec, HierarchicalRunConfig, HierarchicalRunReport,
-};
 pub use selector::{RoundAssignment, SelectorConfig, SelectorService};
 pub use session::{Session, SessionBuilder, SessionReport, Update, WireExport};
 pub use system::AggregationSystem;
 pub use tag::{Channel, ChannelKind, Role, TopologyAbstractionGraph};
+pub use training::{TrainingConfig, TrainingDriver, TrainingRound};

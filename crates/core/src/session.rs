@@ -2,12 +2,11 @@
 //! for N-level hierarchical aggregation.
 //!
 //! Before this module, the in-process runtime had forked into parallel
-//! codec-blind and codec-aware paths (`run_hierarchical` vs
-//! `run_hierarchical_with_codec`, four `Gateway::ingest_*` variants) and the
-//! tree shape was hard-wired to two levels. A [`Session`] owns the whole
-//! stack — gateway, shared-memory store, scratch pool, error-feedback encoder
-//! and the aggregator tree described by a [`Topology`] — behind exactly two
-//! operations:
+//! codec-blind and codec-aware free functions (plus four `Gateway::ingest_*`
+//! variants) and the tree shape was hard-wired to two levels. A [`Session`]
+//! owns the whole stack — gateway, shared-memory store, scratch pool,
+//! error-feedback encoder and the aggregator tree described by a
+//! [`Topology`] — behind exactly two operations:
 //!
 //! * [`Session::ingest`] — the single polymorphic ingress. Every
 //!   representation an update can arrive in ([`Update::Dense`],
@@ -19,8 +18,9 @@
 //!   deterministic child order) and returns a [`SessionReport`].
 //!
 //! With [`CodecKind::Identity`] and a two-level topology the session is
-//! bit-exact with the seed `run_hierarchical` path; the deprecated free
-//! functions in [`crate::runtime`] are thin shims over this type.
+//! bit-exact with the seed two-level fold semantics (enforced by the
+//! proptests below and the `tests/it` tiers); the legacy free functions that
+//! used to shim over this type were deleted in PR 6 — see `MIGRATION.md`.
 
 #![deny(missing_docs)]
 
@@ -374,7 +374,7 @@ impl Session {
     /// The single polymorphic ingress: accepts an update in whatever
     /// representation it arrived and routes it to the next leaf aggregator
     /// round-robin (update *k* of a round feeds leaf `k % leaves`, exactly
-    /// the distribution of the deprecated `run_hierarchical` path).
+    /// the distribution of the seed two-level runtime).
     ///
     /// Under a lossy codec, a [`Update::Dense`] ingest is transparently
     /// encoded with the producing client's error-feedback residual before it
@@ -642,6 +642,37 @@ impl Session {
     }
 }
 
+/// A session is an [`Ingest`](lifl_fl::Ingest) backend: the single-node
+/// target the multi-round training driver
+/// ([`crate::training::TrainingDriver`]) runs over — the reference a
+/// federated [`crate::cluster::Cluster`] must (and does) match bit-for-bit.
+impl lifl_fl::Ingest for Session {
+    fn ingest_update(&mut self, update: Update) -> Result<()> {
+        self.ingest(update)
+    }
+
+    fn round_capacity(&self) -> usize {
+        self.topology.total_updates()
+    }
+
+    fn ingress_codec(&self) -> CodecKind {
+        self.codec
+    }
+
+    fn aggregate_round(&mut self) -> Result<lifl_fl::RoundAggregate> {
+        let report = self.drive()?;
+        Ok(lifl_fl::RoundAggregate {
+            update: report.update,
+            ingress_wire_bytes: report.ingress_wire_bytes,
+            updates_ingested: report.updates_ingested,
+        })
+    }
+
+    fn discard_round(&mut self) {
+        Session::discard_round(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -877,7 +908,7 @@ mod proptests {
     use lifl_fl::aggregate::CumulativeFedAvg;
     use proptest::prelude::*;
 
-    /// The seed `run_hierarchical` semantics, restated from first principles:
+    /// The seed two-level fold semantics, restated from first principles:
     /// update k feeds leaf k % leaves; each leaf folds its share in arrival
     /// order and finalizes; the top folds leaf intermediates in leaf order.
     fn seed_reference(leaves: usize, per_leaf: usize, updates: &[ModelUpdate]) -> ModelUpdate {
@@ -901,7 +932,7 @@ mod proptests {
 
     proptest! {
         /// Acceptance: a `Session` with `Identity` is bit-exact with the seed
-        /// `run_hierarchical` fold semantics for arbitrary two-level shapes.
+        /// two-level fold semantics for arbitrary two-level shapes.
         #[test]
         fn identity_session_bit_exact_with_seed_semantics(
             leaves in 1usize..6,

@@ -1,0 +1,346 @@
+//! The backend-generic multi-round FL training driver: one training loop
+//! that runs over any [`Ingest`] aggregation backend — a single-process
+//! [`Session`](crate::session::Session) tree or a multi-node federated
+//! [`Cluster`](crate::cluster::Cluster) — with identical results.
+//!
+//! The algorithm-level [`FlDriver`](lifl_fl::FlDriver) folds client updates
+//! through a flat in-loop accumulator; this driver instead pushes every
+//! locally trained update through the backend's polymorphic ingress
+//! ([`Ingest::ingest_update`]) and lets the backend aggregate the round over
+//! its tree — stores, codecs, per-client error feedback and (for a cluster)
+//! priced inter-node hops all engaged. Because both backends apply the same
+//! ingress rules with the same seeds, the driver's loss/accuracy curve is
+//! **bit-exact** across backends for every [`CodecKind`] × shard count
+//! (enforced by the `tests/it/driver.rs` tier), and matches the flat
+//! [`FlDriver`](lifl_fl::FlDriver) under a lossless codec.
+
+use lifl_fl::dataset::FederatedDataset;
+use lifl_fl::metrics::accuracy_percent;
+use lifl_fl::model::DenseModel;
+use lifl_fl::population::Population;
+use lifl_fl::trainer::{LocalTrainer, TrainerConfig};
+use lifl_fl::{Ingest, Update};
+use lifl_simcore::SimRng;
+use lifl_types::{CodecKind, LiflError, Result};
+
+/// Configuration of the backend-generic training driver.
+///
+/// The wire codec is *not* configured here: it is a property of the backend
+/// (set when the session or cluster was built) and is reported through
+/// [`Ingest::ingress_codec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingConfig {
+    /// Local-training configuration.
+    pub trainer: TrainerConfig,
+    /// Number of rounds [`TrainingDriver::run_all`] runs.
+    pub rounds: usize,
+    /// Evaluate accuracy every this many rounds (1 = every round).
+    pub eval_every: usize,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            trainer: TrainerConfig::default(),
+            rounds: 50,
+            eval_every: 1,
+        }
+    }
+}
+
+/// The outcome of one driven round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingRound {
+    /// Round index (starting at 1).
+    pub round: usize,
+    /// Client updates the backend aggregated.
+    pub updates: u64,
+    /// Test accuracy after the round, if evaluated.
+    pub accuracy: Option<f64>,
+    /// Average local training loss reported by the participating clients.
+    pub train_loss: f64,
+    /// Data-plane payload bytes the round's ingests occupied in wire form.
+    pub ingress_wire_bytes: u64,
+}
+
+/// Runs synchronous multi-round FedAvg over any [`Ingest`] backend.
+///
+/// ```
+/// use lifl_core::session::SessionBuilder;
+/// use lifl_core::training::{TrainingConfig, TrainingDriver};
+/// use lifl_fl::client::ClientAvailability;
+/// use lifl_fl::dataset::{DatasetConfig, FederatedDataset};
+/// use lifl_fl::population::{Population, PopulationConfig};
+/// use lifl_simcore::SimRng;
+/// use lifl_types::Topology;
+///
+/// let mut rng = SimRng::from_seed(7);
+/// let dataset = FederatedDataset::generate(
+///     DatasetConfig {
+///         num_clients: 16,
+///         num_features: 8,
+///         num_classes: 4,
+///         mean_samples_per_client: 20,
+///         dirichlet_alpha: 0.5,
+///         test_samples: 80,
+///         noise_std: 0.4,
+///     },
+///     &mut rng,
+/// );
+/// let population = Population::generate(
+///     PopulationConfig {
+///         total_clients: 16,
+///         active_per_round: 8,
+///         availability: ClientAvailability::AlwaysOn,
+///         mean_samples: 20,
+///         speed_spread: 0.3,
+///     },
+///     &mut rng,
+/// );
+/// // An 8-update session tree: each round's 8 participants fill it exactly.
+/// let session = SessionBuilder::new()
+///     .topology(Topology::new(vec![4, 2]).unwrap())
+///     .build()
+///     .unwrap();
+/// let mut driver =
+///     TrainingDriver::new(session, dataset, population, TrainingConfig::default());
+/// let outcome = driver.run_round(&mut rng).unwrap();
+/// assert_eq!(outcome.round, 1);
+/// assert_eq!(outcome.updates, 8);
+/// ```
+#[derive(Debug)]
+pub struct TrainingDriver<B: Ingest> {
+    backend: B,
+    dataset: FederatedDataset,
+    population: Population,
+    trainer: LocalTrainer,
+    config: TrainingConfig,
+    global: DenseModel,
+    history: Vec<TrainingRound>,
+}
+
+impl<B: Ingest> TrainingDriver<B> {
+    /// Creates a driver over `backend` with a zero-initialised global model.
+    ///
+    /// The population's `active_per_round` must equal the backend's
+    /// [`Ingest::round_capacity`] for rounds to drive (checked per round, so
+    /// availability dynamics that under-select surface as errors, not
+    /// silently skewed aggregates).
+    pub fn new(
+        backend: B,
+        dataset: FederatedDataset,
+        population: Population,
+        config: TrainingConfig,
+    ) -> Self {
+        let trainer = LocalTrainer::new(dataset.num_features, dataset.num_classes, config.trainer);
+        let global = dataset.initial_model();
+        TrainingDriver {
+            backend,
+            dataset,
+            population,
+            trainer,
+            config,
+            global,
+            history: Vec::new(),
+        }
+    }
+
+    /// The aggregation backend the driver ingests into.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend (e.g. to feed a cluster's placement
+    /// policy out-of-band load observations between rounds).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// The wire codec the backend applies at its ingress.
+    pub fn codec(&self) -> CodecKind {
+        self.backend.ingress_codec()
+    }
+
+    /// The current global model.
+    pub fn global_model(&self) -> &DenseModel {
+        &self.global
+    }
+
+    /// Completed round outcomes.
+    pub fn history(&self) -> &[TrainingRound] {
+        &self.history
+    }
+
+    /// Current test accuracy of the global model.
+    pub fn evaluate(&self) -> f64 {
+        accuracy_percent(&self.trainer, &self.global, self.dataset.test_set())
+    }
+
+    /// The accuracy-versus-round curve (round index, accuracy percent).
+    pub fn accuracy_curve(&self) -> Vec<(usize, f64)> {
+        self.history
+            .iter()
+            .filter_map(|r| r.accuracy.map(|a| (r.round, a)))
+            .collect()
+    }
+
+    /// Runs one synchronous round: select participants, train each locally,
+    /// ingest every update dense through the backend's ingress (the backend
+    /// encodes at ingress under a lossy codec, with per-client error
+    /// feedback), aggregate the backend's tree, adopt the global aggregate
+    /// and optionally evaluate.
+    ///
+    /// # Errors
+    /// Fails if the selection does not exactly fill the backend's tree, or
+    /// on any backend ingest/aggregation error. The backend's round is
+    /// discarded on failure, so the driver stays reusable.
+    pub fn run_round(&mut self, rng: &mut SimRng) -> Result<TrainingRound> {
+        let round = self.history.len() + 1;
+        let participants = self.population.select_round(rng);
+        let capacity = self.backend.round_capacity();
+        if participants.len() != capacity {
+            return Err(LiflError::InvalidConfig(format!(
+                "round selected {} participants but the backend tree \
+                 aggregates exactly {capacity}",
+                participants.len()
+            )));
+        }
+        let mut loss_sum = 0.0;
+        for client in &participants {
+            let shard = self.dataset.shard(client.id);
+            let (local, loss) = self.trainer.train(&self.global, shard, rng);
+            loss_sum += loss;
+            let samples = shard.len().max(1) as u64;
+            if let Err(error) = self
+                .backend
+                .ingest_update(Update::dense(client.id, local, samples))
+            {
+                self.backend.discard_round();
+                return Err(error);
+            }
+        }
+        let aggregate = self.backend.aggregate_round()?;
+        self.global = aggregate.update.model;
+        let accuracy = if round.is_multiple_of(self.config.eval_every.max(1)) {
+            Some(self.evaluate())
+        } else {
+            None
+        };
+        let outcome = TrainingRound {
+            round,
+            updates: aggregate.updates_ingested,
+            accuracy,
+            train_loss: loss_sum / participants.len().max(1) as f64,
+            ingress_wire_bytes: aggregate.ingress_wire_bytes,
+        };
+        self.history.push(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Runs all configured rounds and returns the history.
+    ///
+    /// # Errors
+    /// Stops at and returns the first failing round (completed rounds stay
+    /// in [`TrainingDriver::history`]).
+    pub fn run_all(&mut self, rng: &mut SimRng) -> Result<Vec<TrainingRound>> {
+        for _ in 0..self.config.rounds {
+            self.run_round(rng)?;
+        }
+        Ok(self.history.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Session, SessionBuilder};
+    use lifl_fl::client::ClientAvailability;
+    use lifl_fl::dataset::DatasetConfig;
+    use lifl_fl::population::PopulationConfig;
+    use lifl_types::Topology;
+
+    fn fixtures(seed: u64) -> (FederatedDataset, Population, SimRng) {
+        let mut rng = SimRng::from_seed(seed);
+        let dataset = FederatedDataset::generate(
+            DatasetConfig {
+                num_clients: 24,
+                num_features: 12,
+                num_classes: 6,
+                mean_samples_per_client: 40,
+                dirichlet_alpha: 0.5,
+                test_samples: 300,
+                noise_std: 0.4,
+            },
+            &mut rng,
+        );
+        let population = Population::generate(
+            PopulationConfig {
+                total_clients: 24,
+                active_per_round: 8,
+                availability: ClientAvailability::AlwaysOn,
+                mean_samples: 40,
+                speed_spread: 0.3,
+            },
+            &mut rng,
+        );
+        (dataset, population, rng)
+    }
+
+    fn session(codec: lifl_types::CodecKind) -> Session {
+        SessionBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .codec(codec)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn driver_over_a_session_learns() {
+        let (dataset, population, mut rng) = fixtures(42);
+        let mut driver = TrainingDriver::new(
+            session(lifl_types::CodecKind::Identity),
+            dataset,
+            population,
+            TrainingConfig {
+                rounds: 12,
+                ..TrainingConfig::default()
+            },
+        );
+        let initial = driver.evaluate();
+        let history = driver.run_all(&mut rng).unwrap();
+        assert_eq!(history.len(), 12);
+        let final_acc = driver.evaluate();
+        assert!(
+            final_acc > initial + 10.0,
+            "driver should learn noticeably: {initial} -> {final_acc}"
+        );
+        assert!(history.iter().all(|r| r.updates == 8));
+        assert!(history.iter().all(|r| r.ingress_wire_bytes > 0));
+        assert_eq!(driver.accuracy_curve().len(), 12);
+    }
+
+    #[test]
+    fn capacity_mismatch_is_an_error_and_keeps_the_driver_reusable() {
+        let (dataset, _, mut rng) = fixtures(7);
+        // 10 active participants can never fill an 8-update tree.
+        let population = Population::generate(
+            PopulationConfig {
+                total_clients: 24,
+                active_per_round: 10,
+                availability: ClientAvailability::AlwaysOn,
+                mean_samples: 40,
+                speed_spread: 0.3,
+            },
+            &mut rng,
+        );
+        let mut driver = TrainingDriver::new(
+            session(lifl_types::CodecKind::Identity),
+            dataset,
+            population,
+            TrainingConfig::default(),
+        );
+        assert!(driver.run_round(&mut rng).is_err());
+        assert!(driver.history().is_empty());
+        assert_eq!(driver.backend().pending_updates(), 0);
+    }
+}

@@ -38,6 +38,7 @@ pub mod rounds;
 pub mod selector;
 pub mod server_opt;
 pub mod sharded;
+pub mod sink;
 pub mod staleness;
 pub mod trainer;
 pub mod update;
@@ -54,6 +55,7 @@ pub use population::{Population, PopulationConfig};
 pub use rounds::{FlDriver, FlDriverConfig, RoundOutcome};
 pub use server_opt::{ServerOptConfig, ServerOptKind, ServerOptimizer};
 pub use sharded::ShardedFedAvg;
+pub use sink::{Ingest, RoundAggregate};
 pub use staleness::{StalenessPolicy, StalenessTracker};
 pub use trainer::{LocalTrainer, TrainerConfig};
 pub use update::Update;

@@ -232,8 +232,8 @@ impl Topology {
     }
 
     /// Checks that `provided` client updates exactly fill the tree — the one
-    /// validation both the deprecated `run_hierarchical*` shims and
-    /// `Session::drive` perform before running a round.
+    /// validation `Session::drive` and `Cluster::drive` perform before
+    /// running a round.
     ///
     /// # Errors
     /// Returns [`LiflError::InvalidConfig`] when the counts differ.

@@ -1,15 +1,17 @@
 //! Multi-node session federation: the same round driven by one in-process
 //! session and by a 4-node `Cluster` whose nodes exchange codec-tagged wire
 //! bytes gateway-to-gateway (`Update::RemoteBytes`), proving the aggregate
-//! bit-exact while reporting what the federation costs on the wire.
+//! bit-exact while reporting what the federation costs on the wire — then a
+//! multi-round run where live EWMA placement moves the global top onto the
+//! most-loaded node without changing a single aggregate bit.
 //!
 //! Run with: `cargo run -p lifl-examples --example cluster_federation`
 //! (or `just cluster-demo`).
 
-use lifl_core::cluster::ClusterBuilder;
+use lifl_core::cluster::{ClusterBuilder, TopPlacement};
 use lifl_core::session::{SessionBuilder, Update};
 use lifl_examples::demo_updates;
-use lifl_types::{CodecKind, Topology};
+use lifl_types::{CodecKind, NodeId, Topology};
 
 fn main() {
     // A 3-level global tree whose top fan-in is the machine count: 4 nodes
@@ -76,5 +78,60 @@ fn main() {
             report.serialized_hop_latency().as_secs(),
         );
         assert!(bit_exact, "federation must not change the aggregate");
+    }
+
+    // Live placement: the top-hosting node is not static wiring. Under the
+    // default `TopPlacement::MostLoaded` policy the cluster keeps a per-node
+    // EWMA of observed load and re-places the top at every round boundary;
+    // here an out-of-band load report tips the estimate and the top moves —
+    // with the warm global intermediate handed off at a priced hop, and the
+    // aggregates staying bit-identical to a cluster that never moves.
+    let mut live = ClusterBuilder::new()
+        .topology(topology.clone())
+        .codec(CodecKind::Uniform8)
+        .build()
+        .expect("live cluster");
+    let mut pinned = ClusterBuilder::new()
+        .topology(topology.clone())
+        .codec(CodecKind::Uniform8)
+        .placement(TopPlacement::Pinned(0))
+        .build()
+        .expect("pinned cluster");
+    println!("\nlive placement (uniform8, 3 rounds):");
+    for round in 0..3u32 {
+        if round == 1 {
+            // Node 2 reports a deep pending queue; its EWMA now dominates.
+            live.observe_node_load(NodeId::new(2), 96.0);
+        }
+        let updates = demo_updates(topology.total_updates(), 1024);
+        live.ingest_all(updates.iter().cloned().map(Update::Dense))
+            .expect("live ingest");
+        pinned
+            .ingest_all(updates.into_iter().map(Update::Dense))
+            .expect("pinned ingest");
+        let live_report = live.drive().expect("live drive");
+        let pinned_report = pinned.drive().expect("pinned drive");
+        let bit_exact = live_report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(pinned_report.update.model.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        match &live_report.replacement {
+            Some(moved) => println!(
+                "  round {round}: top moved {} -> {} ({} handoff bytes, \
+                 {:.4}s modelled), bit-exact with pinned: {bit_exact}",
+                moved.from,
+                moved.to,
+                moved.state_bytes,
+                moved.cost.latency.as_secs(),
+            ),
+            None => println!(
+                "  round {round}: top stays on {}, bit-exact with pinned: {bit_exact}",
+                live_report.top_node,
+            ),
+        }
+        assert!(bit_exact, "a top move must not change the aggregate");
     }
 }

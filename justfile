@@ -1,9 +1,22 @@
-# Local invocations mirroring CI (.github/workflows/ci.yml) exactly.
-# Requires `just` (https://github.com/casey/just); every recipe body is a
-# plain cargo command, so copy-paste works without it too.
+# Local invocations mirroring CI (.github/workflows/ci.yml) exactly —
+# enforced by `just ci-sync`, which diffs the `ci` recipe's command list
+# against the workflow's steps. Requires `just`
+# (https://github.com/casey/just); every recipe body is a plain shell
+# command, so copy-paste works without it too.
 
 # Run the full CI gate locally.
-default: lint doc build test bench-check bench-baseline-check smoke
+default: ci
+
+# Everything CI runs, in CI order.
+ci: guard ci-sync lint doc build test alloc bench-check bench-baseline-check smoke
+
+# CI guard: the legacy runtime (deleted in PR 6) must stay deleted.
+guard:
+    sh ci/no_legacy_runtime.sh
+
+# CI guard: this justfile and ci.yml run the same command list.
+ci-sync:
+    sh ci/check_ci_sync.sh
 
 # Formatting + clippy, denying warnings (CI `lint` job).
 lint:
@@ -24,6 +37,11 @@ build:
 test:
     cargo test -q
 
+# The allocation tier in its own named step (a counting global allocator in
+# its own process), so allocation regressions fail with a readable name.
+alloc:
+    cargo test -p lifl-integration --test alloc
+
 # Ensure every criterion bench target still compiles.
 bench-check:
     cargo bench --no-run
@@ -42,9 +60,11 @@ bench-baseline-check:
     cargo run --release -p lifl-bench --bin bench_baseline -- --quick --out target/bench_quick.json
     cargo run --release -p lifl-bench --bin bench_baseline -- --check BENCH_aggregation.json
 
-# CI smoke step: the quickstart example runs end to end.
+# CI smoke steps: the quickstart and cluster-federation examples run end to
+# end (the latter asserts cluster/session bit-exactness inline).
 smoke:
     cargo run --release -p lifl-examples --example quickstart
+    cargo run --release -p lifl-examples --example cluster_federation
 
 # Run the multi-node cluster federation demo (sessions composed
 # gateway-to-gateway over Update::RemoteBytes, bit-exactness asserted inline).

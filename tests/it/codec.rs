@@ -1,13 +1,13 @@
 //! The update-codec tier: proves the quantized data plane equivalent to the
-//! pre-codec path where it must be (Identity bit-exactness), close where it
-//! may drift (lossy codecs under error feedback), and cheaper where it
-//! promises to be (wire and shared-memory byte counters shrink monotonically
-//! Identity → Uniform8 → Uniform4) — all through the unified `Session` API,
-//! with the deprecated shims cross-checked against it.
+//! seed fold semantics where it must be (Identity bit-exactness), close
+//! where it may drift (lossy codecs under error feedback), and cheaper where
+//! it promises to be (wire and shared-memory byte counters shrink
+//! monotonically Identity → Uniform8 → Uniform4) — all through the unified
+//! `Session` API.
 
 use lifl_core::platform::{LiflPlatform, RoundSpec};
 use lifl_core::session::{Session, SessionBuilder, SessionReport, Update};
-use lifl_fl::aggregate::{fedavg, ModelUpdate};
+use lifl_fl::aggregate::{fedavg, CumulativeFedAvg, ModelUpdate};
 use lifl_fl::DenseModel;
 use lifl_types::{ClientId, ClusterConfig, CodecKind, LiflConfig, ModelKind, SimTime, Topology};
 
@@ -43,49 +43,46 @@ fn drive(codec: CodecKind, shards: usize, updates: &[ModelUpdate]) -> SessionRep
     session.drive().expect("drive")
 }
 
-/// Acceptance: the `Identity` codec is bit-exact with the codec-blind
-/// session, end to end through gateway, shared memory and the threaded
-/// two-level hierarchy — and the deprecated `run_hierarchical*` entry points
-/// still deliver exactly the session's results.
+/// Acceptance: the `Identity` codec is bit-exact with the seed fold
+/// semantics, end to end through gateway, shared memory and the threaded
+/// two-level hierarchy. The reference is restated from first principles:
+/// update *k* of a round feeds leaf `k % leaves`, each leaf folds its
+/// arrivals in arrival order, and the top folds the leaves in leaf order —
+/// the same cumulative FedAvg a flat accumulator computes.
 #[test]
-#[allow(deprecated)]
 fn identity_codec_bit_exact_with_pre_codec_path() {
-    use lifl_core::runtime::{
-        run_hierarchical, run_hierarchical_with_codec, HierarchicalRunConfig,
-    };
-
     let updates = updates(8, 64);
-    let config = HierarchicalRunConfig {
-        leaves: 4,
-        updates_per_leaf: 2,
-        aggregation_shards: 1,
-    };
-    let pre_codec = run_hierarchical(config, &updates).expect("pre-codec shim");
-    let shim_report =
-        run_hierarchical_with_codec(config, &updates, CodecKind::Identity).expect("identity shim");
+    let leaves = 4;
+    let mut leaf_folds: Vec<CumulativeFedAvg> =
+        (0..leaves).map(|_| CumulativeFedAvg::new(64)).collect();
+    for (k, update) in updates.iter().enumerate() {
+        leaf_folds[k % leaves].fold(update).expect("leaf fold");
+    }
+    let mut top = CumulativeFedAvg::new(64);
+    for mut leaf in leaf_folds {
+        let merged = leaf.finalize().expect("leaf finalize");
+        top.fold(&merged).expect("top fold");
+    }
+    let reference = top.finalize().expect("top finalize");
     let session_report = drive(CodecKind::Identity, 1, &updates);
-    assert_eq!(session_report.update.samples, pre_codec.samples);
-    for ((a, b), c) in session_report
+    assert_eq!(session_report.update.samples, reference.samples);
+    for (a, b) in session_report
         .update
         .model
         .as_slice()
         .iter()
-        .zip(pre_codec.model.as_slice())
-        .zip(shim_report.update.model.as_slice())
+        .zip(reference.model.as_slice())
     {
         assert_eq!(
             a.to_bits(),
             b.to_bits(),
-            "identity session diverged from the deprecated path: {a} vs {b}"
+            "identity session diverged from the seed fold semantics: {a} vs {b}"
         );
-        assert_eq!(a.to_bits(), c.to_bits(), "codec shim diverged: {a} vs {c}");
     }
-    // Nothing was stored compressed on the identity path.
+    // Nothing was stored compressed on the identity path, and every client
+    // payload crossed the ingress dense: 8 updates × 64 f32 parameters.
     assert_eq!(session_report.store_stats.encoded_puts, 0);
-    assert_eq!(
-        shim_report.client_wire_bytes,
-        session_report.ingress_wire_bytes
-    );
+    assert_eq!(session_report.ingress_wire_bytes, 8 * 64 * 4);
 }
 
 /// Every codec's end-to-end aggregate stays within its quantization error of

@@ -1,0 +1,256 @@
+//! The multi-round training-driver tier: one `TrainingDriver` loop runs over
+//! either `Ingest` backend — a single-process `Session` or a federated
+//! `Cluster` — with bit-exact results for every codec × shard count, and
+//! live top placement re-places the global top between rounds without
+//! touching the aggregate.
+
+use lifl_core::cluster::{Cluster, ClusterBuilder, TopPlacement};
+use lifl_core::session::{Session, SessionBuilder, Update};
+use lifl_core::training::{TrainingConfig, TrainingDriver};
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::client::ClientAvailability;
+use lifl_fl::dataset::{DatasetConfig, FederatedDataset};
+use lifl_fl::population::{Population, PopulationConfig};
+use lifl_fl::trainer::TrainerConfig;
+use lifl_fl::{DenseModel, Ingest};
+use lifl_simcore::SimRng;
+use lifl_types::{ClientId, CodecKind, NodeId, Topology};
+
+/// The global tree both backends aggregate over: 8 updates per round, split
+/// by the cluster into 2 nodes of [2, 2] subtrees.
+fn topology() -> Topology {
+    Topology::new(vec![2, 2, 2]).expect("topology")
+}
+
+/// Regenerates the identical dataset + population + rng for a given seed, so
+/// two driver runs consume identical randomness streams.
+fn fixtures(seed: u64) -> (FederatedDataset, Population, SimRng) {
+    let mut rng = SimRng::from_seed(seed);
+    let dataset = FederatedDataset::generate(
+        DatasetConfig {
+            num_clients: 24,
+            num_features: 12,
+            num_classes: 6,
+            mean_samples_per_client: 40,
+            dirichlet_alpha: 0.5,
+            test_samples: 300,
+            noise_std: 0.4,
+        },
+        &mut rng,
+    );
+    let population = Population::generate(
+        PopulationConfig {
+            total_clients: 24,
+            active_per_round: 8,
+            availability: ClientAvailability::AlwaysOn,
+            mean_samples: 40,
+            speed_spread: 0.3,
+        },
+        &mut rng,
+    );
+    (dataset, population, rng)
+}
+
+fn session(codec: CodecKind, shards: usize) -> Session {
+    SessionBuilder::new()
+        .topology(topology())
+        .codec(codec)
+        .shards(shards)
+        .build()
+        .expect("session")
+}
+
+fn cluster(codec: CodecKind, shards: usize) -> Cluster {
+    ClusterBuilder::new()
+        .topology(topology())
+        .codec(codec)
+        .shards(shards)
+        .build()
+        .expect("cluster")
+}
+
+fn run_driver<B: Ingest>(backend: B, seed: u64, rounds: usize) -> TrainingDriver<B> {
+    let (dataset, population, mut rng) = fixtures(seed);
+    let mut driver = TrainingDriver::new(
+        backend,
+        dataset,
+        population,
+        TrainingConfig {
+            trainer: TrainerConfig {
+                batch_size: 16,
+                learning_rate: 0.05,
+                local_epochs: 2,
+            },
+            rounds,
+            eval_every: 1,
+        },
+    );
+    driver.run_all(&mut rng).expect("rounds drive");
+    driver
+}
+
+/// Acceptance: the cluster-backed driver is **bit-exact** with the
+/// session-backed driver — same global model bits, same loss curve, same
+/// wire accounting — for every `CodecKind` × {1, 4} shards.
+#[test]
+fn cluster_driver_bit_exact_with_session_driver_for_every_codec_and_shards() {
+    for codec in CodecKind::ablation_set() {
+        for shards in [1usize, 4] {
+            let over_session = run_driver(session(codec, shards), 42, 3);
+            let over_cluster = run_driver(cluster(codec, shards), 42, 3);
+            for (s, c) in over_session
+                .history()
+                .iter()
+                .zip(over_cluster.history().iter())
+            {
+                assert_eq!(s.round, c.round);
+                assert_eq!(s.updates, c.updates, "{codec}/{shards}");
+                assert_eq!(
+                    s.train_loss, c.train_loss,
+                    "{codec}/{shards} round {}: identical local training \
+                     must report identical loss",
+                    s.round
+                );
+                assert_eq!(
+                    s.ingress_wire_bytes, c.ingress_wire_bytes,
+                    "{codec}/{shards} round {}",
+                    s.round
+                );
+                assert_eq!(s.accuracy, c.accuracy, "{codec}/{shards} round {}", s.round);
+            }
+            for (a, b) in over_session
+                .global_model()
+                .as_slice()
+                .iter()
+                .zip(over_cluster.global_model().as_slice())
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{codec}/{shards}: cluster driver diverged: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance: under a lossy codec the cluster driver's multi-round loss
+/// curve is identical to the single-session driver's — error-feedback
+/// residuals accumulate identically at both ingresses — and the model still
+/// learns through the compressed federated path.
+#[test]
+fn lossy_cluster_driver_converges_identically_to_session_driver() {
+    let rounds = 10;
+    let over_session = run_driver(session(CodecKind::Uniform8, 1), 7, rounds);
+    let over_cluster = run_driver(cluster(CodecKind::Uniform8, 1), 7, rounds);
+    let session_curve: Vec<f64> = over_session
+        .history()
+        .iter()
+        .map(|r| r.train_loss)
+        .collect();
+    let cluster_curve: Vec<f64> = over_cluster
+        .history()
+        .iter()
+        .map(|r| r.train_loss)
+        .collect();
+    assert_eq!(session_curve, cluster_curve);
+    assert_eq!(over_session.accuracy_curve(), over_cluster.accuracy_curve());
+    // The curve is a real convergence curve, not a fixed point: late-round
+    // training loss dips well below the first round's.
+    let first = session_curve[0];
+    let last = *session_curve.last().expect("nonempty curve");
+    assert!(
+        last < first * 0.8,
+        "lossy driver should converge: {first} -> {last}"
+    );
+    let accuracy = over_cluster.accuracy_curve();
+    assert!(
+        accuracy.last().expect("evaluated").1 > accuracy.first().expect("evaluated").1 + 10.0,
+        "cluster driver should learn through the lossy federated path"
+    );
+}
+
+fn batch(n: usize, dim: usize, round: usize) -> Vec<ModelUpdate> {
+    (0..n)
+        .map(|i| {
+            let values: Vec<f32> = (0..dim)
+                .map(|d| ((i * dim + d * 7 + round * 13) % 101) as f32 * 0.03 - 1.5)
+                .collect();
+            ModelUpdate::from_client(
+                ClientId::new(i as u64),
+                DenseModel::from_vec(values),
+                (i + 1) as u64,
+            )
+        })
+        .collect()
+}
+
+/// Acceptance: a live top move between rounds is bit-exact with never
+/// moving. Two identically seeded clusters ingest identical rounds; one is
+/// pinned to node 0, the other re-places onto node 1 after an out-of-band
+/// load report — every aggregate stays bit-identical, only the hop pricing
+/// and the priced handoff differ.
+#[test]
+fn top_replacement_between_rounds_is_bit_exact_with_not_moving() {
+    let codec = CodecKind::Uniform8; // lossy: residual state must survive the move
+    let mut live = ClusterBuilder::new()
+        .topology(topology())
+        .codec(codec)
+        .build()
+        .unwrap();
+    let mut pinned = ClusterBuilder::new()
+        .topology(topology())
+        .codec(codec)
+        .placement(TopPlacement::Pinned(0))
+        .build()
+        .unwrap();
+    for round in 0..3 {
+        if round == 1 {
+            // A deep pending queue reported for node 1 tips the EWMA: the
+            // live cluster moves its top at the next round boundary.
+            live.observe_node_load(NodeId::new(1), 64.0);
+        }
+        let updates = batch(8, 32, round);
+        live.ingest_all(updates.iter().cloned().map(Update::Dense))
+            .unwrap();
+        pinned
+            .ingest_all(updates.into_iter().map(Update::Dense))
+            .unwrap();
+        let live_report = live.drive().unwrap();
+        let pinned_report = pinned.drive().unwrap();
+        assert_eq!(live_report.update.samples, pinned_report.update.samples);
+        for (a, b) in live_report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(pinned_report.update.model.as_slice())
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "round {round}: the top move changed the aggregate: {a} vs {b}"
+            );
+        }
+        assert!(pinned_report.replacement.is_none());
+        assert_eq!(pinned_report.top_node, NodeId::new(0));
+        if round == 1 {
+            let moved = live_report.replacement.as_ref().expect("top must move");
+            assert_eq!(moved.from, NodeId::new(0));
+            assert_eq!(moved.to, NodeId::new(1));
+            // The handoff ships round 0's warm global intermediate and is
+            // priced as a real cross-machine transfer.
+            assert_eq!(moved.state_bytes, 32 * 4);
+            assert!(moved.cost.latency > lifl_types::SimDuration::ZERO);
+        } else {
+            assert!(live_report.replacement.is_none(), "round {round}");
+        }
+        let expected_top = if round == 0 { 0 } else { 1 };
+        assert_eq!(live_report.top_node, NodeId::new(expected_top as u64));
+        // Hop pricing follows the live top: exactly the host's hop is local.
+        for hop in &live_report.hops {
+            assert_eq!(hop.same_node, hop.node == live_report.top_node);
+        }
+    }
+    assert_eq!(live.top_node(), NodeId::new(1));
+}

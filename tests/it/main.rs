@@ -1,8 +1,9 @@
-//! Entry point binding the twelve integration suites into one test binary.
+//! Entry point binding the thirteen integration suites into one test binary.
 
 mod algorithms;
 mod cluster;
 mod codec;
+mod driver;
 mod end_to_end;
 mod extensions;
 mod failure_injection;

@@ -1,7 +1,7 @@
-//! The unified-session tier: the builder-driven `Session` API subsumes both
-//! pre-redesign entry points (bit-exactly), generalises them to N-level
-//! trees under every codec, and accepts every update representation through
-//! its one polymorphic ingress.
+//! The unified-session tier: the builder-driven `Session` API is the one
+//! hierarchical entry point — deterministic and shard-invariant for every
+//! codec, generalising to N-level trees, and accepting every update
+//! representation through its one polymorphic ingress.
 
 use lifl_core::session::{SessionBuilder, SessionReport, Update};
 use lifl_fl::aggregate::{fedavg, ModelUpdate};
@@ -42,35 +42,32 @@ fn drive(
     session.drive().expect("drive")
 }
 
-/// Acceptance: an explicit 2-level `Topology` through the builder reproduces
-/// the deprecated two-level entry points bit-for-bit, for every codec and
-/// for both the sequential (1) and sharded (4) fold.
+/// Acceptance: a 2-level `Topology` through the builder is fully
+/// deterministic and shard-invariant for every codec — two identically
+/// configured sessions agree bit-for-bit, and the sharded (4) fold agrees
+/// bit-for-bit with the sequential (1) fold, with identical ingress wire
+/// accounting throughout.
 #[test]
-#[allow(deprecated)]
-fn two_level_topology_reproduces_deprecated_results_for_all_codecs_and_shards() {
-    use lifl_core::runtime::{run_hierarchical_with_codec, HierarchicalRunConfig};
-
+fn two_level_topology_is_deterministic_and_shard_invariant_for_all_codecs() {
     let batch = updates(8, 640);
     for codec in CodecKind::ablation_set() {
+        let reference = drive(Topology::two_level(4, 2), codec, 1, &batch);
         for shards in [1usize, 4] {
-            let config = HierarchicalRunConfig {
-                leaves: 4,
-                updates_per_leaf: 2,
-                aggregation_shards: shards,
-            };
-            let old = run_hierarchical_with_codec(config, &batch, codec).expect("shim");
-            let new = drive(Topology::two_level(4, 2), codec, shards, &batch);
-            assert_eq!(old.update.samples, new.update.samples, "{codec}/{shards}");
+            let run = drive(Topology::two_level(4, 2), codec, shards, &batch);
             assert_eq!(
-                old.client_wire_bytes, new.ingress_wire_bytes,
+                run.update.samples, reference.update.samples,
                 "{codec}/{shards}"
             );
-            for (a, b) in old
+            assert_eq!(
+                run.ingress_wire_bytes, reference.ingress_wire_bytes,
+                "{codec}/{shards}"
+            );
+            for (a, b) in run
                 .update
                 .model
                 .as_slice()
                 .iter()
-                .zip(new.update.model.as_slice())
+                .zip(reference.update.model.as_slice())
             {
                 assert_eq!(
                     a.to_bits(),
