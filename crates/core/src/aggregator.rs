@@ -1,12 +1,11 @@
 //! The LIFL aggregator runtime: the step-based Recv → Agg → Send processing
 //! model of Appendix G, operating on object keys in shared memory.
 
-use lifl_fl::aggregate::CumulativeFedAvg;
 use lifl_fl::codec::{EncodedView, UpdateCodec};
-use lifl_fl::sharded::ShardedFedAvg;
+use lifl_fl::robust::PolicyFold;
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore, SharedObject};
-use lifl_types::{AggregatorId, AggregatorRole, LiflError, Result, Topology};
+use lifl_types::{AggregatorId, AggregatorRole, FoldPolicy, LiflError, Result, Topology};
 
 /// The step the runtime is currently in (Appendix G, Fig. 14).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +30,7 @@ pub struct AggregatorRuntime {
     goal: u64,
     store: ObjectStore,
     inbox: InPlaceQueue,
-    accumulator: CumulativeFedAvg,
+    accumulator: PolicyFold,
     step: AggregatorStep,
     aggregated: u64,
     /// When set (and lossy), outgoing intermediates are re-encoded with this
@@ -63,7 +62,7 @@ impl AggregatorRuntime {
             goal,
             store,
             inbox,
-            accumulator: CumulativeFedAvg::default(),
+            accumulator: PolicyFold::default(),
             step: AggregatorStep::Recv,
             aggregated: 0,
             codec: None,
@@ -137,6 +136,29 @@ impl AggregatorRuntime {
         self.shards
     }
 
+    /// Sets the fold policy this runtime aggregates with
+    /// (`LiflConfig.fold_policy`). [`FoldPolicy::FedAvg`] keeps the seed's
+    /// eager constant-memory fold bit-exactly; robust policies buffer the
+    /// round and compute a coordinate-wise statistic at send time.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] for invalid policy parameters or
+    /// when updates have already been folded into the current round.
+    pub fn set_policy(&mut self, policy: FoldPolicy) -> Result<()> {
+        if self.accumulator.updates_folded() > 0 {
+            return Err(LiflError::InvalidConfig(
+                "cannot change fold policy mid-round".to_string(),
+            ));
+        }
+        self.accumulator = PolicyFold::new(policy)?;
+        Ok(())
+    }
+
+    /// The fold policy in use.
+    pub fn policy(&self) -> FoldPolicy {
+        self.accumulator.policy()
+    }
+
     /// The aggregator's identity.
     pub fn id(&self) -> AggregatorId {
         self.id
@@ -161,7 +183,7 @@ impl AggregatorRuntime {
         }
         self.role = next;
         self.goal = new_goal;
-        self.accumulator = CumulativeFedAvg::default();
+        self.accumulator = PolicyFold::new(self.accumulator.policy())?;
         self.aggregated = 0;
         self.step = AggregatorStep::Recv;
         Ok(())
@@ -274,10 +296,9 @@ impl AggregatorRuntime {
                 entry.weight,
             ));
         }
-        let mut sharded = ShardedFedAvg::around(std::mem::take(&mut self.accumulator), self.shards);
-        let outcome = sharded.fold_encoded_batch(&views);
-        self.accumulator = sharded.into_inner();
-        outcome.map_err(|e| (None, e))?;
+        self.accumulator
+            .fold_encoded_batch(&views, self.shards)
+            .map_err(|e| (None, e))?;
         Ok(views.len())
     }
 
@@ -626,6 +647,33 @@ mod tests {
         let key = store.put(vec![1u8, 2, 3]).unwrap();
         inbox.enqueue(QueuedUpdate::from_client(ClientId::new(1), key).encoded());
         assert!(matches!(agg.poll(), Err(LiflError::Codec(_))));
+    }
+
+    #[test]
+    fn robust_policy_survives_an_adversarial_update() {
+        let store = ObjectStore::new();
+        let inbox = InPlaceQueue::new();
+        let mut agg = AggregatorRuntime::new(
+            AggregatorId::new(1),
+            AggregatorRole::Leaf,
+            3,
+            store.clone(),
+            inbox.clone(),
+        )
+        .unwrap();
+        agg.set_policy(FoldPolicy::Median).unwrap();
+        assert_eq!(agg.policy(), FoldPolicy::Median);
+        queue_client_update(&store, &inbox, 0, &[1.0, 2.0], 1);
+        queue_client_update(&store, &inbox, 1, &[3.0, 4.0], 1);
+        // An adversary scales its update by 1e6 and claims a huge weight.
+        queue_client_update(&store, &inbox, 2, &[1e6, -1e6], 1000);
+        let out = agg.run_to_completion().unwrap();
+        let result = store.get(&out.key).unwrap().as_f32_vec();
+        assert_eq!(result, vec![3.0, 2.0], "median ignores the outlier");
+        // Mid-round policy changes are rejected.
+        queue_client_update(&store, &inbox, 3, &[1.0, 1.0], 1);
+        agg.poll().unwrap();
+        assert!(agg.set_policy(FoldPolicy::FedAvg).is_err());
     }
 
     #[test]

@@ -39,13 +39,17 @@
 //! unchanged — enforced by the re-placement test in `tests/it/driver.rs`)
 //! priced like every other hop through [`CostModel::hop_transfer`].
 
+use crate::heartbeat::HeartbeatMonitor;
 use crate::hierarchy::EwmaEstimator;
+use crate::recovery::{RecoveryManager, RecoveryOutcome};
 use crate::session::{Session, SessionBuilder, Update, WireExport};
 use lifl_dataplane::{CostModel, DataPlaneKind, TransferCost};
 use lifl_fl::aggregate::ModelUpdate;
 use lifl_fl::codec::{ErrorFeedback, UpdateCodec};
-use lifl_shmem::{BufferPool, StoreStats};
-use lifl_types::{ClientId, CodecKind, LiflError, NodeId, Result, SimDuration, Topology};
+use lifl_shmem::{BufferPool, CheckpointStore, StoreStats};
+use lifl_types::{
+    ClientId, CodecKind, FoldPolicy, LiflError, NodeId, Result, SimDuration, SimTime, Topology,
+};
 
 /// How a [`Cluster`] chooses the node hosting the global top aggregator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +89,152 @@ pub struct TopMove {
     pub cost: TransferCost,
 }
 
+/// Configuration of a cluster's failure-handling machinery (§3): keep-alive
+/// heartbeats per node, periodic checkpointing of committed global models,
+/// and the restart delay a replacement runtime needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultToleranceConfig {
+    /// Checkpoint the committed global model every this many driven rounds
+    /// (see [`RecoveryManager::new`]). Must be at least 1.
+    pub checkpoint_every: u64,
+    /// Time a replacement aggregator runtime needs to come up after a
+    /// failure.
+    pub restart_delay: SimDuration,
+    /// A node whose last keep-alive heartbeat is older than this is declared
+    /// failed by [`Cluster::detect_failed_nodes`].
+    pub heartbeat_timeout: SimDuration,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            checkpoint_every: 1,
+            restart_delay: SimDuration::from_secs(1.0),
+            heartbeat_timeout: SimDuration::from_secs(30.0),
+        }
+    }
+}
+
+/// A global-top recovery: the checkpoint restore performed after the node
+/// hosting the global top aggregator failed, plus the priced transfer that
+/// ships the checkpointed model to the replacement runtime.
+#[derive(Debug, Clone)]
+pub struct TopRecovery {
+    /// What was recovered and what was lost (see
+    /// [`RecoveryManager::fail_and_recover`]).
+    pub outcome: RecoveryOutcome,
+    /// The modelled cost of shipping the checkpointed model from the
+    /// persistent store to the replacement top host (a network transfer).
+    pub transfer: TransferCost,
+}
+
+/// Running totals of the failures a fault-tolerant cluster absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Child-node kills handled by discarding the node's subtree round and
+    /// refilling its lost slots (restart-and-redrive).
+    pub node_restarts: u64,
+    /// Global-top kills handled by restoring the latest checkpoint.
+    pub top_recoveries: u64,
+    /// Survivor hops *not* re-shipped on a retried drive because their
+    /// intermediates were already folded into the global top
+    /// (retry-with-dedup on the [`Update::RemoteBytes`] hop).
+    pub deduped_hops: u64,
+    /// Client updates lost to failures (each must be re-sent by its client).
+    pub lost_updates: u64,
+}
+
+/// What one injected or detected node kill cost the in-flight round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeKill {
+    /// The killed node.
+    pub node: NodeId,
+    /// Updates that were pending on the node (for a top-host kill: in the
+    /// whole round) and are lost.
+    pub lost_updates: u64,
+    /// Whether the killed node hosted the global top — in which case the
+    /// whole round is lost and recovery restores the latest checkpoint
+    /// (see [`Cluster::take_recovery`]).
+    pub top_host: bool,
+}
+
+/// The per-cluster failure-handling state behind
+/// [`ClusterBuilder::fault_tolerance`].
+#[derive(Debug)]
+struct FaultState {
+    recovery: RecoveryManager,
+    monitor: HeartbeatMonitor,
+    clock: SimTime,
+    /// A pending [`Cluster::schedule_node_failure`]: kill fires inside the
+    /// next drive once this many hops of the round have completed.
+    scheduled: Option<(usize, u64)>,
+    /// True once the round's top placement ran, so retried drives never
+    /// re-place (or double-observe load into the EWMAs) mid-round.
+    placed: bool,
+    /// Per node: this round's intermediate is already folded into the global
+    /// top, so a retried drive skips (dedups) its hop.
+    hop_done: Vec<bool>,
+    /// Hops / node reports accumulated across retries of the same round.
+    partial_hops: Vec<ClusterHop>,
+    partial_nodes: Vec<NodeRoundReport>,
+    /// Per node: lost update slots a restarted node still needs refilled
+    /// (re-ingests route here before round-robin resumes).
+    refill: Vec<u64>,
+    /// Clients whose updates are pending on each node this round.
+    node_clients: Vec<Vec<ClientId>>,
+    /// Clients whose updates were lost to kills and must re-send.
+    lost_clients: Vec<ClientId>,
+    last_recovery: Option<TopRecovery>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn new(config: FaultToleranceConfig, nodes: usize) -> Result<Self> {
+        let recovery = RecoveryManager::new(config.checkpoint_every, config.restart_delay)?;
+        let mut monitor = HeartbeatMonitor::new(config.heartbeat_timeout);
+        for node in 0..nodes {
+            monitor.register(ClientId::new(node as u64), SimTime::ZERO);
+        }
+        Ok(FaultState {
+            recovery,
+            monitor,
+            clock: SimTime::ZERO,
+            scheduled: None,
+            placed: false,
+            hop_done: vec![false; nodes],
+            partial_hops: Vec::new(),
+            partial_nodes: Vec::new(),
+            refill: vec![0; nodes],
+            node_clients: vec![Vec::new(); nodes],
+            lost_clients: Vec::new(),
+            last_recovery: None,
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// Forgets everything scoped to the current round (a completed,
+    /// discarded or top-lost round). Heartbeats, stats, the recovery manager
+    /// and any pending [`TopRecovery`] persist.
+    fn clear_round(&mut self) {
+        self.scheduled = None;
+        self.placed = false;
+        self.hop_done.fill(false);
+        self.partial_hops.clear();
+        self.partial_nodes.clear();
+        self.refill.fill(0);
+        for clients in &mut self.node_clients {
+            clients.clear();
+        }
+        self.lost_clients.clear();
+    }
+
+    fn advance_clock(&mut self, now: SimTime) {
+        if now > self.clock {
+            self.clock = now;
+        }
+    }
+}
+
 /// Builds a [`Cluster`]: the global tree, codec, shard count, seed, hop cost
 /// model and the top-placement policy, with working defaults.
 ///
@@ -112,6 +262,9 @@ pub struct ClusterBuilder {
     placement: TopPlacement,
     cost: CostModel,
     dataplane: DataPlaneKind,
+    policy: FoldPolicy,
+    faults: Option<FaultToleranceConfig>,
+    deferred_error: Option<String>,
 }
 
 impl Default for ClusterBuilder {
@@ -135,6 +288,9 @@ impl ClusterBuilder {
             placement: TopPlacement::default(),
             cost: CostModel::paper_calibrated(),
             dataplane: DataPlaneKind::LiflSharedMemory,
+            policy: FoldPolicy::FedAvg,
+            faults: None,
+            deferred_error: None,
         }
     }
 
@@ -168,7 +324,17 @@ impl ClusterBuilder {
         let subtree = Topology::for_load_capped(per_node, leaf_fan_in, max_interior_fan_in);
         let mut fan_in = subtree.fan_ins().to_vec();
         fan_in.push(nodes);
-        self.topology = Topology::new(fan_in).expect("per-node subtree fans are nonzero");
+        // Builders never panic: an invalid planned tree is deferred to
+        // `build()`'s Result like every other configuration error.
+        match Topology::new(fan_in) {
+            Ok(topology) => self.topology = topology,
+            Err(error) => {
+                self.deferred_error = Some(format!(
+                    "for_load({total_updates}, {leaf_fan_in}, {max_interior_fan_in}, \
+                     {nodes}) planned an invalid tree: {error}"
+                ));
+            }
+        }
         self
     }
 
@@ -219,6 +385,29 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets the fold policy every aggregator — on every node, and at the
+    /// global top — applies (see [`SessionBuilder::fold_policy`]). The
+    /// default [`FoldPolicy::FedAvg`] is bit-exact with a cluster built
+    /// before the policy existed; robust policies discard per-coordinate
+    /// tails at each level, so corrupted or adversarially scaled client
+    /// updates cannot drag the global aggregate.
+    pub fn fold_policy(mut self, policy: FoldPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the cluster's failure-handling machinery (§3): per-node
+    /// keep-alive heartbeats, a child [`Session`] killable mid-round
+    /// ([`Cluster::inject_node_failure`] /
+    /// [`Cluster::schedule_node_failure`]), retry-with-dedup re-drives from
+    /// surviving subtrees, and checkpoint-based recovery of the global top
+    /// through a [`RecoveryManager`]. Without this, any failure aborts the
+    /// round exactly as before.
+    pub fn fault_tolerance(mut self, config: FaultToleranceConfig) -> Self {
+        self.faults = Some(config);
+        self
+    }
+
     /// Builds the cluster: one child session per node (each with its own
     /// gateway and shared-memory store, all recycling scratch through one
     /// shared [`BufferPool`]) plus the parent session hosting the global
@@ -227,8 +416,14 @@ impl ClusterBuilder {
     /// # Errors
     /// Returns [`LiflError::InvalidConfig`] if the global topology is flat
     /// (a cluster needs a top level to split off), a pinned top node lies
-    /// outside the machine count, or the codec configuration is invalid.
+    /// outside the machine count, an earlier builder step (such as
+    /// [`ClusterBuilder::for_load`]) produced an invalid configuration, or
+    /// the codec, fold-policy or fault-tolerance configuration is invalid.
     pub fn build(self) -> Result<Cluster> {
+        if let Some(deferred) = self.deferred_error {
+            return Err(LiflError::InvalidConfig(deferred));
+        }
+        self.policy.validate().map_err(LiflError::InvalidConfig)?;
         let Some((subtree, nodes)) = self.topology.split_top() else {
             return Err(LiflError::InvalidConfig(format!(
                 "cluster federation needs at least two levels to split \
@@ -255,6 +450,7 @@ impl ClusterBuilder {
                     .codec(self.codec)
                     .shards(self.shards)
                     .seed(self.seed)
+                    .fold_policy(self.policy)
                     .node(NodeId::new(k as u64))
                     .tree_position(0, k)
                     .pool(pool.clone())
@@ -266,10 +462,15 @@ impl ClusterBuilder {
             .codec(self.codec)
             .shards(self.shards)
             .seed(self.seed)
+            .fold_policy(self.policy)
             .node(NodeId::new(top_node as u64))
             .tree_position(subtree.levels(), 0)
             .pool(pool.clone())
             .build()?;
+        let faults = match self.faults {
+            Some(config) => Some(FaultState::new(config, nodes)?),
+            None => None,
+        };
         let feedback = ErrorFeedback::new(
             UpdateCodec::with_seed(self.codec, self.seed).with_pool(pool.clone()),
         );
@@ -288,7 +489,10 @@ impl ClusterBuilder {
             parent,
             feedback,
             pool,
+            policy: self.policy,
+            faults,
             ingested: 0,
+            route_cursor: 0,
             lifetime_ingested: 0,
         })
     }
@@ -423,7 +627,14 @@ pub struct Cluster {
     parent: Session,
     feedback: ErrorFeedback,
     pool: BufferPool,
+    policy: FoldPolicy,
+    faults: Option<FaultState>,
     ingested: u64,
+    /// The round-robin position normal ingests route by. Tracks `ingested`
+    /// exactly until a node failure: refilling a restarted node's lost slots
+    /// routes directly to that node without consuming round-robin positions,
+    /// so the survivors' leaf assignment is unchanged.
+    route_cursor: u64,
     lifetime_ingested: u64,
 }
 
@@ -517,15 +728,29 @@ impl Cluster {
                 self.topology.total_updates()
             )));
         }
-        let leaf = (self.ingested as usize) % self.topology.leaves();
-        let node = leaf / self.subtree.leaves();
+        // Refill slots of a restarted node take priority over round-robin:
+        // re-sent updates route straight to the node that lost them, so the
+        // survivors' leaf assignment is untouched by the failure.
+        let refill_slot = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.refill.iter().position(|&r| r > 0));
+        let node = match refill_slot {
+            Some(node) => node,
+            None => {
+                let leaf = (self.route_cursor as usize) % self.topology.leaves();
+                leaf / self.subtree.leaves()
+            }
+        };
         // One attribution rule for every representation and node: anonymous
         // updates take the *cluster*-lifetime arrival index, so residual
         // slots and fallback ids match the single-session equivalent.
         let fallback = ClientId::new(self.lifetime_ingested);
+        let tracked: ClientId;
         let update = match update {
             Update::Dense(mut dense) => {
                 dense.client.get_or_insert(fallback);
+                tracked = dense.client.expect("attributed above");
                 if self.codec.is_lossless() {
                     Update::Dense(dense)
                 } else {
@@ -538,18 +763,33 @@ impl Cluster {
                 client,
                 update,
                 samples,
-            } => Update::Encoded {
-                client: Some(client.unwrap_or(fallback)),
-                update,
-                samples,
-            },
-            other => other,
+            } => {
+                tracked = client.unwrap_or(fallback);
+                Update::Encoded {
+                    client: Some(tracked),
+                    update,
+                    samples,
+                }
+            }
+            other => {
+                tracked = fallback;
+                other
+            }
         };
         let outcome = self.children[node].ingest(update);
         if outcome.is_ok() {
             self.ingested += 1;
             self.lifetime_ingested += 1;
             self.node_pending[node] += 1;
+            if refill_slot.is_none() {
+                self.route_cursor += 1;
+            }
+            if let Some(f) = &mut self.faults {
+                if refill_slot.is_some() {
+                    f.refill[node] -= 1;
+                }
+                f.node_clients[node].push(tracked);
+            }
         }
         outcome
     }
@@ -591,20 +831,59 @@ impl Cluster {
     /// (the round is kept and can be topped up), or on any store, codec or
     /// aggregation error — in which case the round is discarded on every
     /// node and the cluster is reset to an empty round.
+    ///
+    /// With [`ClusterBuilder::fault_tolerance`] enabled, a node kill instead
+    /// surfaces as [`LiflError::NodeFailure`] and the round *survives*: the
+    /// killed node's subtree restarts empty while every other node (and any
+    /// intermediate already folded into the global top) keeps its state.
+    /// Re-ingest the lost clients' updates ([`Cluster::take_lost_clients`])
+    /// and call `drive` again — the retry re-ships only the hops that never
+    /// arrived, skipping (and counting, see [`FaultStats::deduped_hops`])
+    /// the survivors'. A kill of the top-hosting node surfaces as
+    /// [`LiflError::AggregatorFailure`]: the round is lost wholesale and the
+    /// latest checkpoint is restored ([`Cluster::take_recovery`]).
     pub fn drive(&mut self) -> Result<ClusterReport> {
+        if let Some(f) = &self.faults {
+            if let Some(node) = f.refill.iter().position(|&r| r > 0) {
+                return Err(LiflError::NodeFailure {
+                    node: node as u64,
+                    lost_updates: f.refill[node],
+                });
+            }
+        }
         self.topology.validate(self.ingested as usize)?;
-        let replacement = self.place_top();
+        let resuming = self.faults.as_ref().is_some_and(|f| f.placed);
+        let replacement = if resuming { None } else { self.place_top() };
+        if let Some(f) = &mut self.faults {
+            f.placed = true;
+        }
         match self.drive_hops() {
             Ok(mut report) => {
                 report.replacement = replacement;
                 self.ingested = 0;
+                self.route_cursor = 0;
                 self.node_pending.fill(0);
                 // Next move's handoff ships the warm global intermediate.
                 self.handoff_bytes = report.update.model.dim() as u64 * 4;
+                if let Some(f) = &mut self.faults {
+                    let now = f.clock;
+                    f.recovery.commit_version(&report.update.model, now);
+                    f.clear_round();
+                }
                 Ok(report)
             }
             Err(error) => {
-                self.abort_round();
+                // A survivable node kill keeps the partial round for retry;
+                // a top kill already cleaned up after itself. Everything
+                // else aborts the round exactly as without fault tolerance.
+                let survivable = self.faults.is_some()
+                    && matches!(
+                        error,
+                        LiflError::NodeFailure { .. } | LiflError::AggregatorFailure { .. }
+                    );
+                if !survivable {
+                    self.abort_round();
+                }
                 Err(error)
             }
         }
@@ -647,13 +926,42 @@ impl Cluster {
         })
     }
 
-    /// Runs the export → hop → parent-fold pipeline over every node.
+    /// Runs the export → hop → parent-fold pipeline over every node,
+    /// resuming a partially shipped round (and firing any scheduled kill)
+    /// when fault tolerance is enabled.
     fn drive_hops(&mut self) -> Result<ClusterReport> {
-        let mut hops = Vec::with_capacity(self.children.len());
-        let mut nodes = Vec::with_capacity(self.children.len());
-        for (k, child) in self.children.iter_mut().enumerate() {
+        let mut hops;
+        let mut nodes;
+        if let Some(f) = &mut self.faults {
+            hops = std::mem::take(&mut f.partial_hops);
+            nodes = std::mem::take(&mut f.partial_nodes);
+        } else {
+            hops = Vec::with_capacity(self.children.len());
+            nodes = Vec::with_capacity(self.children.len());
+        }
+        for k in 0..self.children.len() {
+            if let Some(f) = &self.faults {
+                if f.hop_done[k] {
+                    // Retry-with-dedup: this node's intermediate already
+                    // reached the global top on an earlier attempt; never
+                    // re-ship (or re-price) the hop.
+                    let f = self.faults.as_mut().expect("checked above");
+                    f.stats.deduped_hops += 1;
+                    continue;
+                }
+                if let Some((victim, after_hops)) = f.scheduled {
+                    let completed = f.hop_done.iter().filter(|&&d| d).count() as u64;
+                    if completed >= after_hops {
+                        let f = self.faults.as_mut().expect("checked above");
+                        f.scheduled = None;
+                        f.partial_hops = hops;
+                        f.partial_nodes = nodes;
+                        return Err(self.kill_node(victim));
+                    }
+                }
+            }
             let node = NodeId::new(k as u64);
-            let export: WireExport = child.drive_to_wire()?;
+            let export: WireExport = self.children[k].drive_to_wire()?;
             let wire_bytes = export.wire_bytes();
             let same_node = k == self.top_node;
             let cost = self
@@ -672,6 +980,14 @@ impl Cluster {
                 same_node,
                 cost,
             });
+            // The export is safely folded at the top: from here on a kill of
+            // this node loses nothing of the round.
+            self.node_pending[k] = 0;
+            if let Some(f) = &mut self.faults {
+                f.hop_done[k] = true;
+                f.node_clients[k].clear();
+                f.recovery.record_fold();
+            }
         }
         let report = self.parent.drive()?;
         Ok(ClusterReport {
@@ -700,7 +1016,236 @@ impl Cluster {
         }
         self.parent.discard_round();
         self.ingested = 0;
+        self.route_cursor = 0;
         self.node_pending.fill(0);
+        if let Some(f) = &mut self.faults {
+            f.clear_round();
+        }
+    }
+
+    /// The fold policy every aggregator in the cluster applies.
+    pub fn fold_policy(&self) -> FoldPolicy {
+        self.policy
+    }
+
+    /// Whether the failure-handling machinery is enabled.
+    pub fn fault_tolerance_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The checkpoint store the cluster's recovery manager commits global
+    /// models to, when fault tolerance is enabled.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.faults.as_ref().map(|f| f.recovery.store())
+    }
+
+    /// Running failure-handling totals, when fault tolerance is enabled.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Advances the cluster's fault clock (used to timestamp checkpoints and
+    /// recoveries). Heartbeats and failure detection advance it implicitly.
+    pub fn set_time(&mut self, now: SimTime) {
+        if let Some(f) = &mut self.faults {
+            f.advance_clock(now);
+        }
+    }
+
+    /// Records a keep-alive heartbeat from a node's LIFL agent.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when fault tolerance is not
+    /// enabled or the node is outside the cluster.
+    pub fn node_heartbeat(&mut self, node: NodeId, now: SimTime) -> Result<()> {
+        let nodes = self.children.len();
+        let f = self.require_faults()?;
+        if node.index() as usize >= nodes {
+            return Err(LiflError::InvalidConfig(format!(
+                "node {node:?} outside the cluster's {nodes} nodes"
+            )));
+        }
+        f.advance_clock(now);
+        f.monitor.heartbeat(ClientId::new(node.index()), now);
+        Ok(())
+    }
+
+    /// Declares failed — and kills, exactly like
+    /// [`Cluster::inject_node_failure`] — every node whose last heartbeat is
+    /// older than the configured timeout at `now`, returning the kills in
+    /// node order. Each overdue node is reported (and killed) exactly once;
+    /// restarted nodes resume heartbeating from `now`.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when fault tolerance is not
+    /// enabled, or a checkpoint-restore error when a top-host kill finds a
+    /// corrupt checkpoint.
+    pub fn detect_failed_nodes(&mut self, now: SimTime) -> Result<Vec<NodeKill>> {
+        let f = self.require_faults()?;
+        f.advance_clock(now);
+        let overdue: Vec<usize> = f
+            .monitor
+            .take_failed(now)
+            .into_iter()
+            .map(|client| client.index() as usize)
+            .collect();
+        let mut kills = Vec::with_capacity(overdue.len());
+        for node in overdue {
+            kills.push(self.kill_checked(node)?);
+        }
+        Ok(kills)
+    }
+
+    /// Kills a node *now* (the fault-injection hook): its child [`Session`]
+    /// loses the in-flight round state, exactly as a crashed process would.
+    ///
+    /// For an ordinary node the cluster round survives: the lost slots are
+    /// tracked for refill ([`Cluster::take_lost_clients`] says whose updates
+    /// must be re-sent) and the next [`Cluster::drive`] fails with
+    /// [`LiflError::NodeFailure`] until they are. A node whose intermediate
+    /// already reached the global top this round loses nothing. Killing the
+    /// top-hosting node loses the whole round and restores the latest
+    /// checkpoint ([`Cluster::take_recovery`]).
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when fault tolerance is not
+    /// enabled or the node is outside the cluster, and a checkpoint-restore
+    /// error when a top-host kill finds a corrupt checkpoint.
+    pub fn inject_node_failure(&mut self, node: NodeId) -> Result<NodeKill> {
+        let nodes = self.children.len();
+        self.require_faults()?;
+        let index = node.index() as usize;
+        if index >= nodes {
+            return Err(LiflError::InvalidConfig(format!(
+                "node {node:?} outside the cluster's {nodes} nodes"
+            )));
+        }
+        self.kill_checked(index)
+    }
+
+    /// Schedules a node kill that fires *inside* the next drive, once
+    /// `after_hops` gateway-to-gateway hops of the round have completed —
+    /// the mid-round fault-injection hook the fault test tier drives.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when fault tolerance is not
+    /// enabled or the node is outside the cluster.
+    pub fn schedule_node_failure(&mut self, node: NodeId, after_hops: u64) -> Result<()> {
+        let nodes = self.children.len();
+        let f = self.require_faults()?;
+        if node.index() as usize >= nodes {
+            return Err(LiflError::InvalidConfig(format!(
+                "node {node:?} outside the cluster's {nodes} nodes"
+            )));
+        }
+        f.scheduled = Some((node.index() as usize, after_hops));
+        Ok(())
+    }
+
+    /// Clients whose updates were lost to node kills and must be re-sent
+    /// (each reported exactly once). Re-ingesting them refills the restarted
+    /// node directly, leaving the survivors' leaf assignment untouched.
+    pub fn take_lost_clients(&mut self) -> Vec<ClientId> {
+        self.faults
+            .as_mut()
+            .map(|f| std::mem::take(&mut f.lost_clients))
+            .unwrap_or_default()
+    }
+
+    /// The checkpoint restore performed for the most recent top-host kill,
+    /// if one happened since the last take.
+    pub fn take_recovery(&mut self) -> Option<TopRecovery> {
+        self.faults.as_mut().and_then(|f| f.last_recovery.take())
+    }
+
+    fn require_faults(&mut self) -> Result<&mut FaultState> {
+        self.faults.as_mut().ok_or_else(|| {
+            LiflError::InvalidConfig(
+                "fault tolerance is not enabled on this cluster \
+                 (see ClusterBuilder::fault_tolerance)"
+                    .to_string(),
+            )
+        })
+    }
+
+    /// Kills `node` (bounds already checked), translating the resulting
+    /// error into the [`NodeKill`] report the injection APIs return.
+    fn kill_checked(&mut self, node: usize) -> Result<NodeKill> {
+        let top_host = node == self.top_node;
+        let lost_updates = if top_host {
+            self.ingested
+        } else {
+            self.node_pending[node]
+        };
+        match self.kill_node(node) {
+            LiflError::NodeFailure { .. } | LiflError::AggregatorFailure { .. } => Ok(NodeKill {
+                node: NodeId::new(node as u64),
+                lost_updates,
+                top_host,
+            }),
+            other => Err(other),
+        }
+    }
+
+    /// The kill itself: discards what the dead process held and records what
+    /// the round must get back. Returns the failure as an error value (the
+    /// mid-drive path propagates it out of [`Cluster::drive`]).
+    fn kill_node(&mut self, node: usize) -> LiflError {
+        if node == self.top_node {
+            return self.kill_top(node);
+        }
+        let lost = self.node_pending[node];
+        // The crashed process takes its subtree's in-flight round with it;
+        // the restarted (stateless) session starts from an empty round.
+        self.children[node].discard_round();
+        self.ingested -= lost;
+        self.node_pending[node] = 0;
+        let f = self.faults.as_mut().expect("kill paths require faults");
+        f.refill[node] += lost;
+        let clients = std::mem::take(&mut f.node_clients[node]);
+        f.lost_clients.extend(clients);
+        f.stats.node_restarts += 1;
+        f.stats.lost_updates += lost;
+        let now = f.clock;
+        // The restarted node resumes heartbeating.
+        f.monitor.register(ClientId::new(node as u64), now);
+        LiflError::NodeFailure {
+            node: node as u64,
+            lost_updates: lost,
+        }
+    }
+
+    /// A kill of the node hosting the global top: the whole round is lost
+    /// (its partially folded top state died with the process) and the
+    /// replacement runtime restores the latest checkpoint, priced as a
+    /// network transfer from the persistent store.
+    fn kill_top(&mut self, node: usize) -> LiflError {
+        let lost = self.ingested;
+        let lost_clients: u64 = self
+            .faults
+            .as_ref()
+            .map(|f| f.node_clients.iter().map(|c| c.len() as u64).sum())
+            .unwrap_or(0);
+        self.abort_round();
+        let cost = self.cost;
+        let dataplane = self.dataplane;
+        let f = self.faults.as_mut().expect("kill paths require faults");
+        f.stats.top_recoveries += 1;
+        f.stats.lost_updates += lost.max(lost_clients);
+        let now = f.clock;
+        match f.recovery.fail_and_recover(now) {
+            Ok(outcome) => {
+                let bytes = outcome
+                    .recovered_model
+                    .as_ref()
+                    .map_or(0, |m| m.dim() as u64 * 4);
+                let transfer = cost.hop_transfer(false, dataplane, bytes);
+                f.last_recovery = Some(TopRecovery { outcome, transfer });
+                f.monitor.register(ClientId::new(node as u64), now);
+                LiflError::AggregatorFailure { node: node as u64 }
+            }
+            Err(error) => error,
+        }
     }
 }
 
@@ -958,5 +1503,287 @@ mod tests {
         // A capped interior fan-in grows deeper per-node subtrees.
         let deep = ClusterBuilder::new().for_load(64, 2, 4, 2).build().unwrap();
         assert!(deep.subtree().levels() > 2);
+    }
+
+    #[test]
+    fn for_load_overflow_is_deferred_to_build_not_a_panic() {
+        // A load this large overflows the planned tree's update count; the
+        // builder must carry the error to build() instead of panicking.
+        let outcome = ClusterBuilder::new().for_load(usize::MAX, 1, 0, 2).build();
+        assert!(matches!(outcome, Err(LiflError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn invalid_fold_policy_is_rejected_at_build() {
+        let outcome = ClusterBuilder::new()
+            .fold_policy(FoldPolicy::TrimmedMean { trim_permille: 500 })
+            .build();
+        assert!(matches!(outcome, Err(LiflError::InvalidConfig(_))));
+        let cluster = ClusterBuilder::new()
+            .fold_policy(FoldPolicy::Median)
+            .build()
+            .unwrap();
+        assert_eq!(cluster.fold_policy(), FoldPolicy::Median);
+    }
+
+    #[test]
+    fn fault_apis_require_fault_tolerance() {
+        let mut cluster = ClusterBuilder::new().build().unwrap();
+        assert!(!cluster.fault_tolerance_enabled());
+        assert!(cluster.inject_node_failure(NodeId::new(0)).is_err());
+        assert!(cluster.schedule_node_failure(NodeId::new(0), 1).is_err());
+        assert!(cluster.detect_failed_nodes(SimTime::ZERO).is_err());
+        assert!(cluster
+            .node_heartbeat(NodeId::new(0), SimTime::ZERO)
+            .is_err());
+        assert!(cluster.take_lost_clients().is_empty());
+        assert!(cluster.take_recovery().is_none());
+        assert!(cluster.fault_stats().is_none());
+        assert!(cluster.checkpoint_store().is_none());
+    }
+
+    #[test]
+    fn injected_child_failure_survives_via_refill_and_redrive() {
+        let topology = Topology::new(vec![2, 2, 2]).unwrap();
+        let batch = updates(8, 16);
+        let mut clean = ClusterBuilder::new()
+            .topology(topology.clone())
+            .build()
+            .unwrap();
+        clean
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let clean_report = clean.drive().unwrap();
+
+        let mut cluster = ClusterBuilder::new()
+            .topology(topology)
+            .fault_tolerance(FaultToleranceConfig::default())
+            .build()
+            .unwrap();
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        // Kill node 1 (not the top host) with the whole round pending.
+        let kill = cluster.inject_node_failure(NodeId::new(1)).unwrap();
+        assert!(!kill.top_host);
+        assert_eq!(kill.lost_updates, 4);
+        // Driving before the lost slots are refilled reports the failure.
+        assert!(matches!(
+            cluster.drive(),
+            Err(LiflError::NodeFailure {
+                node: 1,
+                lost_updates: 4
+            })
+        ));
+        // The lost clients re-send; their updates refill the restarted node
+        // directly, leaving node 0's leaf assignment untouched.
+        let lost = cluster.take_lost_clients();
+        assert_eq!(lost.len(), 4);
+        assert!(cluster.take_lost_clients().is_empty(), "reported once");
+        for client in &lost {
+            let update = batch
+                .iter()
+                .find(|u| u.client == Some(*client))
+                .expect("lost client came from the batch");
+            cluster.ingest(Update::Dense(update.clone())).unwrap();
+        }
+        let report = cluster.drive().unwrap();
+        assert_eq!(report.updates_ingested(), 8);
+        // Same updates, same order, lossless codec: the survived round is
+        // bit-exact with the undisturbed one.
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(clean_report.update.model.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+        let stats = cluster.fault_stats().unwrap();
+        assert_eq!(stats.node_restarts, 1);
+        assert_eq!(stats.lost_updates, 4);
+        assert_eq!(stats.top_recoveries, 0);
+    }
+
+    #[test]
+    fn mid_drive_kill_retries_with_deduped_survivor_hops() {
+        let topology = Topology::new(vec![2, 2, 2]).unwrap();
+        let batch = updates(8, 16);
+        let mut clean = ClusterBuilder::new()
+            .topology(topology.clone())
+            .build()
+            .unwrap();
+        clean
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let clean_report = clean.drive().unwrap();
+
+        let mut cluster = ClusterBuilder::new()
+            .topology(topology)
+            .fault_tolerance(FaultToleranceConfig::default())
+            .build()
+            .unwrap();
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        // Node 1 dies mid-drive, after node 0's intermediate already reached
+        // the global top.
+        cluster.schedule_node_failure(NodeId::new(1), 1).unwrap();
+        assert!(matches!(
+            cluster.drive(),
+            Err(LiflError::NodeFailure {
+                node: 1,
+                lost_updates: 4
+            })
+        ));
+        for client in cluster.take_lost_clients() {
+            let update = batch
+                .iter()
+                .find(|u| u.client == Some(client))
+                .expect("lost client came from the batch");
+            cluster.ingest(Update::Dense(update.clone())).unwrap();
+        }
+        let report = cluster.drive().unwrap();
+        assert_eq!(report.updates_ingested(), 8);
+        // Node 0's hop was not re-shipped: the retry deduped it, and the
+        // report still prices exactly one hop per node.
+        assert_eq!(report.hops.len(), 2);
+        assert_eq!(cluster.fault_stats().unwrap().deduped_hops, 1);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(clean_report.update.model.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn already_exported_node_kill_loses_nothing() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .placement(TopPlacement::Pinned(1))
+            .fault_tolerance(FaultToleranceConfig::default())
+            .build()
+            .unwrap();
+        let batch = updates(8, 16);
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        // Node 0 (not the top host) dies after its own hop completed: its
+        // intermediate is already safe at the top, so nothing is lost.
+        cluster.schedule_node_failure(NodeId::new(0), 1).unwrap();
+        assert!(matches!(
+            cluster.drive(),
+            Err(LiflError::NodeFailure {
+                node: 0,
+                lost_updates: 0
+            })
+        ));
+        assert!(cluster.take_lost_clients().is_empty());
+        // The retry completes without any re-sends.
+        let report = cluster.drive().unwrap();
+        assert_eq!(report.updates_ingested(), 8);
+    }
+
+    #[test]
+    fn top_host_kill_restores_the_latest_checkpoint() {
+        use crate::recovery::model_from_bytes;
+
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .fault_tolerance(FaultToleranceConfig {
+                checkpoint_every: 1,
+                ..FaultToleranceConfig::default()
+            })
+            .build()
+            .unwrap();
+        let batch = updates(8, 16);
+        // Round 1 commits and checkpoints the global model.
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let committed = cluster.drive().unwrap();
+        // Round 2 is mid-flight when the top-hosting node dies: the round is
+        // lost wholesale and the checkpoint is restored.
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let kill = cluster.inject_node_failure(cluster.top_node()).unwrap();
+        assert!(kill.top_host);
+        assert_eq!(kill.lost_updates, 8);
+        let recovery = cluster.take_recovery().expect("a recovery happened");
+        let recovered = recovery.outcome.recovered_model.expect("checkpointed");
+        // The restore is bit-exact with the checkpointed bytes, which are
+        // bit-exact with the committed round-1 model.
+        let latest = cluster
+            .checkpoint_store()
+            .unwrap()
+            .latest()
+            .expect("round 1 checkpointed");
+        assert_eq!(model_from_bytes(&latest.data).unwrap(), recovered);
+        for (a, b) in recovered
+            .as_slice()
+            .iter()
+            .zip(committed.update.model.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+        assert!(recovery.transfer.latency > SimDuration::ZERO);
+        let stats = cluster.fault_stats().unwrap();
+        assert_eq!(stats.top_recoveries, 1);
+        assert_eq!(stats.lost_updates, 8);
+        // The cluster is empty and immediately reusable.
+        assert_eq!(cluster.pending_updates(), 0);
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        assert!(cluster.drive().is_ok());
+    }
+
+    #[test]
+    fn silent_nodes_are_detected_and_killed_by_heartbeat_timeout() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .fault_tolerance(FaultToleranceConfig {
+                heartbeat_timeout: SimDuration::from_secs(30.0),
+                ..FaultToleranceConfig::default()
+            })
+            .build()
+            .unwrap();
+        let batch = updates(8, 16);
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        // Node 0 keeps heartbeating; node 1 has been silent since start.
+        let now = SimTime::from_secs(40.0);
+        cluster.node_heartbeat(NodeId::new(0), now).unwrap();
+        let kills = cluster.detect_failed_nodes(now).unwrap();
+        assert_eq!(
+            kills,
+            vec![NodeKill {
+                node: NodeId::new(1),
+                lost_updates: 4,
+                top_host: false,
+            }]
+        );
+        // Each failure is detected exactly once: the restarted node resumes
+        // heartbeating from the detection time.
+        assert!(cluster
+            .detect_failed_nodes(SimTime::from_secs(45.0))
+            .unwrap()
+            .is_empty());
+        // The round survives once the lost updates are re-sent.
+        for client in cluster.take_lost_clients() {
+            let update = batch
+                .iter()
+                .find(|u| u.client == Some(client))
+                .expect("lost client came from the batch");
+            cluster.ingest(Update::Dense(update.clone())).unwrap();
+        }
+        assert_eq!(cluster.drive().unwrap().updates_ingested(), 8);
     }
 }

@@ -2,7 +2,7 @@
 //! (§3: "LIFL detects client failures with keep-alive heartbeats and enhances
 //! resilience by over-provisioning the number of clients").
 
-use lifl_types::{ClientId, SimDuration, SimTime};
+use lifl_types::{ClientId, LiflError, Result, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Tracks the last heartbeat of every selected client and flags the ones whose
@@ -38,6 +38,12 @@ impl HeartbeatMonitor {
     }
 
     /// Clients whose last heartbeat is older than the timeout at `now`.
+    ///
+    /// This is a non-destructive peek: a client reported here is reported
+    /// again on every later poll until it heartbeats, completes or is taken
+    /// with [`HeartbeatMonitor::take_failed`]. Reactive callers (the cluster
+    /// fault wiring) want the evicting variant so each failure is acted on
+    /// exactly once.
     pub fn failed_clients(&self, now: SimTime) -> Vec<ClientId> {
         let mut failed: Vec<ClientId> = self
             .last_seen
@@ -46,6 +52,17 @@ impl HeartbeatMonitor {
             .map(|(client, _)| *client)
             .collect();
         failed.sort();
+        failed
+    }
+
+    /// Like [`HeartbeatMonitor::failed_clients`], but evicts the reported
+    /// clients from the monitor so every failure is reported exactly once —
+    /// the semantics reactive consumers need (report, act, never re-act).
+    pub fn take_failed(&mut self, now: SimTime) -> Vec<ClientId> {
+        let failed = self.failed_clients(now);
+        for client in &failed {
+            self.last_seen.remove(client);
+        }
         failed
     }
 
@@ -60,11 +77,29 @@ impl HeartbeatMonitor {
     }
 }
 
+/// Drop-out rates above this saturate instead of inflating the selection
+/// without bound (a 20x over-provisioning factor); rates outside `[0, 1)` are
+/// rejected outright.
+pub const MAX_DROPOUT_RATE: f64 = 0.95;
+
 /// How many clients to select so that, with an expected drop-out rate, at
 /// least `goal` updates arrive (the over-provisioning rule of §3).
-pub fn over_provisioned_selection(goal: u64, expected_dropout_rate: f64) -> u64 {
-    let rate = expected_dropout_rate.clamp(0.0, 0.95);
-    ((goal as f64) / (1.0 - rate)).ceil() as u64
+///
+/// Rates in `(MAX_DROPOUT_RATE, 1.0)` saturate at [`MAX_DROPOUT_RATE`]: the
+/// selection stays finite (at most `20 * goal`) rather than exploding as the
+/// rate approaches 1.
+///
+/// # Errors
+/// Returns [`LiflError::InvalidConfig`] for a rate that is NaN, negative or
+/// at least 1 (no finite selection can cover losing every client).
+pub fn over_provisioned_selection(goal: u64, expected_dropout_rate: f64) -> Result<u64> {
+    if !(0.0..1.0).contains(&expected_dropout_rate) {
+        return Err(LiflError::InvalidConfig(format!(
+            "expected dropout rate must be in [0,1), got {expected_dropout_rate}"
+        )));
+    }
+    let rate = expected_dropout_rate.min(MAX_DROPOUT_RATE);
+    Ok(((goal as f64) / (1.0 - rate)).ceil() as u64)
 }
 
 #[cfg(test)]
@@ -94,11 +129,35 @@ mod tests {
     }
 
     #[test]
+    fn take_failed_reports_each_failure_exactly_once() {
+        let mut monitor = HeartbeatMonitor::new(SimDuration::from_secs(30.0));
+        monitor.register(ClientId::new(1), SimTime::ZERO);
+        monitor.register(ClientId::new(2), SimTime::ZERO);
+        monitor.heartbeat(ClientId::new(2), SimTime::from_secs(50.0));
+        // failed_clients is a peek: polling twice re-reports.
+        let now = SimTime::from_secs(40.0);
+        assert_eq!(monitor.failed_clients(now), vec![ClientId::new(1)]);
+        assert_eq!(monitor.failed_clients(now), vec![ClientId::new(1)]);
+        // take_failed evicts: the second take is empty, survivors stay.
+        assert_eq!(monitor.take_failed(now), vec![ClientId::new(1)]);
+        assert!(monitor.take_failed(now).is_empty());
+        assert_eq!(monitor.tracked(), 1);
+    }
+
+    #[test]
     fn over_provisioning_covers_dropout() {
-        assert_eq!(over_provisioned_selection(120, 0.0), 120);
-        assert_eq!(over_provisioned_selection(120, 0.2), 150);
-        assert_eq!(over_provisioned_selection(15, 0.25), 20);
-        // Extreme drop-out rates are clamped so selection stays finite.
-        assert!(over_provisioned_selection(10, 0.99) <= 200);
+        assert_eq!(over_provisioned_selection(120, 0.0).unwrap(), 120);
+        assert_eq!(over_provisioned_selection(120, 0.2).unwrap(), 150);
+        assert_eq!(over_provisioned_selection(15, 0.25).unwrap(), 20);
+        // Rates beyond MAX_DROPOUT_RATE saturate so selection stays finite.
+        assert_eq!(over_provisioned_selection(10, 0.99).unwrap(), 200);
+        assert_eq!(
+            over_provisioned_selection(10, 0.96).unwrap(),
+            over_provisioned_selection(10, MAX_DROPOUT_RATE).unwrap()
+        );
+        // Rates outside [0,1) are rejected, not silently clamped.
+        assert!(over_provisioned_selection(10, 1.0).is_err());
+        assert!(over_provisioned_selection(10, -0.1).is_err());
+        assert!(over_provisioned_selection(10, f64::NAN).is_err());
     }
 }

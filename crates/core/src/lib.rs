@@ -67,7 +67,8 @@ pub mod training;
 
 pub use aggregator::{AggregatorRuntime, AggregatorStep};
 pub use cluster::{
-    Cluster, ClusterBuilder, ClusterHop, ClusterReport, NodeRoundReport, TopMove, TopPlacement,
+    Cluster, ClusterBuilder, ClusterHop, ClusterReport, FaultStats, FaultToleranceConfig, NodeKill,
+    NodeRoundReport, TopMove, TopPlacement, TopRecovery,
 };
 pub use fleet::NodeFleet;
 pub use gateway_scaler::{GatewayScaleDecision, GatewayScaler, GatewayScalerConfig};

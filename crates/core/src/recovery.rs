@@ -255,4 +255,104 @@ mod tests {
     fn zero_checkpoint_period_is_rejected() {
         assert!(RecoveryManager::new(0, SimDuration::ZERO).is_err());
     }
+
+    #[test]
+    fn corrupt_checkpoint_bytes_surface_as_an_error_not_a_bad_model() {
+        let mut manager = RecoveryManager::new(1, SimDuration::ZERO).unwrap();
+        manager.commit_version(&model(&[1.0, 2.0]), SimTime::from_secs(1.0));
+        // A torn write leaves a payload that is not a whole number of f32s;
+        // it is the latest checkpoint, so recovery must refuse it loudly.
+        manager
+            .store()
+            .save(RoundId::new(99), vec![1u8, 2, 3], SimTime::from_secs(2.0));
+        let err = manager.fail_and_recover(SimTime::from_secs(3.0));
+        assert!(matches!(err, Err(LiflError::DimensionMismatch { .. })));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model_for(version: u64) -> DenseModel {
+        DenseModel::from_vec(vec![version as f32, -(version as f64 * 0.5) as f32])
+    }
+
+    proptest! {
+        /// Random interleavings of commits, folds and failures: the recovered
+        /// version never exceeds what was committed, lost work is accounted
+        /// exactly, and the manager resumes from the checkpointed version.
+        #[test]
+        fn recovery_accounting_is_exact(
+            checkpoint_every in 1u64..6,
+            ops in proptest::collection::vec(0u8..6, 1..40),
+        ) {
+            let mut manager =
+                RecoveryManager::new(checkpoint_every, SimDuration::from_secs(1.0)).unwrap();
+            // The reference state machine.
+            let mut committed = 0u64;
+            let mut checkpointed: Option<u64> = None;
+            let mut folds_since_commit = 0u64;
+            for (step, op) in ops.iter().enumerate() {
+                let now = SimTime::from_secs(step as f64);
+                match op {
+                    // Fold twice as often as the other ops.
+                    0..=2 => {
+                        manager.record_fold();
+                        folds_since_commit += 1;
+                    }
+                    3 | 4 => {
+                        committed += 1;
+                        folds_since_commit = 0;
+                        let wrote = manager.commit_version(&model_for(committed), now);
+                        prop_assert_eq!(wrote, committed.is_multiple_of(checkpoint_every));
+                        if wrote {
+                            checkpointed = Some(committed);
+                        }
+                    }
+                    _ => {
+                        let outcome = manager.fail_and_recover(now).unwrap();
+                        let recovered = outcome.recovered_round.map(|r| r.index());
+                        prop_assert_eq!(recovered, checkpointed);
+                        prop_assert!(recovered.unwrap_or(0) <= committed);
+                        prop_assert_eq!(
+                            outcome.lost_versions,
+                            committed - checkpointed.unwrap_or(0)
+                        );
+                        prop_assert_eq!(outcome.lost_in_progress_updates, folds_since_commit);
+                        prop_assert_eq!(
+                            outcome.recovered_model,
+                            checkpointed.map(model_for)
+                        );
+                        prop_assert_eq!(outcome.ready_at, now + SimDuration::from_secs(1.0));
+                        // Progress resumes from the checkpoint.
+                        committed = checkpointed.unwrap_or(0);
+                        folds_since_commit = 0;
+                        prop_assert_eq!(manager.committed_versions(), committed);
+                        prop_assert_eq!(manager.in_progress_updates(), 0);
+                    }
+                }
+            }
+        }
+
+        /// model_to_bytes / model_from_bytes roundtrip bit-exactly, and every
+        /// byte length that is not a whole number of f32s is rejected.
+        #[test]
+        fn model_bytes_roundtrip_and_reject_torn_writes(
+            values in proptest::collection::vec(-1e6f32..1e6, 0..64),
+            cut in 1usize..4,
+        ) {
+            let original = DenseModel::from_vec(values);
+            let bytes = model_to_bytes(&original);
+            let back = model_from_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, original);
+            if !bytes.is_empty() {
+                let torn = &bytes[..bytes.len() - cut.min(bytes.len())];
+                if !torn.len().is_multiple_of(4) {
+                    prop_assert!(model_from_bytes(torn).is_err());
+                }
+            }
+        }
+    }
 }

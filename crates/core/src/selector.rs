@@ -123,9 +123,12 @@ impl SelectorService {
         fleet: &NodeFleet,
         rng: &mut SimRng,
     ) -> RoundAssignment {
-        // Diversity role: pick an over-provisioned set of participants.
+        // Diversity role: pick an over-provisioned set of participants. The
+        // dropout rate was validated into [0,1) at construction, so the
+        // selection rule cannot fail here.
         let target =
-            over_provisioned_selection(self.config.aggregation_goal, self.config.expected_dropout);
+            over_provisioned_selection(self.config.aggregation_goal, self.config.expected_dropout)
+                .unwrap_or(self.config.aggregation_goal);
         let selected = select_clients(
             self.config.strategy,
             pool,

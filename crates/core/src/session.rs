@@ -31,7 +31,7 @@ use lifl_fl::codec::{EncodedView, ErrorFeedback, UpdateCodec};
 use lifl_fl::DenseModel;
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{BufferPool, InPlaceQueue, ObjectStore, StoreStats};
-use lifl_types::{ClientId, CodecKind, LiflError, NodeId, Result, Topology};
+use lifl_types::{ClientId, CodecKind, FoldPolicy, LiflError, NodeId, Result, Topology};
 
 pub use lifl_fl::update::Update;
 
@@ -59,6 +59,7 @@ pub struct SessionBuilder {
     topology: Topology,
     codec: CodecKind,
     shards: usize,
+    policy: FoldPolicy,
     seed: u64,
     node: NodeId,
     level_offset: usize,
@@ -82,6 +83,7 @@ impl SessionBuilder {
             topology: Topology::default(),
             codec: CodecKind::Identity,
             shards: 1,
+            policy: FoldPolicy::FedAvg,
             seed: DEFAULT_SEED,
             node: NodeId::new(0),
             level_offset: 0,
@@ -117,6 +119,17 @@ impl SessionBuilder {
     /// where 1 is the sequential eager fold).
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the fold policy every aggregator in the tree combines updates
+    /// with (`LiflConfig.fold_policy`). The default [`FoldPolicy::FedAvg`] is
+    /// bit-exact with the pre-policy path; robust policies compute a
+    /// coordinate-wise statistic per aggregator (each level's statistic runs
+    /// over that level's inputs — raw client updates at the leaves, child
+    /// intermediates above).
+    pub fn fold_policy(mut self, policy: FoldPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -190,8 +203,9 @@ impl SessionBuilder {
     /// and wires the error-feedback encoder to the scratch pool.
     ///
     /// # Errors
-    /// Returns [`LiflError::InvalidConfig`] for an invalid codec
-    /// configuration (e.g. `TopK` with a permille outside `1..=1000`).
+    /// Returns [`LiflError::InvalidConfig`] for an invalid codec or fold
+    /// policy configuration (e.g. `TopK` with a permille outside `1..=1000`,
+    /// or a trimmed mean that trims everything).
     pub fn build(self) -> Result<Session> {
         if let CodecKind::TopK { permille } = self.codec {
             if permille == 0 || permille > 1000 {
@@ -200,6 +214,7 @@ impl SessionBuilder {
                 )));
             }
         }
+        self.policy.validate().map_err(LiflError::InvalidConfig)?;
         let store = self.store.unwrap_or_default();
         let pool = self.pool.unwrap_or_default();
         let mut gateway = Gateway::new(self.node, store.clone());
@@ -219,6 +234,7 @@ impl SessionBuilder {
             topology: self.topology,
             codec: self.codec,
             shards: self.shards,
+            policy: self.policy,
             level_offset: self.level_offset,
             branch: self.branch,
             store,
@@ -313,6 +329,7 @@ pub struct Session {
     topology: Topology,
     codec: CodecKind,
     shards: usize,
+    policy: FoldPolicy,
     /// The session's position inside a larger cluster-spanning tree (see
     /// [`SessionBuilder::tree_position`]); `(0, 0)` for standalone sessions.
     level_offset: usize,
@@ -354,6 +371,11 @@ impl Session {
     /// The wire codec in use.
     pub fn codec(&self) -> CodecKind {
         self.codec
+    }
+
+    /// The fold policy every aggregator in the tree combines updates with.
+    pub fn fold_policy(&self) -> FoldPolicy {
+        self.policy
     }
 
     /// The shared-memory store backing the session.
@@ -603,6 +625,7 @@ impl Session {
     fn run_level(&self, level: usize, inboxes: &[InPlaceQueue]) -> Vec<Result<QueuedUpdate>> {
         let codec = self.codec;
         let shards = self.shards;
+        let policy = self.policy;
         let topology = &self.topology;
         std::thread::scope(|scope| {
             let handles: Vec<_> = inboxes
@@ -624,6 +647,7 @@ impl Session {
                             topology, level, index, store, inbox, agg_codec,
                         )?;
                         aggregator.set_shards(shards);
+                        aggregator.set_policy(policy)?;
                         aggregator.run_to_completion()
                     })
                 })
@@ -899,6 +923,67 @@ mod tests {
             .codec(CodecKind::TopK { permille: 0 })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn invalid_fold_policy_is_rejected_at_build() {
+        assert!(SessionBuilder::new()
+            .fold_policy(FoldPolicy::TrimmedMean { trim_permille: 500 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn robust_session_bounds_an_adversarially_scaled_client() {
+        // 3 leaves × 3 updates; one client scales its update by 1e6.
+        let mut batch = updates(9, 8);
+        for v in batch[4].model.as_mut_slice() {
+            *v *= 1e6;
+        }
+        let honest: Vec<ModelUpdate> = batch
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 4)
+            .map(|(_, u)| u.clone())
+            .collect();
+        let honest_mean = fedavg(&honest).unwrap();
+        let bound = honest
+            .iter()
+            .flat_map(|u| u.model.as_slice())
+            .fold(0.0f32, |a, v| a.max(v.abs()));
+
+        let drive_with = |policy: FoldPolicy| {
+            let mut session = SessionBuilder::new()
+                .two_level(3, 3)
+                .fold_policy(policy)
+                .build()
+                .unwrap();
+            assert_eq!(session.fold_policy(), policy);
+            session
+                .ingest_all(batch.iter().cloned().map(Update::Dense))
+                .unwrap();
+            session.drive().unwrap()
+        };
+        // FedAvg is dragged far outside the honest envelope...
+        let fedavg_report = drive_with(FoldPolicy::FedAvg);
+        assert!(fedavg_report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .any(|v| v.abs() > 100.0 * bound));
+        // ...the median stays inside it, close to the honest mean.
+        let median_report = drive_with(FoldPolicy::Median);
+        for (v, h) in median_report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(honest_mean.model.as_slice())
+        {
+            assert!(v.abs() <= bound, "median escaped the honest envelope: {v}");
+            assert!((v - h).abs() <= 2.0 * bound, "{v} vs honest mean {h}");
+        }
     }
 }
 

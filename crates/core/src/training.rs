@@ -1,7 +1,7 @@
 //! The backend-generic multi-round FL training driver: one training loop
 //! that runs over any [`Ingest`] aggregation backend — a single-process
 //! [`Session`](crate::session::Session) tree or a multi-node federated
-//! [`Cluster`](crate::cluster::Cluster) — with identical results.
+//! [`Cluster`] — with identical results.
 //!
 //! The algorithm-level [`FlDriver`](lifl_fl::FlDriver) folds client updates
 //! through a flat in-loop accumulator; this driver instead pushes every
@@ -14,6 +14,8 @@
 //! (enforced by the `tests/it/driver.rs` tier), and matches the flat
 //! [`FlDriver`](lifl_fl::FlDriver) under a lossless codec.
 
+use crate::cluster::Cluster;
+use crate::heartbeat::{over_provisioned_selection, HeartbeatMonitor};
 use lifl_fl::dataset::FederatedDataset;
 use lifl_fl::metrics::accuracy_percent;
 use lifl_fl::model::DenseModel;
@@ -21,7 +23,8 @@ use lifl_fl::population::Population;
 use lifl_fl::trainer::{LocalTrainer, TrainerConfig};
 use lifl_fl::{Ingest, Update};
 use lifl_simcore::SimRng;
-use lifl_types::{CodecKind, LiflError, Result};
+use lifl_types::{ClientId, CodecKind, LiflError, Result, SimDuration, SimTime};
+use std::collections::HashSet;
 
 /// Configuration of the backend-generic training driver.
 ///
@@ -36,6 +39,17 @@ pub struct TrainingConfig {
     pub rounds: usize,
     /// Evaluate accuracy every this many rounds (1 = every round).
     pub eval_every: usize,
+    /// Expected fraction of selected clients that drop out mid-round (§3
+    /// over-provisioning). At the default `0.0` every round must *exactly*
+    /// fill the backend tree, as before. A positive rate relaxes that check:
+    /// the selection should be over-provisioned per
+    /// [`over_provisioned_selection`], stragglers are cut off at
+    /// [`TrainingConfig::straggler_timeout`], and surplus deliveries beyond
+    /// the tree stay idle as spares.
+    pub expected_dropout: f64,
+    /// How long the round waits for a selected client before cutting it off
+    /// as a straggler (only consulted when `expected_dropout > 0`).
+    pub straggler_timeout: SimDuration,
 }
 
 impl Default for TrainingConfig {
@@ -44,6 +58,8 @@ impl Default for TrainingConfig {
             trainer: TrainerConfig::default(),
             rounds: 50,
             eval_every: 1,
+            expected_dropout: 0.0,
+            straggler_timeout: SimDuration::from_secs(60.0),
         }
     }
 }
@@ -61,6 +77,9 @@ pub struct TrainingRound {
     pub train_loss: f64,
     /// Data-plane payload bytes the round's ingests occupied in wire form.
     pub ingress_wire_bytes: u64,
+    /// Selected clients cut off as stragglers at the round's timeout
+    /// (always zero under the exact-fill default configuration).
+    pub dropped: u64,
 }
 
 /// Runs synchronous multi-round FedAvg over any [`Ingest`] backend.
@@ -117,6 +136,7 @@ pub struct TrainingDriver<B: Ingest> {
     config: TrainingConfig,
     global: DenseModel,
     history: Vec<TrainingRound>,
+    stragglers: HashSet<ClientId>,
 }
 
 impl<B: Ingest> TrainingDriver<B> {
@@ -142,7 +162,17 @@ impl<B: Ingest> TrainingDriver<B> {
             config,
             global,
             history: Vec::new(),
+            stragglers: HashSet::new(),
         }
+    }
+
+    /// Marks a client as a straggler for the *next* round (a fault-injection
+    /// hook): if selected, it trains nothing and never reports, so the round
+    /// must absorb its absence — over-provisioned configurations cut it off
+    /// at the straggler timeout; the exact-fill default fails the round.
+    /// Marks are consumed by the next round attempt.
+    pub fn mark_straggler(&mut self, client: ClientId) {
+        self.stragglers.insert(client);
     }
 
     /// The aggregation backend the driver ingests into.
@@ -191,25 +221,62 @@ impl<B: Ingest> TrainingDriver<B> {
     /// and optionally evaluate.
     ///
     /// # Errors
-    /// Fails if the selection does not exactly fill the backend's tree, or
-    /// on any backend ingest/aggregation error. The backend's round is
-    /// discarded on failure, so the driver stays reusable.
+    /// Fails if the selection cannot fill the backend's tree (exactly, under
+    /// the default configuration; after straggler cut-off, under a positive
+    /// [`TrainingConfig::expected_dropout`]), or on any backend
+    /// ingest/aggregation error. The backend's round is discarded on
+    /// *every* failure path — including an aggregation failure — so the
+    /// driver stays reusable.
     pub fn run_round(&mut self, rng: &mut SimRng) -> Result<TrainingRound> {
         let round = self.history.len() + 1;
         let participants = self.population.select_round(rng);
         let capacity = self.backend.round_capacity();
-        if participants.len() != capacity {
+        let stragglers = std::mem::take(&mut self.stragglers);
+        if self.config.expected_dropout > 0.0 {
+            // Over-provisioned selection (§3): validate the rate and relax
+            // the exact-fill check — the selection only has to cover the
+            // tree after the expected drop-outs.
+            let target = over_provisioned_selection(capacity as u64, self.config.expected_dropout)?;
+            if (participants.len() as u64) < target.min(capacity as u64) {
+                return Err(LiflError::InvalidConfig(format!(
+                    "round selected {} participants but an expected dropout \
+                     of {} over a {capacity}-update tree needs {target}",
+                    participants.len(),
+                    self.config.expected_dropout
+                )));
+            }
+        } else if participants.len() != capacity {
             return Err(LiflError::InvalidConfig(format!(
                 "round selected {} participants but the backend tree \
                  aggregates exactly {capacity}",
                 participants.len()
             )));
         }
-        let mut loss_sum = 0.0;
+        // Keep-alive bookkeeping: every participant registers at round
+        // start; deliveries complete, released spares are excused, and
+        // whoever is left at the timeout is a cut-off straggler.
+        let round_start = SimTime::ZERO;
+        let mut monitor = HeartbeatMonitor::new(self.config.straggler_timeout);
         for client in &participants {
+            monitor.register(client.id, round_start);
+        }
+        let mut loss_sum = 0.0;
+        let mut trained = 0usize;
+        let mut delivered = 0usize;
+        for client in &participants {
+            if delivered == capacity {
+                // The tree is full: the remaining spares stay idle.
+                monitor.complete(client.id);
+                continue;
+            }
+            if stragglers.contains(&client.id) {
+                // Never reports; cut off at the timeout below.
+                continue;
+            }
             let shard = self.dataset.shard(client.id);
             let (local, loss) = self.trainer.train(&self.global, shard, rng);
             loss_sum += loss;
+            trained += 1;
             let samples = shard.len().max(1) as u64;
             if let Err(error) = self
                 .backend
@@ -218,8 +285,27 @@ impl<B: Ingest> TrainingDriver<B> {
                 self.backend.discard_round();
                 return Err(error);
             }
+            monitor.complete(client.id);
+            delivered += 1;
         }
-        let aggregate = self.backend.aggregate_round()?;
+        let cutoff = round_start + self.config.straggler_timeout + SimDuration::from_secs(1.0);
+        let dropped = monitor.take_failed(cutoff).len() as u64;
+        if delivered < capacity {
+            self.backend.discard_round();
+            return Err(LiflError::InvalidConfig(format!(
+                "only {delivered} of {capacity} updates arrived before the \
+                 straggler timeout ({dropped} clients cut off)"
+            )));
+        }
+        let aggregate = match self.backend.aggregate_round() {
+            Ok(aggregate) => aggregate,
+            Err(error) => {
+                // The documented contract: a failed round never leaks
+                // backend state into the next one.
+                self.backend.discard_round();
+                return Err(error);
+            }
+        };
         self.global = aggregate.update.model;
         let accuracy = if round.is_multiple_of(self.config.eval_every.max(1)) {
             Some(self.evaluate())
@@ -230,8 +316,9 @@ impl<B: Ingest> TrainingDriver<B> {
             round,
             updates: aggregate.updates_ingested,
             accuracy,
-            train_loss: loss_sum / participants.len().max(1) as f64,
+            train_loss: loss_sum / trained.max(1) as f64,
             ingress_wire_bytes: aggregate.ingress_wire_bytes,
+            dropped,
         };
         self.history.push(outcome.clone());
         Ok(outcome)
@@ -247,6 +334,118 @@ impl<B: Ingest> TrainingDriver<B> {
             self.run_round(rng)?;
         }
         Ok(self.history.clone())
+    }
+}
+
+impl TrainingDriver<Cluster> {
+    /// Like [`TrainingDriver::run_round`], but survives node failures on a
+    /// fault-tolerant cluster (see [`crate::cluster::ClusterBuilder::fault_tolerance`]):
+    ///
+    /// * A killed *child* node fails the drive with
+    ///   [`LiflError::NodeFailure`]; the driver re-sends the lost clients'
+    ///   cached updates ([`Cluster::take_lost_clients`]) and re-drives the
+    ///   round from the surviving subtrees — intermediates already folded at
+    ///   the global top are never re-shipped.
+    /// * A killed *top-hosting* node loses the round wholesale
+    ///   ([`LiflError::AggregatorFailure`]); the driver adopts the recovered
+    ///   checkpoint ([`Cluster::take_recovery`]) as its global model —
+    ///   bit-exact with the checkpointed bytes — and returns the error so
+    ///   the caller re-runs the round against the restored model.
+    ///
+    /// Retried folds arrive at the global top in a different order than an
+    /// undisturbed round, so the aggregate matches a failure-free round to
+    /// floating-point tolerance, not bit-exactly.
+    ///
+    /// # Errors
+    /// Same conditions as [`TrainingDriver::run_round`], plus
+    /// [`LiflError::AggregatorFailure`] after a top-host kill (with the
+    /// global model already restored from the checkpoint).
+    pub fn run_round_resilient(&mut self, rng: &mut SimRng) -> Result<TrainingRound> {
+        let round = self.history.len() + 1;
+        let participants = self.population.select_round(rng);
+        let capacity = self.backend.round_capacity();
+        if participants.len() != capacity {
+            return Err(LiflError::InvalidConfig(format!(
+                "round selected {} participants but the backend tree \
+                 aggregates exactly {capacity}",
+                participants.len()
+            )));
+        }
+        // Cache every trained update so a node kill only costs a re-send,
+        // not a re-train.
+        let mut cached: Vec<(ClientId, DenseModel, u64)> = Vec::with_capacity(participants.len());
+        let mut loss_sum = 0.0;
+        for client in &participants {
+            let shard = self.dataset.shard(client.id);
+            let (local, loss) = self.trainer.train(&self.global, shard, rng);
+            loss_sum += loss;
+            let samples = shard.len().max(1) as u64;
+            cached.push((client.id, local.clone(), samples));
+            if let Err(error) = self
+                .backend
+                .ingest_update(Update::dense(client.id, local, samples))
+            {
+                self.backend.discard_round();
+                return Err(error);
+            }
+        }
+        let mut attempts = 0usize;
+        let aggregate = loop {
+            match self.backend.aggregate_round() {
+                Ok(aggregate) => break aggregate,
+                Err(LiflError::NodeFailure { .. }) => {
+                    attempts += 1;
+                    if attempts > self.backend.nodes() + 1 {
+                        self.backend.discard_round();
+                        return Err(LiflError::InvalidConfig(format!(
+                            "round did not survive {attempts} node-failure retries"
+                        )));
+                    }
+                    for id in self.backend.take_lost_clients() {
+                        let Some((_, model, samples)) =
+                            cached.iter().find(|(client, _, _)| *client == id)
+                        else {
+                            continue;
+                        };
+                        let update = Update::dense(id, model.clone(), *samples);
+                        if let Err(error) = self.backend.ingest_update(update) {
+                            self.backend.discard_round();
+                            return Err(error);
+                        }
+                    }
+                }
+                Err(error @ LiflError::AggregatorFailure { .. }) => {
+                    // The global top died: the round is unrecoverable, but
+                    // the global model is — from the latest checkpoint.
+                    if let Some(recovery) = self.backend.take_recovery() {
+                        if let Some(model) = recovery.outcome.recovered_model {
+                            self.global = model;
+                        }
+                    }
+                    return Err(error);
+                }
+                Err(error) => {
+                    self.backend.discard_round();
+                    return Err(error);
+                }
+            }
+        };
+        self.global = aggregate.update.model;
+        let accuracy = if round.is_multiple_of(self.config.eval_every.max(1)) {
+            Some(self.evaluate())
+        } else {
+            None
+        };
+        let outcome = TrainingRound {
+            round,
+            updates: aggregate.updates_ingested,
+            accuracy,
+            train_loss: loss_sum / participants.len().max(1) as f64,
+            ingress_wire_bytes: aggregate.ingress_wire_bytes,
+            dropped: 0,
+        };
+        self.history.push(outcome.clone());
+        Ok(outcome)
     }
 }
 
@@ -342,5 +541,79 @@ mod tests {
         assert!(driver.run_round(&mut rng).is_err());
         assert!(driver.history().is_empty());
         assert_eq!(driver.backend().pending_updates(), 0);
+    }
+
+    #[test]
+    fn aggregate_failure_discards_the_backend_round_and_keeps_the_driver_reusable() {
+        use crate::cluster::{ClusterBuilder, FaultToleranceConfig};
+        use lifl_types::NodeId;
+
+        let (dataset, population, mut rng) = fixtures(42);
+        let cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .fault_tolerance(FaultToleranceConfig::default())
+            .build()
+            .unwrap();
+        let mut driver =
+            TrainingDriver::new(cluster, dataset, population, TrainingConfig::default());
+        // A node kill mid-drive fails the round *after* every ingest went
+        // through — the exact path that used to leak the backend's partial
+        // round out of `run_round`.
+        driver
+            .backend_mut()
+            .schedule_node_failure(NodeId::new(1), 0)
+            .unwrap();
+        let outcome = driver.run_round(&mut rng);
+        assert!(matches!(outcome, Err(LiflError::NodeFailure { .. })));
+        assert!(driver.history().is_empty());
+        // The documented contract: the failed round was discarded, so the
+        // driver is immediately reusable with a full, fresh round.
+        assert_eq!(driver.backend().pending_updates(), 0);
+        let outcome = driver.run_round(&mut rng).unwrap();
+        assert_eq!(outcome.round, 1);
+        assert_eq!(outcome.updates, 8);
+    }
+
+    #[test]
+    fn stragglers_are_cut_off_and_spares_fill_the_round() {
+        let (dataset, _, mut rng) = fixtures(11);
+        // All 10 clients participate every round: 2 spares over the 8-update
+        // tree, covering the expected 20% dropout.
+        let population = Population::generate(
+            PopulationConfig {
+                total_clients: 10,
+                active_per_round: 10,
+                availability: ClientAvailability::AlwaysOn,
+                mean_samples: 40,
+                speed_spread: 0.3,
+            },
+            &mut rng,
+        );
+        let mut driver = TrainingDriver::new(
+            session(lifl_types::CodecKind::Identity),
+            dataset,
+            population,
+            TrainingConfig {
+                expected_dropout: 0.2,
+                ..TrainingConfig::default()
+            },
+        );
+        driver.mark_straggler(lifl_types::ClientId::new(0));
+        driver.mark_straggler(lifl_types::ClientId::new(3));
+        let outcome = driver.run_round(&mut rng).unwrap();
+        assert_eq!(outcome.updates, 8, "spares filled the cut-off slots");
+        assert_eq!(outcome.dropped, 2, "both stragglers were cut off");
+        // Straggler marks are consumed: the next round is clean.
+        let outcome = driver.run_round(&mut rng).unwrap();
+        assert_eq!(outcome.dropped, 0);
+
+        // Too many stragglers exhaust the spares: the round fails loudly
+        // and the driver stays reusable.
+        for id in [1u64, 2, 4] {
+            driver.mark_straggler(lifl_types::ClientId::new(id));
+        }
+        assert!(driver.run_round(&mut rng).is_err());
+        assert_eq!(driver.backend().pending_updates(), 0);
+        assert!(driver.run_round(&mut rng).is_ok());
     }
 }

@@ -19,7 +19,8 @@
 //! Oort-style guided participant selection ([`oort`]), buffered
 //! asynchronous FL with staleness weighting ([`async_driver`], [`staleness`])
 //! and quantized/sparsified update codecs with per-client error feedback
-//! ([`codec`]).
+//! ([`codec`]), plus robust coordinate-wise aggregation folds against
+//! corrupted or adversarial updates ([`robust`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -34,6 +35,7 @@ pub mod metrics;
 pub mod model;
 pub mod oort;
 pub mod population;
+pub mod robust;
 pub mod rounds;
 pub mod selector;
 pub mod server_opt;
@@ -52,6 +54,7 @@ pub use fedprox::{FedProxConfig, FedProxTrainer};
 pub use model::DenseModel;
 pub use oort::{OortConfig, OortSelector};
 pub use population::{Population, PopulationConfig};
+pub use robust::{PolicyFold, RobustFold};
 pub use rounds::{FlDriver, FlDriverConfig, RoundOutcome};
 pub use server_opt::{ServerOptConfig, ServerOptKind, ServerOptimizer};
 pub use sharded::ShardedFedAvg;

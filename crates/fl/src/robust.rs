@@ -1,0 +1,404 @@
+//! Robust aggregation folds ([`FoldPolicy`]).
+//!
+//! FedAvg's weighted mean has a breakdown point of zero: one corrupted or
+//! adversarially scaled client update moves the aggregate arbitrarily far,
+//! and lossy low-bit codecs amplify the damage. [`RobustFold`] implements the
+//! coordinate-wise robust statistics named by [`FoldPolicy`] — trimmed mean
+//! and median — and [`PolicyFold`] is the policy-dispatched accumulator the
+//! aggregator runtime folds through: its [`FoldPolicy::FedAvg`] arm delegates
+//! to the exact [`CumulativeFedAvg`]/[`ShardedFedAvg`] calls the pre-policy
+//! path made, so the default policy stays bit-exact with the seed.
+//!
+//! The robust statistics are deliberately **unweighted**: an adversary
+//! controls the sample count its update reports, so weighting by it would
+//! hand the attacker its influence back. The finalized intermediate still
+//! carries the summed sample count so hierarchical weighting above a robust
+//! level stays meaningful.
+
+use crate::aggregate::{CumulativeFedAvg, ModelUpdate};
+use crate::codec::EncodedView;
+use crate::model::DenseModel;
+use crate::sharded::ShardedFedAvg;
+use crate::update::Update;
+use lifl_types::{FoldPolicy, LiflError, Result};
+
+/// A buffering accumulator computing a coordinate-wise robust statistic
+/// (trimmed mean or median) over one round's updates.
+///
+/// Unlike [`CumulativeFedAvg`] this cannot fold eagerly in constant memory —
+/// order statistics need the whole round — so it buffers each update decoded
+/// to dense parameters and computes the statistic at
+/// [`RobustFold::finalize`].
+#[derive(Debug, Clone)]
+pub struct RobustFold {
+    policy: FoldPolicy,
+    rows: Vec<DenseModel>,
+    total_samples: u64,
+}
+
+impl RobustFold {
+    /// Creates an empty fold for `policy`.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] when the policy's parameters are
+    /// invalid (see [`FoldPolicy::validate`]) or the policy is
+    /// [`FoldPolicy::FedAvg`] (which has a dedicated constant-memory fold).
+    pub fn new(policy: FoldPolicy) -> Result<Self> {
+        policy.validate().map_err(LiflError::InvalidConfig)?;
+        if policy.is_fedavg() {
+            return Err(LiflError::InvalidConfig(
+                "RobustFold does not serve FedAvg; use CumulativeFedAvg".to_string(),
+            ));
+        }
+        Ok(RobustFold {
+            policy,
+            rows: Vec::new(),
+            total_samples: 0,
+        })
+    }
+
+    /// The policy this fold computes.
+    pub fn policy(&self) -> FoldPolicy {
+        self.policy
+    }
+
+    /// Number of updates buffered so far.
+    pub fn updates_folded(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Total samples represented by the buffered updates.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Buffers one update decoded from its zero-copy wire view.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidAggregationGoal`] for an update carrying
+    /// zero samples and [`LiflError::DimensionMismatch`] on a dimension
+    /// mismatch with the buffered rows.
+    pub fn fold_encoded_view(&mut self, view: &EncodedView<'_>, samples: u64) -> Result<()> {
+        self.push(view.decode(), samples)
+    }
+
+    /// Buffers one update in whatever representation its [`Update`] envelope
+    /// carries (the robust counterpart of
+    /// [`CumulativeFedAvg::fold_update`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`RobustFold::fold_encoded_view`], plus codec parse
+    /// failures for malformed remote bytes.
+    pub fn fold_update(&mut self, update: &Update) -> Result<()> {
+        match update {
+            Update::Dense(dense) => self.push(dense.model.clone(), dense.samples),
+            Update::Encoded {
+                update, samples, ..
+            } => self.fold_encoded_view(&update.view(), *samples),
+            Update::RemoteBytes {
+                wire,
+                weight,
+                encoded,
+            } => {
+                if *encoded {
+                    self.fold_encoded_view(&EncodedView::parse(wire)?, *weight)
+                } else {
+                    self.fold_encoded_view(&EncodedView::identity_over(wire), *weight)
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, model: DenseModel, samples: u64) -> Result<()> {
+        if samples == 0 {
+            return Err(LiflError::InvalidAggregationGoal(0));
+        }
+        if let Some(first) = self.rows.first() {
+            if first.dim() != model.dim() {
+                return Err(LiflError::DimensionMismatch {
+                    expected: first.dim(),
+                    actual: model.dim(),
+                });
+            }
+        }
+        self.rows.push(model);
+        self.total_samples += samples;
+        Ok(())
+    }
+
+    /// Computes the coordinate-wise statistic over the buffered updates and
+    /// returns it as an intermediate update carrying the summed sample count,
+    /// leaving the fold empty for reuse.
+    ///
+    /// Values are ordered with [`f32::total_cmp`], so NaNs injected by
+    /// corruption sort past every finite value and land in the trimmed tails.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidAggregationGoal`] if nothing was buffered.
+    pub fn finalize(&mut self) -> Result<ModelUpdate> {
+        if self.rows.is_empty() {
+            return Err(LiflError::InvalidAggregationGoal(0));
+        }
+        let rows = std::mem::take(&mut self.rows);
+        let samples = self.total_samples;
+        self.total_samples = 0;
+        let dim = rows[0].dim();
+        let n = rows.len();
+        let trim = match self.policy {
+            FoldPolicy::TrimmedMean { trim_permille } => n * usize::from(trim_permille) / 1000,
+            // The median is the maximally trimmed mean: keep the middle one
+            // (odd n) or average the middle two (even n).
+            FoldPolicy::Median => (n - 1) / 2,
+            FoldPolicy::FedAvg => unreachable!("RobustFold::new rejects FedAvg"),
+        };
+        let mut out = DenseModel::zeros(dim);
+        let mut column = vec![0.0f32; n];
+        for d in 0..dim {
+            for (slot, row) in column.iter_mut().zip(&rows) {
+                *slot = row.as_slice()[d];
+            }
+            column.sort_unstable_by(f32::total_cmp);
+            let kept = &column[trim..n - trim];
+            let sum: f64 = kept.iter().map(|v| f64::from(*v)).sum();
+            out.as_mut_slice()[d] = (sum / kept.len() as f64) as f32;
+        }
+        Ok(ModelUpdate::intermediate(out, samples))
+    }
+}
+
+/// The policy-dispatched accumulator behind every aggregator: FedAvg folds
+/// through the seed's [`CumulativeFedAvg`] / [`ShardedFedAvg`] path
+/// unchanged (bit-exact), robust policies buffer through [`RobustFold`].
+#[derive(Debug)]
+pub enum PolicyFold {
+    /// Sample-weighted eager FedAvg (the seed path).
+    FedAvg(CumulativeFedAvg),
+    /// A buffering coordinate-wise robust statistic.
+    Robust(RobustFold),
+}
+
+impl Default for PolicyFold {
+    fn default() -> Self {
+        PolicyFold::FedAvg(CumulativeFedAvg::default())
+    }
+}
+
+impl PolicyFold {
+    /// Creates the accumulator serving `policy`.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidConfig`] for invalid policy parameters.
+    pub fn new(policy: FoldPolicy) -> Result<Self> {
+        if policy.is_fedavg() {
+            Ok(PolicyFold::FedAvg(CumulativeFedAvg::default()))
+        } else {
+            Ok(PolicyFold::Robust(RobustFold::new(policy)?))
+        }
+    }
+
+    /// The policy this accumulator computes.
+    pub fn policy(&self) -> FoldPolicy {
+        match self {
+            PolicyFold::FedAvg(_) => FoldPolicy::FedAvg,
+            PolicyFold::Robust(robust) => robust.policy(),
+        }
+    }
+
+    /// Number of updates folded (or buffered) so far.
+    pub fn updates_folded(&self) -> u64 {
+        match self {
+            PolicyFold::FedAvg(acc) => acc.updates_folded(),
+            PolicyFold::Robust(robust) => robust.updates_folded(),
+        }
+    }
+
+    /// Total samples represented by the folded updates.
+    pub fn total_samples(&self) -> u64 {
+        match self {
+            PolicyFold::FedAvg(acc) => acc.total_samples(),
+            PolicyFold::Robust(robust) => robust.total_samples(),
+        }
+    }
+
+    /// Folds one update off its zero-copy wire view.
+    ///
+    /// # Errors
+    /// Propagates the underlying fold's errors.
+    pub fn fold_encoded_view(&mut self, view: &EncodedView<'_>, samples: u64) -> Result<()> {
+        match self {
+            PolicyFold::FedAvg(acc) => acc.fold_encoded_view(view, samples),
+            PolicyFold::Robust(robust) => robust.fold_encoded_view(view, samples),
+        }
+    }
+
+    /// Folds one update in whatever representation its envelope carries.
+    ///
+    /// # Errors
+    /// Propagates the underlying fold's errors.
+    pub fn fold_update(&mut self, update: &Update) -> Result<()> {
+        match self {
+            PolicyFold::FedAvg(acc) => acc.fold_update(update),
+            PolicyFold::Robust(robust) => robust.fold_update(update),
+        }
+    }
+
+    /// Folds a drained batch of wire views, all-or-nothing. The FedAvg arm
+    /// folds through the cache-blocked [`ShardedFedAvg`] across `shards`
+    /// partitions, exactly like the pre-policy path; robust arms buffer the
+    /// decoded batch (order statistics cannot shard over partial sums, so
+    /// `shards` is ignored there).
+    ///
+    /// # Errors
+    /// Propagates the underlying fold's errors; on failure nothing is folded.
+    pub fn fold_encoded_batch(
+        &mut self,
+        views: &[(EncodedView<'_>, u64)],
+        shards: usize,
+    ) -> Result<()> {
+        match self {
+            PolicyFold::FedAvg(acc) => {
+                let mut sharded = ShardedFedAvg::around(std::mem::take(acc), shards);
+                let outcome = sharded.fold_encoded_batch(views);
+                *acc = sharded.into_inner();
+                outcome
+            }
+            PolicyFold::Robust(robust) => {
+                // Decode everything before buffering anything so a corrupt
+                // view in the middle leaves the fold untouched.
+                let mut decoded = Vec::with_capacity(views.len());
+                for (view, samples) in views {
+                    if *samples == 0 {
+                        return Err(LiflError::InvalidAggregationGoal(0));
+                    }
+                    decoded.push((view.decode(), *samples));
+                }
+                for (model, samples) in decoded {
+                    robust.push(model, samples)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Finalizes the round's aggregate, leaving the accumulator empty for
+    /// reuse.
+    ///
+    /// # Errors
+    /// Returns [`LiflError::InvalidAggregationGoal`] if nothing was folded.
+    pub fn finalize(&mut self) -> Result<ModelUpdate> {
+        match self {
+            PolicyFold::FedAvg(acc) => acc.finalize(),
+            PolicyFold::Robust(robust) => robust.finalize(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifl_types::ClientId;
+
+    fn dense(values: Vec<f32>, samples: u64) -> Update {
+        Update::dense(
+            ClientId::new(samples),
+            DenseModel::from_vec(values),
+            samples,
+        )
+    }
+
+    #[test]
+    fn median_of_odd_and_even_counts() {
+        let mut fold = RobustFold::new(FoldPolicy::Median).unwrap();
+        for (v, s) in [(1.0f32, 1), (100.0, 7), (3.0, 2)] {
+            fold.fold_update(&dense(vec![v, -v], s)).unwrap();
+        }
+        let odd = fold.finalize().unwrap();
+        assert_eq!(odd.model.as_slice(), &[3.0, -3.0]);
+        assert_eq!(odd.samples, 10);
+
+        for (v, s) in [(1.0f32, 1), (2.0, 1), (7.0, 1), (100.0, 1)] {
+            fold.fold_update(&dense(vec![v], s)).unwrap();
+        }
+        let even = fold.finalize().unwrap();
+        assert_eq!(even.model.as_slice(), &[4.5]);
+    }
+
+    #[test]
+    fn trimmed_mean_discards_the_tails() {
+        let mut fold = RobustFold::new(FoldPolicy::TrimmedMean { trim_permille: 200 }).unwrap();
+        // 5 updates, 200‰ per side trims exactly one from each tail.
+        for v in [1.0f32, 2.0, 3.0, 4.0, 1000.0] {
+            fold.fold_update(&dense(vec![v], 1)).unwrap();
+        }
+        let agg = fold.finalize().unwrap();
+        assert_eq!(agg.model.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn robust_statistics_ignore_reported_sample_counts() {
+        // The outlier claims a huge sample count; the median must not care.
+        let mut fold = RobustFold::new(FoldPolicy::Median).unwrap();
+        fold.fold_update(&dense(vec![1.0], 1)).unwrap();
+        fold.fold_update(&dense(vec![2.0], 1)).unwrap();
+        fold.fold_update(&dense(vec![1e9], 1_000_000)).unwrap();
+        let agg = fold.finalize().unwrap();
+        assert_eq!(agg.model.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn nans_sort_into_the_trimmed_tail() {
+        let mut fold = RobustFold::new(FoldPolicy::TrimmedMean { trim_permille: 250 }).unwrap();
+        for v in [1.0f32, 2.0, 3.0, f32::NAN] {
+            fold.fold_update(&dense(vec![v], 1)).unwrap();
+        }
+        let agg = fold.finalize().unwrap();
+        // 250‰ per side over 4 rows trims one from each tail: the NaN (which
+        // total_cmp sorts past +inf) and the minimum.
+        assert_eq!(agg.model.as_slice(), &[2.5]);
+        assert!(agg.model.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rejects_bad_inputs_and_policies() {
+        assert!(RobustFold::new(FoldPolicy::FedAvg).is_err());
+        assert!(RobustFold::new(FoldPolicy::TrimmedMean { trim_permille: 500 }).is_err());
+        let mut fold = RobustFold::new(FoldPolicy::Median).unwrap();
+        assert!(fold.finalize().is_err());
+        assert!(fold.fold_update(&dense(vec![1.0], 0)).is_err());
+        fold.fold_update(&dense(vec![1.0, 2.0], 1)).unwrap();
+        assert!(fold.fold_update(&dense(vec![1.0], 1)).is_err());
+    }
+
+    #[test]
+    fn policy_fold_fedavg_is_bit_exact_with_cumulative() {
+        let updates: Vec<Update> = (1..=5u64)
+            .map(|i| dense(vec![i as f32 * 0.7, -(i as f32) * 1.3, 0.25], i))
+            .collect();
+        let mut reference = CumulativeFedAvg::default();
+        let mut policy = PolicyFold::new(FoldPolicy::FedAvg).unwrap();
+        for u in &updates {
+            reference.fold_update(u).unwrap();
+            policy.fold_update(u).unwrap();
+        }
+        assert_eq!(policy.updates_folded(), 5);
+        assert_eq!(policy.total_samples(), 15);
+        let a = reference.finalize().unwrap();
+        let b = policy.finalize().unwrap();
+        assert_eq!(a.samples, b.samples);
+        for (x, y) in a.model.as_slice().iter().zip(b.model.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn policy_fold_batch_is_all_or_nothing_for_robust_arms() {
+        let mut policy = PolicyFold::new(FoldPolicy::Median).unwrap();
+        let payload: Vec<u8> = [1.0f32, 2.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let views = vec![
+            (EncodedView::identity_over(&payload), 1u64),
+            (EncodedView::identity_over(&payload), 0u64), // invalid weight
+        ];
+        assert!(policy.fold_encoded_batch(&views, 2).is_err());
+        assert_eq!(policy.updates_folded(), 0);
+    }
+}

@@ -6,6 +6,7 @@
 //! period.
 
 use crate::codec::CodecKind;
+use crate::fold::FoldPolicy;
 use crate::time::SimDuration;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,10 @@ pub struct LiflConfig {
     pub hierarchy_planning: bool,
     /// The model-update codec every update travels the data plane with.
     pub codec: CodecKind,
+    /// How every aggregator folds the updates of one round ([`FoldPolicy`]):
+    /// sample-weighted FedAvg (the default, bit-exact with the pre-policy
+    /// path) or a robust coordinate-wise statistic.
+    pub fold_policy: FoldPolicy,
     /// Number of parameter-vector shards the aggregation fold is split into.
     /// `1` folds sequentially (the seed behaviour); larger values let an
     /// aggregator fold a batch of pending updates across that many
@@ -128,6 +133,7 @@ impl Default for LiflConfig {
             reuse_runtimes: true,
             hierarchy_planning: true,
             codec: CodecKind::Identity,
+            fold_policy: FoldPolicy::FedAvg,
             aggregation_shards: 1,
             max_interior_fan_in: 0,
         }
@@ -193,6 +199,7 @@ impl LiflConfig {
                 return Err(format!("TopK permille must be in 1..=1000, got {permille}"));
             }
         }
+        self.fold_policy.validate()?;
         if self.aggregation_shards == 0 {
             return Err("aggregation_shards must be at least 1".to_string());
         }
@@ -213,6 +220,7 @@ mod tests {
         assert_eq!(cfg.placement, PlacementPolicy::BestFit);
         assert_eq!(cfg.timing, AggregationTiming::Eager);
         assert_eq!(cfg.codec, CodecKind::Identity);
+        assert_eq!(cfg.fold_policy, FoldPolicy::FedAvg);
         assert_eq!(cfg.aggregation_shards, 1);
         let node = NodeConfig::default();
         assert_eq!(node.cores, 64);
@@ -249,6 +257,10 @@ mod tests {
         cfg.codec = CodecKind::TopK { permille: 0 };
         assert!(cfg.validate().is_err());
         cfg.codec = CodecKind::TopK { permille: 50 };
+        assert!(cfg.validate().is_ok());
+        cfg.fold_policy = FoldPolicy::TrimmedMean { trim_permille: 500 };
+        assert!(cfg.validate().is_err());
+        cfg.fold_policy = FoldPolicy::TrimmedMean { trim_permille: 100 };
         assert!(cfg.validate().is_ok());
         cfg.aggregation_shards = 0;
         assert!(cfg.validate().is_err());

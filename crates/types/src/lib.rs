@@ -26,6 +26,7 @@
 pub mod codec;
 pub mod config;
 pub mod error;
+pub mod fold;
 pub mod ids;
 pub mod metrics;
 pub mod model;
@@ -36,6 +37,7 @@ pub mod topology;
 pub use codec::{CodecKind, WIRE_HEADER_BYTES};
 pub use config::{AggregationTiming, ClusterConfig, LiflConfig, NodeConfig, PlacementPolicy};
 pub use error::{LiflError, Result};
+pub use fold::FoldPolicy;
 pub use ids::{AggregatorId, ClientId, InstanceId, NodeId, ObjectKey, RoundId};
 pub use metrics::{CpuCycles, ResourceUsage, RoundMetrics};
 pub use model::{ModelKind, ModelSpec};

@@ -8,7 +8,7 @@
 default: ci
 
 # Everything CI runs, in CI order.
-ci: guard ci-sync lint doc build test alloc bench-check bench-baseline-check smoke
+ci: guard ci-sync lint doc build test alloc faults bench-check bench-baseline-check smoke
 
 # CI guard: the legacy runtime (deleted in PR 6) must stay deleted.
 guard:
@@ -41,6 +41,12 @@ test:
 # its own process), so allocation regressions fail with a readable name.
 alloc:
     cargo test -p lifl-integration --test alloc
+
+# The fault tier in its own named step: node kills at every round phase,
+# corruption injection and robust-aggregation divergence envelopes, so
+# resilience regressions fail with a readable name.
+faults:
+    cargo test -p lifl-integration --test faults
 
 # Ensure every criterion bench target still compiles.
 bench-check:

@@ -1,0 +1,133 @@
+//! Corrupted client updates at 10–30% of the fleet: adversarially scaled
+//! models and random byte flips. Robust fold policies keep the global
+//! aggregate inside the honest per-coordinate envelope; plain FedAvg is
+//! dragged orders of magnitude outside it by the same fleet.
+
+use crate::util::{envelope, updates};
+use lifl_core::cluster::ClusterBuilder;
+use lifl_core::session::Update;
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::DenseModel;
+use lifl_simcore::SimRng;
+use lifl_types::{FoldPolicy, Topology};
+
+const DIM: usize = 32;
+
+/// Two nodes each folding a flat batch of 10: 20 clients per round, routed
+/// round-robin so corruption lands evenly on both nodes.
+fn topology() -> Topology {
+    Topology::new(vec![10, 2]).expect("topology")
+}
+
+fn drive(policy: FoldPolicy, batch: &[ModelUpdate]) -> ModelUpdate {
+    let mut cluster = ClusterBuilder::new()
+        .topology(topology())
+        .fold_policy(policy)
+        .build()
+        .expect("cluster");
+    cluster
+        .ingest_all(batch.iter().cloned().map(Update::Dense))
+        .unwrap();
+    cluster.drive().unwrap().update
+}
+
+/// Replaces the updates at `corrupt` indices with adversarially scaled
+/// copies: every coordinate multiplied far outside the honest range.
+fn scale_attack(batch: &mut [ModelUpdate], corrupt: &[usize], scale: f32) {
+    for &i in corrupt {
+        let scaled: Vec<f32> = batch[i]
+            .model
+            .as_slice()
+            .iter()
+            .map(|v| v * scale)
+            .collect();
+        batch[i].model = DenseModel::from_vec(scaled);
+    }
+}
+
+fn assert_in_envelope(model: &DenseModel, lo: &[f32], hi: &[f32], context: &str) {
+    for (d, value) in model.as_slice().iter().enumerate() {
+        assert!(
+            value.is_finite() && *value >= lo[d] - 1e-3 && *value <= hi[d] + 1e-3,
+            "{context}: coordinate {d} = {value} escaped the honest \
+             envelope [{}, {}]",
+            lo[d],
+            hi[d]
+        );
+    }
+}
+
+/// Acceptance: at 20% and 30% adversarially scaled clients, the trimmed-mean
+/// cluster stays inside the honest envelope while FedAvg over the identical
+/// fleet diverges by orders of magnitude.
+#[test]
+fn trimmed_mean_bounds_divergence_where_fedavg_explodes() {
+    let honest = updates(topology().total_updates(), DIM);
+    let (lo, hi) = envelope(&honest);
+    // 20% then 30% of the fleet, split evenly across both nodes by the
+    // round-robin routing (evens on node 0, odds on node 1).
+    for corrupt in [vec![2, 7, 12, 17], vec![1, 2, 7, 12, 17, 18]] {
+        let mut batch = honest.clone();
+        scale_attack(&mut batch, &corrupt, 1e4);
+        let fedavg = drive(FoldPolicy::FedAvg, &batch);
+        let worst = fedavg
+            .model
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |acc, v| acc.max(v.abs()));
+        assert!(
+            worst > 100.0,
+            "{} corrupt: FedAvg must diverge for the attack to be a real \
+             control, got max |coordinate| = {worst}",
+            corrupt.len()
+        );
+        // A per-side trim of 300‰ drops the 3 most extreme values per
+        // coordinate at each 10-wide leaf fold — enough to absorb up to 3
+        // corrupt clients per node.
+        let robust = drive(FoldPolicy::TrimmedMean { trim_permille: 300 }, &batch);
+        assert_in_envelope(
+            &robust.model,
+            &lo,
+            &hi,
+            &format!("trimmed mean, {} corrupt", corrupt.len()),
+        );
+        assert_eq!(robust.samples, fedavg.samples, "weights are not dropped");
+    }
+}
+
+/// Acceptance: random byte flips (which produce huge values, denormals, NaN
+/// and infinity) in 20% of the fleet leave the coordinate-wise median finite
+/// and inside the honest envelope.
+#[test]
+fn median_survives_random_byte_flips() {
+    let honest = updates(topology().total_updates(), DIM);
+    let (lo, hi) = envelope(&honest);
+    let mut rng = SimRng::from_seed(0xBADB17);
+    let mut batch = honest.clone();
+    for &i in &[2usize, 7, 12, 17] {
+        let flipped: Vec<f32> = batch[i]
+            .model
+            .as_slice()
+            .iter()
+            .map(|v| f32::from_bits(v.to_bits() ^ (1u32 << rng.index(32))))
+            .collect();
+        batch[i].model = DenseModel::from_vec(flipped);
+    }
+    let median = drive(FoldPolicy::Median, &batch);
+    assert_in_envelope(&median.model, &lo, &hi, "median under byte flips");
+    // The identical flipped fleet poisons FedAvg: at least one coordinate is
+    // no longer inside the honest envelope (bit flips in sign/exponent bits
+    // move values by orders of magnitude).
+    let fedavg = drive(FoldPolicy::FedAvg, &batch);
+    let escaped = fedavg
+        .model
+        .as_slice()
+        .iter()
+        .enumerate()
+        .filter(|(d, v)| !v.is_finite() || **v < lo[*d] - 1e-3 || **v > hi[*d] + 1e-3)
+        .count();
+    assert!(
+        escaped > 0,
+        "the byte flips must perturb FedAvg for the median test to bite"
+    );
+}

@@ -1,0 +1,147 @@
+//! Node kills at every phase of a cluster round: before the drive, at every
+//! hop boundary mid-drive, mid-ingest, and between rounds. The round must
+//! survive via refill + retry-with-dedup, and undisturbed re-sends must keep
+//! the survived aggregate bit-exact with a failure-free round.
+
+use crate::util::{assert_bit_exact, assert_close, updates};
+use lifl_core::cluster::{Cluster, ClusterBuilder, FaultToleranceConfig};
+use lifl_core::session::Update;
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_types::{NodeId, Topology};
+
+const DIM: usize = 16;
+
+/// Three nodes of `[2, 2]` subtrees: 12 updates per round.
+fn topology() -> Topology {
+    Topology::new(vec![2, 2, 3]).expect("topology")
+}
+
+fn fault_cluster() -> Cluster {
+    ClusterBuilder::new()
+        .topology(topology())
+        .fault_tolerance(FaultToleranceConfig::default())
+        .build()
+        .expect("cluster")
+}
+
+fn drive_clean(batch: &[ModelUpdate]) -> ModelUpdate {
+    let mut cluster = ClusterBuilder::new()
+        .topology(topology())
+        .build()
+        .expect("cluster");
+    cluster
+        .ingest_all(batch.iter().cloned().map(Update::Dense))
+        .unwrap();
+    cluster.drive().unwrap().update
+}
+
+/// Re-sends every lost client's original update, in the order the cluster
+/// reported the loss.
+fn resend_lost(cluster: &mut Cluster, batch: &[ModelUpdate]) -> usize {
+    let lost = cluster.take_lost_clients();
+    let n = lost.len();
+    for client in lost {
+        let update = batch
+            .iter()
+            .find(|u| u.client == Some(client))
+            .expect("lost client came from the batch");
+        cluster.ingest(Update::Dense(update.clone())).unwrap();
+    }
+    n
+}
+
+/// A non-top node killed at every hop boundary — from "no hops done yet"
+/// through "every survivor already exported" — always loses exactly its own
+/// subtree, and the retried round is bit-exact with the undisturbed one.
+#[test]
+fn kill_at_every_hop_boundary_survives_bit_exact() {
+    let batch = updates(topology().total_updates(), DIM);
+    let clean = drive_clean(&batch);
+    for after_hops in 0..3u64 {
+        let mut cluster = fault_cluster();
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        // Node 2 never hosts the top (the incumbent is node 0), so its kill
+        // is always a child failure, never a checkpoint restore.
+        cluster
+            .schedule_node_failure(NodeId::new(2), after_hops)
+            .unwrap();
+        match cluster.drive() {
+            Err(lifl_types::LiflError::NodeFailure { node, lost_updates }) => {
+                assert_eq!(node, 2, "after {after_hops} hops");
+                assert_eq!(lost_updates, 4, "after {after_hops} hops");
+            }
+            other => panic!("after {after_hops} hops: expected a node failure, got {other:?}"),
+        }
+        assert_eq!(resend_lost(&mut cluster, &batch), 4);
+        let report = cluster.drive().unwrap();
+        assert_eq!(report.updates_ingested(), 12);
+        assert_eq!(report.hops.len(), 3, "retry still prices one hop per node");
+        let stats = cluster.fault_stats().unwrap();
+        assert_eq!(
+            stats.deduped_hops, after_hops,
+            "every hop completed before the kill is deduped, never re-shipped"
+        );
+        assert_eq!(stats.node_restarts, 1);
+        assert_bit_exact(
+            &report.update.model,
+            &clean.model,
+            &format!("kill after {after_hops} hops"),
+        );
+        assert_eq!(report.update.samples, clean.samples);
+    }
+}
+
+/// A node killed halfway through ingest loses only what it held; the refill
+/// re-routes in-flight clients, so leaf assignment shifts and the survived
+/// aggregate matches the clean round to tolerance rather than bit-exactly.
+#[test]
+fn mid_ingest_kill_survives_to_tolerance() {
+    let batch = updates(topology().total_updates(), DIM);
+    let clean = drive_clean(&batch);
+    let mut cluster = fault_cluster();
+    // One update per leaf so far: node 1 holds exactly two.
+    cluster
+        .ingest_all(batch.iter().take(6).cloned().map(Update::Dense))
+        .unwrap();
+    let kill = cluster.inject_node_failure(NodeId::new(1)).unwrap();
+    assert!(!kill.top_host);
+    assert_eq!(kill.lost_updates, 2);
+    // The rest of the fleet keeps reporting; the restarted node's slots are
+    // refilled first, so these in-flight clients land on different leaves
+    // than they would have in a failure-free round.
+    cluster
+        .ingest_all(batch.iter().skip(6).cloned().map(Update::Dense))
+        .unwrap();
+    assert_eq!(resend_lost(&mut cluster, &batch), 2);
+    let report = cluster.drive().unwrap();
+    assert_eq!(report.updates_ingested(), 12);
+    assert_eq!(report.update.samples, clean.samples);
+    assert_close(&report.update.model, &clean.model, 1e-3, "mid-ingest kill");
+}
+
+/// A kill between rounds (nothing pending) loses no updates and the next
+/// round over the restarted node is bit-exact with an undisturbed cluster.
+#[test]
+fn between_rounds_kill_loses_nothing() {
+    let batch = updates(topology().total_updates(), DIM);
+    let clean = drive_clean(&batch);
+    let mut cluster = fault_cluster();
+    cluster
+        .ingest_all(batch.iter().cloned().map(Update::Dense))
+        .unwrap();
+    cluster.drive().unwrap();
+    // The fleet is idle when node 1 dies: a restart, but zero loss.
+    let kill = cluster.inject_node_failure(NodeId::new(1)).unwrap();
+    assert_eq!(kill.lost_updates, 0);
+    assert!(!kill.top_host);
+    assert!(cluster.take_lost_clients().is_empty());
+    cluster
+        .ingest_all(batch.iter().cloned().map(Update::Dense))
+        .unwrap();
+    let report = cluster.drive().unwrap();
+    assert_eq!(report.updates_ingested(), 12);
+    assert_bit_exact(&report.update.model, &clean.model, "between-rounds kill");
+    assert_eq!(cluster.fault_stats().unwrap().node_restarts, 1);
+}

@@ -83,6 +83,7 @@ fn run_driver<B: Ingest>(backend: B, seed: u64, rounds: usize) -> TrainingDriver
             },
             rounds,
             eval_every: 1,
+            ..TrainingConfig::default()
         },
     );
     driver.run_all(&mut rng).expect("rounds drive");

@@ -83,7 +83,7 @@ fn heartbeats_plus_overprovisioning_keep_the_round_on_goal() {
     // Select enough clients that, after drop-outs flagged by the heartbeat
     // monitor, the aggregation goal is still met.
     let goal = 20u64;
-    let selected = over_provisioned_selection(goal, 0.2);
+    let selected = over_provisioned_selection(goal, 0.2).unwrap();
     assert!(selected > goal);
 
     let mut monitor = HeartbeatMonitor::new(SimDuration::from_secs(60.0));
