@@ -20,8 +20,10 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Schema tag of the persisted report; bump when entry names or fields
-/// change so CI flags a stale committed baseline.
-pub const SCHEMA: &str = "lifl.bench.aggregation/v1";
+/// change so CI flags a stale committed baseline. v2 added the
+/// `encode/uniform4`, `encode/topk50` and `decode_into/uniform4` entries
+/// alongside the SIMD kernel layer.
+pub const SCHEMA: &str = "lifl.bench.aggregation/v2";
 
 /// Updates per batch in the sequential-versus-sharded comparison.
 pub const BATCH_UPDATES: usize = 8;
@@ -102,7 +104,10 @@ pub fn required_entry_names() -> Vec<String> {
         "fused_fold/uniform4",
         "fused_fold/topk50",
         "decode_into/uniform8",
+        "decode_into/uniform4",
         "encode/uniform8",
+        "encode/uniform4",
+        "encode/topk50",
         "sequential_batch_fold",
     ]
     .iter()
@@ -216,8 +221,10 @@ pub fn run(quick: bool) -> BaselineReport {
         let update = ModelUpdate::from_client(ClientId::new(0), dense.clone(), 3);
         let mut codec8 = UpdateCodec::new(CodecKind::Uniform8);
         let encoded8 = codec8.encode(&dense);
-        let encoded4 = UpdateCodec::new(CodecKind::Uniform4).encode(&dense);
-        let topk = UpdateCodec::new(CodecKind::TopK { permille: 50 }).encode(&dense);
+        let mut codec4 = UpdateCodec::new(CodecKind::Uniform4);
+        let encoded4 = codec4.encode(&dense);
+        let mut codec_topk = UpdateCodec::new(CodecKind::TopK { permille: 50 });
+        let topk = codec_topk.encode(&dense);
 
         let mut acc = CumulativeFedAvg::new(dim);
         rec.record("fold_dense", model, 1, || {
@@ -248,10 +255,21 @@ pub fn run(quick: bool) -> BaselineReport {
         rec.record("decode_into/uniform8", model, 1, || {
             encoded8.decode_into(&mut scratch).expect("decode_into");
         });
+        rec.record("decode_into/uniform4", model, 1, || {
+            encoded4.decode_into(&mut scratch).expect("decode_into");
+        });
 
         rec.record("encode/uniform8", model, 1, || {
             let out = codec8.encode(&dense);
             codec8.recycle(out);
+        });
+        rec.record("encode/uniform4", model, 1, || {
+            let out = codec4.encode(&dense);
+            codec4.recycle(out);
+        });
+        rec.record("encode/topk50", model, 1, || {
+            let out = codec_topk.encode(&dense);
+            codec_topk.recycle(out);
         });
 
         let batch: Vec<ModelUpdate> = (0..BATCH_UPDATES)

@@ -95,9 +95,10 @@ impl CumulativeFedAvg {
     }
 
     /// Folds one *encoded* update in a single fused dequantize-and-axpy pass
-    /// over the wire payload — no intermediate `DenseModel` is materialised
-    /// (the per-codec kernels live in [`EncodedView::fold_range_into`];
-    /// `TopK` folds only its nonzeros).
+    /// over the wire payload — no intermediate `DenseModel` is materialised.
+    /// [`EncodedView::fold_range_into`] routes each codec through the
+    /// runtime-dispatched SIMD kernels in [`crate::kernels`]; `TopK` folds
+    /// only its nonzeros.
     ///
     /// # Errors
     /// Same conditions as [`CumulativeFedAvg::fold`].

@@ -25,11 +25,19 @@
 //! size always equals [`CodecKind::encoded_bytes`] applied to the dense size,
 //! keeping the simulator's cost accounting and the in-process runtime's real
 //! byte counters consistent.
+//!
+//! The per-codec encode, decode and fused decode-fold inner loops all live in
+//! [`crate::kernels`], which dispatches between an AVX2 arm and a bit-exact
+//! scalar reference at runtime; this module owns the wire format, scale
+//! derivation and buffer management around those kernels. There is exactly
+//! one decode routine per codec — [`EncodedUpdate::decode_into`] and
+//! [`EncodedView::decode_into`] both resolve to it.
 
+use crate::kernels;
+use crate::kernels::StochasticRng;
 use crate::model::DenseModel;
 use crate::update::Update;
 use lifl_shmem::BufferPool;
-use lifl_simcore::SimRng;
 use lifl_types::{ClientId, CodecKind, LiflError, Result, WIRE_HEADER_BYTES};
 use std::collections::HashMap;
 
@@ -273,37 +281,10 @@ impl<'a> EncodedView<'a> {
             });
         }
         match self.codec {
-            CodecKind::Identity => {
-                for (o, c) in out.iter_mut().zip(self.body.chunks_exact(4)) {
-                    *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
-                }
-            }
-            CodecKind::Uniform8 => {
-                for (o, b) in out.iter_mut().zip(self.body) {
-                    *o = f32::from(*b as i8) * self.scale;
-                }
-            }
-            CodecKind::Uniform4 => {
-                let mut pairs = out.chunks_exact_mut(2);
-                for (pair, byte) in pairs.by_ref().zip(self.body) {
-                    pair[0] = NIBBLE_F32[(byte & 0x0F) as usize] * self.scale;
-                    pair[1] = NIBBLE_F32[(byte >> 4) as usize] * self.scale;
-                }
-                if let [last] = pairs.into_remainder() {
-                    *last =
-                        NIBBLE_F32[(self.body[self.body.len() - 1] & 0x0F) as usize] * self.scale;
-                }
-            }
-            CodecKind::TopK { .. } => {
-                out.fill(0.0);
-                for pair in self.body.chunks_exact(8) {
-                    let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
-                    let value = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
-                    if index < out.len() {
-                        out[index] = value;
-                    }
-                }
-            }
+            CodecKind::Identity => kernels::decode_dense_le(out, self.body),
+            CodecKind::Uniform8 => kernels::decode_u8(out, self.body, self.scale),
+            CodecKind::Uniform4 => kernels::decode_u4(out, self.body, self.scale),
+            CodecKind::TopK { .. } => kernels::decode_topk(out, self.body),
         }
         Ok(())
     }
@@ -342,45 +323,16 @@ impl<'a> EncodedView<'a> {
         let acc = &mut acc[..len];
         match self.codec {
             CodecKind::Identity => {
-                let body = &self.body[start * 4..(start + len) * 4];
-                for (a, c) in acc.iter_mut().zip(body.chunks_exact(4)) {
-                    *a += weight * f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
-                }
+                kernels::fold_dense_le(acc, &self.body[start * 4..(start + len) * 4], weight);
             }
             CodecKind::Uniform8 => {
-                let k = weight * self.scale;
-                for (a, b) in acc.iter_mut().zip(&self.body[start..start + len]) {
-                    *a += f32::from(*b as i8) * k;
-                }
+                kernels::fold_u8(acc, &self.body[start..start + len], weight * self.scale);
             }
             CodecKind::Uniform4 => {
-                let k = weight * self.scale;
-                let mut j = 0usize;
-                // Align to an even element so whole bytes decode pairwise.
-                if (start & 1) == 1 && j < len {
-                    acc[j] += NIBBLE_F32[(self.body[start >> 1] >> 4) as usize] * k;
-                    j += 1;
-                }
-                while j + 1 < len {
-                    let byte = self.body[(start + j) >> 1];
-                    acc[j] += NIBBLE_F32[(byte & 0x0F) as usize] * k;
-                    acc[j + 1] += NIBBLE_F32[(byte >> 4) as usize] * k;
-                    j += 2;
-                }
-                if j < len {
-                    let byte = self.body[(start + j) >> 1];
-                    acc[j] += NIBBLE_F32[(byte & 0x0F) as usize] * k;
-                }
+                kernels::fold_u4(acc, self.body, start, weight * self.scale);
             }
             CodecKind::TopK { .. } => {
-                let end = start + len;
-                for pair in self.body.chunks_exact(8) {
-                    let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
-                    if index >= start && index < end {
-                        let value = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
-                        acc[index - start] += weight * value;
-                    }
-                }
+                kernels::fold_topk(acc, self.body, start, start + len, weight);
             }
         }
     }
@@ -429,43 +381,13 @@ impl<'a> EncodedView<'a> {
     }
 }
 
-/// Maps a sign-magnitude 4-bit nibble back to `[-7, 7]` — the reference the
-/// branch-free [`NIBBLE_F32`] table is checked against in tests; the hot
-/// kernels use the table.
-#[cfg(test)]
-fn nibble_to_i8(nibble: u8) -> i8 {
-    let magnitude = (nibble & 0x07) as i8;
-    if nibble & 0x08 != 0 {
-        -magnitude
-    } else {
-        magnitude
-    }
-}
-
-/// `f32::from(nibble_to_i8(n))` for every nibble, as a branch-free table for
-/// the hot dequantize kernels (index 8, "negative zero", decodes to `0.0`
-/// exactly like [`nibble_to_i8`]).
-const NIBBLE_F32: [f32; 16] = [
-    0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 0.0, -1.0, -2.0, -3.0, -4.0, -5.0, -6.0, -7.0,
-];
-
-/// Maps a quantized level in `[-7, 7]` to a sign-magnitude nibble.
-fn i8_to_nibble(level: i8) -> u8 {
-    let magnitude = level.unsigned_abs().min(7);
-    if level < 0 {
-        magnitude | 0x08
-    } else {
-        magnitude
-    }
-}
-
 /// The encoder/decoder for one [`CodecKind`], owning the randomness stream the
 /// stochastic rounding draws from (deterministic given the seed) and the
 /// scratch-buffer pool its encode bodies are drawn from.
 #[derive(Debug, Clone)]
 pub struct UpdateCodec {
     kind: CodecKind,
-    rng: SimRng,
+    rng: StochasticRng,
     pool: BufferPool,
 }
 
@@ -479,7 +401,7 @@ impl UpdateCodec {
     pub fn with_seed(kind: CodecKind, seed: u64) -> Self {
         UpdateCodec {
             kind,
-            rng: SimRng::from_seed(seed),
+            rng: StochasticRng::from_seed(seed),
             pool: BufferPool::new(),
         }
     }
@@ -535,11 +457,7 @@ impl UpdateCodec {
             CodecKind::Uniform8 => {
                 let scale = tensor_scale(params, U8_LEVELS);
                 let mut body = self.pool.checkout_bytes(params.len());
-                body.extend(
-                    params
-                        .iter()
-                        .map(|v| self.stochastic_level(*v, scale, U8_LEVELS) as u8),
-                );
+                kernels::encode_u8(params, scale, U8_LEVELS, &mut self.rng, &mut body);
                 EncodedUpdate {
                     codec: self.kind,
                     dim,
@@ -551,14 +469,7 @@ impl UpdateCodec {
             CodecKind::Uniform4 => {
                 let scale = tensor_scale(params, U4_LEVELS);
                 let mut body = self.pool.checkout_bytes(params.len().div_ceil(2));
-                for pair in params.chunks(2) {
-                    let low = i8_to_nibble(self.stochastic_level(pair[0], scale, U4_LEVELS));
-                    let high = pair
-                        .get(1)
-                        .map(|v| i8_to_nibble(self.stochastic_level(*v, scale, U4_LEVELS)))
-                        .unwrap_or(0);
-                    body.push(low | (high << 4));
-                }
+                kernels::encode_u4(params, scale, U4_LEVELS, &mut self.rng, &mut body);
                 EncodedUpdate {
                     codec: self.kind,
                     dim,
@@ -609,32 +520,11 @@ impl UpdateCodec {
     pub fn roundtrip(&mut self, model: &DenseModel) -> DenseModel {
         self.encode(model).decode()
     }
-
-    /// Stochastically rounds `value / scale` to an integer level in
-    /// `[-levels, levels]`: the floor is kept with probability `1 - frac`,
-    /// making the quantizer unbiased.
-    fn stochastic_level(&mut self, value: f32, scale: f32, levels: f32) -> i8 {
-        if scale <= 0.0 || !value.is_finite() {
-            return 0;
-        }
-        let exact = f64::from(value / scale);
-        let floor = exact.floor();
-        let frac = exact - floor;
-        let rounded = if self.rng.uniform(0.0, 1.0) < frac {
-            floor + 1.0
-        } else {
-            floor
-        };
-        rounded.clamp(f64::from(-levels), f64::from(levels)) as i8
-    }
 }
 
 /// Per-tensor scale so the largest magnitude maps to the outermost level.
 fn tensor_scale(params: &[f32], levels: f32) -> f32 {
-    let max_abs = params
-        .iter()
-        .filter(|v| v.is_finite())
-        .fold(0.0f32, |acc, v| acc.max(v.abs()));
+    let max_abs = kernels::max_abs_finite(params);
     if max_abs == 0.0 {
         0.0
     } else {
@@ -758,17 +648,6 @@ mod tests {
 
     fn model(values: &[f32]) -> DenseModel {
         DenseModel::from_vec(values.to_vec())
-    }
-
-    #[test]
-    fn nibble_table_matches_sign_magnitude_reference() {
-        for nibble in 0u8..16 {
-            assert_eq!(
-                NIBBLE_F32[nibble as usize].to_bits(),
-                f32::from(nibble_to_i8(nibble)).to_bits(),
-                "nibble {nibble}"
-            );
-        }
     }
 
     #[test]

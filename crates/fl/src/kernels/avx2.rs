@@ -1,0 +1,363 @@
+//! AVX2 implementations of the hot kernels.
+//!
+//! Every function here is bit-exact with its counterpart in
+//! [`super::scalar`]. That property is engineered, not incidental:
+//!
+//! * only exactly-rounded IEEE-754 operations are used (multiply, add,
+//!   subtract, floor, compare, min/max) — never FMA, which would contract
+//!   the separate multiply and add the scalar arm performs;
+//! * `_mm256_min_ps`/`_mm256_max_ps` return their **second** operand when
+//!   either input is NaN, matching `f32::min`/`f32::max` with a NaN `self`,
+//!   so the clamp `max(min(x, hi), lo)` agrees with the scalar
+//!   `x.min(hi).max(lo)` for every input including NaN and infinity;
+//! * `_mm256_cvtps_epi32` rounds to nearest-even while the scalar arm
+//!   truncates with `as i32`, which agree because quantized levels are
+//!   exactly integral by construction at the point of conversion;
+//! * integer packs (`packs_epi32`/`packs_epi16`) saturate, which is the
+//!   identity for levels already clamped into `[-127, 127]`.
+//!
+//! Each kernel handles the vector-width remainder by delegating the tail to
+//! the scalar reference, so odd lengths take the same path in both arms.
+//!
+//! All functions are `unsafe` because they require AVX2; the dispatcher in
+//! the parent module only calls them after `is_x86_feature_detected!`.
+
+use core::arch::x86_64::*;
+
+use super::scalar;
+
+/// Builds the sign-magnitude nibble lookup table in a register: lane `i`
+/// holds `scalar::NIBBLE_F32[i]` as an `i8`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn nibble_table() -> __m128i {
+    _mm_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7, 0, -1, -2, -3, -4, -5, -6, -7)
+}
+
+/// Expands 8 packed nibble bytes into 16 sign-extended `i8` level values in
+/// element order (low nibble first), using an in-register shuffle instead of
+/// the scalar 16-entry table lookup.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn unpack_nibbles(bytes: __m128i) -> __m128i {
+    let low_mask = _mm_set1_epi8(0x0F);
+    let lo = _mm_and_si128(bytes, low_mask);
+    let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), low_mask);
+    // Interleave to n0, n1, n2, ... n15, then map nibble -> signed level.
+    _mm_shuffle_epi8(nibble_table(), _mm_unpacklo_epi8(lo, hi))
+}
+
+/// Safety: caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn fold_dense_le(acc: &mut [f32], body: &[u8], weight: f32) {
+    let n = acc.len();
+    let w = _mm256_set1_ps(weight);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(body.as_ptr().add(4 * i) as *const f32);
+        let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+        _mm256_storeu_ps(
+            acc.as_mut_ptr().add(i),
+            _mm256_add_ps(a, _mm256_mul_ps(w, v)),
+        );
+        i += 8;
+    }
+    scalar::fold_dense_le(&mut acc[i..], &body[4 * i..], weight);
+}
+
+/// Safety: caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn decode_dense_le(out: &mut [f32], body: &[u8]) {
+    // Little-endian f32 payloads are a straight byte copy on x86.
+    std::ptr::copy_nonoverlapping(body.as_ptr(), out.as_mut_ptr() as *mut u8, 4 * out.len());
+}
+
+/// Safety: caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn fold_u8(acc: &mut [f32], levels: &[u8], k: f32) {
+    let n = acc.len();
+    let kv = _mm256_set1_ps(k);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let b = _mm_loadl_epi64(levels.as_ptr().add(i) as *const __m128i);
+        let v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+        let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+        _mm256_storeu_ps(
+            acc.as_mut_ptr().add(i),
+            _mm256_add_ps(a, _mm256_mul_ps(v, kv)),
+        );
+        i += 8;
+    }
+    scalar::fold_u8(&mut acc[i..], &levels[i..], k);
+}
+
+/// Safety: caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn decode_u8(out: &mut [f32], levels: &[u8], scale: f32) {
+    let n = out.len();
+    let sv = _mm256_set1_ps(scale);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let b = _mm_loadl_epi64(levels.as_ptr().add(i) as *const __m128i);
+        let v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(v, sv));
+        i += 8;
+    }
+    scalar::decode_u8(&mut out[i..], &levels[i..], scale);
+}
+
+/// Safety: caller must have verified AVX2 support at runtime. `acc` element
+/// `j` must correspond to nibble `j` of `nibbles` (even alignment; the
+/// dispatcher peels an odd start before calling).
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn fold_u4_aligned(acc: &mut [f32], nibbles: &[u8], k: f32) {
+    let n = acc.len();
+    let kv = _mm256_set1_ps(k);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let bytes = _mm_loadl_epi64(nibbles.as_ptr().add(i / 2) as *const __m128i);
+        let levels = unpack_nibbles(bytes);
+        let v0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(levels));
+        let v1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128::<8>(levels)));
+        let a0 = _mm256_loadu_ps(acc.as_ptr().add(i));
+        let a1 = _mm256_loadu_ps(acc.as_ptr().add(i + 8));
+        _mm256_storeu_ps(
+            acc.as_mut_ptr().add(i),
+            _mm256_add_ps(a0, _mm256_mul_ps(v0, kv)),
+        );
+        _mm256_storeu_ps(
+            acc.as_mut_ptr().add(i + 8),
+            _mm256_add_ps(a1, _mm256_mul_ps(v1, kv)),
+        );
+        i += 16;
+    }
+    scalar::fold_u4_aligned(&mut acc[i..], &nibbles[i / 2..], k);
+}
+
+/// Safety: caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn decode_u4(out: &mut [f32], nibbles: &[u8], scale: f32) {
+    let n = out.len();
+    let sv = _mm256_set1_ps(scale);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let bytes = _mm_loadl_epi64(nibbles.as_ptr().add(i / 2) as *const __m128i);
+        let levels = unpack_nibbles(bytes);
+        let v0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(levels));
+        let v1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128::<8>(levels)));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(v0, sv));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i + 8), _mm256_mul_ps(v1, sv));
+        i += 16;
+    }
+    scalar::decode_u4(&mut out[i..], &nibbles[i / 2..], scale);
+}
+
+/// Safety: caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn axpy(acc: &mut [f32], src: &[f32], w: f32) {
+    let n = acc.len();
+    let wv = _mm256_set1_ps(w);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        _mm256_storeu_ps(
+            acc.as_mut_ptr().add(i),
+            _mm256_add_ps(a, _mm256_mul_ps(wv, s)),
+        );
+        i += 8;
+    }
+    scalar::axpy(&mut acc[i..], &src[i..], w);
+}
+
+/// Safety: caller must have verified AVX2 support at runtime, and every
+/// source must be at least as long as `acc`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn axpy4(acc: &mut [f32], srcs: [&[f32]; 4], w: [f32; 4]) {
+    let n = acc.len();
+    let wv: [__m256; 4] = [
+        _mm256_set1_ps(w[0]),
+        _mm256_set1_ps(w[1]),
+        _mm256_set1_ps(w[2]),
+        _mm256_set1_ps(w[3]),
+    ];
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // The adds chain in source order so the result is bit-identical to
+        // four sequential axpy passes (each lane is independent).
+        let mut v = _mm256_loadu_ps(acc.as_ptr().add(i));
+        for (src, wk) in srcs.iter().zip(wv) {
+            v = _mm256_add_ps(v, _mm256_mul_ps(wk, _mm256_loadu_ps(src.as_ptr().add(i))));
+        }
+        _mm256_storeu_ps(acc.as_mut_ptr().add(i), v);
+        i += 8;
+    }
+    let tails = [&srcs[0][i..], &srcs[1][i..], &srcs[2][i..], &srcs[3][i..]];
+    scalar::axpy4(&mut acc[i..], tails, w);
+}
+
+/// Safety: caller must have verified AVX2 support at runtime, and every
+/// source must be at least as long as `acc`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn axpy8(acc: &mut [f32], srcs: [&[f32]; 8], w: [f32; 8]) {
+    let n = acc.len();
+    let mut wv = [_mm256_setzero_ps(); 8];
+    for (slot, wk) in wv.iter_mut().zip(w) {
+        *slot = _mm256_set1_ps(wk);
+    }
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let mut v = _mm256_loadu_ps(acc.as_ptr().add(i));
+        for (src, wk) in srcs.iter().zip(wv) {
+            v = _mm256_add_ps(v, _mm256_mul_ps(wk, _mm256_loadu_ps(src.as_ptr().add(i))));
+        }
+        _mm256_storeu_ps(acc.as_mut_ptr().add(i), v);
+        i += 8;
+    }
+    let tails = [
+        &srcs[0][i..],
+        &srcs[1][i..],
+        &srcs[2][i..],
+        &srcs[3][i..],
+        &srcs[4][i..],
+        &srcs[5][i..],
+        &srcs[6][i..],
+        &srcs[7][i..],
+    ];
+    scalar::axpy8(&mut acc[i..], tails, w);
+}
+
+/// Safety: caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn max_abs_finite(params: &[f32]) -> f32 {
+    let n = params.len();
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let inf = _mm256_set1_ps(f32::INFINITY);
+    let mut m = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let a = _mm256_and_ps(_mm256_loadu_ps(params.as_ptr().add(i)), abs_mask);
+        // NaN compares unordered, so non-finite lanes contribute 0.
+        let finite = _mm256_cmp_ps::<_CMP_LT_OQ>(a, inf);
+        m = _mm256_max_ps(m, _mm256_and_ps(a, finite));
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), m);
+    let best = lanes.iter().fold(0.0f32, |acc, v| acc.max(*v));
+    // max over non-negative finite values is exact and order-independent,
+    // so combining lane maxima with the scalar tail matches the reference.
+    best.max(scalar::max_abs_finite(&params[i..]))
+}
+
+/// Vector counterpart of [`scalar::quantize_one`] for 8 lanes: same operation
+/// sequence (multiply, floor, subtract, compare against the 24-bit random
+/// fraction, add, min/max clamp, convert), with non-finite lanes zeroed by an
+/// integer mask instead of a branch.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize8(v: __m256, inv: __m256, hi: __m256, lo: __m256, w: __m256i) -> __m256i {
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let inf = _mm256_set1_ps(f32::INFINITY);
+    let finite = _mm256_cmp_ps::<_CMP_LT_OQ>(_mm256_and_ps(v, abs_mask), inf);
+    let q = _mm256_mul_ps(v, inv);
+    let f = _mm256_floor_ps(q);
+    let frac = _mm256_sub_ps(q, f);
+    let r = _mm256_mul_ps(
+        _mm256_cvtepi32_ps(_mm256_srli_epi32::<8>(w)),
+        _mm256_set1_ps(1.0 / 16_777_216.0),
+    );
+    let up = _mm256_and_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(r, frac), _mm256_set1_ps(1.0));
+    // min/max return the second operand on NaN, matching f32::min/f32::max
+    // with NaN `self`, so saturated/NaN lanes clamp exactly like the scalar.
+    let level = _mm256_max_ps(_mm256_min_ps(_mm256_add_ps(f, up), hi), lo);
+    // Levels are exactly integral here, so round-nearest conversion matches
+    // the scalar truncating `as i32`.
+    _mm256_and_si256(_mm256_cvtps_epi32(level), _mm256_castps_si256(finite))
+}
+
+/// Safety: caller must have verified AVX2 support at runtime; `rand` and
+/// `out` must be at least as long as `params`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn encode_u8(
+    params: &[f32],
+    inv: f32,
+    levels: f32,
+    rand: &[u32],
+    out: &mut [u8],
+) {
+    let n = params.len();
+    let invv = _mm256_set1_ps(inv);
+    let hi = _mm256_set1_ps(levels);
+    let lo = _mm256_set1_ps(-levels);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(params.as_ptr().add(i));
+        let w = _mm256_loadu_si256(rand.as_ptr().add(i) as *const __m256i);
+        let li = quantize8(v, invv, hi, lo, w);
+        // Saturating packs are the identity for levels in [-127, 127], and
+        // the low byte of each i32 level is exactly the scalar `as u8`.
+        let p16 = _mm_packs_epi32(
+            _mm256_castsi256_si128(li),
+            _mm256_extracti128_si256::<1>(li),
+        );
+        let p8 = _mm_packs_epi16(p16, p16);
+        _mm_storel_epi64(out.as_mut_ptr().add(i) as *mut __m128i, p8);
+        i += 8;
+    }
+    scalar::encode_u8(&params[i..], inv, levels, &rand[i..], &mut out[i..]);
+}
+
+/// Maps 8 signed levels in `[-7, 7]` to sign-magnitude nibbles:
+/// `|level| | (sign << 3)`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn nibble8(levels: __m256i) -> __m256i {
+    _mm256_or_si256(
+        _mm256_abs_epi32(levels),
+        _mm256_slli_epi32::<3>(_mm256_srli_epi32::<31>(levels)),
+    )
+}
+
+/// Safety: caller must have verified AVX2 support at runtime; `rand` must be
+/// at least as long as `params` and `out` at least `params.len()/2` rounded
+/// up.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn encode_u4(
+    params: &[f32],
+    inv: f32,
+    levels: f32,
+    rand: &[u32],
+    out: &mut [u8],
+) {
+    let n = params.len();
+    let invv = _mm256_set1_ps(inv);
+    let hi = _mm256_set1_ps(levels);
+    let lo = _mm256_set1_ps(-levels);
+    // As two i16 words: low word 1, high word 16 — madd then computes
+    // n_even + (n_odd << 4) for each output byte.
+    let pair_mul = _mm_set1_epi32(0x0010_0001);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let va = _mm256_loadu_ps(params.as_ptr().add(i));
+        let wa = _mm256_loadu_si256(rand.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_ps(params.as_ptr().add(i + 8));
+        let wb = _mm256_loadu_si256(rand.as_ptr().add(i + 8) as *const __m256i);
+        let na = nibble8(quantize8(va, invv, hi, lo, wa));
+        let nb = nibble8(quantize8(vb, invv, hi, lo, wb));
+        let pa = _mm_packs_epi32(
+            _mm256_castsi256_si128(na),
+            _mm256_extracti128_si256::<1>(na),
+        );
+        let pb = _mm_packs_epi32(
+            _mm256_castsi256_si128(nb),
+            _mm256_extracti128_si256::<1>(nb),
+        );
+        let ba = _mm_madd_epi16(pa, pair_mul);
+        let bb = _mm_madd_epi16(pb, pair_mul);
+        let t8 = _mm_packus_epi16(_mm_packs_epi32(ba, bb), _mm_setzero_si128());
+        _mm_storel_epi64(out.as_mut_ptr().add(i / 2) as *mut __m128i, t8);
+        i += 16;
+    }
+    scalar::encode_u4(&params[i..], inv, levels, &rand[i..], &mut out[i / 2..]);
+}

@@ -1,0 +1,748 @@
+//! Runtime-dispatched SIMD kernels for the codec and aggregation hot paths.
+//!
+//! # Dispatch strategy
+//!
+//! Every kernel has exactly two arms: a scalar reference in `scalar.rs`
+//! (the semantic ground truth) and an AVX2 implementation in `avx2.rs`
+//! (x86-64 only). Which arm runs is decided **once per process** by
+//! [`simd_active`]: the first call checks `is_x86_feature_detected!("avx2")`
+//! and the `LIFL_FORCE_SCALAR` environment variable, then caches the answer
+//! in a `OnceLock`, so steady-state dispatch is a single branch on a loaded
+//! boolean. Setting `LIFL_FORCE_SCALAR` to any value other than empty or `0`
+//! forces the scalar arm everywhere (CI runs the integration and fault tiers
+//! both ways).
+//!
+//! # The scalar-reference rule
+//!
+//! The SIMD arm of every kernel must be **bit-exact** with its scalar
+//! reference for all inputs — including NaN/infinity payloads and, for the
+//! stochastic encoder, the random stream: the same [`StochasticRng`] seed
+//! produces the same wire bytes on both arms. This is what lets the
+//! session/cluster exactness tiers assert bit-identical aggregation results
+//! regardless of which arm a given host picks. The proptests at the bottom
+//! of this module run both arms in one process (the dispatch decision is
+//! bypassed via an explicit flag) and compare outputs bitwise across odd
+//! lengths, sub-lane remainders and non-finite inputs.
+//!
+//! Bit-exactness is achievable because every kernel restricts itself to
+//! exactly-rounded elementwise IEEE-754 operations (multiply, add, subtract,
+//! floor, compare, min/max) in the same order on both arms — in particular
+//! FMA is never used, and divisions are hoisted into a single reciprocal
+//! computed identically by both arms. See `avx2.rs` for the instruction-level
+//! argument.
+//!
+//! # How to add a kernel
+//!
+//! 1. Write the scalar reference in `scalar.rs`, using only exactly-rounded
+//!    elementwise operations if a vector arm is planned.
+//! 2. Write the AVX2 arm in `avx2.rs` mirroring the scalar operation
+//!    sequence, and delegate the sub-lane-width tail to the scalar function.
+//! 3. Add a public wrapper here that validates slice lengths and calls a
+//!    private `*_with(..., simd: bool)` dispatcher.
+//! 4. Add a proptest below asserting bitwise equality of the two arms over
+//!    odd lengths and non-finite inputs.
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+mod scalar;
+
+use std::sync::OnceLock;
+
+/// Number of elements whose random rounding words are drawn per block in the
+/// stochastic encoders. Even, so the nibble pairing of `Uniform4` stays
+/// aligned across block boundaries, and small enough for a stack buffer.
+const RAND_BLOCK: usize = 4096;
+
+static SIMD_ACTIVE: OnceLock<bool> = OnceLock::new();
+
+/// True when `LIFL_FORCE_SCALAR` requests the scalar arm: set to anything
+/// except the empty string or `0`.
+fn scalar_forced(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if !v.is_empty() && v != "0")
+}
+
+/// Whether the SIMD arms are in use. Decided once per process: AVX2 must be
+/// detected at runtime and `LIFL_FORCE_SCALAR` must not be set (to anything
+/// except empty or `0`).
+pub fn simd_active() -> bool {
+    *SIMD_ACTIVE.get_or_init(|| {
+        let force = std::env::var("LIFL_FORCE_SCALAR").ok();
+        if scalar_forced(force.as_deref()) {
+            return false;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// Human-readable name of the active arm, for logs and benchmark reports.
+pub fn active_kernel_arm() -> &'static str {
+    if simd_active() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block RNG for the stochastic encoders.
+// ---------------------------------------------------------------------------
+
+/// Deterministic counter-style generator (splitmix64) that the stochastic
+/// encoders draw rounding words from in blocks, rather than one expensive
+/// high-level sample per element. One `u32` word is consumed per encoded
+/// element; the 24 high bits of each word form the rounding threshold.
+#[derive(Debug, Clone)]
+pub struct StochasticRng {
+    state: u64,
+}
+
+impl StochasticRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        StochasticRng { state: seed }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: a full-period mix of an additive counter. Cheap,
+        // statistically solid for rounding thresholds, and trivially
+        // deterministic across arms.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Fills `words` with random `u32`s, two per underlying `u64` draw
+    /// (low half first). Filling in even-sized chunks produces the same
+    /// stream as one contiguous fill, which keeps block-at-a-time encoding
+    /// equivalent to a single pass.
+    pub fn fill(&mut self, words: &mut [u32]) {
+        let mut pairs = words.chunks_exact_mut(2);
+        for pair in &mut pairs {
+            let draw = self.next_u64();
+            pair[0] = draw as u32;
+            pair[1] = (draw >> 32) as u32;
+        }
+        if let [tail] = pairs.into_remainder() {
+            *tail = self.next_u64() as u32;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused dequantize-axpy folds.
+// ---------------------------------------------------------------------------
+
+/// Fused fold of a dense little-endian `f32` payload: `acc += weight * body`.
+pub fn fold_dense_le(acc: &mut [f32], body: &[u8], weight: f32) {
+    let n = acc.len().min(body.len() / 4);
+    fold_dense_le_with(&mut acc[..n], &body[..4 * n], weight, simd_active());
+}
+
+fn fold_dense_le_with(acc: &mut [f32], body: &[u8], weight: f32, simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection.
+        unsafe { avx2::fold_dense_le(acc, body, weight) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::fold_dense_le(acc, body, weight);
+}
+
+/// Decode of a dense little-endian `f32` payload into `out`.
+pub fn decode_dense_le(out: &mut [f32], body: &[u8]) {
+    let n = out.len().min(body.len() / 4);
+    decode_dense_le_with(&mut out[..n], &body[..4 * n], simd_active());
+}
+
+fn decode_dense_le_with(out: &mut [f32], body: &[u8], simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection.
+        unsafe { avx2::decode_dense_le(out, body) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::decode_dense_le(out, body);
+}
+
+/// Fused fold of `Uniform8` levels: `acc[i] += f32(levels[i] as i8) * k`,
+/// where `k` is the pre-multiplied `weight * scale`.
+pub fn fold_u8(acc: &mut [f32], levels: &[u8], k: f32) {
+    let n = acc.len().min(levels.len());
+    fold_u8_with(&mut acc[..n], &levels[..n], k, simd_active());
+}
+
+fn fold_u8_with(acc: &mut [f32], levels: &[u8], k: f32, simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection.
+        unsafe { avx2::fold_u8(acc, levels, k) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::fold_u8(acc, levels, k);
+}
+
+/// Dequantize of `Uniform8` levels: `out[i] = f32(levels[i] as i8) * scale`.
+pub fn decode_u8(out: &mut [f32], levels: &[u8], scale: f32) {
+    let n = out.len().min(levels.len());
+    decode_u8_with(&mut out[..n], &levels[..n], scale, simd_active());
+}
+
+fn decode_u8_with(out: &mut [f32], levels: &[u8], scale: f32, simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection.
+        unsafe { avx2::decode_u8(out, levels, scale) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::decode_u8(out, levels, scale);
+}
+
+/// Fused fold of packed `Uniform4` nibbles starting at element offset
+/// `start` within `body` (low nibble first within each byte): folds
+/// `acc.len()` elements beginning at that offset. An odd `start` peels one
+/// high nibble scalar-side, then both arms run even-aligned.
+pub fn fold_u4(acc: &mut [f32], body: &[u8], start: usize, k: f32) {
+    fold_u4_with(acc, body, start, k, simd_active());
+}
+
+fn fold_u4_with(acc: &mut [f32], body: &[u8], start: usize, k: f32, simd: bool) {
+    if acc.is_empty() {
+        return;
+    }
+    let (acc, start) = if start % 2 == 1 {
+        acc[0] += scalar::NIBBLE_F32[(body[start / 2] >> 4) as usize] * k;
+        (&mut acc[1..], start + 1)
+    } else {
+        (acc, start)
+    };
+    let nibbles = &body[start / 2..];
+    let n = acc.len().min(nibbles.len().saturating_mul(2));
+    let acc = &mut acc[..n];
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection.
+        unsafe { avx2::fold_u4_aligned(acc, nibbles, k) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::fold_u4_aligned(acc, nibbles, k);
+}
+
+/// Dequantize of packed `Uniform4` nibbles (even-aligned) into `out`.
+pub fn decode_u4(out: &mut [f32], nibbles: &[u8], scale: f32) {
+    let n = out.len().min(nibbles.len().saturating_mul(2));
+    decode_u4_with(&mut out[..n], nibbles, scale, simd_active());
+}
+
+fn decode_u4_with(out: &mut [f32], nibbles: &[u8], scale: f32, simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection.
+        unsafe { avx2::decode_u4(out, nibbles, scale) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::decode_u4(out, nibbles, scale);
+}
+
+/// Fold of `TopK` `(u32 index, f32 value)` pairs whose index falls in
+/// `[start, end)` into `acc` (indexed relative to `start`). A sparse scatter
+/// gains nothing from vectorization, so both dispatch arms share the scalar
+/// routine; it lives here so every codec fold goes through one layer.
+pub fn fold_topk(acc: &mut [f32], pairs: &[u8], start: usize, end: usize, weight: f32) {
+    scalar::fold_topk(acc, pairs, start, end, weight);
+}
+
+/// Decode of `TopK` pairs into `out` (zero-filled first). Scalar on both
+/// arms, like [`fold_topk`].
+pub fn decode_topk(out: &mut [f32], pairs: &[u8]) {
+    scalar::decode_topk(out, pairs);
+}
+
+// ---------------------------------------------------------------------------
+// Dense axpy family (model accumulation, sharded batch folds).
+// ---------------------------------------------------------------------------
+
+/// `acc += w * src`, elementwise over the common prefix.
+pub fn axpy(acc: &mut [f32], src: &[f32], w: f32) {
+    let n = acc.len().min(src.len());
+    axpy_with(&mut acc[..n], &src[..n], w, simd_active());
+}
+
+fn axpy_with(acc: &mut [f32], src: &[f32], w: f32, simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection.
+        unsafe { avx2::axpy(acc, src, w) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::axpy(acc, src, w);
+}
+
+/// Four-source batched fold: one accumulator load/store per element, adds
+/// chained in source order so the result is bit-identical to four sequential
+/// [`axpy`] passes. Every source must be at least as long as `acc`.
+pub fn axpy4(acc: &mut [f32], srcs: [&[f32]; 4], w: [f32; 4]) {
+    assert!(srcs.iter().all(|s| s.len() >= acc.len()));
+    axpy4_with(acc, srcs, w, simd_active());
+}
+
+fn axpy4_with(acc: &mut [f32], srcs: [&[f32]; 4], w: [f32; 4], simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection; lengths
+        // checked by the wrapper.
+        unsafe { avx2::axpy4(acc, srcs, w) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::axpy4(acc, srcs, w);
+}
+
+/// Eight-source variant of [`axpy4`] (same ordering guarantee).
+pub fn axpy8(acc: &mut [f32], srcs: [&[f32]; 8], w: [f32; 8]) {
+    assert!(srcs.iter().all(|s| s.len() >= acc.len()));
+    axpy8_with(acc, srcs, w, simd_active());
+}
+
+fn axpy8_with(acc: &mut [f32], srcs: [&[f32]; 8], w: [f32; 8], simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection; lengths
+        // checked by the wrapper.
+        unsafe { avx2::axpy8(acc, srcs, w) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::axpy8(acc, srcs, w);
+}
+
+/// Largest finite `|x|` in `params`, or 0 when there is none (used to derive
+/// quantization scales). Exact on both arms because `max` over non-negative
+/// finite values is order-independent.
+pub fn max_abs_finite(params: &[f32]) -> f32 {
+    max_abs_finite_with(params, simd_active())
+}
+
+fn max_abs_finite_with(params: &[f32], simd: bool) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true after runtime AVX2 detection.
+        return unsafe { avx2::max_abs_finite(params) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    scalar::max_abs_finite(params)
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic block encoders.
+// ---------------------------------------------------------------------------
+
+/// Quantizes `params` to `Uniform8` levels (one byte per element, two's
+/// complement in `[-levels, levels]`) with stochastic rounding, writing the
+/// wire body into `body` (cleared and resized). Random words are drawn from
+/// `rng` in fixed-size blocks and 8 lanes quantize at a time on the
+/// AVX2 arm; the same seed yields the same bytes on both arms. A
+/// non-positive `scale` produces an all-zero body without consuming `rng`.
+pub fn encode_u8(
+    params: &[f32],
+    scale: f32,
+    levels: f32,
+    rng: &mut StochasticRng,
+    body: &mut Vec<u8>,
+) {
+    body.clear();
+    body.resize(params.len(), 0);
+    if scale <= 0.0 {
+        return;
+    }
+    encode_u8_with(params, scale, levels, rng, body, simd_active());
+}
+
+fn encode_u8_with(
+    params: &[f32],
+    scale: f32,
+    levels: f32,
+    rng: &mut StochasticRng,
+    body: &mut [u8],
+    simd: bool,
+) {
+    let inv = 1.0 / scale;
+    let mut rand = [0u32; RAND_BLOCK];
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    for (p, o) in params.chunks(RAND_BLOCK).zip(body.chunks_mut(RAND_BLOCK)) {
+        let words = &mut rand[..p.len()];
+        rng.fill(words);
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd` is only true after runtime AVX2 detection.
+            unsafe { avx2::encode_u8(p, inv, levels, words, o) };
+            continue;
+        }
+        scalar::encode_u8(p, inv, levels, words, o);
+    }
+}
+
+/// Quantizes `params` to packed `Uniform4` sign-magnitude nibbles (low
+/// nibble = even element) with stochastic rounding, writing into `body`
+/// (cleared and resized to `params.len().div_ceil(2)`). Same blocked-RNG and
+/// bit-exactness contract as [`encode_u8`].
+pub fn encode_u4(
+    params: &[f32],
+    scale: f32,
+    levels: f32,
+    rng: &mut StochasticRng,
+    body: &mut Vec<u8>,
+) {
+    body.clear();
+    body.resize(params.len().div_ceil(2), 0);
+    if scale <= 0.0 {
+        return;
+    }
+    encode_u4_with(params, scale, levels, rng, body, simd_active());
+}
+
+fn encode_u4_with(
+    params: &[f32],
+    scale: f32,
+    levels: f32,
+    rng: &mut StochasticRng,
+    body: &mut [u8],
+    simd: bool,
+) {
+    let inv = 1.0 / scale;
+    let mut rand = [0u32; RAND_BLOCK];
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    // RAND_BLOCK is even, so each output chunk covers whole input pairs and
+    // the nibble packing stays aligned across block boundaries.
+    for (p, o) in params
+        .chunks(RAND_BLOCK)
+        .zip(body.chunks_mut(RAND_BLOCK / 2))
+    {
+        let words = &mut rand[..p.len()];
+        rng.fill(words);
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd` is only true after runtime AVX2 detection.
+            unsafe { avx2::encode_u4(p, inv, levels, words, o) };
+            continue;
+        }
+        scalar::encode_u4(p, inv, levels, words, o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_force_parsing() {
+        assert!(!scalar_forced(None));
+        assert!(!scalar_forced(Some("")));
+        assert!(!scalar_forced(Some("0")));
+        assert!(scalar_forced(Some("1")));
+        assert!(scalar_forced(Some("true")));
+        assert!(scalar_forced(Some("yes")));
+    }
+
+    #[test]
+    fn simd_active_is_cached_and_consistent() {
+        let first = simd_active();
+        assert_eq!(first, simd_active());
+        let arm = active_kernel_arm();
+        assert_eq!(arm == "avx2", first);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_chunk_invariant() {
+        let mut a = StochasticRng::from_seed(42);
+        let mut b = StochasticRng::from_seed(42);
+        let mut one_shot = vec![0u32; 5000];
+        a.fill(&mut one_shot);
+        let mut chunked = vec![0u32; 5000];
+        let (head, tail) = chunked.split_at_mut(RAND_BLOCK);
+        b.fill(head);
+        b.fill(tail);
+        assert_eq!(one_shot, chunked);
+        let mut c = StochasticRng::from_seed(43);
+        let mut other = vec![0u32; 5000];
+        c.fill(&mut other);
+        assert_ne!(one_shot, other);
+    }
+
+    #[test]
+    fn nibble_roundtrip_matches_table() {
+        for level in -7i32..=7 {
+            let n = scalar::nibble(level);
+            assert_eq!(
+                scalar::NIBBLE_F32[n as usize].to_bits(),
+                (level as f32).to_bits()
+            );
+        }
+        // Nibble 8 ("negative zero") decodes to +0.0.
+        assert_eq!(scalar::NIBBLE_F32[8].to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn encode_zero_scale_yields_zero_body_without_consuming_rng() {
+        let params = [1.0f32, -2.0, 3.0];
+        let mut rng = StochasticRng::from_seed(9);
+        let mut body = Vec::new();
+        encode_u8(&params, 0.0, 127.0, &mut rng, &mut body);
+        assert_eq!(body, vec![0u8; 3]);
+        encode_u4(&params, -1.0, 7.0, &mut rng, &mut body);
+        assert_eq!(body, vec![0u8; 2]);
+        let mut untouched = StochasticRng::from_seed(9);
+        assert_eq!(rng.next_u64(), untouched.next_u64());
+    }
+
+    #[test]
+    fn quantize_one_handles_non_finite_and_saturation() {
+        for v in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert_eq!(scalar::quantize_one(v, 1.0, 127.0, 0), 0);
+        }
+        assert_eq!(scalar::quantize_one(1e30, 1.0, 127.0, 0), 127);
+        assert_eq!(scalar::quantize_one(-1e30, 1.0, 127.0, 0), -127);
+        // Threshold word 0 always rounds up any positive fraction.
+        assert_eq!(scalar::quantize_one(0.5, 1.0, 127.0, 0), 1);
+        // Threshold word u32::MAX never rounds up.
+        assert_eq!(scalar::quantize_one(0.5, 1.0, 127.0, u32::MAX), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Whether the AVX2 arm can be exercised in this process; when it
+    /// cannot, the equivalence properties hold trivially and the tests
+    /// return early.
+    fn avx2_testable() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// f32 vectors seasoned with NaN, infinities and signed zeros; lengths
+    /// sweep 0..130 so every vector-width remainder (1..15) is covered.
+    fn arbitrary_params() -> impl Strategy<Value = Vec<f32>> {
+        proptest::collection::vec((0u8..16, -100.0f32..100.0), 0..130).prop_map(|items| {
+            items
+                .into_iter()
+                .map(|(tag, v)| match tag {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    3 => -0.0,
+                    4 => 0.0,
+                    5 => v * 1e30,
+                    6 => v * 1e-40,
+                    _ => v,
+                })
+                .collect()
+        })
+    }
+
+    fn arbitrary_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(0u8..=255, 0..max_len)
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    proptest! {
+        /// Dense fold and decode: AVX2 output is bit-identical to scalar.
+        #[test]
+        fn dense_kernels_match(acc in arbitrary_params(), body in arbitrary_bytes(520), w in -3.0f32..3.0) {
+            if !avx2_testable() {
+                return Ok(());
+            }
+            let n = acc.len().min(body.len() / 4);
+            let mut a_scalar = acc.clone();
+            let mut a_simd = acc.clone();
+            fold_dense_le_with(&mut a_scalar[..n], &body[..4 * n], w, false);
+            fold_dense_le_with(&mut a_simd[..n], &body[..4 * n], w, true);
+            prop_assert_eq!(bits(&a_scalar), bits(&a_simd));
+            let mut d_scalar = vec![0.0f32; n];
+            let mut d_simd = vec![1.0f32; n];
+            decode_dense_le_with(&mut d_scalar, &body[..4 * n], false);
+            decode_dense_le_with(&mut d_simd, &body[..4 * n], true);
+            prop_assert_eq!(bits(&d_scalar), bits(&d_simd));
+        }
+
+        /// Uniform8 fold and decode: AVX2 output is bit-identical to scalar.
+        #[test]
+        fn u8_kernels_match(acc in arbitrary_params(), levels in arbitrary_bytes(130), k in -3.0f32..3.0) {
+            if !avx2_testable() {
+                return Ok(());
+            }
+            let n = acc.len().min(levels.len());
+            let mut a_scalar = acc.clone();
+            let mut a_simd = acc.clone();
+            fold_u8_with(&mut a_scalar[..n], &levels[..n], k, false);
+            fold_u8_with(&mut a_simd[..n], &levels[..n], k, true);
+            prop_assert_eq!(bits(&a_scalar), bits(&a_simd));
+            let mut d_scalar = vec![0.0f32; n];
+            let mut d_simd = vec![1.0f32; n];
+            decode_u8_with(&mut d_scalar, &levels[..n], k, false);
+            decode_u8_with(&mut d_simd, &levels[..n], k, true);
+            prop_assert_eq!(bits(&d_scalar), bits(&d_simd));
+        }
+
+        /// Uniform4 fold (both start parities) and decode: bit-identical.
+        #[test]
+        fn u4_kernels_match(acc in arbitrary_params(), nibbles in arbitrary_bytes(70), start in 0usize..9, k in -3.0f32..3.0) {
+            if !avx2_testable() {
+                return Ok(());
+            }
+            let capacity = nibbles.len() * 2;
+            let n = acc.len().min(capacity.saturating_sub(start));
+            let mut a_scalar = acc[..n].to_vec();
+            let mut a_simd = a_scalar.clone();
+            if start < capacity {
+                fold_u4_with(&mut a_scalar, &nibbles, start, k, false);
+                fold_u4_with(&mut a_simd, &nibbles, start, k, true);
+                prop_assert_eq!(bits(&a_scalar), bits(&a_simd));
+            }
+            let m = acc.len().min(capacity);
+            let mut d_scalar = vec![0.0f32; m];
+            let mut d_simd = vec![1.0f32; m];
+            decode_u4_with(&mut d_scalar, &nibbles, k, false);
+            decode_u4_with(&mut d_simd, &nibbles, k, true);
+            prop_assert_eq!(bits(&d_scalar), bits(&d_simd));
+        }
+
+        /// axpy / axpy4 / axpy8: AVX2 matches scalar bitwise, and the batched
+        /// variants match sequential single-source passes bitwise.
+        #[test]
+        fn axpy_kernels_match(data in arbitrary_params(), srcs_seed in 1u64..1000, w in -3.0f32..3.0) {
+            if !avx2_testable() {
+                return Ok(());
+            }
+            let n = data.len();
+            let mut rng = StochasticRng::from_seed(srcs_seed);
+            let mut words = vec![0u32; n * 8];
+            rng.fill(&mut words);
+            let srcs: Vec<Vec<f32>> = (0..8)
+                .map(|s| {
+                    words[s * n..(s + 1) * n]
+                        .iter()
+                        .map(|x| (*x >> 8) as f32 * (1.0 / 16_777_216.0) - 0.5)
+                        .collect()
+                })
+                .collect();
+            let weights: [f32; 8] = std::array::from_fn(|i| w + i as f32 * 0.125);
+
+            let mut a_scalar = data.clone();
+            let mut a_simd = data.clone();
+            axpy_with(&mut a_scalar, &srcs[0], w, false);
+            axpy_with(&mut a_simd, &srcs[0], w, true);
+            prop_assert_eq!(bits(&a_scalar), bits(&a_simd));
+
+            let quad: [&[f32]; 4] = std::array::from_fn(|i| srcs[i].as_slice());
+            let quad_w: [f32; 4] = std::array::from_fn(|i| weights[i]);
+            let mut q_scalar = data.clone();
+            let mut q_simd = data.clone();
+            let mut q_seq = data.clone();
+            axpy4_with(&mut q_scalar, quad, quad_w, false);
+            axpy4_with(&mut q_simd, quad, quad_w, true);
+            for i in 0..4 {
+                axpy_with(&mut q_seq, quad[i], quad_w[i], false);
+            }
+            prop_assert_eq!(bits(&q_scalar), bits(&q_simd));
+            prop_assert_eq!(bits(&q_scalar), bits(&q_seq));
+
+            let oct: [&[f32]; 8] = std::array::from_fn(|i| srcs[i].as_slice());
+            let mut o_scalar = data.clone();
+            let mut o_simd = data.clone();
+            let mut o_seq = data.clone();
+            axpy8_with(&mut o_scalar, oct, weights, false);
+            axpy8_with(&mut o_simd, oct, weights, true);
+            for i in 0..8 {
+                axpy_with(&mut o_seq, oct[i], weights[i], false);
+            }
+            prop_assert_eq!(bits(&o_scalar), bits(&o_simd));
+            prop_assert_eq!(bits(&o_scalar), bits(&o_seq));
+        }
+
+        /// Scale derivation: AVX2 max-abs-over-finite matches scalar exactly
+        /// even with NaN/inf lanes.
+        #[test]
+        fn max_abs_finite_matches(params in arbitrary_params()) {
+            if !avx2_testable() {
+                return Ok(());
+            }
+            let s = max_abs_finite_with(&params, false);
+            let v = max_abs_finite_with(&params, true);
+            prop_assert_eq!(s.to_bits(), v.to_bits());
+        }
+
+        /// Stochastic encoders: same seed produces the same wire bytes on
+        /// both arms (and twice on the same arm), for U8 and U4, across
+        /// non-finite inputs, tiny/huge scales and odd lengths.
+        #[test]
+        fn encoders_match_bitwise(params in arbitrary_params(), seed in 0u64..10_000, scale_tag in 0u8..4) {
+            if !avx2_testable() {
+                return Ok(());
+            }
+            let scale = match scale_tag {
+                0 => 1e-40f32, // subnormal: 1/scale overflows to infinity
+                1 => 1e30,
+                2 => 0.125,
+                _ => 3.7,
+            };
+            for levels in [127.0f32, 7.0] {
+                let run = |simd: bool| {
+                    let mut rng = StochasticRng::from_seed(seed);
+                    let mut body = vec![0u8; params.len()];
+                    if levels > 7.0 {
+                        encode_u8_with(&params, scale, levels, &mut rng, &mut body, simd);
+                    } else {
+                        body.truncate(params.len().div_ceil(2));
+                        encode_u4_with(&params, scale, levels, &mut rng, &mut body, simd);
+                    }
+                    body
+                };
+                let scalar_bytes = run(false);
+                let simd_bytes = run(true);
+                let simd_again = run(true);
+                prop_assert_eq!(&scalar_bytes, &simd_bytes);
+                prop_assert_eq!(&simd_bytes, &simd_again);
+            }
+        }
+    }
+}

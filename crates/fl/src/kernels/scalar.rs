@@ -1,0 +1,198 @@
+//! Scalar reference implementations of every kernel.
+//!
+//! These functions *define* the semantics of the kernel layer: the AVX2 arms
+//! in `super::avx2` must reproduce them bit-for-bit (asserted by the
+//! proptests in the parent module), and `LIFL_FORCE_SCALAR=1` routes every
+//! dispatch here at runtime. Keep them simple and obviously correct; the
+//! parent module's docs explain which floating-point operations are safe to
+//! vectorise without changing results.
+
+/// `f32::from(nibble_to_i8(n))` for every sign-magnitude nibble, as a
+/// branch-free table for the scalar dequantize kernels (index 8, "negative
+/// zero", decodes to `0.0`). The AVX2 arm holds the same table in a register
+/// and looks it up with an in-register byte shuffle.
+pub(super) const NIBBLE_F32: [f32; 16] = [
+    0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 0.0, -1.0, -2.0, -3.0, -4.0, -5.0, -6.0, -7.0,
+];
+
+/// Fused fold of a dense little-endian `f32` payload: `acc += weight * body`.
+pub(super) fn fold_dense_le(acc: &mut [f32], body: &[u8], weight: f32) {
+    for (a, c) in acc.iter_mut().zip(body.chunks_exact(4)) {
+        *a += weight * f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    }
+}
+
+/// Decode of a dense little-endian `f32` payload.
+pub(super) fn decode_dense_le(out: &mut [f32], body: &[u8]) {
+    for (o, c) in out.iter_mut().zip(body.chunks_exact(4)) {
+        *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    }
+}
+
+/// Fused fold of `Uniform8` levels: `acc[i] += f32(levels[i] as i8) * k`.
+pub(super) fn fold_u8(acc: &mut [f32], levels: &[u8], k: f32) {
+    for (a, b) in acc.iter_mut().zip(levels) {
+        *a += f32::from(*b as i8) * k;
+    }
+}
+
+/// Dequantize of `Uniform8` levels: `out[i] = f32(levels[i] as i8) * scale`.
+pub(super) fn decode_u8(out: &mut [f32], levels: &[u8], scale: f32) {
+    for (o, b) in out.iter_mut().zip(levels) {
+        *o = f32::from(*b as i8) * scale;
+    }
+}
+
+/// Fused fold of even-aligned packed `Uniform4` nibbles: element `j` of `acc`
+/// is nibble `j` of `nibbles` (low nibble first within each byte).
+pub(super) fn fold_u4_aligned(acc: &mut [f32], nibbles: &[u8], k: f32) {
+    let n = acc.len();
+    let mut j = 0usize;
+    while j + 1 < n {
+        let byte = nibbles[j / 2];
+        acc[j] += NIBBLE_F32[(byte & 0x0F) as usize] * k;
+        acc[j + 1] += NIBBLE_F32[(byte >> 4) as usize] * k;
+        j += 2;
+    }
+    if j < n {
+        acc[j] += NIBBLE_F32[(nibbles[j / 2] & 0x0F) as usize] * k;
+    }
+}
+
+/// Dequantize of even-aligned packed `Uniform4` nibbles into `out`.
+pub(super) fn decode_u4(out: &mut [f32], nibbles: &[u8], scale: f32) {
+    let n = out.len();
+    let mut j = 0usize;
+    while j + 1 < n {
+        let byte = nibbles[j / 2];
+        out[j] = NIBBLE_F32[(byte & 0x0F) as usize] * scale;
+        out[j + 1] = NIBBLE_F32[(byte >> 4) as usize] * scale;
+        j += 2;
+    }
+    if j < n {
+        out[j] = NIBBLE_F32[(nibbles[j / 2] & 0x0F) as usize] * scale;
+    }
+}
+
+/// Fold of `TopK` `(index, value)` pairs restricted to `[start, end)`;
+/// inherently a scatter, so both dispatch arms run this routine.
+pub(super) fn fold_topk(acc: &mut [f32], pairs: &[u8], start: usize, end: usize, weight: f32) {
+    for pair in pairs.chunks_exact(8) {
+        let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
+        if index >= start && index < end {
+            let value = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
+            acc[index - start] += weight * value;
+        }
+    }
+}
+
+/// Decode of `TopK` `(index, value)` pairs into a zeroed `out`.
+pub(super) fn decode_topk(out: &mut [f32], pairs: &[u8]) {
+    out.fill(0.0);
+    for pair in pairs.chunks_exact(8) {
+        let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
+        if index < out.len() {
+            let value = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
+            out[index] = value;
+        }
+    }
+}
+
+/// `acc += w * src`, elementwise.
+pub(super) fn axpy(acc: &mut [f32], src: &[f32], w: f32) {
+    for (a, b) in acc.iter_mut().zip(src) {
+        *a += w * b;
+    }
+}
+
+/// Four-source fold with one accumulator load/store per element; the adds
+/// chain serially in source order, bit-identical to four sequential
+/// [`axpy`] calls.
+pub(super) fn axpy4(acc: &mut [f32], srcs: [&[f32]; 4], w: [f32; 4]) {
+    for (i, a) in acc.iter_mut().enumerate() {
+        let mut v = *a;
+        v += w[0] * srcs[0][i];
+        v += w[1] * srcs[1][i];
+        v += w[2] * srcs[2][i];
+        v += w[3] * srcs[3][i];
+        *a = v;
+    }
+}
+
+/// Eight-source variant of [`axpy4`] (same ordering guarantee).
+pub(super) fn axpy8(acc: &mut [f32], srcs: [&[f32]; 8], w: [f32; 8]) {
+    for (i, a) in acc.iter_mut().enumerate() {
+        let mut v = *a;
+        v += w[0] * srcs[0][i];
+        v += w[1] * srcs[1][i];
+        v += w[2] * srcs[2][i];
+        v += w[3] * srcs[3][i];
+        v += w[4] * srcs[4][i];
+        v += w[5] * srcs[5][i];
+        v += w[6] * srcs[6][i];
+        v += w[7] * srcs[7][i];
+        *a = v;
+    }
+}
+
+/// Largest finite `|x|` in `params` (0 when there is none). Exact, so the
+/// order max is taken in does not matter and the vector arm matches.
+pub(super) fn max_abs_finite(params: &[f32]) -> f32 {
+    params
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, |acc, v| acc.max(v.abs()))
+}
+
+/// Stochastically rounds `v / scale` (as `v * inv`) to an integer level in
+/// `[-levels, levels]` using the 24 high bits of the random word `w` as the
+/// rounding threshold; non-finite values map to level 0. The exact operation
+/// sequence here (multiply, floor, subtract, compare, add, min/max clamp,
+/// truncating convert) is what the AVX2 arm mirrors instruction for
+/// instruction — every step is exactly rounded, so the arms agree bitwise.
+#[inline]
+pub(super) fn quantize_one(v: f32, inv: f32, levels: f32, w: u32) -> i32 {
+    if !v.is_finite() {
+        return 0;
+    }
+    let q = v * inv;
+    let f = q.floor();
+    let r = (w >> 8) as f32 * (1.0 / 16_777_216.0);
+    let up = if r < q - f { 1.0 } else { 0.0 };
+    (f + up).min(levels).max(-levels) as i32
+}
+
+/// `Uniform8` quantization of `params` into `out` (one byte per element),
+/// drawing rounding bits from `rand` (one word per element).
+pub(super) fn encode_u8(params: &[f32], inv: f32, levels: f32, rand: &[u32], out: &mut [u8]) {
+    for ((o, v), w) in out.iter_mut().zip(params).zip(rand) {
+        *o = quantize_one(*v, inv, levels, *w) as u8;
+    }
+}
+
+/// Maps a quantized level in `[-7, 7]` to a sign-magnitude nibble.
+#[inline]
+pub(super) fn nibble(level: i32) -> u8 {
+    let magnitude = level.unsigned_abs().min(7) as u8;
+    if level < 0 {
+        magnitude | 0x08
+    } else {
+        magnitude
+    }
+}
+
+/// `Uniform4` quantization of `params` into packed nibbles (low nibble =
+/// even element), drawing rounding bits from `rand` (one word per element).
+pub(super) fn encode_u4(params: &[f32], inv: f32, levels: f32, rand: &[u32], out: &mut [u8]) {
+    let n = params.len();
+    for (j, o) in out.iter_mut().enumerate() {
+        let e = 2 * j;
+        let low = nibble(quantize_one(params[e], inv, levels, rand[e]));
+        let high = if e + 1 < n {
+            nibble(quantize_one(params[e + 1], inv, levels, rand[e + 1]))
+        } else {
+            0
+        };
+        *o = low | (high << 4);
+    }
+}

@@ -21,8 +21,15 @@
 //! and quantized/sparsified update codecs with per-client error feedback
 //! ([`codec`]), plus robust coordinate-wise aggregation folds against
 //! corrupted or adversarial updates ([`robust`]).
+//!
+//! The codec and aggregation hot paths run on runtime-dispatched SIMD
+//! kernels ([`kernels`]): AVX2 on x86-64 hosts that support it, with a
+//! bit-exact scalar reference everywhere else (`LIFL_FORCE_SCALAR=1`
+//! forces the fallback).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the kernels module needs `std::arch` SIMD
+// intrinsics behind a scoped allow; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod aggregate;
@@ -31,6 +38,8 @@ pub mod client;
 pub mod codec;
 pub mod dataset;
 pub mod fedprox;
+#[allow(unsafe_code)]
+pub mod kernels;
 pub mod metrics;
 pub mod model;
 pub mod oort;

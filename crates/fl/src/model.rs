@@ -68,9 +68,7 @@ impl DenseModel {
                 actual: other.dim(),
             });
         }
-        for (a, b) in self.params.iter_mut().zip(other.params.iter()) {
-            *a += scale * b;
-        }
+        crate::kernels::axpy(&mut self.params, &other.params, scale);
         Ok(())
     }
 

@@ -72,7 +72,9 @@ impl RobustFold {
         self.total_samples
     }
 
-    /// Buffers one update decoded from its zero-copy wire view.
+    /// Buffers one update decoded from its zero-copy wire view (the decode
+    /// runs on the dispatched [`crate::kernels`] arms like every other
+    /// codec consumer).
     ///
     /// # Errors
     /// Returns [`LiflError::InvalidAggregationGoal`] for an update carrying

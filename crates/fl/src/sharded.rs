@@ -136,9 +136,7 @@ impl ShardedFedAvg {
                 for update in quads.remainder() {
                     let weight = update.samples as f32;
                     let src = &update.model.as_slice()[abs..abs + block_len];
-                    for (a, b) in block.iter_mut().zip(src) {
-                        *a += weight * b;
-                    }
+                    crate::kernels::axpy(block, src, weight);
                 }
             }
         });
@@ -261,40 +259,21 @@ impl ShardedFedAvg {
 }
 
 /// Folds four updates' `[abs, abs + len)` slices into `block` with one
-/// accumulator load/store per element; the per-element add chain runs in
+/// accumulator load/store per element via the dispatched
+/// [`crate::kernels::axpy4`] kernel; the per-element add chain runs in
 /// batch order, bit-identical to four sequential folds.
 fn fold_block_quad(block: &mut [f32], abs: usize, len: usize, quad: &[ModelUpdate]) {
     let w: [f32; 4] = std::array::from_fn(|k| quad[k].samples as f32);
-    let s0 = &quad[0].model.as_slice()[abs..abs + len];
-    let s1 = &quad[1].model.as_slice()[abs..abs + len];
-    let s2 = &quad[2].model.as_slice()[abs..abs + len];
-    let s3 = &quad[3].model.as_slice()[abs..abs + len];
-    for (i, a) in block.iter_mut().enumerate() {
-        let mut v = *a;
-        v += w[0] * s0[i];
-        v += w[1] * s1[i];
-        v += w[2] * s2[i];
-        v += w[3] * s3[i];
-        *a = v;
-    }
+    let s: [&[f32]; 4] = std::array::from_fn(|k| &quad[k].model.as_slice()[abs..abs + len]);
+    crate::kernels::axpy4(block, s, w);
 }
 
-/// Eight-update variant of [`fold_block_quad`] (same ordering guarantee).
+/// Eight-update variant of [`fold_block_quad`] (same ordering guarantee),
+/// backed by [`crate::kernels::axpy8`].
 fn fold_block_octet(block: &mut [f32], abs: usize, len: usize, oct: &[ModelUpdate]) {
     let w: [f32; 8] = std::array::from_fn(|k| oct[k].samples as f32);
     let s: [&[f32]; 8] = std::array::from_fn(|k| &oct[k].model.as_slice()[abs..abs + len]);
-    for (i, a) in block.iter_mut().enumerate() {
-        let mut v = *a;
-        v += w[0] * s[0][i];
-        v += w[1] * s[1][i];
-        v += w[2] * s[2][i];
-        v += w[3] * s[3][i];
-        v += w[4] * s[4][i];
-        v += w[5] * s[5][i];
-        v += w[6] * s[6][i];
-        v += w[7] * s[7][i];
-        *a = v;
-    }
+    crate::kernels::axpy8(block, s, w);
 }
 
 #[cfg(test)]

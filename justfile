@@ -8,7 +8,7 @@
 default: ci
 
 # Everything CI runs, in CI order.
-ci: guard ci-sync lint doc build test alloc faults bench-check bench-baseline-check smoke
+ci: guard ci-sync lint doc build test alloc faults test-scalar bench-check bench-baseline-check smoke
 
 # CI guard: the legacy runtime (deleted in PR 6) must stay deleted.
 guard:
@@ -47,6 +47,13 @@ alloc:
 # resilience regressions fail with a readable name.
 faults:
     cargo test -p lifl-integration --test faults
+
+# The integration and fault tiers again with the SIMD kernels forced onto
+# their scalar reference arm (LIFL_FORCE_SCALAR), so the fallback path keeps
+# full end-to-end coverage on every CI run.
+test-scalar:
+    LIFL_FORCE_SCALAR=1 cargo test -p lifl-integration --test it
+    LIFL_FORCE_SCALAR=1 cargo test -p lifl-integration --test faults
 
 # Ensure every criterion bench target still compiles.
 bench-check:
