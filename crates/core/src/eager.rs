@@ -34,11 +34,10 @@ pub fn completion_time(
             }
             done
         }
-        AggregationTiming::Lazy => {
-            let last = *sorted.last().expect("non-empty");
-            let start = ready_at.max(last);
-            start + per_update.scaled(sorted.len() as f64)
-        }
+        AggregationTiming::Lazy => match sorted.last() {
+            Some(&last) => ready_at.max(last) + per_update.scaled(sorted.len() as f64),
+            None => ready_at,
+        },
     }
 }
 

@@ -10,14 +10,14 @@ use lifl_fl::update::Update;
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{InPlaceQueue, ObjectStore};
 use lifl_types::{AggregatorId, ClientId, NodeId, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The per-node gateway.
 #[derive(Debug)]
 pub struct Gateway {
     node: NodeId,
     store: ObjectStore,
-    inboxes: HashMap<AggregatorId, InPlaceQueue>,
+    inboxes: BTreeMap<AggregatorId, InPlaceQueue>,
     ingested_updates: u64,
     ingested_bytes: u64,
     forwarded_bytes: u64,
@@ -29,7 +29,7 @@ impl Gateway {
         Gateway {
             node,
             store,
-            inboxes: HashMap::new(),
+            inboxes: BTreeMap::new(),
             ingested_updates: 0,
             ingested_bytes: 0,
             forwarded_bytes: 0,

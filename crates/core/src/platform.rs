@@ -329,6 +329,8 @@ impl LiflPlatform {
         for node in &node_ids {
             let node = *node;
             let node_arrivals = &per_node[&node];
+            // lifl-lint: allow(panic) — per_node is keyed by the plan's own
+            // placement, so every node iterated here is planned.
             let hierarchy = plan.on_node(node).expect("planned node");
             // The node's subtree shape as the shared Topology vocabulary:
             // leaf chunking and the middle level both derive from it.
@@ -348,7 +350,10 @@ impl LiflPlatform {
             let mut leaf_outputs: Vec<SimTime> = Vec::new();
             let mut leaf_finish: Vec<SimTime> = Vec::new();
             for (leaf_idx, chunk) in ready.chunks(fan_in).enumerate() {
-                let first_arrival = *chunk.first().expect("non-empty chunk");
+                let (Some(&first_arrival), Some(&last_arrival)) = (chunk.first(), chunk.last())
+                else {
+                    continue; // `chunks` never yields an empty chunk
+                };
                 let (instance_ready, was_created) = self.instance_ready(
                     node,
                     first_arrival,
@@ -365,18 +370,8 @@ impl LiflPlatform {
                     eager::completion_time(self.profile.timing, instance_ready, chunk, agg_compute);
                 cpu += eager::busy_time(chunk, agg_compute);
                 let row = format!("{}-LF{}", node, leaf_idx + 1);
-                gantt.add(
-                    row.clone(),
-                    "Network",
-                    first_arrival,
-                    *chunk.last().unwrap(),
-                );
-                gantt.add(
-                    row,
-                    "Agg.",
-                    (*chunk.first().unwrap()).max(instance_ready),
-                    done,
-                );
+                gantt.add(row.clone(), "Network", first_arrival, last_arrival);
+                gantt.add(row, "Agg.", first_arrival.max(instance_ready), done);
                 // Hand the intermediate to the node's middle (or directly
                 // onward): re-encode, then the shared-memory hop.
                 let handoff = done + encode_pass + intra.latency;
@@ -404,11 +399,16 @@ impl LiflPlatform {
                         .zip(prev_finish.chunks(fan_in))
                         .enumerate()
                     {
-                        let first_input = *chunk.iter().min().expect("non-empty chunk");
+                        let Some(&first_input) = chunk.iter().min() else {
+                            continue; // `chunks` never yields an empty chunk
+                        };
                         let (instance_ready, was_created, was_reused) =
                             if self.profile.reuse_runtimes {
                                 // Reuse the earliest-finished child of this
                                 // aggregator's chunk on this node (§5.3).
+                                // lifl-lint: allow(panic) — inputs and
+                                // prev_finish have equal length, so the
+                                // zipped chunks are never empty.
                                 let earliest = *finish_chunk.iter().min().expect("child finished");
                                 (earliest, false, true)
                             } else {
@@ -461,6 +461,8 @@ impl LiflPlatform {
                     inputs = outputs;
                     prev_finish = finishes;
                 }
+                // lifl-lint: allow(panic) — the level loop always breaks on
+                // last_level with `done_at` set.
                 done_at.expect("subtree has a final level")
             } else {
                 leaf_outputs[0]
@@ -499,6 +501,8 @@ impl LiflPlatform {
         let top_done = if top_inputs.is_empty() {
             round_start
         } else {
+            // lifl-lint: allow(panic) — guarded by the `top_inputs.is_empty()`
+            // branch above.
             let first_input = *top_inputs.iter().min().expect("non-empty");
             let (instance_ready, was_created, was_reused) = if self.profile.reuse_runtimes
                 && node_outputs.iter().any(|(n, _, _)| *n == top_node)
@@ -508,6 +512,8 @@ impl LiflPlatform {
                     .iter()
                     .find(|(n, _, _)| *n == top_node)
                     .map(|(_, d, _)| *d)
+                    // lifl-lint: allow(panic) — the `any()` in this branch's
+                    // condition guarantees a matching node output.
                     .expect("own node output");
                 (own_done, false, true)
             } else {

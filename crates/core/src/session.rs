@@ -427,14 +427,13 @@ impl Session {
         let fallback = ClientId::new(self.lifetime_ingested);
         let update = match update {
             Update::Dense(mut dense) => {
-                dense.client.get_or_insert(fallback);
+                let client = *dense.client.get_or_insert(fallback);
                 if self.codec.is_lossless() {
                     Update::Dense(dense)
                 } else {
                     // Lossy codec: the dense payload is encoded (with
                     // per-client error feedback) before it enters shared
                     // memory, so the compressed representation is what flows.
-                    let client = dense.client.expect("attributed above");
                     let samples = dense.samples;
                     self.feedback.encode_update(client, dense.model, samples)
                 }

@@ -24,7 +24,7 @@ use lifl_fl::trainer::{LocalTrainer, TrainerConfig};
 use lifl_fl::{Ingest, Update};
 use lifl_simcore::SimRng;
 use lifl_types::{ClientId, CodecKind, LiflError, Result, SimDuration, SimTime};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration of the backend-generic training driver.
 ///
@@ -136,7 +136,7 @@ pub struct TrainingDriver<B: Ingest> {
     config: TrainingConfig,
     global: DenseModel,
     history: Vec<TrainingRound>,
-    stragglers: HashSet<ClientId>,
+    stragglers: BTreeSet<ClientId>,
 }
 
 impl<B: Ingest> TrainingDriver<B> {
@@ -162,7 +162,7 @@ impl<B: Ingest> TrainingDriver<B> {
             config,
             global,
             history: Vec::new(),
-            stragglers: HashSet::new(),
+            stragglers: BTreeSet::new(),
         }
     }
 

@@ -201,12 +201,11 @@ impl AsyncFlDriver {
 
         while self.history.len() < self.config.target_versions {
             // Pop the earliest completion.
-            let (next_idx, _) = match in_flight.iter().enumerate().min_by(|a, b| {
-                a.1.finish_at
-                    .as_secs()
-                    .partial_cmp(&b.1.finish_at.as_secs())
-                    .unwrap()
-            }) {
+            let (next_idx, _) = match in_flight
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.finish_at.as_secs().total_cmp(&b.1.finish_at.as_secs()))
+            {
                 Some((i, f)) => (i, *f),
                 None => break,
             };

@@ -39,7 +39,7 @@ use crate::model::DenseModel;
 use crate::update::Update;
 use lifl_shmem::BufferPool;
 use lifl_types::{ClientId, CodecKind, LiflError, Result, WIRE_HEADER_BYTES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Codec tags used in byte 0 of the wire header.
 const TAG_IDENTITY: u8 = 0;
@@ -264,6 +264,8 @@ impl<'a> EncodedView<'a> {
     pub fn decode(&self) -> DenseModel {
         let mut out = vec![0.0f32; self.dim as usize];
         self.decode_into(&mut out)
+            // lifl-lint: allow(panic) — `out` is sized to `dim` on the
+            // previous line, the only failure `decode_into` has.
             .expect("freshly sized buffer matches dim");
         DenseModel::from_vec(out)
     }
@@ -539,7 +541,7 @@ fn tensor_scale(params: &[f32], levels: f32) -> f32 {
 #[derive(Debug, Clone)]
 pub struct ErrorFeedback {
     codec: UpdateCodec,
-    residuals: HashMap<ClientId, DenseModel>,
+    residuals: BTreeMap<ClientId, DenseModel>,
 }
 
 impl ErrorFeedback {
@@ -547,7 +549,7 @@ impl ErrorFeedback {
     pub fn new(codec: UpdateCodec) -> Self {
         ErrorFeedback {
             codec,
-            residuals: HashMap::new(),
+            residuals: BTreeMap::new(),
         }
     }
 
@@ -617,6 +619,9 @@ impl ErrorFeedback {
             Err(_) => {
                 self.reset();
                 self.encode(client, &model)
+                    // lifl-lint: allow(panic) — encode only fails on a
+                    // residual-dimension mismatch, and `reset()` above just
+                    // cleared every residual.
                     .expect("encode without a residual is infallible")
             }
         };

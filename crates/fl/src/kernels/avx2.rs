@@ -28,6 +28,8 @@ use super::scalar;
 
 /// Builds the sign-magnitude nibble lookup table in a register: lane `i`
 /// holds `scalar::NIBBLE_F32[i]` as an `i8`.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; only reachable from
+// kernels that the dispatcher gates behind `is_x86_feature_detected!`.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn nibble_table() -> __m128i {
@@ -37,6 +39,8 @@ unsafe fn nibble_table() -> __m128i {
 /// Expands 8 packed nibble bytes into 16 sign-extended `i8` level values in
 /// element order (low nibble first), using an in-register shuffle instead of
 /// the scalar 16-entry table lookup.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; pure register
+// arithmetic with no memory access, gated by the dispatcher's CPUID check.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn unpack_nibbles(bytes: __m128i) -> __m128i {
@@ -48,6 +52,9 @@ unsafe fn unpack_nibbles(bytes: __m128i) -> __m128i {
 }
 
 /// Safety: caller must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher in
+// `super` calls this only after `is_x86_feature_detected!("avx2")`, and all
+// loads/stores stay inside the slice bounds checked by the loop condition.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn fold_dense_le(acc: &mut [f32], body: &[u8], weight: f32) {
     let n = acc.len();
@@ -66,6 +73,9 @@ pub(super) unsafe fn fold_dense_le(acc: &mut [f32], body: &[u8], weight: f32) {
 }
 
 /// Safety: caller must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher in
+// `super` calls this only after `is_x86_feature_detected!("avx2")`, and all
+// loads/stores stay inside the slice bounds checked by the loop condition.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn decode_dense_le(out: &mut [f32], body: &[u8]) {
     // Little-endian f32 payloads are a straight byte copy on x86.
@@ -73,6 +83,9 @@ pub(super) unsafe fn decode_dense_le(out: &mut [f32], body: &[u8]) {
 }
 
 /// Safety: caller must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher in
+// `super` calls this only after `is_x86_feature_detected!("avx2")`, and all
+// loads/stores stay inside the slice bounds checked by the loop condition.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn fold_u8(acc: &mut [f32], levels: &[u8], k: f32) {
     let n = acc.len();
@@ -92,6 +105,9 @@ pub(super) unsafe fn fold_u8(acc: &mut [f32], levels: &[u8], k: f32) {
 }
 
 /// Safety: caller must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher in
+// `super` calls this only after `is_x86_feature_detected!("avx2")`, and all
+// loads/stores stay inside the slice bounds checked by the loop condition.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn decode_u8(out: &mut [f32], levels: &[u8], scale: f32) {
     let n = out.len();
@@ -109,6 +125,10 @@ pub(super) unsafe fn decode_u8(out: &mut [f32], levels: &[u8], scale: f32) {
 /// Safety: caller must have verified AVX2 support at runtime. `acc` element
 /// `j` must correspond to nibble `j` of `nibbles` (even alignment; the
 /// dispatcher peels an odd start before calling).
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher checks
+// AVX2 first, and the loop reads `nibbles[i/2..i/2+8]` / writes
+// `acc[i..i+16]` only while `i + 16 <= acc.len()`, which the documented
+// even-alignment contract keeps inside both slices.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn fold_u4_aligned(acc: &mut [f32], nibbles: &[u8], k: f32) {
     let n = acc.len();
@@ -135,6 +155,9 @@ pub(super) unsafe fn fold_u4_aligned(acc: &mut [f32], nibbles: &[u8], k: f32) {
 }
 
 /// Safety: caller must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher in
+// `super` calls this only after `is_x86_feature_detected!("avx2")`, and all
+// loads/stores stay inside the slice bounds checked by the loop condition.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn decode_u4(out: &mut [f32], nibbles: &[u8], scale: f32) {
     let n = out.len();
@@ -153,6 +176,9 @@ pub(super) unsafe fn decode_u4(out: &mut [f32], nibbles: &[u8], scale: f32) {
 }
 
 /// Safety: caller must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher in
+// `super` calls this only after `is_x86_feature_detected!("avx2")`, and all
+// loads/stores stay inside the slice bounds checked by the loop condition.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn axpy(acc: &mut [f32], src: &[f32], w: f32) {
     let n = acc.len();
@@ -172,6 +198,9 @@ pub(super) unsafe fn axpy(acc: &mut [f32], src: &[f32], w: f32) {
 
 /// Safety: caller must have verified AVX2 support at runtime, and every
 /// source must be at least as long as `acc`.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher checks
+// AVX2 first and asserts every source covers `acc`, so the unaligned
+// loads/stores at `i..i+8` stay in bounds for all slices.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn axpy4(acc: &mut [f32], srcs: [&[f32]; 4], w: [f32; 4]) {
     let n = acc.len();
@@ -198,6 +227,9 @@ pub(super) unsafe fn axpy4(acc: &mut [f32], srcs: [&[f32]; 4], w: [f32; 4]) {
 
 /// Safety: caller must have verified AVX2 support at runtime, and every
 /// source must be at least as long as `acc`.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher checks
+// AVX2 first and asserts every source covers `acc`, so the unaligned
+// loads/stores at `i..i+8` stay in bounds for all slices.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn axpy8(acc: &mut [f32], srcs: [&[f32]; 8], w: [f32; 8]) {
     let n = acc.len();
@@ -228,6 +260,9 @@ pub(super) unsafe fn axpy8(acc: &mut [f32], srcs: [&[f32]; 8], w: [f32; 8]) {
 }
 
 /// Safety: caller must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher in
+// `super` calls this only after `is_x86_feature_detected!("avx2")`, and all
+// loads/stores stay inside the slice bounds checked by the loop condition.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn max_abs_finite(params: &[f32]) -> f32 {
     let n = params.len();
@@ -254,6 +289,8 @@ pub(super) unsafe fn max_abs_finite(params: &[f32]) -> f32 {
 /// sequence (multiply, floor, subtract, compare against the 24-bit random
 /// fraction, add, min/max clamp, convert), with non-finite lanes zeroed by an
 /// integer mask instead of a branch.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; pure register
+// arithmetic with no memory access, gated by the dispatcher's CPUID check.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn quantize8(v: __m256, inv: __m256, hi: __m256, lo: __m256, w: __m256i) -> __m256i {
@@ -278,6 +315,9 @@ unsafe fn quantize8(v: __m256, inv: __m256, hi: __m256, lo: __m256, w: __m256i) 
 
 /// Safety: caller must have verified AVX2 support at runtime; `rand` and
 /// `out` must be at least as long as `params`.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher checks
+// AVX2 first and sizes `rand`/`out` to `params.len()`, so the vector loads
+// and the 8-byte stores at `i` stay in bounds while `i + 8 <= n`.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn encode_u8(
     params: &[f32],
@@ -310,6 +350,8 @@ pub(super) unsafe fn encode_u8(
 
 /// Maps 8 signed levels in `[-7, 7]` to sign-magnitude nibbles:
 /// `|level| | (sign << 3)`.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; pure register
+// arithmetic with no memory access, gated by the dispatcher's CPUID check.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn nibble8(levels: __m256i) -> __m256i {
@@ -322,6 +364,10 @@ unsafe fn nibble8(levels: __m256i) -> __m256i {
 /// Safety: caller must have verified AVX2 support at runtime; `rand` must be
 /// at least as long as `params` and `out` at least `params.len()/2` rounded
 /// up.
+// SAFETY: `unsafe` solely for `target_feature(avx2)`; the dispatcher checks
+// AVX2 first, `rand` covers `params` and `out` covers the packed nibble
+// count, so reads at `i..i+16` and the 8-byte store at `i/2` stay in bounds
+// while `i + 16 <= n`.
 #[target_feature(enable = "avx2")]
 pub(super) unsafe fn encode_u4(
     params: &[f32],

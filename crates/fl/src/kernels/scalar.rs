@@ -76,6 +76,8 @@ pub(super) fn decode_u4(out: &mut [f32], nibbles: &[u8], scale: f32) {
 
 /// Fold of `TopK` `(index, value)` pairs restricted to `[start, end)`;
 /// inherently a scatter, so both dispatch arms run this routine.
+// lifl-lint: allow(kernel-parity) — index-driven scatter; AVX2 has no
+// useful scatter, so the dispatcher routes both arms here by design.
 pub(super) fn fold_topk(acc: &mut [f32], pairs: &[u8], start: usize, end: usize, weight: f32) {
     for pair in pairs.chunks_exact(8) {
         let index = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]) as usize;
@@ -87,6 +89,8 @@ pub(super) fn fold_topk(acc: &mut [f32], pairs: &[u8], start: usize, end: usize,
 }
 
 /// Decode of `TopK` `(index, value)` pairs into a zeroed `out`.
+// lifl-lint: allow(kernel-parity) — index-driven scatter; AVX2 has no
+// useful scatter, so the dispatcher routes both arms here by design.
 pub(super) fn decode_topk(out: &mut [f32], pairs: &[u8]) {
     out.fill(0.0);
     for pair in pairs.chunks_exact(8) {
@@ -151,6 +155,8 @@ pub(super) fn max_abs_finite(params: &[f32]) -> f32 {
 /// truncating convert) is what the AVX2 arm mirrors instruction for
 /// instruction — every step is exactly rounded, so the arms agree bitwise.
 #[inline]
+// lifl-lint: allow(kernel-parity) — per-element helper; its vector
+// counterpart is the 8-lane `avx2::quantize8`, checked via encode_u8/u4.
 pub(super) fn quantize_one(v: f32, inv: f32, levels: f32, w: u32) -> i32 {
     if !v.is_finite() {
         return 0;
@@ -172,6 +178,8 @@ pub(super) fn encode_u8(params: &[f32], inv: f32, levels: f32, rand: &[u32], out
 
 /// Maps a quantized level in `[-7, 7]` to a sign-magnitude nibble.
 #[inline]
+// lifl-lint: allow(kernel-parity) — per-element helper; its vector
+// counterpart is the 8-lane `avx2::nibble8`, checked via encode_u4.
 pub(super) fn nibble(level: i32) -> u8 {
     let magnitude = level.unsigned_abs().min(7) as u8;
     if level < 0 {

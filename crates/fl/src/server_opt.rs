@@ -164,7 +164,12 @@ impl ServerOptimizer {
 
     /// Creates a vanilla-FedAvg optimizer (η = 1), which never fails.
     pub fn fedavg() -> Self {
-        ServerOptimizer::new(ServerOptConfig::default()).expect("default config is valid")
+        ServerOptimizer {
+            config: ServerOptConfig::default(),
+            momentum: Vec::new(),
+            second_moment: Vec::new(),
+            steps: 0,
+        }
     }
 
     /// The configuration in use.

@@ -1,0 +1,461 @@
+//! A token-level Rust lexer.
+//!
+//! `syn` is not available offline, so the lint rules run over a hand-rolled
+//! token stream instead of a real AST. The lexer's one job is to classify
+//! every byte of a source file correctly enough that rules never mistake the
+//! inside of a string literal or a comment for code (and vice versa): it
+//! understands line and nested block comments, doc comments, string/char
+//! literals with escapes, raw strings with arbitrary `#` fences, byte and
+//! C-string prefixes, lifetimes, numbers, identifiers and punctuation.
+//! Every token carries the 1-based line it starts on, which is what the
+//! diagnostics point at.
+
+/// What a token is. Rules mostly care about the code/comment distinction;
+/// literal payloads are retained but never interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `HashMap`, ...).
+    Ident,
+    /// Single punctuation character (`#`, `[`, `::` arrives as two `:`).
+    Punct,
+    /// Numeric literal, including suffixes and exponents.
+    Num,
+    /// String literal of any flavor (plain, raw, byte, C).
+    Str,
+    /// Character or byte-character literal.
+    CharLit,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Plain `//` comment (not a doc comment).
+    LineComment,
+    /// `///` or `//!` doc comment line, or `/** */` / `/*! */` block.
+    DocComment,
+    /// Plain `/* */` block comment (possibly nested).
+    BlockComment,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// The token's source text, verbatim.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for the comment kinds (line, block, doc).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::DocComment | TokKind::BlockComment
+        )
+    }
+
+    /// True when this is code (not a comment): identifiers, punctuation and
+    /// literals.
+    pub fn is_code(&self) -> bool {
+        !self.is_comment()
+    }
+
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when the token is a punctuation character with this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Tok {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        // `////...` dividers are plain comments; `///` and `//!` are docs.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        let kind = if doc {
+            TokKind::DocComment
+        } else {
+            TokKind::LineComment
+        };
+        self.push(kind, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+            || text.starts_with("/*!");
+        let kind = if doc {
+            TokKind::DocComment
+        } else {
+            TokKind::BlockComment
+        };
+        self.push(kind, start, line);
+    }
+
+    /// Consumes a plain string body after the opening quote.
+    fn string_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw string: caller sits on `r` (prefixes already skipped);
+    /// the body runs until `"` followed by the same number of `#` fences.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'"') {
+                let closed = (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                if closed {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Tries to lex a string literal (with any `r`/`b`/`c` prefix) at the
+    /// current position; returns false if the position does not start one.
+    fn try_string(&mut self) -> bool {
+        let (start, line) = (self.pos, self.line);
+        let mut k = 0usize;
+        // Optional one- or two-letter prefix out of {b, c, r, br, cr}.
+        let mut raw = false;
+        match (self.peek(0), self.peek(1)) {
+            (Some(b'r'), _) => {
+                raw = true;
+                k = 1;
+            }
+            (Some(b'b') | Some(b'c'), Some(b'r')) => {
+                raw = true;
+                k = 2;
+            }
+            (Some(b'b') | Some(b'c'), _) => {
+                k = 1;
+            }
+            _ => {}
+        }
+        let mut hashes = 0usize;
+        if raw {
+            while self.peek(k + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+        }
+        if self.peek(k + hashes) != Some(b'"') {
+            return false;
+        }
+        self.bump_n(k + hashes + 1);
+        if raw {
+            self.raw_string_body(hashes);
+        } else {
+            self.string_body();
+        }
+        self.push(TokKind::Str, start, line);
+        true
+    }
+
+    /// Lexes `'...'` char literals and `'a` lifetimes. Caller sits on `'`.
+    fn quote(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump();
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: skip the escape, then to closing quote.
+                self.bump();
+                self.bump();
+                while self.peek(0).is_some_and(|b| b != b'\'') {
+                    self.bump();
+                }
+                self.bump();
+                self.push(TokKind::CharLit, start, line);
+            }
+            Some(b) if is_ident_start(b as char) || b >= 0x80 => {
+                // `'x'` is a char literal; `'x` (no closing quote after one
+                // character) is a lifetime. Multi-byte chars scan forward to
+                // the quote.
+                let mut k = 1;
+                while self
+                    .peek(k)
+                    .is_some_and(|n| is_ident_continue(n as char) || n >= 0x80)
+                {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'\'') {
+                    self.bump_n(k + 1);
+                    self.push(TokKind::CharLit, start, line);
+                } else {
+                    self.bump_n(k);
+                    self.push(TokKind::Lifetime, start, line);
+                }
+            }
+            Some(_) => {
+                // `'1'`, `'%'` etc.: single char then closing quote.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokKind::CharLit, start, line);
+            }
+            None => {
+                self.push(TokKind::Punct, start, line);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(b) = self.peek(0) {
+            let c = b as char;
+            if is_ident_continue(c) {
+                // Digits, hex digits, suffixes (`u32`), exponent letters.
+                let exp = c == 'e' || c == 'E';
+                self.bump();
+                // Signed exponent: consume the sign only when a digit follows.
+                if exp
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Fractional part; `0..10` and `1.max(2)` stop before the dot.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, start, line);
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self
+            .peek(0)
+            .is_some_and(|b| is_ident_continue(b as char) || b >= 0x80)
+        {
+            self.bump();
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(b) = self.peek(0) {
+            let c = b as char;
+            if c == '\n' || c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some(b'/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some(b'*') {
+                self.block_comment();
+            } else if c == '"' || ((c == 'r' || c == 'b' || c == 'c') && self.try_string()) {
+                if c == '"' {
+                    let (start, line) = (self.pos, self.line);
+                    self.bump();
+                    self.string_body();
+                    self.push(TokKind::Str, start, line);
+                }
+            } else if c == '\'' {
+                self.quote();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if is_ident_start(c) || b >= 0x80 {
+                self.ident();
+            } else {
+                let (start, line) = (self.pos, self.line);
+                self.bump();
+                self.push(TokKind::Punct, start, line);
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes a whole source file into a token stream. Never fails: unterminated
+/// literals and comments extend to end of file, which is good enough for
+/// linting (rustc rejects such files anyway).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("fn foo(a: u32) -> f32 { 1.5e-3 }");
+        assert!(toks.contains(&(TokKind::Ident, "foo".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5e-3".into())));
+        assert!(toks.contains(&(TokKind::Punct, "{".into())));
+    }
+
+    #[test]
+    fn range_does_not_eat_dots() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokKind::Num, "0".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokKind::Num, "10".into()));
+    }
+
+    #[test]
+    fn method_call_on_number() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Num, "1".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let x = "unsafe // not a comment";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unsafe")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let x = r#"quote " inside"# ;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quote")));
+        assert_eq!(toks.last().unwrap(), &(TokKind::Punct, ";".into()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"b"bytes" cr#"c raw"# br"raw bytes""##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::CharLit, "'x'".into())));
+        assert!(toks.contains(&(TokKind::CharLit, "'\\n'".into())));
+    }
+
+    #[test]
+    fn comment_kinds() {
+        let toks = kinds("// plain\n/// doc\n//! inner\n/* block /* nested */ */\n/** docblock */");
+        let got: Vec<TokKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            got,
+            vec![
+                TokKind::LineComment,
+                TokKind::DocComment,
+                TokKind::DocComment,
+                TokKind::BlockComment,
+                TokKind::DocComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_all_constructs() {
+        let src = "let a = \"two\nlines\";\n/* spans\nlines */\nunsafe";
+        let toks = lex(src);
+        let last = toks.last().unwrap();
+        assert_eq!(last.text, "unsafe");
+        assert_eq!(last.line, 5);
+    }
+
+    #[test]
+    fn r_identifier_is_not_a_raw_string() {
+        let toks = kinds("let r = result; b(c)");
+        assert!(toks.contains(&(TokKind::Ident, "r".into())));
+        assert!(toks.contains(&(TokKind::Ident, "b".into())));
+        assert!(toks.contains(&(TokKind::Ident, "c".into())));
+    }
+}

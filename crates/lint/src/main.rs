@@ -1,0 +1,120 @@
+//! The `lifl-lint` binary: runs the rule set over the workspace and prints
+//! `file:line: rule-id: message` diagnostics, exiting nonzero on findings.
+//!
+//! ```text
+//! lifl-lint [--root <dir>] [--rules <name,name,...>] [--list-rules]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use lifl_lint::{find_workspace_root, run, Rule};
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut selected: Vec<Rule> = Rule::ALL.to_vec();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--rules" => match args.next() {
+                Some(list) => {
+                    let mut rules = Vec::new();
+                    for raw in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        match Rule::from_marker_name(raw) {
+                            Some(r) => rules.push(r),
+                            None => {
+                                return usage(&format!(
+                                    "unknown rule `{raw}` (known: {})",
+                                    Rule::catalog()
+                                ))
+                            }
+                        }
+                    }
+                    if rules.is_empty() {
+                        return usage("--rules needs at least one rule name");
+                    }
+                    selected = rules;
+                }
+                None => return usage("--rules needs a comma-separated rule list"),
+            },
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{}\t{}", rule.id(), rule.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "lifl-lint: workspace static analysis for the LIFL repo\n\n\
+                     usage: lifl-lint [--root <dir>] [--rules <name,...>] [--list-rules]\n\n\
+                     rules: {}\n\n\
+                     Diagnostics are `file:line: rule-id: message`; exit is nonzero on\n\
+                     any finding. Opt out per site with\n\
+                     `// lifl-lint: allow(<rule>) — <justification>` or per file with\n\
+                     `// lifl-lint: allow-file(<rule>) — <justification>`.",
+                    Rule::catalog()
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("lifl-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match run(&root, &selected) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lifl-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if report.findings.is_empty() {
+        let sync = match report.ci_sync_commands {
+            Some(n) => format!("; justfile and ci.yml agree on {n} commands"),
+            None => String::new(),
+        };
+        println!(
+            "lifl-lint: clean — {} files, {} rules{sync}",
+            report.files_scanned,
+            selected.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        eprintln!(
+            "lifl-lint: {} finding(s) across {} scanned files",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "lifl-lint: {msg}\nusage: lifl-lint [--root <dir>] [--rules <name,...>] [--list-rules]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,728 @@
+//! The token-level rules R1–R6 (R7 lives in [`crate::sync`] because it reads
+//! the justfile and CI workflow rather than Rust sources).
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use crate::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// The one directory where `unsafe` is sanctioned: the SIMD kernel layer.
+pub const KERNELS_DIR: &str = "crates/fl/src/kernels/";
+
+/// Crates whose non-test code must be panic-free (R4): the aggregation hot
+/// path from the type layer up through the session/cluster runtime.
+pub const HOT_PATH_CRATES: [&str; 5] = [
+    "crates/types/src/",
+    "crates/shmem/src/",
+    "crates/dataplane/src/",
+    "crates/fl/src/",
+    "crates/core/src/",
+];
+
+/// Modules whose bit-exact determinism the `it`/`faults` tiers prove (R5):
+/// the fold kernels and everything that routes updates into them. Entries
+/// ending in `/` cover a directory.
+pub const FOLD_MODULES: [&str; 12] = [
+    "crates/types/src/fold.rs",
+    "crates/fl/src/aggregate.rs",
+    "crates/fl/src/sharded.rs",
+    "crates/fl/src/robust.rs",
+    "crates/fl/src/update.rs",
+    "crates/fl/src/codec.rs",
+    "crates/fl/src/kernels/",
+    "crates/core/src/session.rs",
+    "crates/core/src/cluster.rs",
+    "crates/core/src/training.rs",
+    "crates/core/src/gateway.rs",
+    "crates/core/src/aggregator.rs",
+];
+
+fn finding(f: &SourceFile, line: u32, rule: Rule, message: String) -> Finding {
+    Finding {
+        file: f.rel.clone(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// Indices of the code (non-comment) tokens of a file.
+fn code_indices(f: &SourceFile) -> Vec<usize> {
+    (0..f.toks.len()).filter(|&i| f.toks[i].is_code()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// R1: unsafe containment.
+// ---------------------------------------------------------------------------
+
+/// R1: `unsafe` may only appear under [`KERNELS_DIR`]; every crate root must
+/// opt out of unsafe with `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`;
+/// and the only legal `#[allow(unsafe_code)]` is the scoped one on
+/// `crates/fl/src/lib.rs`'s `mod kernels` declaration.
+pub fn unsafe_containment(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let code = code_indices(f);
+        if !f.rel.starts_with(KERNELS_DIR) {
+            for &i in &code {
+                if f.toks[i].is_ident("unsafe") {
+                    out.push(finding(
+                        f,
+                        f.toks[i].line,
+                        Rule::UnsafeContainment,
+                        format!(
+                            "`unsafe` outside {KERNELS_DIR}: move the code into the \
+                             kernel layer or justify with `lifl-lint: allow(unsafe) — <why>`"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Scoped allow(unsafe_code) is only legal on fl's kernels module.
+        for w in 0..code.len().saturating_sub(3) {
+            let [a, b, c, d] = [code[w], code[w + 1], code[w + 2], code[w + 3]];
+            if f.toks[a].is_ident("allow")
+                && f.toks[b].is_punct("(")
+                && f.toks[c].is_ident("unsafe_code")
+                && f.toks[d].is_punct(")")
+            {
+                let gates_kernels = f.rel == "crates/fl/src/lib.rs"
+                    && attr_target_is_mod_kernels(&f.toks, &code, w + 4);
+                if !gates_kernels {
+                    out.push(finding(
+                        f,
+                        f.toks[a].line,
+                        Rule::UnsafeContainment,
+                        "`#[allow(unsafe_code)]` may only gate `mod kernels` in \
+                         crates/fl/src/lib.rs"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        // Crate roots must carry the unsafe_code lint attribute.
+        if is_crate_root(&f.rel) && !has_unsafe_code_gate(&f.toks, &code) {
+            out.push(finding(
+                f,
+                1,
+                Rule::UnsafeContainment,
+                "crate root must carry `#![forbid(unsafe_code)]` (or \
+                 `#![deny(unsafe_code)]` when a scoped kernels allow is needed)"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+fn is_crate_root(rel: &str) -> bool {
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return false;
+    };
+    let mut parts = rest.split('/');
+    matches!(
+        (parts.next(), parts.next(), parts.next(), parts.next()),
+        (Some(_), Some("src"), Some("lib.rs"), None)
+    )
+}
+
+/// Looks for `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]`.
+fn has_unsafe_code_gate(toks: &[Tok], code: &[usize]) -> bool {
+    for w in 0..code.len().saturating_sub(6) {
+        let t = |k: usize| &toks[code[w + k]];
+        if t(0).is_punct("#")
+            && t(1).is_punct("!")
+            && t(2).is_punct("[")
+            && (t(3).is_ident("forbid") || t(3).is_ident("deny"))
+            && t(4).is_punct("(")
+            && t(5).is_ident("unsafe_code")
+            && t(6).is_punct(")")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// After the `allow ( unsafe_code )` tokens ending at `code[from - 1]`, the
+/// attribute close `]` must be followed by `pub mod kernels` / `mod kernels`.
+fn attr_target_is_mod_kernels(toks: &[Tok], code: &[usize], from: usize) -> bool {
+    let mut k = from;
+    if k < code.len() && toks[code[k]].is_punct("]") {
+        k += 1;
+    }
+    if k < code.len() && toks[code[k]].is_ident("pub") {
+        k += 1;
+    }
+    k + 1 < code.len() && toks[code[k]].is_ident("mod") && toks[code[k + 1]].is_ident("kernels")
+}
+
+// ---------------------------------------------------------------------------
+// R2: SAFETY comments.
+// ---------------------------------------------------------------------------
+
+/// R2: every `unsafe fn`, `unsafe {` block, `unsafe impl` and `unsafe trait`
+/// must be immediately preceded by a `// SAFETY:` comment stating the
+/// precondition the site relies on. Attribute and doc-comment lines between
+/// the comment and the `unsafe` token are skipped (`#[target_feature]` sits
+/// between them in the kernels); blank lines and code lines are not.
+pub fn safety_comments(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        for (i, t) in f.toks.iter().enumerate() {
+            if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+                continue;
+            }
+            let construct = f.toks[i + 1..]
+                .iter()
+                .find(|n| n.is_code())
+                .map(|n| match n.text.as_str() {
+                    "fn" => "`unsafe fn`",
+                    "impl" => "`unsafe impl`",
+                    "trait" => "`unsafe trait`",
+                    _ => "`unsafe` block",
+                })
+                .unwrap_or("`unsafe`");
+            if !has_safety_comment(f, t.line) {
+                out.push(finding(
+                    f,
+                    t.line,
+                    Rule::SafetyComment,
+                    format!(
+                        "{construct} without an immediately preceding `// SAFETY:` \
+                         comment stating the precondition it relies on"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Scans upward from the line above `line`, skipping doc-comment and
+/// attribute lines; accepts when the contiguous run of plain `//` lines found
+/// there contains one starting with `SAFETY:`.
+fn has_safety_comment(f: &SourceFile, line: u32) -> bool {
+    // Same-line block comment form: `/* SAFETY: ... */ unsafe { ... }`.
+    if let Some(text) = f.lines.get(line as usize - 1) {
+        if let (Some(c), Some(u)) = (text.find("SAFETY:"), text.find("unsafe")) {
+            if c < u {
+                return true;
+            }
+        }
+    }
+    let mut l = line as usize - 1; // index of the line above, 1-based
+    while l >= 1 {
+        let text = f.lines[l - 1].trim_start();
+        if text.starts_with("///") || text.starts_with("//!") {
+            l -= 1; // doc comment: skip
+        } else if text.starts_with("#[") || text.starts_with("#![") {
+            l -= 1; // attribute: skip
+        } else if let Some(comment) = text.strip_prefix("//") {
+            // Plain comment run: walk it upward looking for the SAFETY tag.
+            if comment.trim_start().starts_with("SAFETY:") {
+                return true;
+            }
+            l -= 1;
+            while l >= 1 {
+                let above = f.lines[l - 1].trim_start();
+                match above.strip_prefix("//") {
+                    Some(c) if !above.starts_with("///") && !above.starts_with("//!") => {
+                        if c.trim_start().starts_with("SAFETY:") {
+                            return true;
+                        }
+                        l -= 1;
+                    }
+                    _ => return false,
+                }
+            }
+            return false;
+        } else {
+            return false; // code or blank line: not "immediately preceding"
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// R3: kernel-arm parity.
+// ---------------------------------------------------------------------------
+
+/// A function signature parsed from a kernels file.
+#[derive(Debug)]
+struct FnSig {
+    name: String,
+    line: u32,
+    /// Comma-joined parameter *types* (names stripped).
+    params: String,
+    /// Return-type tokens after `)`, joined (empty for unit).
+    ret: String,
+    is_pub: bool,
+}
+
+/// R3: every public fn in `kernels/scalar.rs` must have a matching-signature
+/// counterpart in `kernels/avx2.rs` and a dispatch site (`scalar::name` and
+/// `avx2::name` references) in `kernels/mod.rs`, so an arm can never silently
+/// drift; conversely, every public fn in `avx2.rs` must have a scalar
+/// reference. Scalar-only kernels (sparse scatters that gain nothing from
+/// SIMD) opt out per-fn with `lifl-lint: allow(kernel-parity) — <why>`.
+pub fn kernel_parity(files: &[SourceFile]) -> Vec<Finding> {
+    let scalar = files
+        .iter()
+        .find(|f| f.rel == format!("{KERNELS_DIR}scalar.rs"));
+    let avx2 = files
+        .iter()
+        .find(|f| f.rel == format!("{KERNELS_DIR}avx2.rs"));
+    let dispatch = files
+        .iter()
+        .find(|f| f.rel == format!("{KERNELS_DIR}mod.rs"));
+    let (Some(scalar), Some(avx2), Some(dispatch)) = (scalar, avx2, dispatch) else {
+        return Vec::new(); // no kernel layer in this tree: nothing to check
+    };
+    let scalar_fns = parse_fns(scalar);
+    let avx2_fns = parse_fns(avx2);
+    let refs = dispatch_refs(dispatch);
+    let mut out = Vec::new();
+    for s in scalar_fns.iter().filter(|s| s.is_pub) {
+        let counterpart = avx2_fns.iter().find(|a| a.name == s.name);
+        match counterpart {
+            None => out.push(finding(
+                scalar,
+                s.line,
+                Rule::KernelParity,
+                format!(
+                    "public scalar kernel `{}` has no AVX2 counterpart in \
+                     kernels/avx2.rs; add one (bit-exact, scalar tail) or mark \
+                     the scalar fn `lifl-lint: allow(kernel-parity) — <why>`",
+                    s.name
+                ),
+            )),
+            Some(a) if a.params != s.params || a.ret != s.ret => out.push(finding(
+                scalar,
+                s.line,
+                Rule::KernelParity,
+                format!(
+                    "kernel `{}` signatures drifted between arms: scalar \
+                     `({}) {}` vs avx2 `({}) {}`",
+                    s.name, s.params, s.ret, a.params, a.ret
+                ),
+            )),
+            Some(_) => {
+                for arm in ["scalar", "avx2"] {
+                    if !refs.contains(&(arm.to_string(), s.name.clone())) {
+                        out.push(finding(
+                            scalar,
+                            s.line,
+                            Rule::KernelParity,
+                            format!(
+                                "kernel `{}` has no `{arm}::{}` dispatch site in \
+                                 kernels/mod.rs: both arms must be reachable from \
+                                 the dispatcher",
+                                s.name, s.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for a in avx2_fns.iter().filter(|a| a.is_pub) {
+        if !scalar_fns.iter().any(|s| s.name == a.name) {
+            out.push(finding(
+                avx2,
+                a.line,
+                Rule::KernelParity,
+                format!(
+                    "public AVX2 kernel `{}` has no scalar reference in \
+                     kernels/scalar.rs; the scalar arm defines the semantics \
+                     and must exist first",
+                    a.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Parses top-level (non-test) `fn` items of a file into signatures.
+fn parse_fns(f: &SourceFile) -> Vec<FnSig> {
+    let code = code_indices(f);
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        let idx = code[k];
+        if !f.toks[idx].is_ident("fn") || f.is_test(idx) {
+            k += 1;
+            continue;
+        }
+        // `fn` in a function-pointer type has no following ident.
+        let Some(name_tok) = code.get(k + 1).map(|&i| &f.toks[i]) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let mut m = k + 2;
+        // Skip a generics list `<...>` between name and params.
+        if m < code.len() && f.toks[code[m]].is_punct("<") {
+            let mut depth = 0i64;
+            while m < code.len() {
+                if f.toks[code[m]].is_punct("<") {
+                    depth += 1;
+                } else if f.toks[code[m]].is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        m += 1;
+                        break;
+                    }
+                }
+                m += 1;
+            }
+        }
+        if m >= code.len() || !f.toks[code[m]].is_punct("(") {
+            k += 1;
+            continue;
+        }
+        let open = m;
+        let mut depth = 0i64;
+        let mut close = open;
+        for (j, &i) in code.iter().enumerate().skip(open) {
+            if f.toks[i].is_punct("(") {
+                depth += 1;
+            } else if f.toks[i].is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        let params = normalize_params(&f.toks, &code[open + 1..close]);
+        let mut ret = Vec::new();
+        for &i in &code[close + 1..] {
+            let t = &f.toks[i];
+            if t.is_punct("{") || t.is_punct(";") || t.is_ident("where") {
+                break;
+            }
+            ret.push(t.text.clone());
+        }
+        out.push(FnSig {
+            name,
+            line: f.toks[idx].line,
+            params,
+            ret: ret.join(" "),
+            is_pub: fn_is_pub(&f.toks, &code, k),
+        });
+        k = close + 1;
+    }
+    out
+}
+
+/// Whether the `fn` at `code[at]` has `pub` visibility (any form: `pub`,
+/// `pub(super)`, `pub(crate)`, ...), looking back over qualifiers.
+fn fn_is_pub(toks: &[Tok], code: &[usize], at: usize) -> bool {
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[code[j]];
+        match t.text.as_str() {
+            "unsafe" | "const" | "async" | "extern" => continue,
+            _ if t.kind == TokKind::Str => continue, // extern "C"
+            ")" => {
+                // Possibly `pub(...)`: walk back to the `(` and check.
+                let mut depth = 1i64;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if toks[code[j]].is_punct(")") {
+                        depth += 1;
+                    } else if toks[code[j]].is_punct("(") {
+                        depth -= 1;
+                    }
+                }
+                return j > 0 && toks[code[j - 1]].is_ident("pub");
+            }
+            "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Joins the parameter tokens into a canonical comma-separated list of
+/// parameter *types*: per top-level-comma segment, everything after the first
+/// top-level `:` (so renaming a parameter is not drift, retyping it is).
+fn normalize_params(toks: &[Tok], param_code: &[usize]) -> String {
+    let mut segments: Vec<Vec<String>> = vec![Vec::new()];
+    let mut depth = 0i64;
+    for &i in param_code {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            "," if depth == 0 => {
+                segments.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(last) = segments.last_mut() {
+            last.push(t.text.clone());
+        }
+    }
+    let types: Vec<String> = segments
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .map(|seg| {
+            let mut d = 0i64;
+            let mut colon = None;
+            for (k, t) in seg.iter().enumerate() {
+                match t.as_str() {
+                    "(" | "[" | "{" | "<" => d += 1,
+                    ")" | "]" | "}" | ">" => d -= 1,
+                    ":" if d == 0 => {
+                        // `::` is two tokens; only a lone `:` separates a name.
+                        let double = seg.get(k + 1).map(String::as_str) == Some(":")
+                            || (k > 0 && seg[k - 1] == ":");
+                        if !double {
+                            colon = Some(k);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match colon {
+                Some(k) => seg[k + 1..].join(" "),
+                None => seg.join(" "), // e.g. `&self`
+            }
+        })
+        .collect();
+    types.join(", ")
+}
+
+/// `(arm, fn)` pairs referenced as `scalar::f` / `avx2::f` in non-test code.
+fn dispatch_refs(f: &SourceFile) -> BTreeSet<(String, String)> {
+    let code = code_indices(f);
+    let mut out = BTreeSet::new();
+    for w in 0..code.len().saturating_sub(3) {
+        let t = |k: usize| &f.toks[code[w + k]];
+        if (t(0).is_ident("scalar") || t(0).is_ident("avx2"))
+            && t(1).is_punct(":")
+            && t(2).is_punct(":")
+            && t(3).kind == TokKind::Ident
+            && !f.is_test(code[w])
+        {
+            out.insert((t(0).text.clone(), t(3).text.clone()));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R4: panic freedom.
+// ---------------------------------------------------------------------------
+
+/// R4: no `.unwrap()`, `.expect(`, `panic!`, `todo!` or `unimplemented!` in
+/// non-test code of the hot-path crates. Genuine invariants that cannot be
+/// expressed as `Result` justify themselves inline with
+/// `lifl-lint: allow(panic) — <why>`.
+pub fn panic_freedom(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !HOT_PATH_CRATES.iter().any(|p| f.rel.starts_with(p)) {
+            continue;
+        }
+        let code = code_indices(f);
+        for w in 0..code.len() {
+            let idx = code[w];
+            if f.is_test(idx) {
+                continue;
+            }
+            let t = &f.toks[idx];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next_is = |text: &str| code.get(w + 1).is_some_and(|&n| f.toks[n].is_punct(text));
+            let prev_is_dot = w > 0 && f.toks[code[w - 1]].is_punct(".");
+            let what = match t.text.as_str() {
+                "unwrap" | "expect" if prev_is_dot && next_is("(") => {
+                    format!("`.{}()`", t.text)
+                }
+                "panic" | "todo" | "unimplemented" if next_is("!") => {
+                    format!("`{}!`", t.text)
+                }
+                _ => continue,
+            };
+            out.push(finding(
+                f,
+                t.line,
+                Rule::Panic,
+                format!(
+                    "{what} in a hot-path crate: return a `lifl_types::error` \
+                     Result on fallible paths, or justify the invariant with \
+                     `lifl-lint: allow(panic) — <why>`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R5: determinism of the fold modules.
+// ---------------------------------------------------------------------------
+
+/// R5: the fold/aggregation modules must not use `HashMap`/`HashSet` (their
+/// iteration order is seeded per process — `BTreeMap`/`BTreeSet` iterate
+/// deterministically), nor read wall clocks (`Instant::now`, `SystemTime`),
+/// because the `it`/`faults` tiers prove these modules bit-exact across
+/// backends, shard counts and processes.
+pub fn determinism(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let scoped = FOLD_MODULES.iter().any(|m| {
+            if let Some(dir) = m.strip_suffix('/') {
+                f.rel.starts_with(dir) && f.rel[dir.len()..].starts_with('/')
+            } else {
+                f.rel == *m
+            }
+        });
+        if !scoped {
+            continue;
+        }
+        let code = code_indices(f);
+        for w in 0..code.len() {
+            let idx = code[w];
+            if f.is_test(idx) {
+                continue;
+            }
+            let t = &f.toks[idx];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                "HashMap" | "HashSet" => out.push(finding(
+                    f,
+                    t.line,
+                    Rule::Determinism,
+                    format!(
+                        "`{}` in a deterministic fold module: iteration order is \
+                         per-process random; use `BTreeMap`/`BTreeSet`, or justify \
+                         keyed-only access with `lifl-lint: allow(determinism) — <why>`",
+                        t.text
+                    ),
+                )),
+                "Instant"
+                    if code.get(w + 1).is_some_and(|&a| f.toks[a].is_punct(":"))
+                        && code.get(w + 2).is_some_and(|&a| f.toks[a].is_punct(":"))
+                        && code.get(w + 3).is_some_and(|&a| f.toks[a].is_ident("now")) =>
+                {
+                    out.push(finding(
+                        f,
+                        t.line,
+                        Rule::Determinism,
+                        "`Instant::now` in a deterministic fold module: wall-clock \
+                         reads make folds irreproducible; thread simulated time in \
+                         instead"
+                            .to_string(),
+                    ))
+                }
+                "SystemTime" => out.push(finding(
+                    f,
+                    t.line,
+                    Rule::Determinism,
+                    "`SystemTime` in a deterministic fold module: wall-clock reads \
+                     make folds irreproducible; thread simulated time in instead"
+                        .to_string(),
+                )),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R6: the legacy runtime stays deleted.
+// ---------------------------------------------------------------------------
+
+/// R6: the legacy runtime deleted in PR 6 (`crates/core/src/runtime.rs`, the
+/// `run_hierarchical*` entry points and their `#[allow(deprecated)]` escape
+/// hatches) must stay deleted. Unlike the shell guard this replaces, the
+/// check runs on code tokens, so prose in comments and string literals can
+/// mention the old names freely.
+pub fn legacy_runtime(root: &Path, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if root.join("crates/core/src/runtime.rs").exists() {
+        out.push(Finding {
+            file: "crates/core/src/runtime.rs".to_string(),
+            line: 1,
+            rule: Rule::LegacyRuntime,
+            message: "the legacy runtime module is back; it was deleted in PR 6 \
+                      (see MIGRATION.md) and must stay gone"
+                .to_string(),
+        });
+    }
+    for f in files {
+        let code = code_indices(f);
+        for w in 0..code.len() {
+            let t = &f.toks[code[w]];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text.starts_with("run_hierarchical") {
+                out.push(finding(
+                    f,
+                    t.line,
+                    Rule::LegacyRuntime,
+                    format!(
+                        "`{}` references the legacy runtime deleted in PR 6; port \
+                         the call site onto Session/Cluster (see MIGRATION.md)",
+                        t.text
+                    ),
+                ));
+            } else if t.text == "runtime"
+                && code.get(w + 1).is_some_and(|&a| f.toks[a].is_punct(":"))
+                && code.get(w + 2).is_some_and(|&a| f.toks[a].is_punct(":"))
+            {
+                out.push(finding(
+                    f,
+                    t.line,
+                    Rule::LegacyRuntime,
+                    "`runtime::` path references the legacy runtime module deleted \
+                     in PR 6"
+                        .to_string(),
+                ));
+            } else if t.text == "allow"
+                && code.get(w + 1).is_some_and(|&a| f.toks[a].is_punct("("))
+                && code
+                    .get(w + 2)
+                    .is_some_and(|&a| f.toks[a].is_ident("deprecated"))
+                && code.get(w + 3).is_some_and(|&a| f.toks[a].is_punct(")"))
+            {
+                out.push(finding(
+                    f,
+                    t.line,
+                    Rule::LegacyRuntime,
+                    "`#[allow(deprecated)]` escape hatches went away with the \
+                     legacy runtime in PR 6; port the call site instead"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Groups findings per file for summary-style reporting (used by the CLI's
+/// `--summary` flag; exposed for tests).
+pub fn per_file_counts(findings: &[Finding]) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for f in findings {
+        *map.entry(f.file.clone()).or_insert(0) += 1;
+    }
+    map
+}

@@ -1,0 +1,214 @@
+//! R7: the justfile's `ci` recipe and `.github/workflows/ci.yml` must run the
+//! same command list, so a local `just ci` keeps mirroring what CI gates on.
+//!
+//! This ports the old `ci/check_ci_sync.sh` awk pipeline: collect the body
+//! lines of every recipe the justfile's `ci:` recipe depends on, collect
+//! every `run:` command from the workflow (single-line values plus the
+//! content lines of `run: |` blocks), drop the `rustup` toolchain bootstrap
+//! lines (CI-only by design), and diff the two sets — drift in either
+//! direction is a finding anchored at the line that has the extra command.
+
+use crate::{Finding, Rule};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+const JUSTFILE: &str = "justfile";
+const WORKFLOW: &str = ".github/workflows/ci.yml";
+
+/// Checks justfile ↔ ci.yml command sync. Returns the findings and, when the
+/// two agree, the number of commands they agree on (reported by the CLI the
+/// way the old shell guard did).
+pub fn ci_sync(root: &Path) -> (Vec<Finding>, Option<usize>) {
+    let mut out = Vec::new();
+    let justfile = match fs::read_to_string(root.join(JUSTFILE)) {
+        Ok(t) => t,
+        Err(_) => {
+            out.push(missing(
+                JUSTFILE,
+                "justfile not found at the workspace root",
+            ));
+            return (out, None);
+        }
+    };
+    let workflow = match fs::read_to_string(root.join(WORKFLOW)) {
+        Ok(t) => t,
+        Err(_) => {
+            out.push(missing(WORKFLOW, "CI workflow not found"));
+            return (out, None);
+        }
+    };
+    let just_cmds = match justfile_ci_commands(&justfile) {
+        Ok(cmds) => cmds,
+        Err(msg) => {
+            out.push(missing(JUSTFILE, &msg));
+            return (out, None);
+        }
+    };
+    let yml_cmds = workflow_commands(&workflow);
+
+    for (cmd, &line) in &yml_cmds {
+        if !just_cmds.contains_key(cmd) {
+            out.push(Finding {
+                file: WORKFLOW.to_string(),
+                line,
+                rule: Rule::CiSync,
+                message: format!(
+                    "CI runs `{cmd}` but no recipe reachable from the justfile's \
+                     `ci:` recipe does; add it so local `just ci` mirrors CI"
+                ),
+            });
+        }
+    }
+    for (cmd, &line) in &just_cmds {
+        if !yml_cmds.contains_key(cmd) {
+            out.push(Finding {
+                file: JUSTFILE.to_string(),
+                line,
+                rule: Rule::CiSync,
+                message: format!(
+                    "`just ci` runs `{cmd}` but no ci.yml step does; add a named \
+                     step so CI gates on it"
+                ),
+            });
+        }
+    }
+    if out.is_empty() {
+        (out, Some(just_cmds.len()))
+    } else {
+        (out, None)
+    }
+}
+
+fn missing(file: &str, msg: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line: 1,
+        rule: Rule::CiSync,
+        message: msg.to_string(),
+    }
+}
+
+/// Non-`rustup` command → 1-based line, for every body line of every recipe
+/// the `ci:` recipe depends on.
+fn justfile_ci_commands(text: &str) -> Result<BTreeMap<String, u32>, String> {
+    let deps: Vec<&str> = text
+        .lines()
+        .find_map(|l| l.strip_prefix("ci: "))
+        .map(|rest| rest.split_whitespace().collect())
+        .ok_or_else(|| "no `ci:` recipe found in justfile".to_string())?;
+    let mut cmds = BTreeMap::new();
+    for recipe in deps {
+        let header = format!("{recipe}:");
+        let mut in_body = false;
+        for (i, line) in text.lines().enumerate() {
+            if line == header || line.starts_with(&format!("{header} ")) {
+                in_body = true;
+                continue;
+            }
+            if in_body {
+                if !line.starts_with(' ') && !line.starts_with('\t') {
+                    in_body = false;
+                    continue;
+                }
+                let cmd = line.trim();
+                if cmd.is_empty() || cmd.starts_with('#') || cmd.starts_with("rustup") {
+                    continue;
+                }
+                cmds.entry(cmd.to_string()).or_insert(i as u32 + 1);
+            }
+        }
+    }
+    Ok(cmds)
+}
+
+/// Non-`rustup` command → 1-based line for every `run:` step in the workflow:
+/// single-line `run: <cmd>` values plus each content line of `run: |` blocks
+/// (lines indented deeper than the `run:` line itself).
+fn workflow_commands(text: &str) -> BTreeMap<String, u32> {
+    let mut cmds = BTreeMap::new();
+    let mut block_indent: Option<usize> = None;
+    for (i, line) in text.lines().enumerate() {
+        let indent = line.len() - line.trim_start().len();
+        let trimmed = line.trim();
+        if let Some(run_indent) = block_indent {
+            if !trimmed.is_empty() && indent > run_indent {
+                if !trimmed.starts_with("rustup") {
+                    cmds.entry(trimmed.to_string()).or_insert(i as u32 + 1);
+                }
+                continue;
+            }
+            block_indent = None;
+        }
+        if let Some(rest) = trimmed.strip_prefix("run:") {
+            let rest = rest.trim();
+            if rest == "|" {
+                block_indent = Some(indent);
+            } else if !rest.is_empty() && !rest.starts_with("rustup") {
+                cmds.entry(rest.to_string()).or_insert(i as u32 + 1);
+            }
+        }
+    }
+    cmds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JUST: &str = "\
+default: ci
+
+ci: build test
+
+build:
+    cargo build --release
+
+test:
+    cargo test -q
+    LIFL_FORCE_SCALAR=1 cargo test -q
+
+unrelated:
+    cargo bench
+";
+
+    const YML: &str = "\
+jobs:
+  main:
+    steps:
+      - name: toolchain
+        run: rustup toolchain install stable
+      - name: build
+        run: cargo build --release
+      - name: test
+        run: |
+          cargo test -q
+          LIFL_FORCE_SCALAR=1 cargo test -q
+";
+
+    #[test]
+    fn recipes_reachable_from_ci_only() {
+        let cmds = justfile_ci_commands(JUST).unwrap();
+        assert_eq!(cmds.len(), 3);
+        assert!(cmds.contains_key("cargo build --release"));
+        assert!(cmds.contains_key("LIFL_FORCE_SCALAR=1 cargo test -q"));
+        assert!(!cmds.contains_key("cargo bench"));
+    }
+
+    #[test]
+    fn workflow_run_lines_and_blocks() {
+        let cmds = workflow_commands(YML);
+        assert_eq!(cmds.len(), 3, "{cmds:?}");
+        assert!(!cmds.keys().any(|c| c.starts_with("rustup")));
+        assert_eq!(cmds["cargo test -q"], 10);
+    }
+
+    #[test]
+    fn in_sync_sets_match() {
+        let just = justfile_ci_commands(JUST).unwrap();
+        let yml = workflow_commands(YML);
+        let j: Vec<_> = just.keys().collect();
+        let y: Vec<_> = yml.keys().collect();
+        assert_eq!(j, y);
+    }
+}

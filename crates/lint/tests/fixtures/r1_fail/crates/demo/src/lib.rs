@@ -1,0 +1,5 @@
+// Missing the crate-root unsafe_code gate, and uses unsafe outside the
+// kernels directory: two R1 findings.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}

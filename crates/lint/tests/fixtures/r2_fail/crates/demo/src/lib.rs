@@ -1,0 +1,7 @@
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn wrapper(p: *const u8) -> u8 {
+    unsafe { raw_read(p) }
+}

@@ -1,0 +1,11 @@
+// SAFETY: caller must pass a valid, aligned pointer.
+#[inline]
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn wrapper(p: *const u8) -> u8 {
+    // A SAFETY tag inside a longer comment run still counts.
+    // SAFETY: `p` comes from a live reference in the caller.
+    unsafe { raw_read(p) }
+}

@@ -1,0 +1,17 @@
+use super::scalar;
+
+pub(super) unsafe fn axpy(acc: &mut [f32], src: &[f32], w: f32) {
+    scalar::axpy(acc, src, w);
+}
+
+pub(super) unsafe fn drifted(acc: &mut [f32], w: f64) {
+    scalar::drifted(acc, w as f32);
+}
+
+pub(super) unsafe fn undispatched(acc: &mut [f32]) {
+    scalar::undispatched(acc);
+}
+
+pub(super) unsafe fn extra(acc: &mut [f32]) {
+    acc.fill(1.0);
+}

@@ -1,0 +1,19 @@
+pub(super) fn axpy(acc: &mut [f32], src: &[f32], w: f32) {
+    for (a, b) in acc.iter_mut().zip(src) {
+        *a += w * b;
+    }
+}
+
+pub(super) fn orphan(acc: &mut [f32]) {
+    acc.fill(0.0);
+}
+
+pub(super) fn drifted(acc: &mut [f32], w: f32) {
+    for a in acc.iter_mut() {
+        *a *= w;
+    }
+}
+
+pub(super) fn undispatched(acc: &mut [f32]) {
+    acc.reverse();
+}

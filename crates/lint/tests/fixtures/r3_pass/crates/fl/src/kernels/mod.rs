@@ -1,0 +1,14 @@
+mod avx2;
+mod scalar;
+
+pub fn axpy(acc: &mut [f32], src: &[f32], w: f32, simd: bool) {
+    if simd {
+        unsafe { avx2::axpy(acc, src, w) }
+    } else {
+        scalar::axpy(acc, src, w);
+    }
+}
+
+pub fn scatter(acc: &mut [f32], idx: &[usize]) {
+    scalar::scatter(acc, idx);
+}

@@ -1,0 +1,13 @@
+pub(super) fn axpy(acc: &mut [f32], src: &[f32], w: f32) {
+    for (a, b) in acc.iter_mut().zip(src) {
+        *a += w * b;
+    }
+}
+
+// lifl-lint: allow(kernel-parity) — index-driven scatter, scalar-only by
+// design; both dispatch arms run this routine.
+pub(super) fn scatter(acc: &mut [f32], idx: &[usize]) {
+    for &i in idx {
+        acc[i] = 0.0;
+    }
+}

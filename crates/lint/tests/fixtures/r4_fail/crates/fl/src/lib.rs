@@ -1,0 +1,25 @@
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn config(raw: &str) -> u32 {
+    raw.parse().expect("caller validates")
+}
+
+pub fn reserved() {
+    todo!()
+}
+
+// lifl-lint: allow(panic)
+pub fn unjustified(v: &[u32]) -> u32 {
+    *v.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_unwraps_are_fine() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

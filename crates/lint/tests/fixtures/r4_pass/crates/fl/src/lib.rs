@@ -1,0 +1,20 @@
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn pinned(v: &[u32]) -> u32 {
+    // lifl-lint: allow(panic) — the caller pins `v` non-empty by construction.
+    *v.first().expect("non-empty by construction")
+}
+
+/// Doc prose may say unwrap() or panic! freely.
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn fold(updates: HashMap<u64, f32>) -> f32 {
+    let started = Instant::now();
+    let _ = SystemTime::now();
+    let mut seen = HashSet::new();
+    let mut acc = 0.0;
+    for (id, v) in updates {
+        seen.insert(id);
+        acc += v;
+    }
+    let _ = started.elapsed();
+    acc
+}

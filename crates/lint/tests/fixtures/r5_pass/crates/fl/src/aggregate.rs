@@ -1,0 +1,18 @@
+use std::collections::BTreeMap;
+
+// A HashMap mentioned in a comment is fine, as is one in test code.
+pub fn fold(updates: BTreeMap<u64, f32>) -> f32 {
+    updates.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_in_tests_is_fine() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2.0f32);
+        assert_eq!(m.len(), 1);
+    }
+}

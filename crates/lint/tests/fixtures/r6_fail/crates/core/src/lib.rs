@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+mod runtime;
+
+#[allow(deprecated)]
+pub fn drive() {
+    runtime::run_hierarchical();
+}

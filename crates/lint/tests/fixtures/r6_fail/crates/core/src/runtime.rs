@@ -1,0 +1,1 @@
+pub fn run_hierarchical() {}

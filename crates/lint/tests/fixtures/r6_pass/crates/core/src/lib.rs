@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! The legacy runtime (run_hierarchical) stays deleted; prose and strings
+//! may mention it.
+
+pub fn note() -> &'static str {
+    "the legacy runtime:: path is gone"
+}

@@ -1,0 +1,176 @@
+//! Fixture tests: every rule has at least one failing and one passing
+//! fixture under `tests/fixtures/`, each a miniature workspace root.
+
+use lifl_lint::{run, Rule};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs `rules` over the named fixture and returns the rendered findings.
+fn lint(name: &str, rules: &[Rule]) -> Vec<String> {
+    let report = run(&fixture(name), rules).expect("fixture scans");
+    report.findings.iter().map(|f| f.to_string()).collect()
+}
+
+#[test]
+fn r1_fail_flags_unsafe_and_missing_gate() {
+    let found = lint("r1_fail", &[Rule::UnsafeContainment]);
+    assert_eq!(found.len(), 2, "{found:#?}");
+    assert!(found.iter().any(|f| f.contains("R1-unsafe")
+        && f.contains("crates/demo/src/lib.rs:4")
+        && f.contains("outside crates/fl/src/kernels/")));
+    assert!(found
+        .iter()
+        .any(|f| f.contains("crate root must carry `#![forbid(unsafe_code)]`")));
+}
+
+#[test]
+fn r1_pass_is_clean() {
+    assert_eq!(
+        lint("r1_pass", &[Rule::UnsafeContainment]),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn r2_fail_flags_uncommented_unsafe_fn_and_block() {
+    let found = lint("r2_fail", &[Rule::SafetyComment]);
+    assert_eq!(found.len(), 2, "{found:#?}");
+    assert!(found[0].contains("`unsafe fn` without an immediately preceding"));
+    assert!(found[1].contains("`unsafe` block without an immediately preceding"));
+}
+
+#[test]
+fn r2_pass_accepts_comment_runs_and_attributes_between() {
+    assert_eq!(
+        lint("r2_pass", &[Rule::SafetyComment]),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn r3_fail_flags_orphan_drift_missing_dispatch_and_reverse_orphan() {
+    let found = lint("r3_fail", &[Rule::KernelParity]);
+    // `undispatched` counts twice: neither the scalar:: nor the avx2::
+    // reference exists in mod.rs.
+    assert_eq!(found.len(), 5, "{found:#?}");
+    assert!(found
+        .iter()
+        .any(|f| f.contains("`orphan` has no AVX2 counterpart")));
+    assert!(found
+        .iter()
+        .any(|f| f.contains("`drifted` signatures drifted between arms")));
+    assert!(found.iter().any(|f| f
+        .contains("`undispatched` has no `scalar::undispatched` dispatch site")
+        || f.contains("`undispatched` has no `avx2::undispatched` dispatch site")));
+    assert!(found
+        .iter()
+        .any(|f| f.contains("AVX2 kernel `extra` has no scalar reference")));
+}
+
+#[test]
+fn r3_pass_accepts_parity_and_allowed_scalar_only_kernels() {
+    assert_eq!(lint("r3_pass", &[Rule::KernelParity]), Vec::<String>::new());
+}
+
+#[test]
+fn r4_fail_flags_live_panics_and_unjustified_marker_but_not_tests() {
+    let found = lint("r4_fail", &[Rule::Panic]);
+    // unwrap + expect + todo! + the unjustified marker's own diagnostic +
+    // the unwrap the unjustified marker fails to suppress; the #[cfg(test)]
+    // unwrap is never a finding.
+    assert_eq!(found.len(), 5, "{found:#?}");
+    assert!(found
+        .iter()
+        .any(|f| f.contains("`.unwrap()`") && f.contains(":2:")));
+    assert!(found
+        .iter()
+        .any(|f| f.contains("`.expect()`") && f.contains(":6:")));
+    assert!(found.iter().any(|f| f.contains("`todo!`")));
+    assert!(found
+        .iter()
+        .any(|f| f.contains("allow-marker") && f.contains("no justification")));
+    assert!(
+        !found.iter().any(|f| f.contains(":23:")),
+        "test code flagged"
+    );
+}
+
+#[test]
+fn r4_pass_accepts_results_justified_allows_and_test_code() {
+    assert_eq!(lint("r4_pass", &[Rule::Panic]), Vec::<String>::new());
+}
+
+#[test]
+fn r5_fail_flags_hash_collections_and_clocks() {
+    let found = lint("r5_fail", &[Rule::Determinism]);
+    // HashMap x2 (use + signature), HashSet x2, Instant::now, SystemTime x2
+    // (use + call) — the `use std::time::Instant` line alone is not a
+    // finding, only `Instant::now`.
+    assert!(found.len() >= 5, "{found:#?}");
+    assert!(found.iter().any(|f| f.contains("`HashMap`")));
+    assert!(found.iter().any(|f| f.contains("`HashSet`")));
+    assert!(found.iter().any(|f| f.contains("`Instant::now`")));
+    assert!(found.iter().any(|f| f.contains("`SystemTime`")));
+}
+
+#[test]
+fn r5_pass_accepts_btree_and_test_hash() {
+    assert_eq!(lint("r5_pass", &[Rule::Determinism]), Vec::<String>::new());
+}
+
+#[test]
+fn r6_fail_flags_file_path_call_and_deprecated_allow() {
+    let found = lint("r6_fail", &[Rule::LegacyRuntime]);
+    assert!(found.len() >= 4, "{found:#?}");
+    assert!(found
+        .iter()
+        .any(|f| f.contains("crates/core/src/runtime.rs:1") && f.contains("is back")));
+    assert!(found.iter().any(|f| f.contains("`run_hierarchical`")));
+    assert!(found.iter().any(|f| f.contains("`runtime::` path")));
+    assert!(found.iter().any(|f| f.contains("`#[allow(deprecated)]`")));
+}
+
+#[test]
+fn r6_pass_allows_prose_and_string_mentions() {
+    assert_eq!(
+        lint("r6_pass", &[Rule::LegacyRuntime]),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn r7_fail_flags_drift_in_both_directions() {
+    let found = lint("r7_fail", &[Rule::CiSync]);
+    assert_eq!(found.len(), 2, "{found:#?}");
+    assert!(found.iter().any(|f| {
+        f.contains(".github/workflows/ci.yml")
+            && f.contains("cargo doc --no-deps")
+            && f.contains("no recipe reachable")
+    }));
+    assert!(found.iter().any(|f| {
+        f.contains("justfile") && f.contains("only-local") && f.contains("no ci.yml step")
+    }));
+}
+
+#[test]
+fn r7_pass_counts_agreed_commands() {
+    let report = run(&fixture("r7_pass"), &[Rule::CiSync]).expect("fixture scans");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert_eq!(report.ci_sync_commands, Some(3));
+}
+
+#[test]
+fn rule_selection_runs_only_selected_rules() {
+    // r1_fail also has no SAFETY comment on its unsafe block; selecting only
+    // R2 must not surface the R1 findings.
+    let found = lint("r1_fail", &[Rule::SafetyComment]);
+    assert!(
+        found.iter().all(|f| f.contains("R2-safety-comment")),
+        "{found:#?}"
+    );
+}

@@ -178,7 +178,7 @@ impl Topology {
         if self.fan_in.len() < 2 {
             return None;
         }
-        let (top, rest) = self.fan_in.split_last().expect("at least two levels");
+        let (top, rest) = self.fan_in.split_last()?;
         Some((
             Topology {
                 fan_in: rest.to_vec(),

@@ -1,6 +1,6 @@
 # Local invocations mirroring CI (.github/workflows/ci.yml) exactly —
-# enforced by `just ci-sync`, which diffs the `ci` recipe's command list
-# against the workflow's steps. Requires `just`
+# enforced by lifl-lint rule R7 (`just lint-lifl`), which diffs the `ci`
+# recipe's command list against the workflow's steps. Requires `just`
 # (https://github.com/casey/just); every recipe body is a plain shell
 # command, so copy-paste works without it too.
 
@@ -8,15 +8,13 @@
 default: ci
 
 # Everything CI runs, in CI order.
-ci: guard ci-sync lint doc build test alloc faults test-scalar bench-check bench-baseline-check smoke
+ci: lint-lifl lint doc build test alloc faults test-scalar bench-check bench-baseline-check smoke
 
-# CI guard: the legacy runtime (deleted in PR 6) must stay deleted.
-guard:
-    sh ci/no_legacy_runtime.sh
-
-# CI guard: this justfile and ci.yml run the same command list.
-ci-sync:
-    sh ci/check_ci_sync.sh
+# Repo invariants (unsafe containment, SAFETY comments, kernel parity,
+# panic freedom, fold determinism, no legacy runtime, justfile↔CI sync) as
+# machine-checked rules R1–R7. `--list-rules` shows the catalog.
+lint-lifl:
+    cargo run --release -p lifl-lint
 
 # Formatting + clippy, denying warnings (CI `lint` job).
 lint:

@@ -7,6 +7,10 @@
 //! unrelated test's allocations can pollute the counters; the one test is
 //! `#[test]`-single so the counter observes exactly the round loop.
 
+// lifl-lint: allow-file(unsafe) — implementing `GlobalAlloc` requires
+// `unsafe`; this counting shim is the one sanctioned unsafe site outside
+// the kernel layer and only delegates to the system allocator.
+
 use lifl_fl::aggregate::CumulativeFedAvg;
 use lifl_fl::codec::{ErrorFeedback, UpdateCodec};
 use lifl_fl::sharded::ShardedFedAvg;
@@ -28,28 +32,38 @@ struct CountingAllocator;
 // SAFETY: delegates every operation unchanged to the system allocator; the
 // only addition is a relaxed atomic counter bump on large requests.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same contract as `System::alloc`; the caller's `Layout`
+    // obligations pass through unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if layout.size() >= MODEL_SIZED_BYTES {
             LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwards the caller's layout to the system allocator.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System::dealloc`; `ptr`/`layout` obligations
+    // pass through unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwards the caller's pointer and layout unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as `System::alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if layout.size() >= MODEL_SIZED_BYTES {
             LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwards the caller's layout to the system allocator.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: same contract as `System::realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if new_size >= MODEL_SIZED_BYTES {
             LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwards the caller's pointer, layout and size unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
