@@ -1,0 +1,405 @@
+//! The persisted streaming-ingress benchmark baseline.
+//!
+//! The bounded admission path ([`lifl_core::session::Session::try_ingest`])
+//! is the front door of the streaming million-client ingress: every offered
+//! update is admitted into the open round, parked in a per-leaf queue, or
+//! turned away with a retry hint. This module measures that path's
+//! throughput — in updates/s and payload bytes/s — at 1, 4, and 16 leaf
+//! queues, and produces a schema-versioned JSON report
+//! (`BENCH_ingest.json` at the repo root) that is committed, so this and
+//! every future ingress PR has a before/after record.
+//!
+//! Two shapes per leaf count:
+//!
+//! - `streaming_ingest/leavesN`: the steady-state shape — offers drive the
+//!   round shut the moment it fills, so nothing ever parks and the cost is
+//!   pure admit-plus-fold.
+//! - `overflow_park_drain/leavesN`: the burst shape — a whole round's
+//!   capacity plus every queue's slot budget arrives before a single drive,
+//!   so the surplus parks in the bounded queues and drains across follow-up
+//!   partial (quorum) rounds.
+//!
+//! Regenerate with `just bench-ingest`; CI runs the `--quick` mode and
+//! validates the committed file's schema (`just bench-ingest-check`).
+
+use lifl_core::session::{SessionBuilder, Update};
+use lifl_fl::aggregate::ModelUpdate;
+use lifl_fl::DenseModel;
+use lifl_types::{AdmissionConfig, ClientId};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema tag of the persisted report; bump when entry names or fields
+/// change so CI flags a stale committed baseline.
+pub const SCHEMA: &str = "lifl.bench.ingest/v1";
+
+/// Leaf-queue counts the ingress is measured at.
+pub const LEAF_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Updates each leaf aggregates per round (`capacity = leaves * FAN_IN`).
+pub const FAN_IN: usize = 8;
+
+/// Per-leaf-queue slot budget of the bounded admission config.
+pub const QUEUE_SLOTS: usize = 4;
+
+/// Floats per update payload (64 KiB dense payloads).
+pub const DIM: usize = 16 * 1024;
+
+/// Updates streamed per iteration of the steady-state shape (a multiple of
+/// every measured round capacity, so each iteration ends drained).
+pub const STREAM_UPDATES: usize = 256;
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestEntry {
+    /// Stable benchmark name, e.g. `streaming_ingest/leaves4`.
+    pub name: String,
+    /// Leaf-queue count of the measured session.
+    pub leaves: usize,
+    /// Timed iterations the median is taken over.
+    pub iters: u64,
+    /// Updates offered per iteration.
+    pub updates_per_iter: u64,
+    /// Dense payload bytes offered per iteration (`4 * DIM` per update).
+    pub bytes_per_iter: u64,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Derived ingress throughput in updates per second.
+    pub updates_per_s: f64,
+    /// Derived ingress throughput in payload GB per second.
+    pub gb_per_s: f64,
+}
+
+/// A named before/after ratio derived from two entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestRatio {
+    /// Stable ratio name.
+    pub name: String,
+    /// Per-update speedup factor (>1 means the wider fleet ingests faster).
+    pub ratio: f64,
+}
+
+/// The whole persisted report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// `"full"` or `"quick"`.
+    pub mode: String,
+    /// Floats per update payload ([`DIM`]).
+    pub dim: u64,
+    /// Updates per leaf per round ([`FAN_IN`]).
+    pub fan_in: u64,
+    /// Per-leaf-queue slot budget ([`QUEUE_SLOTS`]).
+    pub queue_slots: u64,
+    /// Every measured benchmark.
+    pub entries: Vec<IngestEntry>,
+    /// Headline per-update scaling ratios across leaf counts.
+    pub derived: Vec<IngestRatio>,
+}
+
+impl IngestReport {
+    /// Looks up an entry's median by name.
+    pub fn median_ns(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.median_ns)
+    }
+
+    /// Looks up a derived ratio by name.
+    pub fn ratio(&self, name: &str) -> Option<f64> {
+        self.derived
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.ratio)
+    }
+}
+
+/// The stable benchmark names every report must contain, derived from
+/// [`LEAF_COUNTS`] so the generator and the CI validator cannot drift apart.
+pub fn required_entry_names() -> Vec<String> {
+    let mut names = Vec::new();
+    for leaves in LEAF_COUNTS {
+        names.push(format!("streaming_ingest/leaves{leaves}"));
+        names.push(format!("overflow_park_drain/leaves{leaves}"));
+    }
+    names
+}
+
+/// The derived-ratio names every report must contain.
+pub fn required_ratio_names() -> Vec<&'static str> {
+    vec![
+        "leaves16_over_leaves1_streaming",
+        "leaves16_over_leaves1_overflow",
+    ]
+}
+
+/// Validates a serialized report: parseable, current schema, and carrying
+/// every required entry and ratio.
+///
+/// # Errors
+/// Returns a human-readable description of the first problem found.
+pub fn check_report(json: &str) -> Result<IngestReport, String> {
+    let report: IngestReport =
+        serde_json::from_str(json).map_err(|e| format!("unparseable ingest report: {e:?}"))?;
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "stale ingest schema {:?} (current is {SCHEMA:?}); regenerate with `just bench-ingest`",
+            report.schema
+        ));
+    }
+    for name in required_entry_names() {
+        if report.median_ns(&name).is_none() {
+            return Err(format!("missing entry {name:?}"));
+        }
+    }
+    for name in required_ratio_names() {
+        if report.ratio(name).is_none() {
+            return Err(format!("missing derived ratio {name:?}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Median wall-clock nanoseconds of `iters` runs of `op` (after one untimed
+/// warm-up run).
+fn median_ns_of(iters: u64, mut op: impl FnMut()) -> u64 {
+    op();
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            op();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2].max(1)
+}
+
+/// Deterministic dense update for one simulated client.
+fn bench_update(client: u64) -> ModelUpdate {
+    let values: Vec<f32> = (0..DIM)
+        .map(|d| (((client as usize).wrapping_mul(29) + d * 13) % 241) as f32 * 0.009 - 1.1)
+        .collect();
+    ModelUpdate::from_client(
+        ClientId::new(client),
+        DenseModel::from_vec(values),
+        client % 13 + 1,
+    )
+}
+
+/// The bounded admission config every measured session uses.
+fn admission() -> AdmissionConfig {
+    AdmissionConfig::bounded(QUEUE_SLOTS, 1 << 20).with_quorum(1)
+}
+
+fn record(
+    entries: &mut Vec<IngestEntry>,
+    name: String,
+    leaves: usize,
+    iters: u64,
+    updates_per_iter: u64,
+    op: impl FnMut(),
+) {
+    let median = median_ns_of(iters, op);
+    let bytes = updates_per_iter * DIM as u64 * 4;
+    let seconds = median as f64 / 1e9;
+    let entry = IngestEntry {
+        name,
+        leaves,
+        iters,
+        updates_per_iter,
+        bytes_per_iter: bytes,
+        median_ns: median,
+        updates_per_s: updates_per_iter as f64 / seconds,
+        gb_per_s: bytes as f64 / median as f64,
+    };
+    eprintln!(
+        "  {:32} {:>12} ns/iter  {:>12.0} updates/s  {:>7.2} GB/s",
+        entry.name, entry.median_ns, entry.updates_per_s, entry.gb_per_s
+    );
+    entries.push(entry);
+}
+
+/// Runs the whole ingest suite. `quick` bounds iterations for CI smoke
+/// coverage; the committed baseline should come from a full run.
+pub fn run(quick: bool) -> IngestReport {
+    let iters = if quick { 2 } else { 11 };
+    let mut entries = Vec::new();
+    for leaves in LEAF_COUNTS {
+        let capacity = leaves * FAN_IN;
+        eprintln!("{leaves} leaf queue(s) (round capacity {capacity}):");
+
+        // Steady state: drive the moment the round fills, nothing parks.
+        let mut session = SessionBuilder::new()
+            .two_level(leaves, FAN_IN)
+            .admission(admission())
+            .build()
+            .expect("session");
+        record(
+            &mut entries,
+            format!("streaming_ingest/leaves{leaves}"),
+            leaves,
+            iters,
+            STREAM_UPDATES as u64,
+            || {
+                for client in 0..STREAM_UPDATES as u64 {
+                    let outcome = session
+                        .try_ingest(Update::Dense(bench_update(client)))
+                        .expect("try_ingest");
+                    assert!(outcome.is_admitted(), "steady state never parks");
+                    if session.pending_updates() as usize == capacity {
+                        session.drive().expect("drive");
+                    }
+                }
+            },
+        );
+
+        // Burst: a round's capacity plus the whole queue budget arrives
+        // before a single drive, then partial rounds drain the backlog.
+        let offered = (capacity + leaves * QUEUE_SLOTS) as u64;
+        let mut session = SessionBuilder::new()
+            .two_level(leaves, FAN_IN)
+            .admission(admission())
+            .build()
+            .expect("session");
+        record(
+            &mut entries,
+            format!("overflow_park_drain/leaves{leaves}"),
+            leaves,
+            iters,
+            offered,
+            || {
+                for client in 0..offered {
+                    let outcome = session
+                        .try_ingest(Update::Dense(bench_update(client)))
+                        .expect("try_ingest");
+                    assert!(!outcome.is_rejected(), "burst fits the queue budget");
+                }
+                while session.pending_updates() > 0 {
+                    session.drive().expect("drive");
+                }
+            },
+        );
+    }
+
+    // Per-update scaling: ns/update at 1 leaf over ns/update at 16 leaves.
+    let ns_per_update = |name: &str| -> f64 {
+        let entry = entries
+            .iter()
+            .find(|e| e.name == name)
+            .expect("entry recorded above");
+        entry.median_ns as f64 / entry.updates_per_iter as f64
+    };
+    let derived = vec![
+        IngestRatio {
+            name: "leaves16_over_leaves1_streaming".to_string(),
+            ratio: ns_per_update("streaming_ingest/leaves1")
+                / ns_per_update("streaming_ingest/leaves16"),
+        },
+        IngestRatio {
+            name: "leaves16_over_leaves1_overflow".to_string(),
+            ratio: ns_per_update("overflow_park_drain/leaves1")
+                / ns_per_update("overflow_park_drain/leaves16"),
+        },
+    ];
+    IngestReport {
+        schema: SCHEMA.to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        dim: DIM as u64,
+        fan_in: FAN_IN as u64,
+        queue_slots: QUEUE_SLOTS as u64,
+        entries,
+        derived,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> IngestReport {
+        // A structurally complete report with fabricated numbers, for schema
+        // tests (running the real suite at 64 KiB payloads is too slow here).
+        IngestReport {
+            schema: SCHEMA.to_string(),
+            mode: "quick".to_string(),
+            dim: DIM as u64,
+            fan_in: FAN_IN as u64,
+            queue_slots: QUEUE_SLOTS as u64,
+            entries: required_entry_names()
+                .into_iter()
+                .map(|name| IngestEntry {
+                    name,
+                    leaves: 1,
+                    iters: 1,
+                    updates_per_iter: 8,
+                    bytes_per_iter: 8 * DIM as u64 * 4,
+                    median_ns: 100,
+                    updates_per_s: 1.0,
+                    gb_per_s: 1.0,
+                })
+                .collect(),
+            derived: required_ratio_names()
+                .into_iter()
+                .map(|name| IngestRatio {
+                    name: name.to_string(),
+                    ratio: 2.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_and_passes_check() {
+        let report = tiny_report();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back = check_report(&json).expect("valid report");
+        assert_eq!(back, report);
+        assert_eq!(back.ratio("leaves16_over_leaves1_streaming"), Some(2.0));
+        assert_eq!(back.median_ns("streaming_ingest/leaves1"), Some(100));
+    }
+
+    #[test]
+    fn stale_schema_is_rejected() {
+        let mut report = tiny_report();
+        report.schema = "lifl.bench.ingest/v0".to_string();
+        let json = serde_json::to_string(&report).unwrap();
+        let err = check_report(&json).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn missing_entries_and_ratios_are_rejected() {
+        let mut report = tiny_report();
+        report
+            .entries
+            .retain(|e| e.name != "streaming_ingest/leaves4");
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(check_report(&json).is_err());
+        let mut report = tiny_report();
+        report.derived.clear();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(check_report(&json).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(check_report("not json").is_err());
+    }
+
+    #[test]
+    fn quick_run_measures_every_required_entry() {
+        // The real path end to end at the smallest leaf count only would not
+        // exercise the validator; run the quick suite and check it.
+        let report = run(true);
+        let json = serde_json::to_string(&report).unwrap();
+        let back = check_report(&json).expect("quick report is complete");
+        assert_eq!(back.mode, "quick");
+        for entry in &back.entries {
+            assert!(entry.median_ns >= 1);
+            assert!(entry.updates_per_s > 0.0);
+        }
+    }
+}

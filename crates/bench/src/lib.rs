@@ -7,9 +7,12 @@
 //!
 //! [`baseline`] is the *persisted* counterpart: the `bench_baseline` binary
 //! measures the aggregation hot path and writes the schema-versioned
-//! `BENCH_aggregation.json` committed at the repo root.
+//! `BENCH_aggregation.json` committed at the repo root. [`ingest`] does the
+//! same for the streaming admission path (`bench_ingest` writes
+//! `BENCH_ingest.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod ingest;

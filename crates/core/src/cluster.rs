@@ -39,6 +39,7 @@
 //! unchanged — enforced by the re-placement test in `tests/it/driver.rs`)
 //! priced like every other hop through [`CostModel::hop_transfer`].
 
+use crate::admission::AdmissionQueues;
 use crate::heartbeat::HeartbeatMonitor;
 use crate::hierarchy::EwmaEstimator;
 use crate::recovery::{RecoveryManager, RecoveryOutcome};
@@ -46,9 +47,11 @@ use crate::session::{Session, SessionBuilder, Update, WireExport};
 use lifl_dataplane::{CostModel, DataPlaneKind, TransferCost};
 use lifl_fl::aggregate::ModelUpdate;
 use lifl_fl::codec::{ErrorFeedback, UpdateCodec};
+use lifl_serverless::{FleetConfig, FleetController, FleetDecision};
 use lifl_shmem::{BufferPool, CheckpointStore, StoreStats};
 use lifl_types::{
-    ClientId, CodecKind, FoldPolicy, LiflError, NodeId, Result, SimDuration, SimTime, Topology,
+    AdmissionConfig, AdmissionOutcome, ClientId, CodecKind, FoldPolicy, LiflError, NodeId, Result,
+    RoundClose, SimDuration, SimTime, Topology,
 };
 
 /// How a [`Cluster`] chooses the node hosting the global top aggregator.
@@ -264,6 +267,8 @@ pub struct ClusterBuilder {
     dataplane: DataPlaneKind,
     policy: FoldPolicy,
     faults: Option<FaultToleranceConfig>,
+    admission: Option<AdmissionConfig>,
+    fleet: Option<FleetConfig>,
     deferred_error: Option<String>,
 }
 
@@ -290,6 +295,8 @@ impl ClusterBuilder {
             dataplane: DataPlaneKind::LiflSharedMemory,
             policy: FoldPolicy::FedAvg,
             faults: None,
+            admission: None,
+            fleet: None,
             deferred_error: None,
         }
     }
@@ -408,6 +415,34 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables the streaming admission path at the cluster ingress: one
+    /// bounded, [`BufferPool`]-backed queue per node with the given slot and
+    /// byte caps. [`Cluster::try_ingest`] answers with typed backpressure,
+    /// overflow on the strict [`Cluster::ingest`] parks instead of erroring,
+    /// queued offers drain into the next round in Oort-utility order
+    /// ([`Cluster::record_client_utility`]), and a
+    /// [`RoundClose::Quorum`] close lets [`Cluster::drive`] run partial
+    /// rounds (the quorum propagates into every node subtree and the global
+    /// top). Without this the cluster keeps its legacy exact-fill semantics.
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
+        self
+    }
+
+    /// Enables KPA-driven aggregator-fleet scaling: at every round boundary
+    /// each node's observed admission-queue depth feeds a per-node
+    /// [`FleetController`] control loop, and nodes whose desired leaf count
+    /// changed get their subtree re-split (grown or retired) before the next
+    /// round's backlog drains — each re-split priced through the cluster's
+    /// [`CostModel::hop_transfer`]. Decisions land in
+    /// [`ClusterReport::scaling`]. The controller runs on a synthetic
+    /// per-round clock, so the same arrival trace always produces the same
+    /// spawn/retire sequence.
+    pub fn fleet_scaling(mut self, config: FleetConfig) -> Self {
+        self.fleet = Some(config);
+        self
+    }
+
     /// Builds the cluster: one child session per node (each with its own
     /// gateway and shared-memory store, all recycling scratch through one
     /// shared [`BufferPool`]) plus the parent session hosting the global
@@ -442,10 +477,25 @@ impl ClusterBuilder {
             }
             TopPlacement::MostLoaded { alpha } => (0, alpha),
         };
+        if let Some(config) = &self.admission {
+            config.validate()?;
+        }
         let pool = BufferPool::new();
+        // Under a quorum close, partially filled node subtrees (and a
+        // partially fed global top) must still drive: the quorum — relaxed
+        // to "anything non-empty" — propagates into every child session.
+        let child_admission = match &self.admission {
+            Some(config) if matches!(config.round_close, RoundClose::Quorum { .. }) => {
+                Some(AdmissionConfig {
+                    round_close: RoundClose::Quorum { min_updates: 1 },
+                    ..*config
+                })
+            }
+            _ => None,
+        };
         let children = (0..nodes)
             .map(|k| {
-                SessionBuilder::new()
+                let mut builder = SessionBuilder::new()
                     .topology(subtree.clone())
                     .codec(self.codec)
                     .shards(self.shards)
@@ -453,11 +503,14 @@ impl ClusterBuilder {
                     .fold_policy(self.policy)
                     .node(NodeId::new(k as u64))
                     .tree_position(0, k)
-                    .pool(pool.clone())
-                    .build()
+                    .pool(pool.clone());
+                if let Some(config) = child_admission {
+                    builder = builder.admission(config);
+                }
+                builder.build()
             })
             .collect::<Result<Vec<Session>>>()?;
-        let parent = SessionBuilder::new()
+        let mut parent_builder = SessionBuilder::new()
             .topology(Topology::flat(nodes))
             .codec(self.codec)
             .shards(self.shards)
@@ -465,10 +518,20 @@ impl ClusterBuilder {
             .fold_policy(self.policy)
             .node(NodeId::new(top_node as u64))
             .tree_position(subtree.levels(), 0)
-            .pool(pool.clone())
-            .build()?;
+            .pool(pool.clone());
+        if let Some(config) = child_admission {
+            parent_builder = parent_builder.admission(config);
+        }
+        let parent = parent_builder.build()?;
         let faults = match self.faults {
             Some(config) => Some(FaultState::new(config, nodes)?),
+            None => None,
+        };
+        let admission = self
+            .admission
+            .map(|config| AdmissionQueues::new(config, nodes, pool.clone()));
+        let fleet = match self.fleet {
+            Some(config) => Some(FleetController::new(config, nodes)?),
             None => None,
         };
         let feedback = ErrorFeedback::new(
@@ -490,7 +553,13 @@ impl ClusterBuilder {
             feedback,
             pool,
             policy: self.policy,
+            shards: self.shards,
+            seed: self.seed,
             faults,
+            admission,
+            child_admission,
+            fleet,
+            vacancies: Vec::new(),
             ingested: 0,
             route_cursor: 0,
             lifetime_ingested: 0,
@@ -526,6 +595,19 @@ pub struct NodeRoundReport {
     pub updates_ingested: u64,
 }
 
+/// One fleet-scaling action applied at a round boundary: a node's subtree
+/// re-split to the controller's desired leaf count, priced as the warm-state
+/// transfer that moves aggregator state onto (or off) the node.
+#[derive(Debug, Clone)]
+pub struct ScalingAction {
+    /// The controller's decision (observed depth, current and desired
+    /// leaves, panic state).
+    pub decision: FleetDecision,
+    /// The modelled transport cost of re-splitting the subtree (zero bytes
+    /// before any round has produced warm state).
+    pub cost: TransferCost,
+}
+
 /// Everything a driven cluster round produced.
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
@@ -546,6 +628,14 @@ pub struct ClusterReport {
     pub replacement: Option<TopMove>,
     /// The top-hosting node store's statistics at the end of the round.
     pub top_store_stats: StoreStats,
+    /// Per-node admission-queue depths observed at the round boundary
+    /// (before the backlog drained into the next round; empty without an
+    /// admission configuration).
+    pub queue_depths: Vec<usize>,
+    /// The fleet-scaling decisions applied at this round's boundary, in node
+    /// order (empty without fleet scaling; holds a decision per node every
+    /// round, resize or not, so traces are complete).
+    pub scaling: Vec<ScalingAction>,
 }
 
 impl ClusterReport {
@@ -628,7 +718,20 @@ pub struct Cluster {
     feedback: ErrorFeedback,
     pool: BufferPool,
     policy: FoldPolicy,
+    shards: usize,
+    seed: u64,
     faults: Option<FaultState>,
+    /// The per-node bounded ingress queues (streaming admission path).
+    admission: Option<AdmissionQueues>,
+    /// The admission configuration child sessions are (re)built with under a
+    /// quorum close, so partially filled subtrees still drive.
+    child_admission: Option<AdmissionConfig>,
+    /// The KPA fleet controller re-splitting node subtrees at round
+    /// boundaries, when fleet scaling is enabled.
+    fleet: Option<FleetController>,
+    /// Nodes with a reclaimed slot from mid-round churn: refilled before the
+    /// round-robin cursor advances, so survivors keep their assignment.
+    vacancies: Vec<usize>,
     ingested: u64,
     /// The round-robin position normal ingests route by. Tracks `ingested`
     /// exactly until a node failure: refilling a restarted node's lost slots
@@ -708,6 +811,46 @@ impl Cluster {
         self.ingested
     }
 
+    /// Updates one round aggregates across every node subtree. Equals the
+    /// built topology's total until fleet scaling re-splits a subtree, after
+    /// which it tracks the live per-node shapes.
+    pub fn round_capacity(&self) -> usize {
+        self.children
+            .iter()
+            .map(|c| c.topology().total_updates())
+            .sum()
+    }
+
+    /// Leaf aggregators currently deployed per node, in node order.
+    pub fn node_leaves(&self) -> Vec<usize> {
+        self.children
+            .iter()
+            .map(|c| c.topology().leaves())
+            .collect()
+    }
+
+    /// The node owning global leaf `leaf`, under the live per-node shapes
+    /// (each node owns a contiguous block of leaves, exactly the built
+    /// split until fleet scaling changes a block's width).
+    fn node_of_leaf(&self, leaf: usize) -> usize {
+        let mut remaining = leaf;
+        for (node, child) in self.children.iter().enumerate() {
+            let leaves = child.topology().leaves();
+            if remaining < leaves {
+                return node;
+            }
+            remaining -= leaves;
+        }
+        self.children.len().saturating_sub(1)
+    }
+
+    /// The node the round-robin cursor routes to next.
+    fn cursor_node(&self) -> usize {
+        let total: usize = self.children.iter().map(|c| c.topology().leaves()).sum();
+        let leaf = (self.route_cursor as usize) % total.max(1);
+        self.node_of_leaf(leaf)
+    }
+
     /// The cluster-wide ingress: routes the update to the node owning the
     /// next leaf, with the exact round-robin rule a single session over the
     /// global tree applies (update *k* of a round feeds global leaf
@@ -722,25 +865,39 @@ impl Cluster {
     /// Same conditions as [`Session::ingest`]. A failed ingest counts
     /// nothing toward the round.
     pub fn ingest(&mut self, update: Update) -> Result<()> {
-        if self.ingested as usize >= self.topology.total_updates() {
+        if self.ingested as usize >= self.round_capacity() {
+            if self.admission.is_some() {
+                // Streaming path configured: overflow routes through the
+                // bounded backpressure queues instead of erroring outright.
+                return match self.queue_offer(update)? {
+                    AdmissionOutcome::Rejected { .. } => Err(LiflError::InvalidConfig(
+                        "cluster round is full and the admission queue budget is exhausted"
+                            .to_string(),
+                    )),
+                    _ => Ok(()),
+                };
+            }
             return Err(LiflError::InvalidConfig(format!(
                 "cluster round is full: topology aggregates {} updates",
-                self.topology.total_updates()
+                self.round_capacity()
             )));
         }
         // Refill slots of a restarted node take priority over round-robin:
         // re-sent updates route straight to the node that lost them, so the
-        // survivors' leaf assignment is untouched by the failure.
+        // survivors' leaf assignment is untouched by the failure. Vacancies
+        // reclaimed by mid-round churn refill next, for the same reason.
         let refill_slot = self
             .faults
             .as_ref()
             .and_then(|f| f.refill.iter().position(|&r| r > 0));
-        let node = match refill_slot {
-            Some(node) => node,
-            None => {
-                let leaf = (self.route_cursor as usize) % self.topology.leaves();
-                leaf / self.subtree.leaves()
-            }
+        let vacancy = match refill_slot {
+            Some(_) => None,
+            None => self.vacancies.pop(),
+        };
+        let node = match (refill_slot, vacancy) {
+            (Some(node), _) => node,
+            (None, Some(node)) => node,
+            (None, None) => self.cursor_node(),
         };
         // One attribution rule for every representation and node: anonymous
         // updates take the *cluster*-lifetime arrival index, so residual
@@ -775,18 +932,25 @@ impl Cluster {
             }
         };
         let outcome = self.children[node].ingest(update);
-        if outcome.is_ok() {
-            self.ingested += 1;
-            self.lifetime_ingested += 1;
-            self.node_pending[node] += 1;
-            if refill_slot.is_none() {
-                self.route_cursor += 1;
-            }
-            if let Some(f) = &mut self.faults {
-                if refill_slot.is_some() {
-                    f.refill[node] -= 1;
+        match &outcome {
+            Ok(()) => {
+                self.ingested += 1;
+                self.lifetime_ingested += 1;
+                self.node_pending[node] += 1;
+                if refill_slot.is_none() && vacancy.is_none() {
+                    self.route_cursor += 1;
                 }
-                f.node_clients[node].push(tracked);
+                if let Some(f) = &mut self.faults {
+                    if refill_slot.is_some() {
+                        f.refill[node] -= 1;
+                    }
+                    f.node_clients[node].push(tracked);
+                }
+            }
+            Err(_) => {
+                if let Some(v) = vacancy {
+                    self.vacancies.push(v);
+                }
             }
         }
         outcome
@@ -802,6 +966,244 @@ impl Cluster {
             self.ingest(update)?;
         }
         Ok(())
+    }
+
+    /// The streaming cluster ingress: offers one update and answers with
+    /// typed backpressure. While the round has room the update is admitted
+    /// exactly as [`Cluster::ingest`] would; once the round is full the
+    /// update is parked in the owning node's bounded queue
+    /// (`Queued{depth}`) or, when that queue's slot/byte budget is
+    /// exhausted, turned away (`Rejected{retry_after}`). Queued clients win
+    /// admission into the next round in Oort-utility order. Without a
+    /// [`ClusterBuilder::admission`] configuration there is no backlog and
+    /// overflow is rejected with a zero retry hint.
+    ///
+    /// # Errors
+    /// Fails only on store/codec errors; a full round is an outcome, not an
+    /// error.
+    pub fn try_ingest(&mut self, update: Update) -> Result<AdmissionOutcome> {
+        if (self.ingested as usize) < self.round_capacity() {
+            self.ingest(update)?;
+            return Ok(AdmissionOutcome::Admitted);
+        }
+        if self.admission.is_none() {
+            return Ok(AdmissionOutcome::Rejected {
+                retry_after: SimDuration::ZERO,
+            });
+        }
+        self.queue_offer(update)
+    }
+
+    /// Normalises an overflow update to wire form and parks it in the
+    /// per-node admission queues (the round is full).
+    fn queue_offer(&mut self, update: Update) -> Result<AdmissionOutcome> {
+        // Same attribution and lossy-encode rules as the admitted path, so a
+        // queued-then-drained update flows exactly as a direct ingest would.
+        let fallback = ClientId::new(self.lifetime_ingested);
+        let update = match update {
+            Update::Dense(mut dense) => {
+                let client = *dense.client.get_or_insert(fallback);
+                if self.codec.is_lossless() {
+                    Update::Dense(dense)
+                } else {
+                    let samples = dense.samples;
+                    self.feedback.encode_update(client, dense.model, samples)
+                }
+            }
+            other => other,
+        };
+        let outcome = match &update {
+            Update::Dense(dense) => {
+                let mut wire = self.pool.checkout_bytes(dense.model.dim() * 4);
+                for v in dense.model.as_slice() {
+                    wire.extend_from_slice(&v.to_le_bytes());
+                }
+                let outcome = match self.admission.as_mut() {
+                    Some(queues) => queues.offer(dense.client, &wire, dense.samples, false),
+                    None => AdmissionOutcome::Rejected {
+                        retry_after: SimDuration::ZERO,
+                    },
+                };
+                self.pool.checkin_bytes(wire);
+                outcome
+            }
+            Update::Encoded {
+                client,
+                update: encoded,
+                samples,
+            } => {
+                let wire = encoded.to_bytes();
+                match self.admission.as_mut() {
+                    Some(queues) => queues.offer(*client, &wire, *samples, true),
+                    None => AdmissionOutcome::Rejected {
+                        retry_after: SimDuration::ZERO,
+                    },
+                }
+            }
+            Update::RemoteBytes {
+                wire,
+                weight,
+                encoded,
+            } => match self.admission.as_mut() {
+                Some(queues) => queues.offer(None, wire, *weight, *encoded),
+                None => AdmissionOutcome::Rejected {
+                    retry_after: SimDuration::ZERO,
+                },
+            },
+        };
+        self.feedback.recycle_update(update);
+        Ok(outcome)
+    }
+
+    /// Drains queued offers into the open round — globally best first
+    /// (utility desc, arrival asc) — until the round is full or the backlog
+    /// is empty. Called automatically when a driven round opens the next
+    /// one.
+    fn drain_backlog(&mut self) {
+        while (self.ingested as usize) < self.round_capacity() {
+            let Some(offer) = self.admission.as_mut().and_then(AdmissionQueues::take_best) else {
+                break;
+            };
+            if self
+                .ingest_prepared(offer.client, offer.payload, offer.weight, offer.encoded)
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+
+    /// Admits a payload already in wire form into the round, preserving its
+    /// client attribution (the drain half of the admission path). Routing
+    /// follows the same vacancy-then-round-robin rule as
+    /// [`Cluster::ingest`].
+    fn ingest_prepared(
+        &mut self,
+        client: Option<ClientId>,
+        payload: Vec<u8>,
+        weight: u64,
+        encoded: bool,
+    ) -> Result<()> {
+        if self.ingested as usize >= self.round_capacity() {
+            return Err(LiflError::InvalidConfig(format!(
+                "cluster round is full: topology aggregates {} updates",
+                self.round_capacity()
+            )));
+        }
+        let vacancy = self.vacancies.pop();
+        let node = vacancy.unwrap_or_else(|| self.cursor_node());
+        let tracked = client.unwrap_or(ClientId::new(self.lifetime_ingested));
+        match self.children[node].ingest_prepared(client, payload, weight, encoded) {
+            Ok(()) => {
+                self.ingested += 1;
+                self.lifetime_ingested += 1;
+                self.node_pending[node] += 1;
+                if vacancy.is_none() {
+                    self.route_cursor += 1;
+                }
+                if let Some(f) = &mut self.faults {
+                    f.node_clients[node].push(tracked);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if let Some(v) = vacancy {
+                    self.vacancies.push(v);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Mid-round churn: removes a departed client's update from the current
+    /// round on whichever node holds it (reclaiming the slot) and drops any
+    /// offers it has parked in the admission queues. Reclaimed slots refill
+    /// from the backlog when possible — replacements land on the departed
+    /// client's node *behind* the survivors, so every survivor keeps its
+    /// position. Returns `true` if anything (slot or queued offer) was
+    /// reclaimed.
+    pub fn depart_client(&mut self, client: ClientId) -> bool {
+        let mut departed = self
+            .admission
+            .as_mut()
+            .is_some_and(|queues| queues.remove_client(client) > 0);
+        for node in 0..self.children.len() {
+            let before = self.children[node].pending_updates();
+            if !self.children[node].depart_client(client) {
+                continue;
+            }
+            let removed = before.saturating_sub(self.children[node].pending_updates());
+            if removed == 0 {
+                continue;
+            }
+            departed = true;
+            self.ingested = self.ingested.saturating_sub(removed);
+            self.node_pending[node] = self.node_pending[node].saturating_sub(removed);
+            for _ in 0..removed {
+                self.vacancies.push(node);
+            }
+            if let Some(f) = &mut self.faults {
+                let mut to_drop = removed;
+                f.node_clients[node].retain(|c| {
+                    if *c == client && to_drop > 0 {
+                        to_drop -= 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        // Refill reclaimed slots from the backlog (highest utility first).
+        self.drain_backlog();
+        departed
+    }
+
+    /// Records a client's Oort utility score for admission priority (no-op
+    /// without an admission configuration).
+    pub fn record_client_utility(&mut self, client: ClientId, utility: f64) {
+        if let Some(queues) = self.admission.as_mut() {
+            queues.record_utility(client, utility);
+        }
+    }
+
+    /// The admission configuration, when the streaming path is enabled.
+    pub fn admission_config(&self) -> Option<&AdmissionConfig> {
+        self.admission.as_ref().map(AdmissionQueues::config)
+    }
+
+    /// Occupancy of every per-node admission queue, in node order (empty
+    /// without an admission configuration).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.admission
+            .as_ref()
+            .map_or_else(Vec::new, |q| q.depths())
+    }
+
+    /// Total updates parked in the admission queues.
+    pub fn queued_updates(&self) -> usize {
+        self.admission
+            .as_ref()
+            .map_or(0, AdmissionQueues::total_queued)
+    }
+
+    /// Lifetime admission counters (zero-default without an admission
+    /// configuration).
+    pub fn admission_stats(&self) -> crate::admission::AdmissionStats {
+        self.admission
+            .as_ref()
+            .map(AdmissionQueues::stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether KPA fleet scaling is enabled.
+    pub fn fleet_scaling_enabled(&self) -> bool {
+        self.fleet.is_some()
+    }
+
+    /// The fleet controller's configuration, when fleet scaling is enabled.
+    pub fn fleet_config(&self) -> Option<&FleetConfig> {
+        self.fleet.as_ref().map(FleetController::config)
     }
 
     /// Drives the round across every node: each child session drives its
@@ -849,7 +1251,7 @@ impl Cluster {
                 });
             }
         }
-        self.topology.validate(self.ingested as usize)?;
+        self.validate_round()?;
         let resuming = self.faults.as_ref().is_some_and(|f| f.placed);
         let replacement = if resuming { None } else { self.place_top() };
         if let Some(f) = &mut self.faults {
@@ -861,6 +1263,7 @@ impl Cluster {
                 self.ingested = 0;
                 self.route_cursor = 0;
                 self.node_pending.fill(0);
+                self.vacancies.clear();
                 // Next move's handoff ships the warm global intermediate.
                 self.handoff_bytes = report.update.model.dim() as u64 * 4;
                 if let Some(f) = &mut self.faults {
@@ -868,6 +1271,12 @@ impl Cluster {
                     f.recovery.commit_version(&report.update.model, now);
                     f.clear_round();
                 }
+                // The round boundary: observe queue depths, let the fleet
+                // controller re-split subtrees, then drain the backlog into
+                // the (possibly resized) fresh round.
+                report.queue_depths = self.queue_depths();
+                report.scaling = self.apply_fleet_scaling();
+                self.drain_backlog();
                 Ok(report)
             }
             Err(error) => {
@@ -885,6 +1294,114 @@ impl Cluster {
                 Err(error)
             }
         }
+    }
+
+    /// Validates the round is closable: exact fill by default, the
+    /// configured quorum under a [`RoundClose::Quorum`] admission close.
+    fn validate_round(&self) -> Result<()> {
+        let capacity = self.round_capacity();
+        let close = self
+            .admission
+            .as_ref()
+            .map_or(RoundClose::Exact, |q| q.config().round_close);
+        match close {
+            RoundClose::Exact => {
+                if capacity == self.topology.total_updates() {
+                    self.topology.validate(self.ingested as usize)
+                } else if self.ingested as usize != capacity {
+                    // Fleet scaling has re-split a subtree: the built
+                    // topology's error message would mislead, so report
+                    // against the live capacity.
+                    Err(LiflError::InvalidConfig(format!(
+                        "cluster round incomplete: the scaled fleet aggregates {} updates, got {}",
+                        capacity, self.ingested
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            quorum @ RoundClose::Quorum { .. } => {
+                let required = quorum.required_updates(capacity);
+                if (self.ingested as usize) < required {
+                    return Err(LiflError::InvalidConfig(format!(
+                        "quorum not met: round has {} of {} required updates",
+                        self.ingested, required
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether the admission close lets partially filled subtrees drive.
+    fn quorum_close(&self) -> bool {
+        self.admission
+            .as_ref()
+            .is_some_and(|q| matches!(q.config().round_close, RoundClose::Quorum { .. }))
+    }
+
+    /// Applies the KPA fleet decisions of one round boundary: every node
+    /// whose desired leaf count changed gets its subtree re-split to a
+    /// two-level tree of that many leaves at the node's existing leaf
+    /// fan-in, priced as a warm-state transfer per changed leaf. Returns
+    /// one action per node (resize or hold) so scaling traces are complete.
+    fn apply_fleet_scaling(&mut self) -> Vec<ScalingAction> {
+        if self.fleet.is_none() {
+            return Vec::new();
+        }
+        let depths: Vec<f64> = match self.admission.as_ref() {
+            Some(queues) => queues.depths().iter().map(|&d| d as f64).collect(),
+            None => vec![0.0; self.children.len()],
+        };
+        let current: Vec<u32> = self
+            .children
+            .iter()
+            .map(|c| c.topology().leaves() as u32)
+            .collect();
+        let decisions = match self.fleet.as_mut() {
+            Some(fleet) => fleet.observe_round(&depths, &current),
+            None => return Vec::new(),
+        };
+        let handoff = self.handoff_bytes;
+        let mut actions = Vec::with_capacity(decisions.len());
+        for decision in decisions {
+            let changed = (decision.spawned() + decision.retired()) as u64;
+            let cost = self
+                .cost
+                .hop_transfer(false, self.dataplane, changed * handoff);
+            if decision.is_resize() {
+                // A failed rebuild (impossible for in-bounds leaf counts)
+                // keeps the old subtree; the decision still lands in the
+                // trace so divergence is visible.
+                let _ = self.resize_node(decision.node, decision.desired_leaves as usize);
+            }
+            actions.push(ScalingAction { decision, cost });
+        }
+        actions
+    }
+
+    /// Re-splits one node's subtree to `desired_leaves` leaf aggregators at
+    /// the node's existing leaf fan-in (the [`Topology::split_top`]-style
+    /// re-split, applied per node). The rebuilt session keeps the node's
+    /// tree position, codec seed, fold policy and pool, so scaled rounds
+    /// stay deterministic.
+    fn resize_node(&mut self, node: usize, desired_leaves: usize) -> Result<()> {
+        let fan_in = self.children[node].topology().fan_in(0);
+        let topology = Topology::two_level(desired_leaves.max(1), fan_in);
+        let mut builder = SessionBuilder::new()
+            .topology(topology)
+            .codec(self.codec)
+            .shards(self.shards)
+            .seed(self.seed)
+            .fold_policy(self.policy)
+            .node(NodeId::new(node as u64))
+            .tree_position(0, node)
+            .pool(self.pool.clone());
+        if let Some(config) = self.child_admission {
+            builder = builder.admission(config);
+        }
+        self.children[node] = builder.build()?;
+        Ok(())
     }
 
     /// Re-evaluates top placement at a round boundary: feeds the round's
@@ -959,6 +1476,11 @@ impl Cluster {
                     }
                 }
             }
+            if self.children[k].pending_updates() == 0 && self.quorum_close() {
+                // A quorum round can leave whole subtrees empty: no export,
+                // no hop, nothing for the top to fold from this node.
+                continue;
+            }
             let node = NodeId::new(k as u64);
             let export: WireExport = self.children[k].drive_to_wire()?;
             let wire_bytes = export.wire_bytes();
@@ -997,6 +1519,8 @@ impl Cluster {
             top_node: NodeId::new(self.top_node as u64),
             replacement: None,
             top_store_stats: report.store_stats,
+            queue_depths: Vec::new(),
+            scaling: Vec::new(),
         })
     }
 
@@ -1017,6 +1541,7 @@ impl Cluster {
         self.ingested = 0;
         self.route_cursor = 0;
         self.node_pending.fill(0);
+        self.vacancies.clear();
         if let Some(f) = &mut self.faults {
             f.clear_round();
         }
@@ -1262,8 +1787,12 @@ impl lifl_fl::Ingest for Cluster {
         self.ingest(update)
     }
 
+    fn try_ingest(&mut self, update: Update) -> Result<AdmissionOutcome> {
+        Cluster::try_ingest(self, update)
+    }
+
     fn round_capacity(&self) -> usize {
-        self.topology.total_updates()
+        Cluster::round_capacity(self)
     }
 
     fn ingress_codec(&self) -> CodecKind {
@@ -1788,5 +2317,317 @@ mod tests {
             cluster.ingest(Update::Dense(update.clone())).unwrap();
         }
         assert_eq!(cluster.drive().unwrap().updates_ingested(), 8);
+    }
+
+    #[test]
+    fn over_offer_without_admission_keeps_the_legacy_error() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .build()
+            .unwrap();
+        let batch = updates(9, 16);
+        cluster
+            .ingest_all(batch.iter().take(8).cloned().map(Update::Dense))
+            .unwrap();
+        // The strict path still fails loudly with the historical message…
+        let overflow = cluster.ingest(Update::Dense(batch[8].clone()));
+        match overflow {
+            Err(LiflError::InvalidConfig(message)) => {
+                assert!(message.contains("cluster round is full"), "{message}");
+            }
+            other => panic!("expected the legacy full-round error, got {other:?}"),
+        }
+        // …and the streaming path reports it as backpressure, not an error.
+        let outcome = cluster.try_ingest(Update::Dense(batch[8].clone())).unwrap();
+        assert_eq!(
+            outcome,
+            AdmissionOutcome::Rejected {
+                retry_after: SimDuration::ZERO
+            }
+        );
+        assert_eq!(cluster.drive().unwrap().updates_ingested(), 8);
+    }
+
+    #[test]
+    fn cluster_overflow_queues_and_drains_into_the_next_round() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .admission(AdmissionConfig::bounded(4, 1 << 20))
+            .build()
+            .unwrap();
+        let batch = updates(10, 16);
+        for update in batch.iter().take(8) {
+            assert!(cluster
+                .try_ingest(Update::Dense(update.clone()))
+                .unwrap()
+                .is_admitted());
+        }
+        // The round is full: the next two offers park in the per-node queues
+        // instead of failing (satellite-5 regression: `ingest` also parks).
+        assert!(cluster
+            .try_ingest(Update::Dense(batch[8].clone()))
+            .unwrap()
+            .is_queued());
+        cluster.ingest(Update::Dense(batch[9].clone())).unwrap();
+        assert_eq!(cluster.queued_updates(), 2);
+        let report = cluster.drive().unwrap();
+        assert_eq!(report.updates_ingested(), 8);
+        // The report captures the boundary's depths, then the backlog drains
+        // into the fresh round.
+        assert_eq!(report.queue_depths.iter().sum::<usize>(), 2);
+        assert_eq!(cluster.queued_updates(), 0);
+        assert_eq!(cluster.pending_updates(), 2);
+        cluster
+            .ingest_all(updates(6, 16).into_iter().map(Update::Dense))
+            .unwrap();
+        assert_eq!(cluster.drive().unwrap().updates_ingested(), 8);
+    }
+
+    #[test]
+    fn exhausted_queue_budget_rejects_with_the_retry_hint() {
+        let retry = SimDuration::from_millis(125.0);
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .admission(AdmissionConfig::bounded(1, 1 << 20).with_retry_after(retry))
+            .build()
+            .unwrap();
+        let batch = updates(12, 16);
+        cluster
+            .ingest_all(batch.iter().take(8).cloned().map(Update::Dense))
+            .unwrap();
+        // One slot per node: two offers park, the third is turned away.
+        assert!(cluster
+            .try_ingest(Update::Dense(batch[8].clone()))
+            .unwrap()
+            .is_queued());
+        assert!(cluster
+            .try_ingest(Update::Dense(batch[9].clone()))
+            .unwrap()
+            .is_queued());
+        assert_eq!(
+            cluster
+                .try_ingest(Update::Dense(batch[10].clone()))
+                .unwrap(),
+            AdmissionOutcome::Rejected { retry_after: retry }
+        );
+        // The strict path surfaces the same exhaustion as an error.
+        assert!(cluster.ingest(Update::Dense(batch[11].clone())).is_err());
+        assert!(cluster.admission_stats().rejected >= 1);
+    }
+
+    #[test]
+    fn quorum_cluster_round_closes_partial_and_matches_flat_fedavg() {
+        let topology = Topology::new(vec![2, 2, 2]).unwrap();
+        let batch = updates(5, 24);
+        let mut cluster = ClusterBuilder::new()
+            .topology(topology)
+            .admission(AdmissionConfig::default().with_quorum(5))
+            .build()
+            .unwrap();
+        cluster
+            .ingest_all(batch.iter().take(4).cloned().map(Update::Dense))
+            .unwrap();
+        // Below quorum the round refuses to close…
+        let short = cluster.drive();
+        match short {
+            Err(LiflError::InvalidConfig(message)) => {
+                assert!(message.contains("quorum not met"), "{message}");
+            }
+            other => panic!("expected a quorum error, got {other:?}"),
+        }
+        // …and the refused round is kept: one more update meets the quorum.
+        cluster.ingest(Update::Dense(batch[4].clone())).unwrap();
+        let report = cluster.drive().unwrap();
+        assert_eq!(report.updates_ingested(), 5);
+        let flat = fedavg(&batch).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn departed_cluster_client_is_refilled_from_the_backlog() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .admission(AdmissionConfig::bounded(4, 1 << 20))
+            .build()
+            .unwrap();
+        let batch = updates(9, 16);
+        for update in batch.iter().take(8) {
+            assert!(cluster
+                .try_ingest(Update::Dense(update.clone()))
+                .unwrap()
+                .is_admitted());
+        }
+        assert!(cluster
+            .try_ingest(Update::Dense(batch[8].clone()))
+            .unwrap()
+            .is_queued());
+        // Client 3 churns out mid-round: its slot is reclaimed on its node
+        // and the parked offer refills it without touching the survivors.
+        assert!(cluster.depart_client(ClientId::new(3)));
+        assert_eq!(cluster.pending_updates(), 8);
+        assert_eq!(cluster.queued_updates(), 0);
+        let report = cluster.drive().unwrap();
+        assert_eq!(report.updates_ingested(), 8);
+        let survivors: Vec<ModelUpdate> = batch
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3)
+            .map(|(_, u)| u.clone())
+            .collect();
+        let flat = fedavg(&survivors).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // Departing an unknown client reclaims nothing.
+        assert!(!cluster.depart_client(ClientId::new(99)));
+    }
+
+    #[test]
+    fn fleet_scaling_grows_under_a_spike_where_the_fixed_tree_saturates() {
+        let topology = Topology::new(vec![2, 2, 2]).unwrap();
+        // Partial (quorum) rounds: a streaming fleet closes on whatever
+        // arrived, whether or not the grown capacity is saturated.
+        let admission = AdmissionConfig::bounded(64, 1 << 24).with_quorum(1);
+        let mut scaled = ClusterBuilder::new()
+            .topology(topology.clone())
+            .admission(admission)
+            .fleet_scaling(
+                FleetConfig::default()
+                    .with_target_depth(1.0)
+                    .with_leaf_bounds(2, 16),
+            )
+            .build()
+            .unwrap();
+        let mut fixed = ClusterBuilder::new()
+            .topology(topology)
+            .admission(admission)
+            .build()
+            .unwrap();
+        assert!(scaled.fleet_scaling_enabled());
+        assert!(!fixed.fleet_scaling_enabled());
+        // A sustained spike: 24 arrivals per round against an 8-update tree.
+        let mut spawned = 0u32;
+        let mut scaled_aggregated = 0u64;
+        let mut fixed_aggregated = 0u64;
+        for _ in 0..12 {
+            for update in updates(24, 16) {
+                let _ = scaled.try_ingest(Update::Dense(update.clone())).unwrap();
+                let _ = fixed.try_ingest(Update::Dense(update)).unwrap();
+            }
+            let report = scaled.drive().unwrap();
+            assert_eq!(report.scaling.len(), scaled.nodes());
+            spawned += report
+                .scaling
+                .iter()
+                .map(|a| a.decision.spawned())
+                .sum::<u32>();
+            scaled_aggregated += report.updates_ingested();
+            fixed_aggregated += fixed.drive().unwrap().updates_ingested();
+        }
+        // The controller re-split subtrees: the fleet grew and the grown
+        // capacity aggregated far more of the offered load.
+        assert!(spawned > 0, "the spike must spawn leaf aggregators");
+        assert!(
+            scaled.round_capacity() > 8,
+            "capacity should have grown, still {}",
+            scaled.round_capacity()
+        );
+        assert!(
+            scaled_aggregated > fixed_aggregated * 2,
+            "scaled fleet should clear a multiple of the fixed tree's load \
+             ({scaled_aggregated} vs {fixed_aggregated})"
+        );
+        // The fixed tree's bounded queues saturate and start turning offers
+        // away; the scaled fleet keeps absorbing them.
+        assert!(fixed.admission_stats().rejected > 0);
+        assert_eq!(scaled.admission_stats().rejected, 0);
+        assert!(fixed.queued_updates() >= scaled.queued_updates());
+    }
+
+    #[test]
+    fn fleet_scaling_is_deterministic_per_arrival_trace() {
+        let run = || {
+            let mut cluster = ClusterBuilder::new()
+                .topology(Topology::new(vec![2, 2, 2]).unwrap())
+                .admission(AdmissionConfig::bounded(64, 1 << 24).with_quorum(1))
+                .fleet_scaling(
+                    FleetConfig::default()
+                        .with_target_depth(2.0)
+                        .with_leaf_bounds(2, 8),
+                )
+                .build()
+                .unwrap();
+            let mut decisions: Vec<FleetDecision> = Vec::new();
+            for round in 0..10 {
+                // A deterministic, bursty trace: quiet, spike, drain.
+                let arrivals = if round % 4 < 2 { 8 } else { 20 };
+                for update in updates(arrivals, 16) {
+                    let _ = cluster.try_ingest(Update::Dense(update)).unwrap();
+                }
+                let report = cluster.drive().unwrap();
+                decisions.extend(report.scaling.iter().map(|a| a.decision));
+            }
+            decisions
+        };
+        assert_eq!(run(), run(), "same trace, same spawn/retire sequence");
+    }
+
+    #[test]
+    fn resized_fleet_rounds_still_match_flat_fedavg() {
+        let mut cluster = ClusterBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .admission(AdmissionConfig::bounded(64, 1 << 24).with_quorum(1))
+            .fleet_scaling(
+                FleetConfig::default()
+                    .with_target_depth(1.0)
+                    .with_leaf_bounds(2, 16),
+            )
+            .build()
+            .unwrap();
+        // Grow the fleet with a spike, then let the backlog drain.
+        for _ in 0..6 {
+            for update in updates(24, 16) {
+                let _ = cluster.try_ingest(Update::Dense(update)).unwrap();
+            }
+            cluster.drive().unwrap();
+        }
+        while cluster.pending_updates() > 0 {
+            cluster.drive().unwrap();
+        }
+        assert_eq!(cluster.queued_updates(), 0);
+        // A clean round over the (re-split) fleet still matches flat FedAvg.
+        let batch = updates(cluster.round_capacity(), 24);
+        cluster
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let report = cluster.drive().unwrap();
+        assert_eq!(report.updates_ingested(), batch.len() as u64);
+        let flat = fedavg(&batch).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 }

@@ -193,6 +193,46 @@ impl Gateway {
         Ok(queued)
     }
 
+    /// Admission-drain ingress: stores a payload that is already in wire
+    /// form (headerless dense `f32` bytes, or a self-describing encoded
+    /// string) and delivers it attributed to `producer`. The polymorphic
+    /// [`Gateway::ingest`] loses client attribution for remote bytes; a
+    /// drained backlog offer must keep its producer so mid-round churn can
+    /// find and reclaim the client's slot.
+    ///
+    /// # Errors
+    /// Fails if the shared-memory store cannot hold the payload or an
+    /// encoded payload is malformed.
+    pub fn ingest_prepared(
+        &mut self,
+        target: AggregatorId,
+        producer: Option<ClientId>,
+        wire: Vec<u8>,
+        weight: u64,
+        encoded: bool,
+    ) -> Result<QueuedUpdate> {
+        let wire_len = wire.len() as u64;
+        let key = if encoded {
+            let dense_bytes = EncodedView::parse(&wire)?.dim() as u64 * 4;
+            self.store.put_encoded(wire, dense_bytes)?
+        } else {
+            self.store.put(wire)?
+        };
+        let mut queued = QueuedUpdate {
+            producer,
+            key,
+            weight,
+            encoded: false,
+        };
+        if encoded {
+            queued = queued.encoded();
+        }
+        self.deliver(target, queued);
+        self.ingested_updates += 1;
+        self.ingested_bytes += wire_len;
+        Ok(queued)
+    }
+
     /// Delivers an already-stored update key to a local aggregator's queue
     /// (the SKMSG redirect path).
     pub fn deliver(&mut self, target: AggregatorId, queued: QueuedUpdate) {

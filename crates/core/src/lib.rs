@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod agent;
 pub mod aggregator;
 pub mod async_round;
@@ -65,6 +66,7 @@ pub mod system;
 pub mod tag;
 pub mod training;
 
+pub use admission::{AdmissionQueues, AdmissionStats, QueuedOffer};
 pub use aggregator::{AggregatorRuntime, AggregatorStep};
 pub use cluster::{
     Cluster, ClusterBuilder, ClusterHop, ClusterReport, FaultStats, FaultToleranceConfig, NodeKill,

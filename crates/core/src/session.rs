@@ -24,6 +24,7 @@
 
 #![deny(missing_docs)]
 
+use crate::admission::AdmissionQueues;
 use crate::aggregator::AggregatorRuntime;
 use crate::gateway::Gateway;
 use lifl_fl::aggregate::ModelUpdate;
@@ -31,7 +32,10 @@ use lifl_fl::codec::{EncodedView, ErrorFeedback, UpdateCodec};
 use lifl_fl::DenseModel;
 use lifl_shmem::queue::QueuedUpdate;
 use lifl_shmem::{BufferPool, InPlaceQueue, ObjectStore, StoreStats};
-use lifl_types::{ClientId, CodecKind, FoldPolicy, LiflError, NodeId, Result, Topology};
+use lifl_types::{
+    AdmissionConfig, AdmissionOutcome, ClientId, CodecKind, FoldPolicy, LiflError, NodeId, Result,
+    RoundClose, SimDuration, Topology, WIRE_HEADER_BYTES,
+};
 
 pub use lifl_fl::update::Update;
 
@@ -66,6 +70,7 @@ pub struct SessionBuilder {
     branch: usize,
     store: Option<ObjectStore>,
     pool: Option<BufferPool>,
+    admission: Option<AdmissionConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -90,6 +95,7 @@ impl SessionBuilder {
             branch: 0,
             store: None,
             pool: None,
+            admission: None,
         }
     }
 
@@ -199,6 +205,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables the bounded streaming-admission path: when a round is full,
+    /// [`Session::try_ingest`] parks overflow in per-leaf queues capped by
+    /// `config` (instead of erroring), queued clients win admission into the
+    /// next round by Oort utility, and the round-close policy in `config`
+    /// decides whether [`Session::drive`] demands an exact fill or accepts a
+    /// quorum. Without this, `try_ingest` rejects overflow outright and
+    /// every legacy exact-fill behaviour is unchanged.
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
+        self
+    }
+
     /// Builds the session: registers one gateway inbox per leaf aggregator
     /// and wires the error-feedback encoder to the scratch pool.
     ///
@@ -215,6 +233,9 @@ impl SessionBuilder {
             }
         }
         self.policy.validate().map_err(LiflError::InvalidConfig)?;
+        if let Some(config) = &self.admission {
+            config.validate()?;
+        }
         let store = self.store.unwrap_or_default();
         let pool = self.pool.unwrap_or_default();
         let mut gateway = Gateway::new(self.node, store.clone());
@@ -230,6 +251,9 @@ impl SessionBuilder {
         let feedback = ErrorFeedback::new(
             UpdateCodec::with_seed(self.codec, self.seed).with_pool(pool.clone()),
         );
+        let admission = self
+            .admission
+            .map(|config| AdmissionQueues::new(config, leaves, pool.clone()));
         Ok(Session {
             topology: self.topology,
             codec: self.codec,
@@ -242,10 +266,14 @@ impl SessionBuilder {
             gateway,
             leaf_inboxes,
             feedback,
+            admission,
             ingested: 0,
             lifetime_ingested: 0,
             ingress_wire_bytes: 0,
             round_keys: Vec::new(),
+            round_entries: Vec::new(),
+            route_cursor: 0,
+            vacancies: Vec::new(),
         })
     }
 }
@@ -339,6 +367,9 @@ pub struct Session {
     gateway: Gateway,
     leaf_inboxes: Vec<InPlaceQueue>,
     feedback: ErrorFeedback,
+    /// Bounded admission queues, when the streaming path is configured (see
+    /// [`SessionBuilder::admission`]).
+    admission: Option<AdmissionQueues>,
     ingested: u64,
     /// Successful ingests over the session's whole life (never reset):
     /// the fallback client-id attribution for anonymous updates.
@@ -348,6 +379,27 @@ pub struct Session {
     /// payloads at ingest, intermediates per level): recycled when the round
     /// ends so a long-lived session does not grow the store round over round.
     round_keys: Vec<lifl_types::ObjectKey>,
+    /// Per-ingest bookkeeping for the current round (producer, payload key,
+    /// wire bytes, target leaf): what mid-round churn needs to reclaim a
+    /// departed client's slot.
+    round_entries: Vec<RoundEntry>,
+    /// Round-robin position of the next non-vacancy ingest. Equal to
+    /// `ingested` until churn opens a vacancy, so legacy routing is
+    /// bit-exact.
+    route_cursor: u64,
+    /// Leaves vacated by departed clients, refilled before the round-robin
+    /// cursor advances (so a replacement lands on the departed client's leaf
+    /// and survivors keep their assignment).
+    vacancies: Vec<usize>,
+}
+
+/// Per-ingest bookkeeping: enough to reclaim one client's slot mid-round.
+#[derive(Debug, Clone, Copy)]
+struct RoundEntry {
+    client: Option<ClientId>,
+    key: lifl_types::ObjectKey,
+    wire_bytes: u64,
+    leaf: usize,
 }
 
 impl Session {
@@ -415,12 +467,27 @@ impl Session {
     /// client keeps sending).
     pub fn ingest(&mut self, update: Update) -> Result<()> {
         if self.ingested as usize >= self.topology.total_updates() {
+            if self.admission.is_some() {
+                // Streaming path configured: overflow routes through the
+                // bounded backpressure queues instead of erroring outright.
+                return match self.queue_offer(update)? {
+                    AdmissionOutcome::Rejected { .. } => Err(LiflError::InvalidConfig(
+                        "session round is full and the admission queue budget is exhausted"
+                            .to_string(),
+                    )),
+                    _ => Ok(()),
+                };
+            }
             return Err(LiflError::InvalidConfig(format!(
                 "session round is full: topology aggregates {} updates",
                 self.topology.total_updates()
             )));
         }
-        let target = self.aggregator_id(0, (self.ingested as usize) % self.topology.leaves());
+        // Vacated leaves (mid-round churn) refill before the round-robin
+        // cursor advances, so survivors keep their leaf assignment.
+        let vacancy = self.vacancies.pop();
+        let leaf = vacancy.unwrap_or((self.route_cursor as usize) % self.topology.leaves());
+        let target = self.aggregator_id(0, leaf);
         // One attribution rule for every representation: anonymous updates
         // take the session-lifetime arrival index, so residual slots never
         // alias across rounds and the codec choice cannot change attribution.
@@ -450,12 +517,28 @@ impl Session {
             other => other,
         };
         let outcome = self.gateway.ingest(target, &update);
-        if let Ok(queued) = &outcome {
-            // Account (and count) only what actually entered the round.
-            self.ingress_wire_bytes += update.wire_bytes();
-            self.ingested += 1;
-            self.lifetime_ingested += 1;
-            self.round_keys.push(queued.key);
+        match &outcome {
+            Ok(queued) => {
+                // Account (and count) only what actually entered the round.
+                self.ingress_wire_bytes += update.wire_bytes();
+                self.ingested += 1;
+                self.lifetime_ingested += 1;
+                self.round_keys.push(queued.key);
+                self.round_entries.push(RoundEntry {
+                    client: queued.producer,
+                    key: queued.key,
+                    wire_bytes: update.wire_bytes(),
+                    leaf,
+                });
+                if vacancy.is_none() {
+                    self.route_cursor += 1;
+                }
+            }
+            Err(_) => {
+                if let Some(v) = vacancy {
+                    self.vacancies.push(v);
+                }
+            }
         }
         self.feedback.recycle_update(update);
         outcome.map(|_| ())
@@ -471,6 +554,255 @@ impl Session {
             self.ingest(update)?;
         }
         Ok(())
+    }
+
+    /// The streaming ingress: offers one update and answers with typed
+    /// backpressure. While the round has room the update is admitted exactly
+    /// as [`Session::ingest`] would; once the round is full the update is
+    /// parked in a bounded per-leaf queue (`Queued{depth}`) or, when the
+    /// queue's slot/byte budget is exhausted, turned away
+    /// (`Rejected{retry_after}`). Queued clients win admission into the next
+    /// round in Oort-utility order (see
+    /// [`Session::record_client_utility`]). Without an
+    /// [`SessionBuilder::admission`] configuration there is no backlog and
+    /// overflow is rejected with a zero retry hint.
+    ///
+    /// # Errors
+    /// Fails only on store/codec errors; a full round is an outcome, not an
+    /// error.
+    pub fn try_ingest(&mut self, update: Update) -> Result<AdmissionOutcome> {
+        if (self.ingested as usize) < self.topology.total_updates() {
+            self.ingest(update)?;
+            return Ok(AdmissionOutcome::Admitted);
+        }
+        if self.admission.is_none() {
+            return Ok(AdmissionOutcome::Rejected {
+                retry_after: SimDuration::ZERO,
+            });
+        }
+        self.queue_offer(update)
+    }
+
+    /// Normalises an overflow update to wire form and parks it in the
+    /// admission queues (the round is full).
+    fn queue_offer(&mut self, update: Update) -> Result<AdmissionOutcome> {
+        // Same attribution and lossy-encode rules as the admitted path, so a
+        // queued-then-drained update flows exactly as a direct ingest would.
+        let fallback = ClientId::new(self.lifetime_ingested);
+        let update = match update {
+            Update::Dense(mut dense) => {
+                let client = *dense.client.get_or_insert(fallback);
+                if self.codec.is_lossless() {
+                    Update::Dense(dense)
+                } else {
+                    let samples = dense.samples;
+                    self.feedback.encode_update(client, dense.model, samples)
+                }
+            }
+            other => other,
+        };
+        let outcome = match &update {
+            Update::Dense(dense) => {
+                let mut wire = self.pool.checkout_bytes(dense.model.dim() * 4);
+                for v in dense.model.as_slice() {
+                    wire.extend_from_slice(&v.to_le_bytes());
+                }
+                let outcome = match self.admission.as_mut() {
+                    Some(queues) => queues.offer(dense.client, &wire, dense.samples, false),
+                    None => AdmissionOutcome::Rejected {
+                        retry_after: SimDuration::ZERO,
+                    },
+                };
+                self.pool.checkin_bytes(wire);
+                outcome
+            }
+            Update::Encoded {
+                client,
+                update: encoded,
+                samples,
+            } => {
+                let wire = encoded.to_bytes();
+                match self.admission.as_mut() {
+                    Some(queues) => queues.offer(*client, &wire, *samples, true),
+                    None => AdmissionOutcome::Rejected {
+                        retry_after: SimDuration::ZERO,
+                    },
+                }
+            }
+            Update::RemoteBytes {
+                wire,
+                weight,
+                encoded,
+            } => {
+                if *encoded {
+                    // Malformed encoded payloads are refused up front, just
+                    // as the direct ingress refuses them.
+                    EncodedView::parse(wire)?;
+                }
+                match self.admission.as_mut() {
+                    Some(queues) => queues.offer(None, wire, *weight, *encoded),
+                    None => AdmissionOutcome::Rejected {
+                        retry_after: SimDuration::ZERO,
+                    },
+                }
+            }
+        };
+        self.feedback.recycle_update(update);
+        Ok(outcome)
+    }
+
+    /// Drains queued offers into the open round — globally best first
+    /// (utility desc, arrival asc) — until the round is full or the backlog
+    /// is empty. Called automatically when a driven round opens the next
+    /// one.
+    fn drain_backlog(&mut self) {
+        while (self.ingested as usize) < self.topology.total_updates() {
+            let Some(offer) = self.admission.as_mut().and_then(AdmissionQueues::take_best) else {
+                break;
+            };
+            if self
+                .ingest_prepared(offer.client, offer.payload, offer.weight, offer.encoded)
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+
+    /// Ingests a payload that is already in wire form, preserving its client
+    /// attribution (the drain half of the admission path; also the cluster's
+    /// re-offer path). Routing follows the same vacancy-then-round-robin
+    /// rule as [`Session::ingest`].
+    pub(crate) fn ingest_prepared(
+        &mut self,
+        client: Option<ClientId>,
+        payload: Vec<u8>,
+        weight: u64,
+        encoded: bool,
+    ) -> Result<()> {
+        if self.ingested as usize >= self.topology.total_updates() {
+            return Err(LiflError::InvalidConfig(format!(
+                "session round is full: topology aggregates {} updates",
+                self.topology.total_updates()
+            )));
+        }
+        let vacancy = self.vacancies.pop();
+        let leaf = vacancy.unwrap_or((self.route_cursor as usize) % self.topology.leaves());
+        let target = self.aggregator_id(0, leaf);
+        let wire_bytes = if encoded {
+            (payload.len() as u64).saturating_sub(WIRE_HEADER_BYTES)
+        } else {
+            payload.len() as u64
+        };
+        match self
+            .gateway
+            .ingest_prepared(target, client, payload, weight, encoded)
+        {
+            Ok(queued) => {
+                self.ingress_wire_bytes += wire_bytes;
+                self.ingested += 1;
+                self.lifetime_ingested += 1;
+                self.round_keys.push(queued.key);
+                self.round_entries.push(RoundEntry {
+                    client: queued.producer,
+                    key: queued.key,
+                    wire_bytes,
+                    leaf,
+                });
+                if vacancy.is_none() {
+                    self.route_cursor += 1;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if let Some(v) = vacancy {
+                    self.vacancies.push(v);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Mid-round churn: removes a departed client's update from the current
+    /// round (reclaiming its slot and store object) and drops any offers it
+    /// has parked in the admission queues. The vacated leaf is refilled from
+    /// the backlog when possible — the replacement lands on the departed
+    /// client's leaf *behind* the survivors, so every survivor keeps its
+    /// position and the surviving fold stays bit-exact. Returns `true` if
+    /// anything (slot or queued offer) was reclaimed.
+    pub fn depart_client(&mut self, client: ClientId) -> bool {
+        let mut departed = false;
+        if let Some(queues) = self.admission.as_mut() {
+            departed = queues.remove_client(client) > 0;
+        }
+        while let Some(pos) = self
+            .round_entries
+            .iter()
+            .position(|e| e.client == Some(client))
+        {
+            let entry = self.round_entries.remove(pos);
+            let removed = self
+                .leaf_inboxes
+                .get(entry.leaf)
+                .and_then(|inbox| inbox.remove_first(|q| q.key == entry.key));
+            if removed.is_none() {
+                continue;
+            }
+            let _ = self.store.recycle(&entry.key);
+            if let Some(kpos) = self.round_keys.iter().position(|k| *k == entry.key) {
+                self.round_keys.remove(kpos);
+            }
+            self.ingested = self.ingested.saturating_sub(1);
+            self.ingress_wire_bytes = self.ingress_wire_bytes.saturating_sub(entry.wire_bytes);
+            self.vacancies.push(entry.leaf);
+            departed = true;
+        }
+        // Refill vacated slots from the backlog (highest utility first).
+        self.drain_backlog();
+        departed
+    }
+
+    /// Records a client's Oort utility score for admission priority (no-op
+    /// without an admission configuration).
+    pub fn record_client_utility(&mut self, client: ClientId, utility: f64) {
+        if let Some(queues) = self.admission.as_mut() {
+            queues.record_utility(client, utility);
+        }
+    }
+
+    /// The producing clients of the current round's updates, in arrival
+    /// order (`None` for anonymous remote forwards).
+    pub fn round_clients(&self) -> Vec<Option<ClientId>> {
+        self.round_entries.iter().map(|e| e.client).collect()
+    }
+
+    /// The admission configuration, when the streaming path is enabled.
+    pub fn admission_config(&self) -> Option<&AdmissionConfig> {
+        self.admission.as_ref().map(AdmissionQueues::config)
+    }
+
+    /// Occupancy of every per-leaf admission queue (empty without an
+    /// admission configuration).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.admission
+            .as_ref()
+            .map_or_else(Vec::new, |q| q.depths())
+    }
+
+    /// Total updates parked in the admission queues.
+    pub fn queued_updates(&self) -> usize {
+        self.admission
+            .as_ref()
+            .map_or(0, AdmissionQueues::total_queued)
+    }
+
+    /// Lifetime admission counters (zero-default without an admission
+    /// configuration).
+    pub fn admission_stats(&self) -> crate::admission::AdmissionStats {
+        self.admission
+            .as_ref()
+            .map(AdmissionQueues::stats)
+            .unwrap_or_default()
     }
 
     /// Drives the configured tree to completion over the ingested updates and
@@ -489,7 +821,7 @@ impl Session {
     /// folded round cannot be resumed, so its remaining updates are
     /// discarded and the session is reset to an empty round.
     pub fn drive(&mut self) -> Result<SessionReport> {
-        self.topology.validate(self.ingested as usize)?;
+        self.validate_round()?;
         let outcome = self.drive_and_decode();
         let report = outcome.map(|(model, weight)| SessionReport {
             update: ModelUpdate::intermediate(model, weight),
@@ -501,7 +833,32 @@ impl Session {
         // Success or aggregation failure, the round is over: free its store
         // objects and counters so the session stays bounded over its life.
         self.reset_round();
+        // The next round opens immediately: queued clients win admission in
+        // utility order.
+        self.drain_backlog();
         report
+    }
+
+    /// Checks the round may close: an exact fill under the legacy policy, or
+    /// the configured quorum under partial participation.
+    fn validate_round(&self) -> Result<()> {
+        let close = self
+            .admission
+            .as_ref()
+            .map_or(RoundClose::Exact, |q| q.config().round_close);
+        match close {
+            RoundClose::Exact => self.topology.validate(self.ingested as usize),
+            RoundClose::Quorum { .. } => {
+                let required = close.required_updates(self.topology.total_updates());
+                if (self.ingested as usize) < required {
+                    return Err(LiflError::InvalidConfig(format!(
+                        "quorum not met: round has {} of {} required updates",
+                        self.ingested, required
+                    )));
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Drives the configured tree to completion like [`Session::drive`], but
@@ -516,7 +873,7 @@ impl Session {
     /// # Errors
     /// Same conditions as [`Session::drive`].
     pub fn drive_to_wire(&mut self) -> Result<WireExport> {
-        self.topology.validate(self.ingested as usize)?;
+        self.validate_round()?;
         let outcome = self.drive_tree().and_then(|result| {
             let object = self.store.get(&result.key)?;
             Ok(WireExport {
@@ -527,6 +884,7 @@ impl Session {
             })
         });
         self.reset_round();
+        self.drain_backlog();
         outcome
     }
 
@@ -548,21 +906,36 @@ impl Session {
     }
 
     /// Runs the tree level by level, returning the top's intermediate.
+    ///
+    /// A full round runs every position; a partial (quorum) round skips
+    /// positions whose inboxes are empty — each station aggregates exactly
+    /// what arrived, and parents fold only the children that produced
+    /// output, in child order. On a full round the two paths are
+    /// identical position for position, so exact-fill results stay
+    /// bit-exact.
     fn drive_tree(&mut self) -> Result<QueuedUpdate> {
         let levels = self.topology.levels();
-        let mut inboxes = self.leaf_inboxes.clone();
-        let mut outputs = Vec::new();
+        let full = self.ingested as usize == self.topology.total_updates();
+        let mut stations: Vec<(usize, InPlaceQueue)> = self
+            .leaf_inboxes
+            .iter()
+            .cloned()
+            .enumerate()
+            .filter(|(_, inbox)| full || !inbox.is_empty())
+            .collect();
+        let mut outputs: Vec<(usize, QueuedUpdate)> = Vec::new();
         for level in 0..levels {
             // Record every successful sibling's intermediate key before
             // surfacing a failure, so a failed level's survivors are still
             // recycled by reset_round instead of leaking in the store.
             let mut first_error = None;
-            outputs = Vec::with_capacity(inboxes.len());
-            for result in self.run_level(level, &inboxes) {
+            let results = self.run_level(level, &stations, full);
+            outputs = Vec::with_capacity(stations.len());
+            for ((index, _), result) in stations.iter().zip(results) {
                 match result {
                     Ok(output) => {
                         self.round_keys.push(output.key);
-                        outputs.push(output);
+                        outputs.push((*index, output));
                     }
                     Err(error) if first_error.is_none() => first_error = Some(error),
                     Err(_) => {}
@@ -572,23 +945,26 @@ impl Session {
                 return Err(error);
             }
             if level + 1 < levels {
-                // Chunk this level's outputs onto the next level's inboxes in
-                // child order: parent j consumes children j·f .. (j+1)·f.
+                // Group this level's outputs onto the next level's inboxes in
+                // child order: parent j consumes children j·f .. (j+1)·f
+                // (the children that exist, in a partial round).
                 let fan_in = self.topology.fan_in(level + 1);
-                inboxes = outputs
-                    .chunks(fan_in)
-                    .map(|chunk| {
-                        let inbox = InPlaceQueue::new();
-                        for intermediate in chunk {
-                            inbox.enqueue(*intermediate);
-                        }
-                        inbox
-                    })
-                    .collect();
+                let mut next: Vec<(usize, InPlaceQueue)> = Vec::new();
+                for (pos, output) in &outputs {
+                    let parent = pos / fan_in;
+                    if next.last().map(|(p, _)| *p) != Some(parent) {
+                        next.push((parent, InPlaceQueue::new()));
+                    }
+                    if let Some((_, inbox)) = next.last() {
+                        inbox.enqueue(*output);
+                    }
+                }
+                stations = next;
             }
         }
         outputs
             .pop()
+            .map(|(_, output)| output)
             .ok_or_else(|| LiflError::Simulation("top level produced no output".to_string()))
     }
 
@@ -616,21 +992,32 @@ impl Session {
         }
         self.ingested = 0;
         self.ingress_wire_bytes = 0;
+        self.round_entries.clear();
+        self.route_cursor = 0;
+        self.vacancies.clear();
     }
 
-    /// Runs every aggregator of one level on its own thread, returning each
-    /// position's outcome in aggregator-index order (no short-circuiting:
-    /// the caller needs every survivor's key even when a sibling fails).
-    fn run_level(&self, level: usize, inboxes: &[InPlaceQueue]) -> Vec<Result<QueuedUpdate>> {
+    /// Runs every listed station (position, inbox) of one level on its own
+    /// thread, returning each position's outcome in station order (no
+    /// short-circuiting: the caller needs every survivor's key even when a
+    /// sibling fails). A full round uses the topology's fan-in as every
+    /// station's goal; a partial round aggregates exactly what each inbox
+    /// holds.
+    fn run_level(
+        &self,
+        level: usize,
+        stations: &[(usize, InPlaceQueue)],
+        full: bool,
+    ) -> Vec<Result<QueuedUpdate>> {
         let codec = self.codec;
         let shards = self.shards;
         let policy = self.policy;
         let topology = &self.topology;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = inboxes
+            let handles: Vec<_> = stations
                 .iter()
-                .enumerate()
                 .map(|(index, inbox)| {
+                    let index = *index;
                     let store = self.store.clone();
                     let inbox = inbox.clone();
                     // Deterministic, position-unique codec stream (the same
@@ -641,10 +1028,29 @@ impl Session {
                     let seed = self.aggregator_id(level, index).index();
                     let agg_codec =
                         UpdateCodec::with_seed(codec, seed).with_pool(self.pool.clone());
+                    let goal = if full { 0 } else { inbox.len() as u64 };
                     scope.spawn(move || -> Result<QueuedUpdate> {
-                        let mut aggregator = AggregatorRuntime::for_level(
-                            topology, level, index, store, inbox, agg_codec,
-                        )?;
+                        let mut aggregator = if goal == 0 {
+                            AggregatorRuntime::for_level(
+                                topology, level, index, store, inbox, agg_codec,
+                            )?
+                        } else {
+                            let role = if level + 1 == topology.levels() {
+                                lifl_types::AggregatorRole::Top
+                            } else if level == 0 {
+                                lifl_types::AggregatorRole::Leaf
+                            } else {
+                                lifl_types::AggregatorRole::Middle
+                            };
+                            AggregatorRuntime::with_codec(
+                                crate::aggregator::position_id(level, index),
+                                role,
+                                goal,
+                                store,
+                                inbox,
+                                agg_codec,
+                            )?
+                        };
                         aggregator.set_shards(shards);
                         aggregator.set_policy(policy)?;
                         aggregator.run_to_completion()
@@ -672,6 +1078,10 @@ impl Session {
 impl lifl_fl::Ingest for Session {
     fn ingest_update(&mut self, update: Update) -> Result<()> {
         self.ingest(update)
+    }
+
+    fn try_ingest(&mut self, update: Update) -> Result<lifl_types::AdmissionOutcome> {
+        Session::try_ingest(self, update)
     }
 
     fn round_capacity(&self) -> usize {
@@ -983,6 +1393,231 @@ mod tests {
             assert!(v.abs() <= bound, "median escaped the honest envelope: {v}");
             assert!((v - h).abs() <= 2.0 * bound, "{v} vs honest mean {h}");
         }
+    }
+
+    #[test]
+    fn try_ingest_queues_overflow_and_drains_next_round() {
+        let batch = updates(6, 8);
+        let mut session = SessionBuilder::new()
+            .two_level(2, 2)
+            .admission(AdmissionConfig::bounded(8, 1 << 20))
+            .build()
+            .unwrap();
+        for u in &batch[..4] {
+            assert!(session
+                .try_ingest(Update::Dense(u.clone()))
+                .unwrap()
+                .is_admitted());
+        }
+        // The round is full: the next two offers park in the per-leaf queues.
+        assert_eq!(
+            session.try_ingest(Update::Dense(batch[4].clone())).unwrap(),
+            AdmissionOutcome::Queued { depth: 1 }
+        );
+        assert_eq!(
+            session.try_ingest(Update::Dense(batch[5].clone())).unwrap(),
+            AdmissionOutcome::Queued { depth: 1 }
+        );
+        assert_eq!(session.queued_updates(), 2);
+        assert_eq!(session.queue_depths(), vec![1, 1]);
+        session.drive().unwrap();
+        // Driving opened the next round and drained the backlog into it.
+        assert_eq!(session.pending_updates(), 2);
+        assert_eq!(session.queued_updates(), 0);
+        let stats = session.admission_stats();
+        assert_eq!(stats.queued, 2);
+        assert_eq!(stats.drained, 2);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn admission_rejects_past_queue_budget_with_retry_hint() {
+        let batch = updates(7, 8);
+        let mut session = SessionBuilder::new()
+            .two_level(2, 2)
+            .admission(
+                AdmissionConfig::bounded(1, 1 << 20)
+                    .with_retry_after(SimDuration::from_millis(250.0)),
+            )
+            .build()
+            .unwrap();
+        for u in &batch[..4] {
+            session.ingest(Update::Dense(u.clone())).unwrap();
+        }
+        // Two offers fit the slot budget; the third is turned away.
+        assert!(session
+            .try_ingest(Update::Dense(batch[4].clone()))
+            .unwrap()
+            .is_queued());
+        assert!(session
+            .try_ingest(Update::Dense(batch[5].clone()))
+            .unwrap()
+            .is_queued());
+        assert_eq!(
+            session.try_ingest(Update::Dense(batch[6].clone())).unwrap(),
+            AdmissionOutcome::Rejected {
+                retry_after: SimDuration::from_millis(250.0)
+            }
+        );
+        // The legacy strict ingress reports budget exhaustion as an error.
+        let err = session
+            .ingest(Update::Dense(batch[6].clone()))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("admission queue budget is exhausted"), "{err}");
+        assert_eq!(session.admission_stats().rejected, 2);
+    }
+
+    #[test]
+    fn queued_clients_drain_in_utility_order() {
+        let batch = updates(8, 8);
+        let mut session = SessionBuilder::new()
+            .two_level(2, 2)
+            .admission(AdmissionConfig::bounded(8, 1 << 20))
+            .build()
+            .unwrap();
+        for u in &batch[..4] {
+            session.ingest(Update::Dense(u.clone())).unwrap();
+        }
+        // Clients 4..8 park; 6 is hot, 5 is cold, 4 and 7 are unexplored.
+        for u in &batch[4..8] {
+            assert!(session
+                .try_ingest(Update::Dense(u.clone()))
+                .unwrap()
+                .is_queued());
+        }
+        session.record_client_utility(ClientId::new(6), 3.0);
+        session.record_client_utility(ClientId::new(5), 0.1);
+        session.drive().unwrap();
+        // Highest utility first, unexplored (1.0) next in arrival order,
+        // lowest last — all four fit the fresh round.
+        let drained: Vec<Option<ClientId>> = session.round_clients().to_vec();
+        assert_eq!(
+            drained,
+            vec![
+                Some(ClientId::new(6)),
+                Some(ClientId::new(4)),
+                Some(ClientId::new(7)),
+                Some(ClientId::new(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn quorum_round_closes_partial_and_matches_flat_fedavg() {
+        let batch = updates(3, 16);
+        let mut session = SessionBuilder::new()
+            .two_level(2, 2)
+            .admission(AdmissionConfig::bounded(8, 1 << 20).with_quorum(3))
+            .build()
+            .unwrap();
+        session
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let report = session.drive().unwrap();
+        assert_eq!(report.updates_ingested, 3);
+        let flat = fedavg(&batch).unwrap();
+        assert_eq!(report.update.samples, flat.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quorum_below_minimum_still_refuses_to_close() {
+        let batch = updates(2, 8);
+        let mut session = SessionBuilder::new()
+            .two_level(2, 2)
+            .admission(AdmissionConfig::bounded(8, 1 << 20).with_quorum(3))
+            .build()
+            .unwrap();
+        session
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        let err = session.drive().unwrap_err().to_string();
+        assert!(err.contains("quorum not met"), "{err}");
+        // Topping up to the quorum closes the round.
+        session
+            .ingest(Update::Dense(updates(3, 8).pop().unwrap()))
+            .unwrap();
+        assert!(session.drive().is_ok());
+    }
+
+    #[test]
+    fn departed_client_refills_from_backlog_without_perturbing_survivors() {
+        let batch = updates(4, 16);
+        let replacement =
+            ModelUpdate::from_client(ClientId::new(9), DenseModel::from_vec(vec![0.25; 16]), 5);
+
+        let mut churned = SessionBuilder::new()
+            .two_level(2, 2)
+            .admission(AdmissionConfig::bounded(8, 1 << 20))
+            .build()
+            .unwrap();
+        churned
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        assert!(churned
+            .try_ingest(Update::Dense(replacement.clone()))
+            .unwrap()
+            .is_queued());
+        // Client 1 (leaf 1) departs mid-round; its slot refills from the
+        // backlog without disturbing the surviving assignments.
+        assert!(churned.depart_client(ClientId::new(1)));
+        assert_eq!(churned.pending_updates(), 4);
+        assert_eq!(churned.queued_updates(), 0);
+        let report = churned.drive().unwrap();
+
+        // Reference: a plain session whose arrival order lands the same
+        // updates on the same leaves, the replacement last on leaf 1.
+        let mut reference = SessionBuilder::new().two_level(2, 2).build().unwrap();
+        reference
+            .ingest_all(
+                [
+                    batch[0].clone(),
+                    batch[3].clone(),
+                    batch[2].clone(),
+                    replacement,
+                ]
+                .into_iter()
+                .map(Update::Dense),
+            )
+            .unwrap();
+        let expected = reference.drive().unwrap();
+        assert_eq!(report.update.samples, expected.update.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(expected.update.model.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "survivor fold diverged");
+        }
+    }
+
+    #[test]
+    fn departing_the_last_quorum_member_reopens_the_round() {
+        let batch = updates(3, 8);
+        let mut session = SessionBuilder::new()
+            .two_level(2, 2)
+            .admission(AdmissionConfig::bounded(8, 1 << 20).with_quorum(3))
+            .build()
+            .unwrap();
+        session
+            .ingest_all(batch.iter().cloned().map(Update::Dense))
+            .unwrap();
+        assert!(session.depart_client(ClientId::new(2)));
+        assert_eq!(session.pending_updates(), 2);
+        assert!(session.drive().unwrap_err().to_string().contains("quorum"));
+        // A departure that never happened reclaims nothing.
+        assert!(!session.depart_client(ClientId::new(77)));
     }
 }
 

@@ -50,6 +50,17 @@ pub struct TrainingConfig {
     /// How long the round waits for a selected client before cutting it off
     /// as a straggler (only consulted when `expected_dropout > 0`).
     pub straggler_timeout: SimDuration,
+    /// Routes every delivery through the backend's streaming ingress
+    /// ([`Ingest::try_ingest`]) instead of the strict one: the round trains
+    /// *every* selected participant, surplus deliveries park in the
+    /// backend's bounded admission queues (counted in
+    /// [`TrainingRound::queued`], drained into the next round by the
+    /// backend) and deliveries the queue budget turns away are cut off as
+    /// stragglers. The round closes by the backend's configured rule —
+    /// exact fill, or a quorum under
+    /// [`RoundClose::Quorum`](lifl_types::RoundClose) — so the selection no
+    /// longer has to match [`Ingest::round_capacity`] exactly.
+    pub streaming: bool,
 }
 
 impl Default for TrainingConfig {
@@ -60,6 +71,7 @@ impl Default for TrainingConfig {
             eval_every: 1,
             expected_dropout: 0.0,
             straggler_timeout: SimDuration::from_secs(60.0),
+            streaming: false,
         }
     }
 }
@@ -80,6 +92,10 @@ pub struct TrainingRound {
     /// Selected clients cut off as stragglers at the round's timeout
     /// (always zero under the exact-fill default configuration).
     pub dropped: u64,
+    /// Deliveries the backend parked in its bounded admission queues for
+    /// the *next* round (always zero outside
+    /// [`TrainingConfig::streaming`] mode).
+    pub queued: u64,
 }
 
 /// Runs synchronous multi-round FedAvg over any [`Ingest`] backend.
@@ -232,7 +248,11 @@ impl<B: Ingest> TrainingDriver<B> {
         let participants = self.population.select_round(rng);
         let capacity = self.backend.round_capacity();
         let stragglers = std::mem::take(&mut self.stragglers);
-        if self.config.expected_dropout > 0.0 {
+        if self.config.streaming {
+            // Streaming ingress: the backend's admission queues absorb any
+            // surplus and its close rule (exact or quorum) decides whether
+            // the round can drive — no selection-size precondition here.
+        } else if self.config.expected_dropout > 0.0 {
             // Over-provisioned selection (§3): validate the rate and relax
             // the exact-fill check — the selection only has to cover the
             // tree after the expected drop-outs.
@@ -263,8 +283,9 @@ impl<B: Ingest> TrainingDriver<B> {
         let mut loss_sum = 0.0;
         let mut trained = 0usize;
         let mut delivered = 0usize;
+        let mut queued = 0u64;
         for client in &participants {
-            if delivered == capacity {
+            if !self.config.streaming && delivered == capacity {
                 // The tree is full: the remaining spares stay idle.
                 monitor.complete(client.id);
                 continue;
@@ -278,19 +299,39 @@ impl<B: Ingest> TrainingDriver<B> {
             loss_sum += loss;
             trained += 1;
             let samples = shard.len().max(1) as u64;
-            if let Err(error) = self
-                .backend
-                .ingest_update(Update::dense(client.id, local, samples))
-            {
-                self.backend.discard_round();
-                return Err(error);
+            let update = Update::dense(client.id, local, samples);
+            if self.config.streaming {
+                match self.backend.try_ingest(update) {
+                    Ok(lifl_types::AdmissionOutcome::Admitted) => {
+                        monitor.complete(client.id);
+                        delivered += 1;
+                    }
+                    Ok(lifl_types::AdmissionOutcome::Queued { .. }) => {
+                        // Parked for the next round; not a straggler.
+                        monitor.complete(client.id);
+                        queued += 1;
+                    }
+                    Ok(lifl_types::AdmissionOutcome::Rejected { .. }) => {
+                        // Queue budget exhausted: the delivery is turned
+                        // away and the client is cut off at the timeout.
+                    }
+                    Err(error) => {
+                        self.backend.discard_round();
+                        return Err(error);
+                    }
+                }
+            } else {
+                if let Err(error) = self.backend.ingest_update(update) {
+                    self.backend.discard_round();
+                    return Err(error);
+                }
+                monitor.complete(client.id);
+                delivered += 1;
             }
-            monitor.complete(client.id);
-            delivered += 1;
         }
         let cutoff = round_start + self.config.straggler_timeout + SimDuration::from_secs(1.0);
         let dropped = monitor.take_failed(cutoff).len() as u64;
-        if delivered < capacity {
+        if !self.config.streaming && delivered < capacity {
             self.backend.discard_round();
             return Err(LiflError::InvalidConfig(format!(
                 "only {delivered} of {capacity} updates arrived before the \
@@ -319,6 +360,7 @@ impl<B: Ingest> TrainingDriver<B> {
             train_loss: loss_sum / trained.max(1) as f64,
             ingress_wire_bytes: aggregate.ingress_wire_bytes,
             dropped,
+            queued,
         };
         self.history.push(outcome.clone());
         Ok(outcome)
@@ -443,6 +485,7 @@ impl TrainingDriver<Cluster> {
             train_loss: loss_sum / participants.len().max(1) as f64,
             ingress_wire_bytes: aggregate.ingress_wire_bytes,
             dropped: 0,
+            queued: 0,
         };
         self.history.push(outcome.clone());
         Ok(outcome)
@@ -615,5 +658,48 @@ mod tests {
         assert!(driver.run_round(&mut rng).is_err());
         assert_eq!(driver.backend().pending_updates(), 0);
         assert!(driver.run_round(&mut rng).is_ok());
+    }
+
+    #[test]
+    fn streaming_driver_parks_surplus_in_the_admission_queue() {
+        let (dataset, _, mut rng) = fixtures(5);
+        // 10 deliveries per round against an 8-update tree: without the
+        // streaming ingress this selection can never drive (see
+        // `capacity_mismatch_is_an_error_and_keeps_the_driver_reusable`);
+        // with it, the surplus parks in the backend's bounded queues.
+        let population = Population::generate(
+            PopulationConfig {
+                total_clients: 24,
+                active_per_round: 10,
+                availability: ClientAvailability::AlwaysOn,
+                mean_samples: 40,
+                speed_spread: 0.3,
+            },
+            &mut rng,
+        );
+        let backend = SessionBuilder::new()
+            .topology(Topology::new(vec![2, 2, 2]).unwrap())
+            .admission(lifl_types::AdmissionConfig::bounded(4, 1 << 20))
+            .build()
+            .unwrap();
+        let mut driver = TrainingDriver::new(
+            backend,
+            dataset,
+            population,
+            TrainingConfig {
+                streaming: true,
+                ..TrainingConfig::default()
+            },
+        );
+        let outcome = driver.run_round(&mut rng).unwrap();
+        assert_eq!(outcome.updates, 8, "the round closed at the tree's fill");
+        assert_eq!(outcome.queued, 2, "the two surplus deliveries parked");
+        assert_eq!(outcome.dropped, 0);
+        // The parked deliveries drained into the next round, so round 2
+        // admits two fewer of its own selection and parks the rest.
+        assert_eq!(driver.backend().pending_updates(), 2);
+        let outcome = driver.run_round(&mut rng).unwrap();
+        assert_eq!(outcome.updates, 8);
+        assert_eq!(outcome.queued, 4);
     }
 }

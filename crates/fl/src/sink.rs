@@ -13,7 +13,7 @@
 
 use crate::aggregate::ModelUpdate;
 use crate::update::Update;
-use lifl_types::{CodecKind, Result};
+use lifl_types::{AdmissionOutcome, CodecKind, Result};
 
 /// What one aggregated round produced, in backend-agnostic form.
 #[derive(Debug, Clone)]
@@ -42,6 +42,29 @@ pub trait Ingest {
     /// Fails if the round is already full, or on any store/codec error. A
     /// failed ingest counts nothing toward the round.
     fn ingest_update(&mut self, update: Update) -> Result<()>;
+
+    /// Offers one update under admission control, answering with typed
+    /// backpressure instead of an error when the round is full.
+    ///
+    /// The default implementation has no backlog: it admits while the round
+    /// has room and rejects (with a zero retry hint) once it is full, so
+    /// unbounded backends keep their legacy semantics. Bounded backends
+    /// override this to park overflow in their admission queues.
+    ///
+    /// # Errors
+    /// Fails only on store/codec errors; a full round is an outcome, not an
+    /// error.
+    fn try_ingest(&mut self, update: Update) -> Result<AdmissionOutcome> {
+        match self.ingest_update(update) {
+            Ok(()) => Ok(AdmissionOutcome::Admitted),
+            Err(lifl_types::LiflError::InvalidConfig(msg)) if msg.contains("round is full") => {
+                Ok(AdmissionOutcome::Rejected {
+                    retry_after: lifl_types::SimDuration::ZERO,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
 
     /// Updates one round aggregates (the capacity of the backend's tree).
     fn round_capacity(&self) -> usize;

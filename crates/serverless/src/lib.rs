@@ -15,7 +15,10 @@
 //! Knative mechanics that explain *why* the baseline behaves the way it does:
 //! the stable/panic-window KPA control loop ([`kpa`]), pod/revision lifecycle
 //! reconciliation ([`revision`]), per-pod request queuing ([`request_queue`])
-//! and the cascading cold starts of function chains ([`chain`]).
+//! and the cascading cold starts of function chains ([`chain`]). The [`fleet`]
+//! module points the KPA loop the other way: it adapts the control loop into
+//! a deterministic aggregator-fleet controller that `lifl-core`'s cluster
+//! uses to grow and retire leaf subtrees from observed admission-queue depth.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@
 pub mod autoscale;
 pub mod broker_service;
 pub mod chain;
+pub mod fleet;
 pub mod function;
 pub mod instance;
 pub mod kpa;
@@ -34,6 +38,7 @@ pub mod sidecar_container;
 
 pub use autoscale::ThresholdAutoscaler;
 pub use chain::{ChainReadiness, ChainScaling, FunctionChain};
+pub use fleet::{FleetConfig, FleetController, FleetDecision};
 pub use function::{FunctionSpec, InstanceState};
 pub use instance::{AcquireOutcome, InstancePool};
 pub use kpa::{KpaAutoscaler, KpaConfig, KpaDecision};

@@ -32,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backlog;
 pub mod checkpoint;
 pub mod object;
 pub mod pool;
 pub mod queue;
 pub mod store;
 
+pub use backlog::{BacklogStats, PooledBacklog};
 pub use checkpoint::CheckpointStore;
 pub use object::{PayloadEncoding, SharedObject};
 pub use pool::{BufferPool, PoolStats};

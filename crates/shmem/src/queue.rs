@@ -91,6 +91,20 @@ impl InPlaceQueue {
         item
     }
 
+    /// Removes and returns the first queued update matching `pred`,
+    /// preserving the relative order of every other entry (so a departed
+    /// client's key can be reclaimed mid-round without perturbing survivor
+    /// assignment).
+    pub fn remove_first(&self, pred: impl Fn(&QueuedUpdate) -> bool) -> Option<QueuedUpdate> {
+        let mut inner = self.inner.lock();
+        let pos = inner.fifo.iter().position(&pred)?;
+        let item = inner.fifo.remove(pos);
+        if item.is_some() {
+            inner.total_dequeued += 1;
+        }
+        item
+    }
+
     /// Current queue depth.
     pub fn len(&self) -> usize {
         self.inner.lock().fifo.len()

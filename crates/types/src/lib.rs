@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod codec;
 pub mod config;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod role;
 pub mod time;
 pub mod topology;
 
+pub use admission::{AdmissionConfig, AdmissionOutcome, RoundClose};
 pub use codec::{CodecKind, WIRE_HEADER_BYTES};
 pub use config::{AggregationTiming, ClusterConfig, LiflConfig, NodeConfig, PlacementPolicy};
 pub use error::{LiflError, Result};

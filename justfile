@@ -8,7 +8,7 @@
 default: ci
 
 # Everything CI runs, in CI order.
-ci: lint-lifl lint doc build test alloc faults test-scalar bench-check bench-baseline-check smoke
+ci: lint-lifl lint doc build test alloc faults test-scalar scale bench-check bench-baseline-check bench-ingest-check smoke
 
 # Repo invariants (unsafe containment, SAFETY comments, kernel parity,
 # panic freedom, fold determinism, no legacy runtime, justfile↔CI sync) as
@@ -53,6 +53,12 @@ test-scalar:
     LIFL_FORCE_SCALAR=1 cargo test -p lifl-integration --test it
     LIFL_FORCE_SCALAR=1 cargo test -p lifl-integration --test faults
 
+# The scale tier at full size: the 1M-client streaming round under the
+# live-byte high-water allocator (the default `cargo test` run only covers
+# the 10k-client smoke), proving flat memory and KPA fleet growth.
+scale:
+    LIFL_SCALE_FULL=1 cargo test -p lifl-integration --test scale
+
 # Ensure every criterion bench target still compiles.
 bench-check:
     cargo bench --no-run
@@ -70,6 +76,16 @@ bench-baseline:
 bench-baseline-check:
     cargo run --release -p lifl-bench --bin bench_baseline -- --quick --out target/bench_quick.json
     cargo run --release -p lifl-bench --bin bench_baseline -- --check BENCH_aggregation.json
+
+# Regenerate the committed streaming-ingress baseline (BENCH_ingest.json).
+bench-ingest:
+    cargo run --release -p lifl-bench --bin bench_ingest
+
+# CI gate: the ingest runner works in --quick mode and the committed
+# ingress baseline parses with the current schema (fails if missing or stale).
+bench-ingest-check:
+    cargo run --release -p lifl-bench --bin bench_ingest -- --quick --out target/bench_ingest_quick.json
+    cargo run --release -p lifl-bench --bin bench_ingest -- --check BENCH_ingest.json
 
 # CI smoke steps: the quickstart and cluster-federation examples run end to
 # end (the latter asserts cluster/session bit-exactness inline).

@@ -1,0 +1,180 @@
+//! The streaming-admission tier: property tests over the bounded ingress
+//! path — conservation of offers under random arrival mixes, monotone
+//! backpressure as queues fill, and churn-safe draining that never drops or
+//! double-folds a survivor. The whole suite re-runs on the scalar kernel arm
+//! via the `test-scalar` CI step (`LIFL_FORCE_SCALAR=1`).
+
+use lifl_core::session::{SessionBuilder, Update};
+use lifl_fl::aggregate::{fedavg, ModelUpdate};
+use lifl_fl::DenseModel;
+use lifl_types::{AdmissionConfig, AdmissionOutcome, ClientId, Topology};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A deterministic dense update for `client`, weighted `client + 1` samples.
+fn update(client: u64, dim: usize) -> ModelUpdate {
+    let values: Vec<f32> = (0..dim)
+        .map(|d| ((client as usize * dim + d * 7) % 101) as f32 * 0.03 - 1.5)
+        .collect();
+    ModelUpdate::from_client(
+        ClientId::new(client),
+        DenseModel::from_vec(values),
+        client + 1,
+    )
+}
+
+proptest! {
+    /// Conservation: however many updates are offered, in whatever order,
+    /// every one is accounted for exactly once — admitted into the round,
+    /// parked in a queue, or rejected — and the session's own counters agree
+    /// with the caller's tally.
+    #[test]
+    fn offers_are_conserved_under_random_arrivals(
+        leaves in 1usize..=4,
+        fan in 1usize..=3,
+        slots in 1usize..=3,
+        offered in 0u64..=40,
+    ) {
+        let mut session = SessionBuilder::new()
+            .topology(Topology::two_level(leaves, fan))
+            .admission(AdmissionConfig::bounded(slots, 1 << 20))
+            .build()
+            .unwrap();
+        let capacity = (leaves * fan) as u64;
+        let (mut admitted, mut queued, mut rejected) = (0u64, 0u64, 0u64);
+        for client in 0..offered {
+            match session.try_ingest(Update::Dense(update(client, 8))).unwrap() {
+                AdmissionOutcome::Admitted => admitted += 1,
+                AdmissionOutcome::Queued { .. } => queued += 1,
+                AdmissionOutcome::Rejected { .. } => rejected += 1,
+            }
+        }
+        prop_assert_eq!(admitted + queued + rejected, offered);
+        prop_assert_eq!(admitted, offered.min(capacity));
+        prop_assert_eq!(session.pending_updates(), admitted);
+        prop_assert_eq!(session.queued_updates() as u64, queued);
+        let stats = session.admission_stats();
+        prop_assert_eq!(stats.queued, queued);
+        prop_assert_eq!(stats.rejected, rejected);
+        // The parked backlog never exceeds its configured slot budget.
+        prop_assert!(session.queued_updates() <= leaves * slots);
+    }
+
+    /// Monotone backpressure: with uniform payloads the outcome sequence
+    /// only ever escalates — a block of `Admitted`, then `Queued`, then
+    /// `Rejected`; it never relaxes while nothing drains. Each leaf queue's
+    /// reported depth climbs by exactly one per offer it absorbs.
+    #[test]
+    fn backpressure_is_monotone_in_queue_depth(
+        leaves in 1usize..=4,
+        fan in 1usize..=3,
+        slots in 1usize..=4,
+        extra in 0usize..=12,
+    ) {
+        let mut session = SessionBuilder::new()
+            .topology(Topology::two_level(leaves, fan))
+            .admission(AdmissionConfig::bounded(slots, 1 << 20))
+            .build()
+            .unwrap();
+        let capacity = leaves * fan;
+        let offered = capacity + leaves * slots + extra;
+        let mut outcomes = Vec::with_capacity(offered);
+        let mut depths = Vec::new();
+        for client in 0..offered as u64 {
+            let outcome = session.try_ingest(Update::Dense(update(client, 8))).unwrap();
+            if let AdmissionOutcome::Queued { depth } = outcome {
+                depths.push(depth);
+            }
+            outcomes.push(outcome);
+        }
+        // Severity never decreases: Admitted(0) -> Queued(1) -> Rejected(2).
+        let severity = |o: &AdmissionOutcome| match o {
+            AdmissionOutcome::Admitted => 0,
+            AdmissionOutcome::Queued { .. } => 1,
+            AdmissionOutcome::Rejected { .. } => 2,
+        };
+        for pair in outcomes.windows(2) {
+            prop_assert!(
+                severity(&pair[0]) <= severity(&pair[1]),
+                "backpressure relaxed: {:?} after {:?}",
+                pair[1],
+                pair[0]
+            );
+        }
+        // Queued offers round-robin the leaf queues: the i-th parked offer
+        // lands on leaf i % leaves at depth i / leaves + 1.
+        for (i, depth) in depths.iter().enumerate() {
+            prop_assert_eq!(*depth, i / leaves + 1);
+        }
+        prop_assert_eq!(depths.len(), leaves * slots);
+    }
+
+    /// Churn-safe draining: departing any subset of clients mid-round never
+    /// drops a survivor, never folds anyone twice, and refills reclaimed
+    /// slots from the backlog — the driven aggregate is exactly the FedAvg
+    /// of the final roster.
+    #[test]
+    fn churn_never_drops_or_double_folds_a_survivor(
+        departures in proptest::collection::vec(0u64..10, 0..=10),
+    ) {
+        const CAPACITY: usize = 6;
+        const OFFERED: u64 = 10;
+        let departed: BTreeSet<u64> = departures.into_iter().collect();
+        let mut session = SessionBuilder::new()
+            .topology(Topology::two_level(3, 2))
+            .admission(AdmissionConfig::bounded(4, 1 << 20).with_quorum(1))
+            .build()
+            .unwrap();
+        for client in 0..OFFERED {
+            let outcome = session.try_ingest(Update::Dense(update(client, 8))).unwrap();
+            prop_assert_eq!(
+                outcome.is_admitted(),
+                client < CAPACITY as u64,
+                "first {} offers fill the round, the rest park",
+                CAPACITY
+            );
+        }
+        for client in &departed {
+            session.depart_client(ClientId::new(*client));
+        }
+        let roster: Vec<ClientId> = session
+            .round_clients()
+            .into_iter()
+            .flatten()
+            .collect();
+        // No departed client survives, and nobody is folded twice.
+        let unique: BTreeSet<ClientId> = roster.iter().copied().collect();
+        prop_assert_eq!(unique.len(), roster.len(), "duplicate fold: {:?}", roster);
+        for client in &roster {
+            prop_assert!(
+                !departed.contains(&client.index()),
+                "departed client {:?} still in the round",
+                client
+            );
+        }
+        // Every live client is accounted for: the round holds as many as it
+        // can, the backlog parks the rest.
+        let live = OFFERED as usize - departed.len();
+        prop_assert_eq!(roster.len(), live.min(CAPACITY));
+        prop_assert_eq!(session.queued_updates(), live.saturating_sub(CAPACITY));
+        if roster.is_empty() {
+            // Everyone left: the quorum of one is unmet and the round says so.
+            prop_assert!(session.drive().is_err());
+            return Ok(());
+        }
+        let expected: Vec<ModelUpdate> =
+            roster.iter().map(|c| update(c.index(), 8)).collect();
+        let flat = fedavg(&expected).unwrap();
+        let report = session.drive().unwrap();
+        prop_assert_eq!(report.update.samples, flat.samples);
+        for (a, b) in report
+            .update
+            .model
+            .as_slice()
+            .iter()
+            .zip(flat.model.as_slice())
+        {
+            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+}

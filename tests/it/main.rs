@@ -1,5 +1,6 @@
-//! Entry point binding the thirteen integration suites into one test binary.
+//! Entry point binding the fourteen integration suites into one test binary.
 
+mod admission;
 mod algorithms;
 mod cluster;
 mod codec;
